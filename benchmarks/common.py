@@ -1,0 +1,51 @@
+"""Shared scaffolding for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+paper's full methodology (300 listings/source, all 10 train/test splits,
+3 data samples) takes hours on this pure-Python substrate, so benchmarks
+default to a scaled-down setting that preserves the *shape* of every
+result. Environment variables restore paper scale:
+
+    LSD_BENCH_LISTINGS   listings extracted per source   (default 25)
+    LSD_BENCH_TRIALS     data samples per experiment     (default 1)
+    LSD_BENCH_SPLITS     train/test splits (max 10)      (default 2)
+    LSD_BENCH_MAXINST    instance cap per tag            (default 25)
+
+Each benchmark prints its table and also writes it to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's output
+capture and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.evaluation import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return int(value)
+
+
+def bench_settings() -> ExperimentSettings:
+    """Experiment settings scaled by the LSD_BENCH_* environment."""
+    splits = _env_int("LSD_BENCH_SPLITS", 2)
+    return ExperimentSettings(
+        n_listings=_env_int("LSD_BENCH_LISTINGS", 25),
+        trials=_env_int("LSD_BENCH_TRIALS", 1),
+        max_splits=None if splits >= 10 else splits,
+        max_instances_per_tag=_env_int("LSD_BENCH_MAXINST", 25),
+        seed=0)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,44 @@
+"""E2 — Figure 8(a): average matching accuracy per configuration ladder.
+
+For each domain, reports the accuracy of (1) the best single base learner
+(excluding the XML learner), (2) base learners + meta-learner, (3) + the
+domain-constraint handler, (4) + the XML learner — the complete system.
+
+Expected shape (paper): each step is a non-trivial improvement; the
+complete system lands in the 71-92% band, the best base learner in the
+42-72% band; the XML-learner step is largest on Real Estate II.
+"""
+
+from repro.datasets import load_all_domains
+from repro.evaluation import ladder_table, run_ladder
+
+from .common import bench_settings, publish
+
+
+def run_all():
+    settings = bench_settings()
+    return {
+        domain.name: run_ladder(domain, settings)
+        for domain in load_all_domains(seed=0)
+    }
+
+
+def test_fig8a(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    publish("fig8a_accuracy", ladder_table(results))
+
+    for domain_name, ladder in results.items():
+        best_base = ladder["best_base"].mean_accuracy
+        complete = ladder["complete"].mean_accuracy
+        # Shape: the complete system never loses to the best single base
+        # learner (small tolerance for sampling noise at bench scale).
+        assert complete >= best_base - 0.03, domain_name
+        # The complete system is in (or above) the paper's quality band.
+        assert complete >= 0.71, domain_name
+
+    # The meta-learner and constraint handler must help overall.
+    mean = lambda key: sum(l[key].mean_accuracy
+                           for l in results.values()) / len(results)
+    assert mean("complete") >= mean("meta") - 0.02
+    assert mean("constraints") >= mean("meta") - 0.02
+    assert mean("meta") >= mean("best_base") - 0.02

@@ -1,0 +1,43 @@
+"""E3 — Figure 8(b): accuracy vs data volume, Real Estate I.
+
+Sweeps the number of listings per source and reports the ladder
+configurations at each point. Expected shape (paper): accuracy "climbs
+steeply in the range 5-20, minimally from 20 to 200, and levels off
+after 200".
+"""
+
+import os
+
+from repro.datasets import load_domain
+from repro.evaluation import run_sensitivity, sensitivity_series
+
+from .common import bench_settings, publish
+
+
+def sweep_counts() -> tuple[int, ...]:
+    raw = os.environ.get("LSD_BENCH_SWEEP", "5,10,20,50")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def run_sweep():
+    settings = bench_settings()
+    domain = load_domain("real_estate_1", seed=0)
+    return run_sensitivity(domain, settings,
+                           listing_counts=sweep_counts())
+
+
+def test_fig8b(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    publish("fig8b_sensitivity_realestate",
+            sensitivity_series(
+                sweep, "Figure 8(b): accuracy vs listings, Real Estate I"))
+
+    counts = sorted(sweep)
+    complete = [sweep[c]["complete"].mean_accuracy for c in counts]
+    # Shape: more data never hurts much...
+    assert complete[-1] >= complete[0] - 0.05
+    # ...and the curve has flattened by the last point: the final step
+    # gains far less than the whole climb.
+    total_climb = complete[-1] - complete[0]
+    last_step = complete[-1] - complete[-2]
+    assert last_step <= max(0.5 * total_climb, 0.05)

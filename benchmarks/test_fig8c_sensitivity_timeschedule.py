@@ -1,0 +1,38 @@
+"""E4 — Figure 8(c): accuracy vs data volume, Time Schedule.
+
+Same sweep as Figure 8(b) on the Time Schedule domain; the paper notes
+"experiments with other domains show the same phenomenon".
+"""
+
+import os
+
+from repro.datasets import load_domain
+from repro.evaluation import run_sensitivity, sensitivity_series
+
+from .common import bench_settings, publish
+
+
+def sweep_counts() -> tuple[int, ...]:
+    raw = os.environ.get("LSD_BENCH_SWEEP", "5,10,20,50")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def run_sweep():
+    settings = bench_settings()
+    domain = load_domain("time_schedule", seed=0)
+    return run_sensitivity(domain, settings,
+                           listing_counts=sweep_counts())
+
+
+def test_fig8c(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    publish("fig8c_sensitivity_timeschedule",
+            sensitivity_series(
+                sweep, "Figure 8(c): accuracy vs listings, Time Schedule"))
+
+    counts = sorted(sweep)
+    complete = [sweep[c]["complete"].mean_accuracy for c in counts]
+    assert complete[-1] >= complete[0] - 0.05
+    total_climb = complete[-1] - complete[0]
+    last_step = complete[-1] - complete[-2]
+    assert last_step <= max(0.5 * total_climb, 0.05)

@@ -1,0 +1,40 @@
+"""E5 — Figure 9(a): lesion study.
+
+Accuracy of LSD with each component removed (name matcher, Naive Bayes,
+content matcher, constraint handler) versus the complete system.
+
+Expected shape (paper): "each component contributes to the overall
+performance, and there appears to be no clearly dominant component" —
+every lesioned variant scores at or below the complete system on average.
+"""
+
+from repro.datasets import load_all_domains
+from repro.evaluation import run_lesion_study, study_table
+
+from .common import bench_settings, publish
+
+
+def run_all():
+    settings = bench_settings()
+    return {
+        domain.name: run_lesion_study(domain, settings)
+        for domain in load_all_domains(seed=0)
+    }
+
+
+def test_fig9a(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    publish("fig9a_lesion",
+            study_table(results, "Figure 9(a): lesion study"))
+
+    variants = [v for v in next(iter(results.values()))
+                if v != "complete"]
+    domain_count = len(results)
+    for variant in variants:
+        lesioned = sum(results[d][variant].mean_accuracy
+                       for d in results) / domain_count
+        complete = sum(results[d]["complete"].mean_accuracy
+                       for d in results) / domain_count
+        # Averaged over domains, removing a component never helps by more
+        # than bench-scale noise.
+        assert lesioned <= complete + 0.03, variant

@@ -1,0 +1,41 @@
+"""E6 — Figure 9(b): learning from schema vs data information.
+
+Compares (1) LSD restricted to schema information — the name matcher plus
+schema-verifiable constraints, (2) LSD restricted to data information —
+the content learners, XML learner and data-verifiable (column)
+constraints, and (3) the complete system.
+
+Expected shape (paper): "both schemas and data instances make important
+contributions" — each restricted variant is clearly below the complete
+system, and neither restricted variant dominates everywhere.
+"""
+
+from repro.datasets import load_all_domains
+from repro.evaluation import run_information_study, study_table
+
+from .common import bench_settings, publish
+
+
+def run_all():
+    settings = bench_settings()
+    return {
+        domain.name: run_information_study(domain, settings)
+        for domain in load_all_domains(seed=0)
+    }
+
+
+def test_fig9b(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    publish("fig9b_schema_vs_data",
+            study_table(results,
+                        "Figure 9(b): schema vs data information"))
+
+    domain_count = len(results)
+    mean = lambda variant: sum(
+        results[d][variant].mean_accuracy for d in results) / domain_count
+    complete = mean("complete")
+    assert complete >= mean("schema only") - 0.02
+    assert complete >= mean("data only") - 0.02
+    # Both information sources carry real signal on their own.
+    assert mean("schema only") >= 0.3
+    assert mean("data only") >= 0.3

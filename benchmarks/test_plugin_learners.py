@@ -1,0 +1,70 @@
+"""E15 — §8's plug-in claim: Semint/DELTA-style learners slot in.
+
+"With LSD, both Semint and DELTA could be plugged in as new base
+learners, and their predictions would be combined by the meta-learner."
+
+Compares the complete system against the complete system plus the
+statistics (Semint-style) and metadata (DELTA-style) learners. Expected
+shape: the enlarged ensemble is at least as good — the stacking weights
+neutralise unhelpful additions rather than being dragged down by them.
+"""
+
+from repro.datasets import load_domain
+from repro.evaluation import (SystemConfig, build_system, format_table,
+                              percent, train_test_splits)
+from repro.learners import MetadataLearner, StatisticsLearner
+
+from .common import bench_settings, publish
+
+
+def run_comparison():
+    settings = bench_settings()
+    rows = []
+    means = {}
+    for domain_name in ("real_estate_1", "real_estate_2"):
+        domain = load_domain(domain_name, seed=0)
+        for with_plugins in (False, True):
+            scores = []
+            for train_sources, test_sources in train_test_splits(
+                    domain.sources, settings.max_splits):
+                system = build_system(
+                    domain, SystemConfig("complete"),
+                    max_instances_per_tag=settings.max_instances_per_tag)
+                if with_plugins:
+                    system.learners.extend(
+                        [StatisticsLearner(), MetadataLearner()])
+                for source in train_sources:
+                    system.add_training_source(
+                        source.schema,
+                        source.listings(settings.n_listings),
+                        source.mapping)
+                system.train()
+                for source in test_sources:
+                    result = system.match(
+                        source.schema,
+                        source.listings(settings.n_listings))
+                    scores.append(
+                        result.mapping.accuracy_against(source.mapping))
+            means[(domain_name, with_plugins)] = \
+                sum(scores) / len(scores)
+        rows.append([
+            domain_name,
+            percent(means[(domain_name, False)]),
+            percent(means[(domain_name, True)]),
+        ])
+    return rows, means
+
+
+def test_plugin_learners(benchmark):
+    rows, means = benchmark.pedantic(run_comparison, rounds=1,
+                                     iterations=1)
+    publish("plugin_learners", format_table(
+        ["Domain", "Complete (4 learners)",
+         "+ statistics + metadata (6 learners)"], rows,
+        title="E15: plugging in Semint/DELTA-style learners"))
+
+    for domain_name in ("real_estate_1", "real_estate_2"):
+        base = means[(domain_name, False)]
+        extended = means[(domain_name, True)]
+        # The meta-learner absorbs new learners without harm.
+        assert extended >= base - 0.03, domain_name

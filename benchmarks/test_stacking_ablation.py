@@ -1,0 +1,42 @@
+"""Design-choice ablation (DESIGN.md §5): stacking vs uniform averaging.
+
+The meta-learner's whole job is to out-perform naive averaging of the
+base learners by learning per-(label, learner) trust weights from
+cross-validated predictions. This bench compares the two combination
+rules with everything else held fixed (all learners, constraints on).
+"""
+
+from repro.datasets import load_all_domains
+from repro.evaluation import (SystemConfig, format_table, percent,
+                              run_configuration)
+
+from .common import bench_settings, publish
+
+
+def run_ablation():
+    settings = bench_settings()
+    stacked_cfg = SystemConfig("stacked")
+    uniform_cfg = SystemConfig("uniform", use_meta=False)
+    rows = []
+    means = {"stacked": [], "uniform": []}
+    for domain in load_all_domains(seed=0):
+        stacked = run_configuration(domain, stacked_cfg, settings)
+        uniform = run_configuration(domain, uniform_cfg, settings)
+        means["stacked"].append(stacked.mean_accuracy)
+        means["uniform"].append(uniform.mean_accuracy)
+        rows.append([domain.name, percent(uniform.mean_accuracy),
+                     percent(stacked.mean_accuracy)])
+    return rows, means
+
+
+def test_stacking_vs_uniform(benchmark):
+    rows, means = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["Domain", "Uniform averaging", "Stacking (learned weights)"],
+        rows, title="Ablation: meta-learner combination rule")
+    publish("stacking_ablation", table)
+
+    stacked_mean = sum(means["stacked"]) / len(means["stacked"])
+    uniform_mean = sum(means["uniform"]) / len(means["uniform"])
+    # Learned weights should not lose to naive averaging on average.
+    assert stacked_mean >= uniform_mean - 0.02

@@ -1,0 +1,60 @@
+"""E11 — §7's pre-processed type constraints: quality and search effect.
+
+"The most obvious solution is to incorporate some constraints within some
+early phases to substantially reduce the search space. There are many
+fairly simple constraints that can be pre-processed, such as constraints
+on an element being textual or numeric."
+
+Compares the complete system with and without the type-compatibility
+pruner on Real Estate II. Expected shape: pruning never hurts accuracy
+meaningfully (it is conservative) and can repair numeric/textual mixups.
+"""
+
+from repro.datasets import load_domain
+from repro.evaluation import format_table, percent
+
+from .common import bench_settings, publish
+
+
+def run_ablation():
+    from repro.evaluation import SystemConfig, build_system
+
+    settings = bench_settings()
+    domain = load_domain("real_estate_2", seed=0)
+    outcomes = {}
+    for pruned in (False, True):
+        accuracies = []
+        for test_index in (3, 4):
+            system = build_system(
+                domain, SystemConfig("complete"),
+                max_instances_per_tag=settings.max_instances_per_tag)
+            system.pruner = None
+            if pruned:
+                from repro.core import TypePruner
+                system.pruner = TypePruner()
+            for source in domain.sources[:3]:
+                system.add_training_source(
+                    source.schema,
+                    source.listings(settings.n_listings),
+                    source.mapping)
+            system.train()
+            test = domain.sources[test_index]
+            result = system.match(test.schema,
+                                  test.listings(settings.n_listings))
+            accuracies.append(
+                result.mapping.accuracy_against(test.mapping))
+        outcomes[pruned] = sum(accuracies) / len(accuracies)
+    return outcomes
+
+
+def test_type_pruning(benchmark):
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["Configuration", "Real Estate II accuracy"],
+        [["complete", percent(outcomes[False])],
+         ["complete + type pruning (§7)", percent(outcomes[True])]],
+        title="E11: pre-processed textual/numeric constraints")
+    publish("type_pruning_ablation", table)
+
+    # The conservative pruner must not hurt.
+    assert outcomes[True] >= outcomes[False] - 0.02

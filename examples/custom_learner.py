@@ -1,0 +1,97 @@
+"""Extending LSD with a custom base learner.
+
+The paper stresses that LSD's multi-strategy architecture "is extensible
+to additional learners" — new learners slot in next to the built-in ones
+and the stacking meta-learner automatically figures out, per label, how
+much to trust them. This example adds a ZIP-code recognizer built from
+scratch (a `BaseLearner` subclass) to the Real Estate I system and prints
+the weight the meta-learner assigns to it for the ZIP label versus the
+other labels.
+
+Run:  python examples/custom_learner.py
+"""
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import ElementInstance
+from repro.core.labels import LabelSpace
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+from repro.learners import BaseLearner
+
+
+class ZipCodeLearner(BaseLearner):
+    """Scores ZIP high for values shaped like 5-digit US zip codes.
+
+    A deliberately tiny learner: no training beyond remembering the label
+    space, a pure-precision prediction rule, abstention elsewhere —
+    the same pattern as the paper's county-name recognizer.
+    """
+
+    name = "zip_recognizer"
+
+    def __init__(self, label: str = "ZIP",
+                 confidence: float = 0.9) -> None:
+        super().__init__()
+        self.label = label
+        self.confidence = confidence
+
+    def clone(self) -> "ZipCodeLearner":
+        return ZipCodeLearner(self.label, self.confidence)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        scores = self._uniform(len(instances))
+        if self.label not in space:
+            return scores
+        column = space.index_of(self.label)
+        spread = (1.0 - self.confidence) / max(len(space) - 1, 1)
+        for row, instance in enumerate(instances):
+            value = instance.text.strip()
+            if len(value) == 5 and value.isdigit():
+                scores[row, :] = spread
+                scores[row, column] = self.confidence
+        return scores
+
+
+def main() -> None:
+    domain = load_domain("real_estate_1", seed=0)
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=60)
+    # Plug the custom learner in alongside the default set.
+    system.learners.append(ZipCodeLearner())
+
+    for source in domain.sources[:3]:
+        system.add_training_source(source.schema, source.listings(60),
+                                   source.mapping)
+    system.train()
+
+    print("Meta-learner weights for the zip recognizer, per label:")
+    table = system.weight_table()
+    interesting = ["ZIP", "PRICE", "BEDS", "DESCRIPTION", "AGENT-PHONE"]
+    for label in interesting:
+        weight = table[label]["zip_recognizer"]
+        print(f"  {label:<12} {weight:6.3f}")
+    zip_weight = table["ZIP"]["zip_recognizer"]
+    others = [table[l]["zip_recognizer"] for l in interesting[1:]]
+    print("\nThe regression trusts the recognizer"
+          f" {zip_weight:.2f} on ZIP vs at most {max(others):.2f} "
+          "elsewhere — extensibility with zero manual tuning.")
+
+    test = domain.sources[4]
+    result = system.match(test.schema, test.listings(60))
+    zip_tags = result.mapping.tags_for("ZIP")
+    print(f"\nOn unseen source {test.name}, ZIP is assigned to: "
+          f"{', '.join(zip_tags) or '(none)'} "
+          f"(truth: {', '.join(test.mapping.tags_for('ZIP'))})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Interactive user feedback (§4.3 / §6.3 of the paper).
+
+Trains LSD on three Real Estate II sources, matches a fourth, and then
+replays the paper's feedback protocol: review tags in decreasing
+structure-score order, correct the first wrong label, let the constraint
+handler re-run, repeat until the matching is perfect. Each correction can
+repair *other* tags for free because the handler re-optimises globally.
+
+Run:  python examples/feedback_session.py
+"""
+
+from repro.core import FeedbackSession
+from repro.core.labels import OTHER
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+
+LISTINGS = 60
+
+
+def main() -> None:
+    domain = load_domain("real_estate_2", seed=0)
+    test_source = domain.sources[3]
+
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=LISTINGS)
+    for source in domain.sources[:3]:
+        system.add_training_source(source.schema,
+                                   source.listings(LISTINGS),
+                                   source.mapping)
+    system.train()
+
+    session = FeedbackSession(system, test_source.schema,
+                              test_source.listings(LISTINGS))
+    truth = test_source.mapping
+    accuracy = session.mapping.accuracy_against(truth,
+                                                matchable_only=False)
+    total = len(test_source.schema.tags)
+    print(f"Source {test_source.name}: {total} tags, initial accuracy "
+          f"{accuracy:.1%}\n")
+
+    round_number = 0
+    while True:
+        wrong = next(
+            (tag for tag in session.review_order()
+             if session.mapping[tag] != truth.get(tag, OTHER)), None)
+        if wrong is None:
+            break
+        round_number += 1
+        before = session.mapping.accuracy_against(truth,
+                                                  matchable_only=False)
+        correct_label = truth.get(wrong, OTHER)
+        print(f"round {round_number}: user corrects {wrong!r}: "
+              f"{session.mapping[wrong]} -> {correct_label}")
+        session.assert_match(wrong, correct_label)
+        after = session.mapping.accuracy_against(truth,
+                                                 matchable_only=False)
+        repaired = round(max(after - before, 0.0) * total) - 1
+        if repaired > 0:
+            print(f"         ... and the constraint handler repaired "
+                  f"{repaired} more tag(s) for free")
+
+    print(f"\nPerfect matching reached after {session.corrections} "
+          f"correction(s) on a {total}-tag schema")
+    print("(the paper reports ~6.3 corrections for ~38.6-tag Real Estate "
+          "II schemas)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Quickstart: the paper's running example, end to end.
+
+Trains LSD on two user-mapped real-estate sources (realestate.com and
+homeseekers.com, Figure 5 of the paper) and asks it to match the schema
+of a third source it has never seen (greathomes.com, Figure 6).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import LSDSystem
+from repro.learners import default_learners
+from repro.xmlio import parse_fragments
+
+MEDIATED_SCHEMA = """
+<!ELEMENT LISTING (ADDRESS, LISTED-PRICE, DESCRIPTION, CONTACT-INFO)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT LISTED-PRICE (#PCDATA)>
+<!ELEMENT DESCRIPTION (#PCDATA)>
+<!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+<!ELEMENT AGENT-NAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+"""
+
+REALESTATE_SCHEMA = """
+<!ELEMENT house (location, listed-price, comments, contact)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT listed-price (#PCDATA)>
+<!ELEMENT comments (#PCDATA)>
+<!ELEMENT contact (name, phone)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+"""
+
+REALESTATE_LISTINGS = parse_fragments("""
+<house><location>Miami, FL</location><listed-price>$ 250,000</listed-price>
+  <comments>Fantastic house, great location</comments>
+  <contact><name>Joe Brown</name><phone>(305) 729 0831</phone></contact>
+</house>
+<house><location>Boston, MA</location><listed-price>$ 110,000</listed-price>
+  <comments>Great location, close to the river</comments>
+  <contact><name>Kate Richardson</name><phone>(617) 253 1429</phone></contact>
+</house>
+<house><location>Seattle, WA</location><listed-price>$ 370,000</listed-price>
+  <comments>Beautiful view, spacious yard</comments>
+  <contact><name>Mike Smith</name><phone>(206) 523 4719</phone></contact>
+</house>
+""")
+
+REALESTATE_MAPPING = {
+    "location": "ADDRESS", "listed-price": "LISTED-PRICE",
+    "comments": "DESCRIPTION", "contact": "CONTACT-INFO",
+    "name": "AGENT-NAME", "phone": "AGENT-PHONE",
+}
+
+HOMESEEKERS_SCHEMA = """
+<!ELEMENT entry (house-addr, price, detailed-desc, agent-info)>
+<!ELEMENT house-addr (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT detailed-desc (#PCDATA)>
+<!ELEMENT agent-info (realtor, telephone)>
+<!ELEMENT realtor (#PCDATA)>
+<!ELEMENT telephone (#PCDATA)>
+"""
+
+HOMESEEKERS_LISTINGS = parse_fragments("""
+<entry><house-addr>Portland, OR</house-addr><price>$ 180,000</price>
+  <detailed-desc>Great yard, fantastic schools nearby</detailed-desc>
+  <agent-info><realtor>Jane Kendall</realtor>
+  <telephone>(515) 273 4312</telephone></agent-info></entry>
+<entry><house-addr>Denver, CO</house-addr><price>$ 95,000</price>
+  <detailed-desc>Charming cottage with a beautiful garden</detailed-desc>
+  <agent-info><realtor>Ann Lee</realtor>
+  <telephone>(303) 745 1120</telephone></agent-info></entry>
+<entry><house-addr>Austin, TX</house-addr><price>$ 420,000</price>
+  <detailed-desc>Spacious house close to downtown</detailed-desc>
+  <agent-info><realtor>Matt Richardson</realtor>
+  <telephone>(512) 330 2255</telephone></agent-info></entry>
+""")
+
+HOMESEEKERS_MAPPING = {
+    "house-addr": "ADDRESS", "price": "LISTED-PRICE",
+    "detailed-desc": "DESCRIPTION", "agent-info": "CONTACT-INFO",
+    "realtor": "AGENT-NAME", "telephone": "AGENT-PHONE",
+}
+
+# The new, unmapped source LSD must figure out by itself.
+GREATHOMES_SCHEMA = """
+<!ELEMENT home (area, amount, extra-info, person)>
+<!ELEMENT area (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT extra-info (#PCDATA)>
+<!ELEMENT person (agent-name, work-phone)>
+<!ELEMENT agent-name (#PCDATA)>
+<!ELEMENT work-phone (#PCDATA)>
+"""
+
+GREATHOMES_LISTINGS = parse_fragments("""
+<home><area>Orlando, FL</area><amount>$ 350,000</amount>
+  <extra-info>Spacious house near the beach</extra-info>
+  <person><agent-name>Mike Smith</agent-name>
+  <work-phone>(315) 237 4379</work-phone></person></home>
+<home><area>Kent, WA</area><amount>$ 230,000</amount>
+  <extra-info>Close to the highway, great value</extra-info>
+  <person><agent-name>Jane Kendall</agent-name>
+  <work-phone>(415) 273 1234</work-phone></person></home>
+<home><area>Portland, OR</area><amount>$ 440,000</amount>
+  <extra-info>Great location, fantastic deal</extra-info>
+  <person><agent-name>Matt Richardson</agent-name>
+  <work-phone>(515) 237 4244</work-phone></person></home>
+""")
+
+
+def main() -> None:
+    # 1. Build LSD over the mediated schema with the paper's learner set.
+    lsd = LSDSystem(MEDIATED_SCHEMA, default_learners())
+
+    # 2. Training phase: the user maps a couple of sources by hand.
+    lsd.add_training_source(REALESTATE_SCHEMA, REALESTATE_LISTINGS,
+                            REALESTATE_MAPPING)
+    lsd.add_training_source(HOMESEEKERS_SCHEMA, HOMESEEKERS_LISTINGS,
+                            HOMESEEKERS_MAPPING)
+    lsd.train()
+
+    print("Learned meta-learner weights (label x learner):")
+    for label, weights in lsd.weight_table().items():
+        rendered = ", ".join(f"{name}={value:.2f}"
+                             for name, value in weights.items())
+        print(f"  {label:<13} {rendered}")
+
+    # 3. Matching phase: propose mappings for the unseen source.
+    result = lsd.match(GREATHOMES_SCHEMA, GREATHOMES_LISTINGS)
+
+    print("\nProposed semantic mappings for greathomes.com:")
+    for tag in sorted(result.mapping.tags()):
+        candidates = ", ".join(f"{label} ({score:.2f})"
+                               for label, score in
+                               result.top_candidates(tag, 2))
+        print(f"  {tag:<12} => {result.mapping[tag]:<13} "
+              f"[candidates: {candidates}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Real-estate data integration: the paper's motivating scenario.
+
+Builds the full Real Estate I domain (five heterogeneous house-listing
+sources), trains LSD on three of them, and matches the remaining two —
+printing per-tag predictions, the constraint handler's final mappings,
+and the mistakes (if any) against the known ground truth.
+
+Run:  python examples/real_estate_integration.py
+"""
+
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+
+TRAIN_COUNT = 3
+LISTINGS_PER_SOURCE = 100
+
+
+def main() -> None:
+    domain = load_domain("real_estate_1", seed=0)
+    print(f"Domain: {domain.title}")
+    print(f"Mediated schema: {len(domain.mediated_schema.tags)} tags, "
+          f"labels = {', '.join(domain.mediated_schema.tags[:6])}, ...")
+    print(f"Constraints: {len(domain.constraints)} "
+          f"(e.g. {domain.constraints[0].describe()})")
+
+    train_sources = domain.sources[:TRAIN_COUNT]
+    test_sources = domain.sources[TRAIN_COUNT:]
+
+    # The complete LSD configuration: all base learners + XML learner +
+    # domain recognizers + stacking meta-learner + constraint handler.
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=LISTINGS_PER_SOURCE)
+    for source in train_sources:
+        system.add_training_source(source.schema,
+                                   source.listings(LISTINGS_PER_SOURCE),
+                                   source.mapping)
+        print(f"  trained on {source.name} "
+              f"({len(source.schema.tags)} tags)")
+    system.train()
+
+    for source in test_sources:
+        print(f"\nMatching new source: {source.name}")
+        result = system.match(source.schema,
+                              source.listings(LISTINGS_PER_SOURCE))
+        for tag in sorted(result.mapping.tags()):
+            label = result.mapping[tag]
+            confidence = result.prediction_for(tag).score(label)
+            truth = source.mapping.get(tag)
+            marker = "" if label == truth else f"   <-- expected {truth}"
+            print(f"  {tag:<16} => {label:<16} "
+                  f"(score {confidence:.2f}){marker}")
+        accuracy = result.mapping.accuracy_against(source.mapping)
+        print(f"  matching accuracy (matchable tags): {accuracy:.1%}")
+        print(f"  time: extract {result.timings['extract']:.2f}s, "
+              f"predict {result.timings['predict']:.2f}s, "
+              f"constraints {result.timings['constraints']:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

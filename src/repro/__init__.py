@@ -1,0 +1,45 @@
+"""repro — a from-scratch reproduction of LSD (SIGMOD 2001).
+
+LSD (Learning Source Descriptions) semi-automatically finds 1-1 semantic
+mappings between the schema of a new data source and a mediated schema by
+training a set of base learners on user-mapped sources and combining their
+predictions with a stacking meta-learner, domain constraints, and user
+feedback.
+
+Quickstart::
+
+    from repro import LSDSystem
+    from repro.datasets import load_domain
+
+    domain = load_domain("real_estate_1", seed=0)
+    lsd = LSDSystem.with_default_learners(domain.mediated_schema,
+                                          constraints=domain.constraints)
+    for source in domain.sources[:3]:
+        lsd.add_training_source(source.schema, source.listings(100),
+                                source.mapping)
+    lsd.train()
+    result = lsd.match(domain.sources[3].schema,
+                       domain.sources[3].listings(100))
+    print(result.mapping)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSDSystem", "Mapping", "MatchResult", "MediatedSchema", "Prediction",
+    "SourceSchema", "__version__",
+]
+
+_CORE_NAMES = {"LSDSystem", "Mapping", "MatchResult", "MediatedSchema",
+               "Prediction", "SourceSchema"}
+
+
+def __getattr__(name: str):
+    """Lazily re-export the core API so ``import repro.xmlio`` stays light."""
+    if name in _CORE_NAMES:
+        from . import core
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

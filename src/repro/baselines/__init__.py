@@ -1,0 +1,12 @@
+"""Non-learning baselines for comparison with LSD.
+
+The paper's related-work section (§8) contrasts LSD with *rule-based*
+matchers (TranScm, Artemis) that "utilize only schema information in a
+hard-coded fashion". :class:`RuleBasedMatcher` implements that family's
+canonical recipe so benchmarks can quantify the gap the paper argues
+exists.
+"""
+
+from .rule_based import RuleBasedMatcher
+
+__all__ = ["RuleBasedMatcher"]

@@ -1,0 +1,105 @@
+"""A hard-coded, rule-based schema matcher (the TranScm/Artemis family).
+
+No training phase: given the mediated schema and a source schema, each
+source tag is matched to the mediated label with the highest hand-coded
+rule score:
+
+1. **Name equality** after normalisation (``listed-price`` vs
+   ``LISTED-PRICE``) — the strongest rule.
+2. **Synonym match** through a synonym dictionary.
+3. **Token overlap** between the split names (Jaccard).
+4. **Structural agreement** — leaf tags prefer leaf labels, non-leaf tags
+   prefer non-leaf labels; matching at similar tree depths scores higher.
+
+A threshold sends everything unconvincing to OTHER, and a greedy
+one-to-one pass resolves ties (highest score first), mirroring how these
+systems enforced 1-1 mappings.
+
+This is the comparison point for LSD's claim that learned, data-aware
+matching beats fixed schema-only rules (§8).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import OTHER
+from ..core.mapping import Mapping
+from ..core.schema import MediatedSchema, SourceSchema
+from ..text import SynonymDictionary, default_synonyms, normalize_name, \
+    split_name
+
+
+class RuleBasedMatcher:
+    """Schema-only matcher with fixed rules; see module docstring."""
+
+    def __init__(self, synonyms: SynonymDictionary | None = None,
+                 threshold: float = 0.30,
+                 enforce_one_to_one: bool = True) -> None:
+        self.synonyms = synonyms if synonyms is not None \
+            else default_synonyms()
+        self.threshold = threshold
+        self.enforce_one_to_one = enforce_one_to_one
+
+    # ------------------------------------------------------------------
+    def match(self, mediated: MediatedSchema,
+              source: SourceSchema) -> Mapping:
+        """Produce a 1-1 mapping from fixed rules (no data, no training)."""
+        labels = mediated.tags
+        pairs: list[tuple[float, str, str]] = []
+        for tag in source.tags:
+            for label in labels:
+                score = self.score(tag, label, source, mediated)
+                if score >= self.threshold:
+                    pairs.append((score, tag, label))
+        pairs.sort(reverse=True)
+
+        assignment: dict[str, str] = {}
+        used_labels: set[str] = set()
+        for score, tag, label in pairs:
+            if tag in assignment:
+                continue
+            if self.enforce_one_to_one and label in used_labels:
+                continue
+            assignment[tag] = label
+            used_labels.add(label)
+        for tag in source.tags:
+            assignment.setdefault(tag, OTHER)
+        return Mapping(assignment)
+
+    # ------------------------------------------------------------------
+    def score(self, tag: str, label: str, source: SourceSchema,
+              mediated: MediatedSchema) -> float:
+        """Combined rule score in [0, 1] for one (tag, label) pair."""
+        name_score = self._name_score(tag, label)
+        structure_score = self._structure_score(tag, label, source,
+                                                mediated)
+        return 0.8 * name_score + 0.2 * structure_score
+
+    def _name_score(self, tag: str, label: str) -> float:
+        if normalize_name(tag) == normalize_name(label):
+            return 1.0
+        tag_tokens = split_name(tag)
+        label_tokens = split_name(label)
+        expanded_tag = {
+            synonym for token in tag_tokens
+            for synonym in self.synonyms.synonyms_of(token)}
+        expanded_label = {
+            synonym for token in label_tokens
+            for synonym in self.synonyms.synonyms_of(token)}
+        if set(tag_tokens) and expanded_tag == expanded_label:
+            return 0.95
+        union = expanded_tag | expanded_label
+        if not union:
+            return 0.0
+        overlap = len(expanded_tag & expanded_label) / len(union)
+        return 0.9 * overlap
+
+    @staticmethod
+    def _structure_score(tag: str, label: str, source: SourceSchema,
+                         mediated: MediatedSchema) -> float:
+        tag_is_leaf = tag in source.leaf_tags
+        label_is_leaf = label in mediated.leaf_tags
+        if tag_is_leaf != label_is_leaf:
+            return 0.0
+        tag_depth = len(source.path_to(tag))
+        label_depth = len(mediated.path_to(label))
+        return 1.0 / (1.0 + abs(tag_depth - label_depth))

@@ -1,0 +1,318 @@
+"""Command-line interface for the LSD reproduction.
+
+Four subcommands::
+
+    python -m repro generate --domain real_estate_1 --out data/
+        Materialise a synthetic evaluation domain on disk: the mediated
+        DTD, the domain constraints, and per source a schema DTD, an XML
+        listings file, and the ground-truth mapping.
+
+    python -m repro train --mediated data/mediated.dtd \\
+        --train data/homeseekers.com data/yahoo-homes.com \\
+        [--constraints data/constraints.txt] --model model.lsd
+        Train LSD on user-mapped source directories (each containing
+        schema.dtd, listings.xml, mapping.txt) and save the model.
+
+    python -m repro match --model model.lsd --schema s.dtd \\
+        --listings l.xml [--feedback tag=LABEL ...] [--out mapping.txt]
+        Propose 1-1 mappings for a new source; feedback constraints pin
+        or re-run exactly as in §4.3.
+
+    python -m repro evaluate --domain real_estate_1 --experiment ladder
+        Run one of the paper's experiments and print its table.
+
+Mapping files are plain text: one ``source-tag = LABEL`` per line, ``#``
+comments allowed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .constraints import AssignmentConstraint, parse_constraints
+from .core import LSDSystem, Mapping, MediatedSchema, SourceSchema
+from .core.persistence import load_system, save_system
+from .datasets import DOMAIN_NAMES, load_domain
+from .learners import default_learners
+from .xmlio import parse_dtd, parse_fragments, write_dtd, write_element
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+class CliError(Exception):
+    """A user-facing CLI failure (bad paths, malformed inputs)."""
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LSD schema matching (SIGMOD 2001 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="materialise a synthetic domain on disk")
+    generate.add_argument("--domain", required=True,
+                          choices=list(DOMAIN_NAMES))
+    generate.add_argument("--out", required=True, type=Path)
+    generate.add_argument("--listings", type=int, default=100,
+                          help="listings per source (default 100)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    train = commands.add_parser(
+        "train", help="train LSD on mapped source directories")
+    train.add_argument("--mediated", required=True, type=Path,
+                       help="mediated schema DTD file")
+    train.add_argument("--train", required=True, nargs="+", type=Path,
+                       metavar="SOURCE_DIR",
+                       help="directories with schema.dtd, listings.xml, "
+                            "mapping.txt")
+    train.add_argument("--constraints", type=Path,
+                       help="domain constraint declarations file")
+    train.add_argument("--model", required=True, type=Path,
+                       help="where to save the trained model")
+    train.add_argument("--max-instances", type=int, default=100,
+                       help="instance cap per tag (default 100)")
+    train.set_defaults(handler=_cmd_train)
+
+    match = commands.add_parser(
+        "match", help="propose mappings for a new source")
+    match.add_argument("--model", required=True, type=Path)
+    match.add_argument("--schema", required=True, type=Path)
+    match.add_argument("--listings", required=True, type=Path)
+    match.add_argument("--feedback", nargs="*", default=[],
+                       metavar="TAG=LABEL",
+                       help="user corrections applied as constraints")
+    match.add_argument("--top", type=int, default=3,
+                       help="candidates to display per tag (default 3)")
+    match.add_argument("--out", type=Path,
+                       help="write the mapping to this file")
+    match.set_defaults(handler=_cmd_match)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run one of the paper's experiments")
+    evaluate.add_argument("--domain", required=True,
+                          choices=list(DOMAIN_NAMES))
+    evaluate.add_argument("--experiment", default="ladder",
+                          choices=["ladder", "lesion", "information",
+                                   "feedback"])
+    evaluate.add_argument("--listings", type=int, default=25)
+    evaluate.add_argument("--trials", type=int, default=1)
+    evaluate.add_argument("--splits", type=int, default=2)
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# generate
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    domain = load_domain(args.domain, seed=args.seed)
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+
+    (out / "mediated.dtd").write_text(write_dtd(domain.mediated_schema.dtd))
+    _write_domain_constraints(domain, out / "constraints.txt")
+
+    for source in domain.sources:
+        source_dir = out / source.name
+        source_dir.mkdir(exist_ok=True)
+        (source_dir / "schema.dtd").write_text(write_dtd(source.schema.dtd))
+        listings = source.listings(args.listings)
+        body = "\n".join(write_element(l, indent=2) for l in listings)
+        (source_dir / "listings.xml").write_text(body + "\n")
+        (source_dir / "mapping.txt").write_text(
+            _render_mapping(source.mapping))
+        print(f"wrote {source_dir} ({len(listings)} listings, "
+              f"{len(source.schema.tags)} tags)")
+    print(f"domain {domain.title!r} written to {out}")
+    return 0
+
+
+def _write_domain_constraints(domain, path: Path) -> None:
+    """Regenerate the domain's constraint declarations from its module."""
+    from .datasets import faculty, real_estate, real_estate2, \
+        time_schedule
+
+    texts = {
+        "real_estate_1": real_estate.CONSTRAINTS,
+        "time_schedule": time_schedule.CONSTRAINTS,
+        "faculty": faculty.CONSTRAINTS,
+        "real_estate_2": real_estate2.CONSTRAINTS,
+    }
+    path.write_text(texts[domain.name].strip() + "\n")
+
+
+# ---------------------------------------------------------------------------
+# train
+# ---------------------------------------------------------------------------
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    mediated = MediatedSchema(_read_dtd(args.mediated))
+    constraints = []
+    if args.constraints:
+        constraints = parse_constraints(_read_text(args.constraints))
+    system = LSDSystem(mediated, default_learners(),
+                       constraints=constraints,
+                       max_instances_per_tag=args.max_instances)
+    for source_dir in args.train:
+        schema, listings, mapping = _read_source_dir(source_dir)
+        system.add_training_source(schema, listings, mapping)
+        print(f"added training source {source_dir} "
+              f"({len(listings)} listings)")
+    system.train()
+    save_system(system, args.model)
+    print(f"trained on {len(args.train)} source(s); model saved to "
+          f"{args.model}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# match
+# ---------------------------------------------------------------------------
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    system = load_system(args.model)
+    schema = SourceSchema(_read_dtd(args.schema))
+    listings = _read_listings(args.listings)
+    feedback = [
+        AssignmentConstraint(*_parse_feedback(item))
+        for item in args.feedback
+    ]
+    result = system.match(schema, listings, extra_constraints=feedback)
+
+    print(f"proposed mappings for {args.schema.name}:")
+    for tag in sorted(result.mapping.tags()):
+        candidates = ", ".join(
+            f"{label}:{score:.2f}"
+            for label, score in result.top_candidates(tag, args.top))
+        print(f"  {tag:<20} => {result.mapping[tag]:<20} [{candidates}]")
+    if args.out:
+        args.out.write_text(_render_mapping(result.mapping))
+        print(f"mapping written to {args.out}")
+    return 0
+
+
+def _parse_feedback(item: str) -> tuple[str, str]:
+    if "=" not in item:
+        raise CliError(f"feedback must look like TAG=LABEL, got {item!r}")
+    tag, label = item.split("=", 1)
+    return tag.strip(), label.strip()
+
+
+# ---------------------------------------------------------------------------
+# evaluate
+# ---------------------------------------------------------------------------
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .evaluation import (ExperimentSettings, feedback_table,
+                             ladder_table, run_feedback_study,
+                             run_information_study, run_ladder,
+                             run_lesion_study, study_table)
+
+    domain = load_domain(args.domain, seed=0)
+    settings = ExperimentSettings(
+        n_listings=args.listings, trials=args.trials,
+        max_splits=None if args.splits >= 10 else args.splits,
+        max_instances_per_tag=args.listings)
+
+    if args.experiment == "ladder":
+        print(ladder_table({domain.name: run_ladder(domain, settings)}))
+    elif args.experiment == "lesion":
+        print(study_table({domain.name: run_lesion_study(domain,
+                                                         settings)},
+                          "Lesion study"))
+    elif args.experiment == "information":
+        print(study_table(
+            {domain.name: run_information_study(domain, settings)},
+            "Schema vs data information"))
+    else:
+        study = run_feedback_study(domain, settings, runs=3)
+        print(feedback_table([study]))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# file helpers
+# ---------------------------------------------------------------------------
+
+def _read_text(path: Path) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc}") from exc
+
+
+def _read_dtd(path: Path):
+    from .xmlio import DTDSyntaxError
+
+    try:
+        return parse_dtd(_read_text(path))
+    except DTDSyntaxError as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def _read_listings(path: Path):
+    from .xmlio import XMLSyntaxError
+
+    try:
+        return parse_fragments(_read_text(path))
+    except XMLSyntaxError as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def _read_source_dir(source_dir: Path):
+    source_dir = Path(source_dir)
+    if not source_dir.is_dir():
+        raise CliError(f"{source_dir} is not a directory")
+    schema = SourceSchema(_read_dtd(source_dir / "schema.dtd"),
+                          name=source_dir.name)
+    listings = _read_listings(source_dir / "listings.xml")
+    mapping = _parse_mapping(_read_text(source_dir / "mapping.txt"),
+                             source_dir / "mapping.txt")
+    return schema, listings, mapping
+
+
+def _render_mapping(mapping: Mapping) -> str:
+    lines = [f"{tag} = {label}"
+             for tag, label in sorted(mapping.items())]
+    return "\n".join(lines) + "\n"
+
+
+def _parse_mapping(text: str, origin: Path) -> Mapping:
+    assignments: dict[str, str] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise CliError(
+                f"{origin}:{line_number}: expected 'tag = LABEL', got "
+                f"{line!r}")
+        tag, label = (part.strip() for part in line.split("=", 1))
+        if not tag or not label:
+            raise CliError(
+                f"{origin}:{line_number}: empty tag or label")
+        assignments[tag] = label
+    return Mapping(assignments)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

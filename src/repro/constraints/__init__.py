@@ -1,0 +1,26 @@
+"""Domain constraints and the A* constraint handler (§4 of the paper)."""
+
+from .base import (Constraint, HardConstraint, MatchContext, SoftConstraint,
+                   split_constraints, tags_with_label)
+from .column_constraints import (FunctionalDependencyConstraint,
+                                 KeyConstraint)
+from .feedback import AssignmentConstraint, ExclusionConstraint
+from .handler import DEFAULT_SOFT_WEIGHTS, ConstraintHandler
+from .parser import ConstraintSyntaxError, parse_constraints
+from .schema_constraints import (ContiguityConstraint,
+                                 ExclusivityConstraint, FrequencyConstraint,
+                                 NestingConstraint)
+from .search import SearchResult, astar
+from .soft import (BinarySoftConstraint, MaxCountSoftConstraint,
+                   NumericSoftConstraint, ProximityConstraint)
+
+__all__ = [
+    "AssignmentConstraint", "BinarySoftConstraint", "Constraint",
+    "ConstraintHandler", "ConstraintSyntaxError", "ContiguityConstraint",
+    "DEFAULT_SOFT_WEIGHTS", "ExclusionConstraint", "ExclusivityConstraint",
+    "FrequencyConstraint", "FunctionalDependencyConstraint",
+    "HardConstraint", "KeyConstraint", "MatchContext",
+    "MaxCountSoftConstraint", "NestingConstraint", "NumericSoftConstraint",
+    "ProximityConstraint", "SearchResult", "SoftConstraint", "astar",
+    "parse_constraints", "split_constraints", "tags_with_label",
+]

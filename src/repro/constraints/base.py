@@ -1,0 +1,109 @@
+"""Constraint abstractions for the constraint handler (§4, Table 1).
+
+Domain constraints "impose semantic regularities on the schemas and data of
+the sources in the domain". They are written once against *labels*
+(mediated-schema tags) and generic source elements, then evaluated against
+any candidate mapping of a concrete source.
+
+Two families:
+
+* **Hard constraints** must hold; a candidate mapping violating one has
+  infinite cost. During A* search partial assignments are pruned as soon
+  as a violation is *definite* (``check_partial``).
+* **Soft constraints** contribute a finite violation cost, evaluated on
+  complete assignments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..core.instance import InstanceColumn
+from ..core.schema import SourceSchema
+
+
+@dataclass
+class MatchContext:
+    """What a constraint may look at: the target source's schema and the
+    data extracted from it (Table 1's "Can Be Verified With" column)."""
+
+    schema: SourceSchema
+    columns: dict[str, InstanceColumn] = field(default_factory=dict)
+
+    def column(self, tag: str) -> InstanceColumn | None:
+        """The extracted instance column for ``tag`` (None if no data)."""
+        return self.columns.get(tag)
+
+
+class Constraint(ABC):
+    """Base class for all domain constraints."""
+
+    #: Short type tag used in reports ("frequency", "nesting", ...).
+    kind: str = "constraint"
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable statement of the constraint."""
+
+    def relevant_labels(self) -> set[str] | None:
+        """Labels whose assignment can change this constraint's status.
+
+        The search uses this to skip re-checking constraints untouched by
+        a new assignment. ``None`` (the default) means "recheck on every
+        assignment" — always safe, required for constraints (like
+        contiguity's between-tags clause) that any label can trip.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+class HardConstraint(Constraint):
+    """A constraint whose violation disqualifies a candidate mapping."""
+
+    @abstractmethod
+    def check_partial(self, assignment: dict[str, str],
+                      ctx: MatchContext) -> bool:
+        """True iff the partial assignment *definitely* violates this
+        constraint (no extension can repair it)."""
+
+    @abstractmethod
+    def check_complete(self, assignment: dict[str, str],
+                       ctx: MatchContext) -> bool:
+        """True iff the complete assignment violates this constraint."""
+
+    def is_satisfied(self, assignment: dict[str, str],
+                     ctx: MatchContext) -> bool:
+        """Convenience: True when a complete assignment satisfies this."""
+        return not self.check_complete(assignment, ctx)
+
+
+class SoftConstraint(Constraint):
+    """A constraint with a finite, possibly graded, violation cost."""
+
+    @abstractmethod
+    def cost(self, assignment: dict[str, str], ctx: MatchContext) -> float:
+        """Violation cost of a complete assignment (0 when satisfied)."""
+
+
+def split_constraints(constraints) -> tuple[list[HardConstraint],
+                                            list[SoftConstraint]]:
+    """Partition a mixed constraint list into (hard, soft)."""
+    hard: list[HardConstraint] = []
+    soft: list[SoftConstraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, HardConstraint):
+            hard.append(constraint)
+        elif isinstance(constraint, SoftConstraint):
+            soft.append(constraint)
+        else:
+            raise TypeError(f"not a constraint: {constraint!r}")
+    return hard, soft
+
+
+def tags_with_label(assignment: dict[str, str], label: str) -> list[str]:
+    """Source tags the assignment maps to ``label``."""
+    return [tag for tag, assigned in assignment.items()
+            if assigned == label]

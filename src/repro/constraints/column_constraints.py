@@ -1,0 +1,127 @@
+"""Hard constraints verified with schema *and data*: keys and functional
+dependencies (Table 1's "column" constraints).
+
+As the paper notes, data constraints can only be *refuted* by the
+extracted sample, never proven — "in many cases, however, the few data
+instances we extract from the source will be enough to find a violation".
+A tag whose extracted column contains duplicate values cannot be a key;
+a tag pair whose aligned values contradict a functional dependency cannot
+be its determinant/dependent.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import InstanceColumn
+from .base import HardConstraint, MatchContext, tags_with_label
+
+
+class KeyConstraint(HardConstraint):
+    """A tag matching ``label`` must be a key for the listing.
+
+    Table 1: "If a matches HOUSE-ID, then a is a key." The paper's worked
+    example: num-bedrooms cannot match HOUSE-ID because its values contain
+    duplicates.
+    """
+
+    kind = "column"
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def describe(self) -> str:
+        return f"an element matching {self.label} must be a key"
+
+    def relevant_labels(self) -> set[str]:
+        return {self.label}
+
+    def _violated(self, assignment: dict[str, str],
+                  ctx: MatchContext) -> bool:
+        for tag in tags_with_label(assignment, self.label):
+            column = ctx.column(tag)
+            if column is not None and len(column) > 1 \
+                    and column.has_duplicates():
+                return True
+        return False
+
+    # Duplicates in an already-assigned column are definite.
+    check_partial = _violated
+    check_complete = _violated
+
+
+class FunctionalDependencyConstraint(HardConstraint):
+    """Values of determinant labels must functionally determine the
+    dependent label's value within each source.
+
+    Table 1: "If a, b, and c match CITY, FIRM-NAME, and FIRM-ADDRESS,
+    resp., then a & b functionally determine c."
+    """
+
+    kind = "column"
+
+    def __init__(self, determinants: list[str], dependent: str) -> None:
+        if not determinants:
+            raise ValueError("need at least one determinant label")
+        self.determinants = list(determinants)
+        self.dependent = dependent
+
+    def describe(self) -> str:
+        lhs = " & ".join(self.determinants)
+        return f"{lhs} functionally determine {self.dependent}"
+
+    def relevant_labels(self) -> set[str]:
+        return {*self.determinants, self.dependent}
+
+    def _violated(self, assignment: dict[str, str],
+                  ctx: MatchContext) -> bool:
+        determinant_tags: list[str] = []
+        for label in self.determinants:
+            tags = tags_with_label(assignment, label)
+            if not tags:
+                return False  # determinant not (yet) assigned: no check
+            determinant_tags.append(tags[0])
+        for dependent_tag in tags_with_label(assignment, self.dependent):
+            if self._refuted(determinant_tags, dependent_tag, ctx):
+                return True
+        return False
+
+    check_partial = _violated
+    check_complete = _violated
+
+    def _refuted(self, determinant_tags: list[str], dependent_tag: str,
+                 ctx: MatchContext) -> bool:
+        columns = [ctx.column(tag) for tag in determinant_tags]
+        dependent_column = ctx.column(dependent_tag)
+        if dependent_column is None or any(c is None for c in columns):
+            return False
+        rows = _align_by_listing([*columns, dependent_column])
+        seen: dict[tuple[str, ...], str] = {}
+        for *lhs, rhs in rows:
+            key = tuple(lhs)
+            if key in seen and seen[key] != rhs:
+                return True
+            seen[key] = rhs
+        return False
+
+
+def _align_by_listing(columns: list[InstanceColumn]
+                      ) -> list[tuple[str, ...]]:
+    """Join columns on listing index, keeping listings where every column
+    has exactly one instance (ambiguous listings are skipped)."""
+    per_column: list[dict[int, str | None]] = []
+    for column in columns:
+        values: dict[int, str | None] = {}
+        for instance in column.instances:
+            if instance.listing_index in values:
+                values[instance.listing_index] = None  # ambiguous
+            else:
+                values[instance.listing_index] = instance.text
+        per_column.append(values)
+    shared = set(per_column[0])
+    for values in per_column[1:]:
+        shared &= set(values)
+    rows: list[tuple[str, ...]] = []
+    for listing in sorted(shared):
+        row = tuple(values[listing] for values in per_column)
+        if all(value is not None for value in row):
+            rows.append(row)  # type: ignore[arg-type]
+    return rows

@@ -1,0 +1,54 @@
+"""User-feedback constraints (§4.3).
+
+"If the user is not happy with the current mappings, he or she can specify
+constraints, then ask the constraint handler to output new mappings." The
+two forms the paper uses are equality ("ad-id matches HOUSE-ID") and
+inequality ("ad-id does not match HOUSE-ID"); both are ordinary hard
+constraints scoped to the current source.
+"""
+
+from __future__ import annotations
+
+from .base import HardConstraint, MatchContext
+
+
+class AssignmentConstraint(HardConstraint):
+    """Pins a source tag to a label (user says: tag matches label)."""
+
+    kind = "feedback"
+
+    def __init__(self, tag: str, label: str) -> None:
+        self.tag = tag
+        self.label = label
+
+    def describe(self) -> str:
+        return f"{self.tag} matches {self.label}"
+
+    def check_partial(self, assignment: dict[str, str],
+                      ctx: MatchContext) -> bool:
+        assigned = assignment.get(self.tag)
+        return assigned is not None and assigned != self.label
+
+    def check_complete(self, assignment: dict[str, str],
+                       ctx: MatchContext) -> bool:
+        return assignment.get(self.tag) != self.label
+
+
+class ExclusionConstraint(HardConstraint):
+    """Forbids one tag-label pair (user says: tag does NOT match label)."""
+
+    kind = "feedback"
+
+    def __init__(self, tag: str, label: str) -> None:
+        self.tag = tag
+        self.label = label
+
+    def describe(self) -> str:
+        return f"{self.tag} does not match {self.label}"
+
+    def _violated(self, assignment: dict[str, str],
+                  ctx: MatchContext) -> bool:
+        return assignment.get(self.tag) == self.label
+
+    check_partial = _violated
+    check_complete = _violated

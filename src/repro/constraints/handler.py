@@ -1,0 +1,291 @@
+"""The constraint handler: A* search for the least-cost mapping (§4.2).
+
+Given per-tag label score distributions (from the prediction converter)
+and the domain constraints, the handler searches the space of complete
+label assignments for the candidate mapping ``m`` minimising
+
+    cost(m) = sum_i alpha_i * cost(m, T_i)  -  a * log prob(m)
+
+where ``prob(m)`` is the product of the per-tag confidence scores
+(independence approximation, as in the paper) and ``cost(m, T_i)`` the
+violation costs per constraint type. Hard constraint violations make the
+cost infinite and prune the search; soft costs are added when an
+assignment completes.
+
+Search details (mirroring §6.3): tags are assigned in decreasing order of
+their structure score (number of distinct tags nestable within them), the
+A* heuristic is the sum of each unassigned tag's best achievable score
+cost (admissible: constraint costs are non-negative), and branching is
+limited to each tag's top-k candidate labels plus OTHER plus any label a
+constraint could *require*.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.labels import OTHER, LabelSpace
+from ..core.mapping import Mapping
+from .base import (Constraint, HardConstraint, MatchContext, SoftConstraint,
+                   split_constraints)
+from .feedback import AssignmentConstraint
+from .schema_constraints import FrequencyConstraint
+
+#: Default trade-off coefficients per soft-constraint kind (the paper's
+#: alpha_i scaling coefficients).
+DEFAULT_SOFT_WEIGHTS = {"binary": 1.0, "numeric": 0.5}
+
+
+class ConstraintHandler:
+    """Searches for the least-cost complete mapping under constraints."""
+
+    def __init__(self, constraints: Sequence[Constraint] = (),
+                 prob_weight: float = 1.0,
+                 soft_weights: dict[str, float] | None = None,
+                 candidates_per_tag: int = 8,
+                 max_expansions: int = 100_000,
+                 epsilon: float = 1e-6) -> None:
+        """
+        Parameters
+        ----------
+        constraints:
+            The domain constraints (hard and soft, mixed).
+        prob_weight:
+            The paper's ``a`` coefficient on ``-log prob(m)``.
+        soft_weights:
+            ``alpha_i`` per soft-constraint ``kind``.
+        candidates_per_tag:
+            Branching limit: only this many top-scoring labels (plus OTHER
+            plus constraint-required labels) are considered per tag.
+        max_expansions:
+            A* node budget; when exhausted the best complete mapping seen
+            so far (or a greedy completion) is returned.
+        epsilon:
+            Floor under confidence scores before taking logs.
+        """
+        self.constraints = list(constraints)
+        self.prob_weight = prob_weight
+        self.soft_weights = dict(DEFAULT_SOFT_WEIGHTS)
+        if soft_weights:
+            self.soft_weights.update(soft_weights)
+        self.candidates_per_tag = candidates_per_tag
+        self.max_expansions = max_expansions
+        self.epsilon = epsilon
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def find_mapping(self, scores: dict[str, np.ndarray],
+                     space: LabelSpace, ctx: MatchContext,
+                     extra_constraints: Sequence[Constraint] = ()
+                     ) -> Mapping:
+        """The least-cost mapping for the given per-tag score rows.
+
+        ``scores[tag]`` is the prediction converter's normalised score
+        vector for that tag. ``extra_constraints`` carries user feedback
+        for the current source only (§4.3).
+
+        Implementation note: the paper's A* formulation blows its memory
+        and time budget on large schemas (it reports handler runtimes "up
+        to 20 minutes"); we search the identical space with the identical
+        admissible heuristic using depth-first branch-and-bound instead.
+        A constrained-greedy pass seeds the upper bound, so the search is
+        anytime: exhausting ``max_expansions`` still returns the best
+        complete mapping found so far.
+        """
+        hard, soft = split_constraints(
+            [*self.constraints, *extra_constraints])
+        tags = self._tag_order(list(scores), ctx)
+        if not tags:
+            return Mapping({})
+
+        candidate_labels = self._candidates(tags, scores, space, hard)
+        log_cost = {
+            tag: {
+                label: -self.prob_weight * math.log(
+                    max(float(scores[tag][space.index_of(label)]),
+                        self.epsilon))
+                for label in candidate_labels[tag]
+            }
+            for tag in tags
+        }
+        # Candidates cheapest-first: lets branch-and-bound cut a whole
+        # sibling group as soon as one candidate exceeds the bound.
+        ordered_candidates = {
+            tag: sorted(candidate_labels[tag],
+                        key=lambda label: log_cost[tag][label])
+            for tag in tags
+        }
+        # Admissible heuristic: best achievable remaining score cost.
+        suffix_best = [0.0] * (len(tags) + 1)
+        for i in range(len(tags) - 1, -1, -1):
+            suffix_best[i] = suffix_best[i + 1] + min(
+                log_cost[tags[i]].values())
+
+        # Index hard constraints: which need rechecking when a given
+        # label is assigned, and which on every assignment.
+        by_label: dict[str, list[HardConstraint]] = {}
+        always: list[HardConstraint] = []
+        for constraint in hard:
+            labels = constraint.relevant_labels()
+            if labels is None:
+                always.append(constraint)
+            else:
+                for label in labels:
+                    by_label.setdefault(label, []).append(constraint)
+
+        assignment: dict[str, str] = {}
+        best_cost = math.inf
+        best: dict[str, str] | None = None
+        expansions = 0
+
+        def extension_ok(tag: str, label: str) -> bool:
+            for constraint in by_label.get(label, ()):
+                if constraint.check_partial(assignment, ctx):
+                    return False
+            for constraint in always:
+                if constraint.check_partial(assignment, ctx):
+                    return False
+            return True
+
+        # Seed the bound with a constrained-greedy assignment.
+        seed = self._constrained_greedy(tags, ordered_candidates,
+                                        extension_ok, assignment)
+        if seed is not None:
+            seed_cost = sum(log_cost[t][l] for t, l in seed.items())
+            if not any(c.check_complete(seed, ctx) for c in hard):
+                best = dict(seed)
+                best_cost = seed_cost + self._soft_cost(seed, ctx, soft)
+
+        def dfs(level: int, cost_so_far: float) -> None:
+            nonlocal best, best_cost, expansions
+            if expansions >= self.max_expansions:
+                return
+            if level == len(tags):
+                total = cost_so_far + self._soft_cost(assignment, ctx,
+                                                      soft)
+                if total < best_cost and not any(
+                        c.check_complete(assignment, ctx) for c in hard):
+                    best_cost = total
+                    best = dict(assignment)
+                return
+            expansions += 1
+            tag = tags[level]
+            remaining = suffix_best[level + 1]
+            for label in ordered_candidates[tag]:
+                new_cost = cost_so_far + log_cost[tag][label]
+                if new_cost + remaining >= best_cost:
+                    break  # candidates are sorted: the rest cost more
+                assignment[tag] = label
+                if extension_ok(tag, label):
+                    dfs(level + 1, new_cost)
+                del assignment[tag]
+
+        dfs(0, 0.0)
+        if best is not None:
+            return Mapping(best)
+        # No complete assignment satisfies the hard constraints within
+        # budget (possibly they are jointly unsatisfiable on this source):
+        # fall back to the unconstrained greedy mapping.
+        return self.greedy_mapping(scores, space)
+
+    @staticmethod
+    def _constrained_greedy(tags, ordered_candidates, extension_ok,
+                            assignment: dict[str, str]
+                            ) -> dict[str, str] | None:
+        """Cheapest non-violating label per tag, in order; None if stuck.
+
+        Mutates and then clears ``assignment`` (the shared search dict).
+        """
+        try:
+            for tag in tags:
+                for label in ordered_candidates[tag]:
+                    assignment[tag] = label
+                    if extension_ok(tag, label):
+                        break
+                    del assignment[tag]
+                else:
+                    return None
+            return dict(assignment)
+        finally:
+            assignment.clear()
+
+    def greedy_mapping(self, scores: dict[str, np.ndarray],
+                       space: LabelSpace) -> Mapping:
+        """Argmax assignment, ignoring constraints (§3.2 step 3's
+        no-constraints behaviour; also the handler-less ablation)."""
+        return Mapping({
+            tag: space.label_at(int(np.argmax(row)))
+            for tag, row in scores.items()
+        })
+
+    def violations(self, mapping: Mapping, ctx: MatchContext,
+                   extra_constraints: Sequence[Constraint] = ()
+                   ) -> list[Constraint]:
+        """All constraints a complete mapping violates (diagnostics)."""
+        hard, soft = split_constraints(
+            [*self.constraints, *extra_constraints])
+        assignment = {tag: mapping.label_of(tag) for tag in mapping}
+        violated: list[Constraint] = [
+            c for c in hard if c.check_complete(assignment, ctx)]
+        violated.extend(
+            c for c in soft if c.cost(assignment, ctx) > 0.0)
+        return violated
+
+    def mapping_cost(self, mapping: Mapping,
+                     scores: dict[str, np.ndarray], space: LabelSpace,
+                     ctx: MatchContext) -> float:
+        """The paper's cost(m) of a complete mapping (inf on hard
+        violations)."""
+        hard, soft = split_constraints(self.constraints)
+        assignment = {tag: mapping.label_of(tag) for tag in mapping}
+        if any(c.check_complete(assignment, ctx) for c in hard):
+            return float("inf")
+        cost = self._soft_cost(assignment, ctx, soft)
+        for tag, label in assignment.items():
+            score = max(float(scores[tag][space.index_of(label)]),
+                        self.epsilon)
+            cost += -self.prob_weight * math.log(score)
+        return cost
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _tag_order(self, tags: list[str], ctx: MatchContext) -> list[str]:
+        """§6.3 refinement order: most-structured tags first."""
+        return sorted(
+            tags,
+            key=lambda tag: (-ctx.schema.descendant_count(tag), tag))
+
+    def _candidates(self, tags: list[str],
+                    scores: dict[str, np.ndarray], space: LabelSpace,
+                    hard: list[HardConstraint]) -> dict[str, list[str]]:
+        required = {
+            c.label for c in hard
+            if isinstance(c, FrequencyConstraint) and c.min_count > 0}
+        pinned = {
+            c.tag: c.label for c in hard
+            if isinstance(c, AssignmentConstraint)}
+        candidates: dict[str, list[str]] = {}
+        for tag in tags:
+            if tag in pinned:
+                candidates[tag] = [pinned[tag]]
+                continue
+            row = scores[tag]
+            k = min(self.candidates_per_tag, len(row))
+            top = np.argsort(row)[::-1][:k]
+            labels = [space.label_at(int(i)) for i in top]
+            for extra in (OTHER, *sorted(required)):
+                if extra not in labels:
+                    labels.append(extra)
+            candidates[tag] = labels
+        return candidates
+
+    def _soft_cost(self, assignment: dict[str, str], ctx: MatchContext,
+                   soft: list[SoftConstraint]) -> float:
+        return sum(
+            self.soft_weights.get(c.kind, 1.0) * c.cost(assignment, ctx)
+            for c in soft)

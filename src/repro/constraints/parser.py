@@ -1,0 +1,128 @@
+"""A small text format for declaring domain constraints.
+
+Domains declare their constraints once, as text, at mediated-schema
+creation time (§4.1). One constraint per line; ``#`` starts a comment.
+
+Syntax::
+
+    frequency PRICE at-most 1
+    frequency HOUSE exactly 1
+    frequency ADDRESS between 1 2
+    nesting CONTACT-INFO contains AGENT-NAME
+    nesting AGENT-INFO excludes PRICE
+    contiguous BATHS BEDS
+    exclusive COURSE-CREDIT SECTION-CREDIT
+    key HOUSE-ID
+    fd CITY FIRM-NAME -> FIRM-ADDRESS
+    soft-max DESCRIPTION 3
+    proximity AGENT-NAME AGENT-PHONE
+"""
+
+from __future__ import annotations
+
+from .base import Constraint
+from .column_constraints import (FunctionalDependencyConstraint,
+                                 KeyConstraint)
+from .schema_constraints import (ContiguityConstraint,
+                                 ExclusivityConstraint, FrequencyConstraint,
+                                 NestingConstraint)
+from .soft import MaxCountSoftConstraint, ProximityConstraint
+
+
+class ConstraintSyntaxError(ValueError):
+    """A constraint declaration line could not be parsed."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_constraints(text: str) -> list[Constraint]:
+    """Parse a constraint declaration block into constraint objects."""
+    constraints: list[Constraint] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        constraints.append(_parse_line(line, line_number))
+    return constraints
+
+
+def _parse_line(line: str, line_number: int) -> Constraint:
+    words = line.split()
+    keyword = words[0].lower()
+    args = words[1:]
+
+    def fail(message: str) -> ConstraintSyntaxError:
+        return ConstraintSyntaxError(message, line_number, line)
+
+    if keyword == "frequency":
+        if len(args) < 3:
+            raise fail("expected: frequency LABEL at-most|at-least|"
+                       "exactly|between N [M]")
+        label, mode = args[0], args[1].lower()
+        try:
+            if mode == "at-most":
+                return FrequencyConstraint(label, 0, int(args[2]))
+            if mode == "at-least":
+                return FrequencyConstraint(label, int(args[2]), None)
+            if mode == "exactly":
+                count = int(args[2])
+                return FrequencyConstraint(label, count, count)
+            if mode == "between":
+                if len(args) != 4:
+                    raise fail("between needs two bounds")
+                return FrequencyConstraint(label, int(args[2]),
+                                           int(args[3]))
+        except ValueError as exc:
+            if isinstance(exc, ConstraintSyntaxError):
+                raise
+            raise fail(str(exc)) from exc
+        raise fail(f"unknown frequency mode {mode!r}")
+
+    if keyword == "nesting":
+        if len(args) != 3 or args[1].lower() not in ("contains",
+                                                     "excludes"):
+            raise fail("expected: nesting OUTER contains|excludes INNER")
+        return NestingConstraint(args[0], args[2],
+                                 forbidden=args[1].lower() == "excludes")
+
+    if keyword == "contiguous":
+        if len(args) != 2:
+            raise fail("expected: contiguous LABEL-A LABEL-B")
+        return ContiguityConstraint(args[0], args[1])
+
+    if keyword == "exclusive":
+        if len(args) != 2:
+            raise fail("expected: exclusive LABEL-A LABEL-B")
+        return ExclusivityConstraint(args[0], args[1])
+
+    if keyword == "key":
+        if len(args) != 1:
+            raise fail("expected: key LABEL")
+        return KeyConstraint(args[0])
+
+    if keyword == "fd":
+        if "->" not in args:
+            raise fail("expected: fd DETERMINANTS... -> DEPENDENT")
+        arrow = args.index("->")
+        determinants, dependents = args[:arrow], args[arrow + 1:]
+        if not determinants or len(dependents) != 1:
+            raise fail("expected: fd DETERMINANTS... -> DEPENDENT")
+        return FunctionalDependencyConstraint(determinants, dependents[0])
+
+    if keyword == "soft-max":
+        if len(args) != 2:
+            raise fail("expected: soft-max LABEL N")
+        try:
+            return MaxCountSoftConstraint(args[0], int(args[1]))
+        except ValueError as exc:
+            raise fail(str(exc)) from exc
+
+    if keyword == "proximity":
+        if len(args) != 2:
+            raise fail("expected: proximity LABEL-A LABEL-B")
+        return ProximityConstraint(args[0], args[1])
+
+    raise fail(f"unknown constraint keyword {keyword!r}")

@@ -1,0 +1,185 @@
+"""Hard constraints verifiable with the target source's schema alone:
+frequency, nesting, contiguity, and exclusivity (Table 1).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import OTHER
+from .base import HardConstraint, MatchContext, tags_with_label
+
+
+class FrequencyConstraint(HardConstraint):
+    """Bounds how many source tags may match a label.
+
+    Table 1: "At most one source element matches HOUSE", "Exactly one
+    source element matches PRICE".
+    """
+
+    kind = "frequency"
+
+    def __init__(self, label: str, min_count: int = 0,
+                 max_count: int | None = 1) -> None:
+        if label == OTHER:
+            raise ValueError("frequency constraints on OTHER are "
+                             "meaningless: any number of tags may be OTHER")
+        if max_count is not None and max_count < min_count:
+            raise ValueError("max_count below min_count")
+        self.label = label
+        self.min_count = min_count
+        self.max_count = max_count
+
+    @classmethod
+    def at_most_one(cls, label: str) -> "FrequencyConstraint":
+        return cls(label, 0, 1)
+
+    @classmethod
+    def exactly_one(cls, label: str) -> "FrequencyConstraint":
+        return cls(label, 1, 1)
+
+    def describe(self) -> str:
+        if self.max_count is None:
+            return f"at least {self.min_count} source elements match " \
+                   f"{self.label}"
+        if self.min_count == self.max_count:
+            return f"exactly {self.min_count} source element(s) match " \
+                   f"{self.label}"
+        return (f"between {self.min_count} and {self.max_count} source "
+                f"elements match {self.label}")
+
+    def relevant_labels(self) -> set[str]:
+        return {self.label}
+
+    def check_partial(self, assignment: dict[str, str],
+                      ctx: MatchContext) -> bool:
+        if self.max_count is None:
+            return False
+        return len(tags_with_label(assignment, self.label)) > self.max_count
+
+    def check_complete(self, assignment: dict[str, str],
+                       ctx: MatchContext) -> bool:
+        count = len(tags_with_label(assignment, self.label))
+        if count < self.min_count:
+            return True
+        return self.max_count is not None and count > self.max_count
+
+
+class NestingConstraint(HardConstraint):
+    """Requires (or forbids) one label's tag to nest inside another's.
+
+    Table 1: "If a matches AGENT-INFO & b matches AGENT-NAME, then b is
+    nested in a"; with ``forbidden=True``: "... then b cannot be nested
+    in a".
+    """
+
+    kind = "nesting"
+
+    def __init__(self, outer_label: str, inner_label: str,
+                 forbidden: bool = False) -> None:
+        self.outer_label = outer_label
+        self.inner_label = inner_label
+        self.forbidden = forbidden
+
+    def describe(self) -> str:
+        relation = "cannot be nested in" if self.forbidden \
+            else "must be nested in"
+        return (f"elements matching {self.inner_label} {relation} "
+                f"elements matching {self.outer_label}")
+
+    def relevant_labels(self) -> set[str]:
+        return {self.outer_label, self.inner_label}
+
+    def _violated(self, assignment: dict[str, str],
+                  ctx: MatchContext) -> bool:
+        outers = tags_with_label(assignment, self.outer_label)
+        inners = tags_with_label(assignment, self.inner_label)
+        for outer in outers:
+            for inner in inners:
+                nested = ctx.schema.is_nested_within(inner, outer)
+                if self.forbidden and nested:
+                    return True
+                if not self.forbidden and not nested:
+                    return True
+        return False
+
+    # Both directions are definite on partial assignments: adding more
+    # assignments never changes whether an existing (outer, inner) pair
+    # nests in the schema tree.
+    check_partial = _violated
+    check_complete = _violated
+
+
+class ContiguityConstraint(HardConstraint):
+    """Two labels' tags must be siblings with only OTHER tags between.
+
+    Table 1: "If a matches BATHS & b matches BEDS, then a & b are siblings
+    in the schema-tree, and the elements between them (if any) can only
+    match OTHER."
+    """
+
+    kind = "contiguity"
+
+    def __init__(self, label_a: str, label_b: str) -> None:
+        self.label_a = label_a
+        self.label_b = label_b
+
+    def describe(self) -> str:
+        return (f"elements matching {self.label_a} and {self.label_b} are "
+                f"siblings separated only by OTHER elements")
+
+    def check_partial(self, assignment: dict[str, str],
+                      ctx: MatchContext) -> bool:
+        for tag_a in tags_with_label(assignment, self.label_a):
+            for tag_b in tags_with_label(assignment, self.label_b):
+                between = self._between(tag_a, tag_b, ctx)
+                if between is None:
+                    return True  # not siblings: definite violation
+                for tag in between:
+                    label = assignment.get(tag)
+                    if label is not None and label != OTHER:
+                        return True
+        return False
+
+    def check_complete(self, assignment: dict[str, str],
+                       ctx: MatchContext) -> bool:
+        return self.check_partial(assignment, ctx)
+
+    def _between(self, tag_a: str, tag_b: str,
+                 ctx: MatchContext) -> list[str] | None:
+        """Tags strictly between the two siblings, or None if they are not
+        siblings anywhere in the schema."""
+        for parent in ctx.schema.dtd.tag_names():
+            order = ctx.schema.sibling_order(parent)
+            if tag_a in order and tag_b in order:
+                i, j = order.index(tag_a), order.index(tag_b)
+                if i > j:
+                    i, j = j, i
+                return order[i + 1:j]
+        return None
+
+
+class ExclusivityConstraint(HardConstraint):
+    """Two labels cannot both be present in one source.
+
+    Table 1: "There are no a and b such that a matches COURSE-CREDIT & b
+    matches SECTION-CREDIT."
+    """
+
+    kind = "exclusivity"
+
+    def __init__(self, label_a: str, label_b: str) -> None:
+        self.label_a = label_a
+        self.label_b = label_b
+
+    def describe(self) -> str:
+        return f"{self.label_a} and {self.label_b} cannot both be matched"
+
+    def relevant_labels(self) -> set[str]:
+        return {self.label_a, self.label_b}
+
+    def _violated(self, assignment: dict[str, str],
+                  ctx: MatchContext) -> bool:
+        return bool(tags_with_label(assignment, self.label_a)
+                    and tags_with_label(assignment, self.label_b))
+
+    check_partial = _violated
+    check_complete = _violated

@@ -1,0 +1,76 @@
+"""Generic A* search used by the constraint handler.
+
+The handler's state space (one source tag assigned per level) is encoded
+by the caller; this module only provides the best-first machinery with an
+expansion budget, because the paper observes that constraint handling can
+take minutes and we prefer a bounded anytime behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, TypeVar
+
+State = TypeVar("State", bound=Hashable)
+
+
+@dataclass
+class SearchResult(Generic[State]):
+    """Outcome of an A* run."""
+
+    state: State | None
+    cost: float
+    expanded: int
+    exhausted_budget: bool
+
+    @property
+    def found(self) -> bool:
+        return self.state is not None
+
+
+def astar(start: State,
+          expand: Callable[[State], Iterable[tuple[State, float]]],
+          is_goal: Callable[[State], bool],
+          heuristic: Callable[[State], float],
+          max_expansions: int = 200_000) -> SearchResult[State]:
+    """Best-first search minimising ``g + h``.
+
+    ``expand`` yields ``(successor, transition_cost)`` pairs. ``heuristic``
+    must never overestimate the remaining cost for the returned goal to be
+    optimal. When the expansion budget runs out the best goal seen so far
+    (if any) is returned with ``exhausted_budget=True``.
+    """
+    counter = itertools.count()  # tie-breaker keeps heap comparisons total
+    frontier: list[tuple[float, int, float, State]] = [
+        (heuristic(start), next(counter), 0.0, start)]
+    best_g: dict[State, float] = {start: 0.0}
+    best_goal: State | None = None
+    best_goal_cost = float("inf")
+    expanded = 0
+
+    while frontier:
+        f, _, g, state = heapq.heappop(frontier)
+        if f >= best_goal_cost:
+            # Nothing left on the frontier can beat the goal we hold.
+            return SearchResult(best_goal, best_goal_cost, expanded, False)
+        if g > best_g.get(state, float("inf")):
+            continue  # stale entry
+        if is_goal(state):
+            if g < best_goal_cost:
+                best_goal, best_goal_cost = state, g
+            continue
+        if expanded >= max_expansions:
+            return SearchResult(best_goal, best_goal_cost, expanded, True)
+        expanded += 1
+        for successor, step_cost in expand(state):
+            new_g = g + step_cost
+            if new_g >= best_g.get(successor, float("inf")):
+                continue
+            best_g[successor] = new_g
+            heapq.heappush(frontier,
+                           (new_g + heuristic(successor), next(counter),
+                            new_g, successor))
+
+    return SearchResult(best_goal, best_goal_cost, expanded, False)

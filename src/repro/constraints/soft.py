@@ -1,0 +1,109 @@
+"""Soft constraints: binary (unit cost) and numeric (graded cost).
+
+Table 1's soft examples:
+
+* binary — "Number of elements that match DESCRIPTION is not more than 3";
+* numeric — "If a matches AGENT-NAME & b matches AGENT-PHONE, then we
+  prefer a & b to be as close to each other as possible".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import MatchContext, SoftConstraint, tags_with_label
+
+
+class BinarySoftConstraint(SoftConstraint):
+    """A predicate whose violation costs a flat amount (default 1)."""
+
+    kind = "binary"
+
+    def __init__(self, predicate: Callable[[dict[str, str], MatchContext],
+                                           bool],
+                 description: str, violation_cost: float = 1.0) -> None:
+        self._predicate = predicate
+        self._description = description
+        self.violation_cost = violation_cost
+
+    def describe(self) -> str:
+        return self._description
+
+    def cost(self, assignment: dict[str, str], ctx: MatchContext) -> float:
+        if self._predicate(assignment, ctx):
+            return self.violation_cost
+        return 0.0
+
+
+class MaxCountSoftConstraint(BinarySoftConstraint):
+    """At most ``max_count`` tags should match ``label`` (soft version of
+    a frequency constraint — Table 1's binary example)."""
+
+    def __init__(self, label: str, max_count: int,
+                 violation_cost: float = 1.0) -> None:
+        self.label = label
+        self.max_count = max_count
+        # A bound method (not a lambda) keeps the constraint picklable
+        # for model persistence.
+        super().__init__(
+            self._over_limit,
+            f"number of elements matching {label} is not more than "
+            f"{max_count}",
+            violation_cost)
+
+    def _over_limit(self, assignment: dict[str, str],
+                    ctx: MatchContext) -> bool:
+        return len(tags_with_label(assignment, self.label)) > \
+            self.max_count
+
+
+class NumericSoftConstraint(SoftConstraint):
+    """A user-supplied graded cost function."""
+
+    kind = "numeric"
+
+    def __init__(self, cost_fn: Callable[[dict[str, str], MatchContext],
+                                         float],
+                 description: str) -> None:
+        self._cost_fn = cost_fn
+        self._description = description
+
+    def describe(self) -> str:
+        return self._description
+
+    def cost(self, assignment: dict[str, str], ctx: MatchContext) -> float:
+        return max(0.0, float(self._cost_fn(assignment, ctx)))
+
+
+class ProximityConstraint(NumericSoftConstraint):
+    """Prefer two labels' tags to be close siblings (Table 1's numeric
+    example). Cost: 0 when adjacent siblings, growing with the number of
+    tags between them; 1 when they are not siblings at all."""
+
+    kind = "numeric"
+
+    def __init__(self, label_a: str, label_b: str) -> None:
+        self.label_a = label_a
+        self.label_b = label_b
+        super().__init__(
+            self._proximity_cost,
+            f"elements matching {label_a} and {label_b} should be close "
+            f"to each other")
+
+    def _proximity_cost(self, assignment: dict[str, str],
+                        ctx: MatchContext) -> float:
+        tags_a = tags_with_label(assignment, self.label_a)
+        tags_b = tags_with_label(assignment, self.label_b)
+        if not tags_a or not tags_b:
+            return 0.0
+        best: float = 1.0
+        for parent in ctx.schema.dtd.tag_names():
+            order = ctx.schema.sibling_order(parent)
+            for tag_a in tags_a:
+                for tag_b in tags_b:
+                    if tag_a in order and tag_b in order:
+                        distance = abs(order.index(tag_a)
+                                       - order.index(tag_b)) - 1
+                        span = max(len(order) - 1, 1)
+                        best = min(best, distance / span)
+        return best

@@ -1,0 +1,55 @@
+"""LSD core: schemas, labels, mappings, pipelines, and the system façade.
+
+The model layer (labels, predictions, mappings, schemas, instances,
+converter) is imported eagerly. The pipeline layer (training, matching,
+system, feedback) depends on :mod:`repro.constraints` — which itself uses
+the model layer — so those names are resolved lazily to keep the import
+graph acyclic.
+"""
+
+from .composite import CompositeMapping, find_composite_mappings
+from .converter import PredictionConverter
+from .hierarchy import LabelHierarchy, generalize_prediction
+from .instance import (ElementInstance, InstanceColumn, extract_columns,
+                       fill_child_labels)
+from .labels import OTHER, LabelSpace
+from .mapping import Mapping
+from .prediction import Prediction, normalize_matrix, normalize_scores
+from .pruning import TypeProfile, TypePruner
+from .schema import MediatedSchema, SourceSchema
+
+__all__ = [
+    "CompositeMapping", "ElementInstance", "FeedbackSession",
+    "InstanceColumn", "LSDSystem", "find_composite_mappings",
+    "LabelHierarchy", "LabelSpace", "Mapping", "MatchResult",
+    "MediatedSchema", "OTHER", "Prediction", "PredictionConverter",
+    "SourceSchema", "TrainingSource", "TypeProfile", "TypePruner",
+    "build_training_set", "extract_columns", "fill_child_labels",
+    "generalize_prediction", "match_source", "normalize_matrix",
+    "normalize_scores", "train_base_learners", "train_meta_learner",
+]
+
+_LAZY = {
+    "FeedbackSession": ("repro.core.feedback", "FeedbackSession"),
+    "LSDSystem": ("repro.core.system", "LSDSystem"),
+    "MatchResult": ("repro.core.matching", "MatchResult"),
+    "TrainingSource": ("repro.core.training", "TrainingSource"),
+    "build_training_set": ("repro.core.training", "build_training_set"),
+    "match_source": ("repro.core.matching", "match_source"),
+    "train_base_learners": ("repro.core.training", "train_base_learners"),
+    "train_meta_learner": ("repro.core.training", "train_meta_learner"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.core' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value  # cache for subsequent lookups
+    return value

@@ -1,0 +1,104 @@
+"""Detecting complex (non 1-1) mappings — the paper's §2/§9 future work.
+
+"In many common cases, the mappings are one-to-one ... while in others,
+the mappings may be more complex (e.g., 'num-baths maps to half-baths +
+full-baths')". LSD proper only proposes 1-1 mappings; this module adds a
+post-matching detector for the arithmetic case the paper cites: a source
+tag whose numeric values equal the sum of two *other* columns of the same
+source on (almost) every listing.
+
+When the summand tags are themselves matched to mediated labels, the
+detector reports the complex mapping in mediated terms
+(``total-baths = FULL-BATHS + HALF-BATHS``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..text import tokenize_numeric
+from .instance import InstanceColumn
+from .labels import OTHER
+from .mapping import Mapping
+
+
+@dataclass
+class CompositeMapping:
+    """A detected arithmetic relationship between source columns."""
+
+    tag: str                       # the composite source tag
+    part_tags: tuple[str, ...]     # summand source tags
+    part_labels: tuple[str, ...]   # their mediated labels (may be OTHER)
+    support: float                 # fraction of listings that agree
+
+    def describe(self) -> str:
+        rhs_labels = " + ".join(self.part_labels)
+        rhs_tags = " + ".join(self.part_tags)
+        return (f"{self.tag} = {rhs_tags} "
+                f"(i.e. {rhs_labels}; support {self.support:.0%})")
+
+
+def _numeric_by_listing(column: InstanceColumn) -> dict[int, float]:
+    """listing index -> single numeric value (ambiguous listings dropped)."""
+    values: dict[int, float] = {}
+    dropped: set[int] = set()
+    for instance in column.instances:
+        numbers = tokenize_numeric(instance.text)
+        index = instance.listing_index
+        if len(numbers) != 1 or index in values or index in dropped:
+            dropped.add(index)
+            values.pop(index, None)
+            continue
+        values[index] = numbers[0]
+    return values
+
+
+def find_composite_mappings(columns: dict[str, InstanceColumn],
+                            mapping: Mapping,
+                            min_support: float = 0.9,
+                            min_listings: int = 5,
+                            tolerance: float = 1e-9
+                            ) -> list[CompositeMapping]:
+    """Detect ``t = a + b`` relationships among a source's columns.
+
+    Only candidate composites that are *unexplained* by the 1-1 mapping
+    (tags mapped to OTHER) are searched, matching the workflow: LSD maps
+    what it can 1-1, then this detector proposes complex mappings for the
+    leftovers.
+    """
+    numeric = {
+        tag: _numeric_by_listing(column)
+        for tag, column in columns.items()
+    }
+    numeric = {tag: values for tag, values in numeric.items()
+               if len(values) >= min_listings}
+
+    results: list[CompositeMapping] = []
+    targets = [tag for tag in numeric
+               if mapping.get(tag, OTHER) == OTHER]
+    for target in targets:
+        target_values = numeric[target]
+        candidates = [tag for tag in numeric if tag != target]
+        best: CompositeMapping | None = None
+        for a, b in combinations(candidates, 2):
+            shared = (set(target_values) & set(numeric[a])
+                      & set(numeric[b]))
+            if len(shared) < min_listings:
+                continue
+            hits = sum(
+                1 for index in shared
+                if abs(numeric[a][index] + numeric[b][index]
+                       - target_values[index]) <= tolerance)
+            support = hits / len(shared)
+            if support >= min_support and \
+                    (best is None or support > best.support):
+                best = CompositeMapping(
+                    tag=target,
+                    part_tags=(a, b),
+                    part_labels=(mapping.get(a, OTHER),
+                                 mapping.get(b, OTHER)),
+                    support=support)
+        if best is not None:
+            results.append(best)
+    return results

@@ -1,0 +1,51 @@
+"""The prediction converter (§3.2 step 2).
+
+After the meta-learner has combined the base learners' predictions for
+every data instance of a source tag, the prediction converter collapses
+those per-instance predictions into a single prediction for the tag.
+"Currently the prediction converter simply computes the average score of
+each label from the given predictions" — the ``mean`` strategy; ``median``
+and ``max`` are provided for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_STRATEGIES = ("mean", "median", "max")
+
+
+class PredictionConverter:
+    """Collapses an ``(n_instances, n_labels)`` matrix to one score row."""
+
+    def __init__(self, strategy: str = "mean") -> None:
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        self.strategy = strategy
+
+    def convert(self, instance_scores: np.ndarray) -> np.ndarray:
+        """One normalised score row for the whole column.
+
+        An empty column (the tag never occurred in the extracted sample)
+        yields a uniform row: the data gives no evidence either way.
+        """
+        instance_scores = np.asarray(instance_scores, dtype=np.float64)
+        if instance_scores.ndim != 2:
+            raise ValueError("expected an (n_instances, n_labels) matrix")
+        n_labels = instance_scores.shape[1]
+        if instance_scores.shape[0] == 0:
+            return np.full(n_labels, 1.0 / n_labels)
+        if self.strategy == "mean":
+            row = instance_scores.mean(axis=0)
+        elif self.strategy == "median":
+            row = np.median(instance_scores, axis=0)
+        else:
+            row = instance_scores.max(axis=0)
+        total = row.sum()
+        if total <= 0.0:
+            return np.full(n_labels, 1.0 / n_labels)
+        return row / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PredictionConverter({self.strategy!r})"

@@ -1,0 +1,134 @@
+"""Label hierarchies for ambiguous tags (§7 of the paper).
+
+The paper's discussion section: given ``course-code: CSE142 section: 2
+credits: 3`` it is unclear whether *credits* means the course credits or
+the section credits. "If our mediated DTD contains a label hierarchy, in
+which each label refers to a concept more general than those of its
+descendent labels, then we can match a tag with the most specific
+unambiguous label in the hierarchy, and leave it to the user to choose
+the appropriate child label."
+
+:class:`LabelHierarchy` declares is-a relationships between labels (e.g.
+``CREDIT`` generalises ``COURSE-CREDIT`` and ``SECTION-CREDIT``);
+:func:`generalize_prediction` backs an ambiguous prediction off to the
+most specific ancestor that covers enough of the probability mass.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .prediction import Prediction
+
+
+class LabelHierarchy:
+    """An is-a forest over labels.
+
+    Parents need not be labels of the mediated schema itself — abstract
+    labels like ``CREDIT`` exist only as backoff targets.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]] = ()) -> None:
+        self._parent: dict[str, str] = {}
+        self._children: dict[str, set[str]] = defaultdict(set)
+        for parent, child in edges:
+            self.add(parent, child)
+
+    def add(self, parent: str, child: str) -> None:
+        """Declare ``child`` is-a ``parent``."""
+        if child == parent:
+            raise ValueError(f"label {child!r} cannot be its own parent")
+        existing = self._parent.get(child)
+        if existing is not None and existing != parent:
+            raise ValueError(
+                f"label {child!r} already has parent {existing!r}")
+        # Reject cycles: walking up from `parent` must not reach `child`.
+        node: str | None = parent
+        while node is not None:
+            if node == child:
+                raise ValueError(
+                    f"adding {parent!r} -> {child!r} creates a cycle")
+            node = self._parent.get(node)
+        self._parent[child] = parent
+        self._children[parent].add(child)
+
+    def parent_of(self, label: str) -> str | None:
+        """The immediate generalisation of ``label`` (None at a root)."""
+        return self._parent.get(label)
+
+    def children_of(self, label: str) -> set[str]:
+        """The immediate specialisations of ``label``."""
+        return set(self._children.get(label, ()))
+
+    def ancestors_of(self, label: str) -> list[str]:
+        """Generalisations from the immediate parent up to the root."""
+        out: list[str] = []
+        node = self._parent.get(label)
+        while node is not None:
+            out.append(node)
+            node = self._parent.get(node)
+        return out
+
+    def descendants_of(self, label: str) -> set[str]:
+        """All labels below ``label`` (any depth)."""
+        out: set[str] = set()
+        frontier = list(self._children.get(label, ()))
+        while frontier:
+            node = frontier.pop()
+            if node not in out:
+                out.add(node)
+                frontier.extend(self._children.get(node, ()))
+        return out
+
+    def lowest_common_ancestor(self, a: str, b: str) -> str | None:
+        """The most specific label generalising both, or None."""
+        ancestors_a = [a, *self.ancestors_of(a)]
+        ancestors_b = {b, *self.ancestors_of(b)}
+        for candidate in ancestors_a:
+            if candidate in ancestors_b:
+                return candidate
+        return None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._parent or label in self._children
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+def generalize_prediction(prediction: Prediction,
+                          hierarchy: LabelHierarchy,
+                          ambiguity_margin: float = 0.1,
+                          coverage: float = 0.7) -> str:
+    """The most specific unambiguous label for a prediction.
+
+    If the top label's margin over the runner-up is at least
+    ``ambiguity_margin``, the top label stands. Otherwise, if the top
+    label and runner-up share an ancestor whose descendant mass reaches
+    ``coverage``, that ancestor is proposed instead — "leaving it to the
+    user to choose the appropriate child label". Failing that, the
+    original top label is returned.
+    """
+    top_two = prediction.top_k(2)
+    if len(top_two) < 2:
+        return top_two[0][0]
+    (best, best_score), (second, second_score) = top_two
+    if best_score - second_score >= ambiguity_margin:
+        return best
+    ancestor = hierarchy.lowest_common_ancestor(best, second)
+    if ancestor is None:
+        return best
+    mass = _descendant_mass(prediction, hierarchy, ancestor)
+    if mass >= coverage:
+        return ancestor
+    return best
+
+
+def _descendant_mass(prediction: Prediction, hierarchy: LabelHierarchy,
+                     ancestor: str) -> float:
+    family = hierarchy.descendants_of(ancestor)
+    if ancestor in prediction.space:
+        family.add(ancestor)
+    return sum(prediction.score(label) for label in family
+               if label in prediction.space)

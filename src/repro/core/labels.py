@@ -1,0 +1,74 @@
+"""Label space for the classification view of schema matching.
+
+Section 2.2 of the paper rephrases 1-1 schema matching as classification:
+the mediated-schema tag names are the class labels ``c1..cn``, plus the
+distinguished label ``OTHER`` for source tags that match nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: The distinguished label assigned to unmatchable source tags.
+OTHER = "OTHER"
+
+
+class LabelSpace:
+    """An ordered, indexable set of class labels (always containing OTHER).
+
+    Score matrices throughout the library are aligned to a label space:
+    column ``i`` of any ``(n_instances, n_labels)`` array is the score for
+    ``space.labels[i]``.
+    """
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for label in labels:
+            if label not in seen:
+                seen.add(label)
+                ordered.append(label)
+        if OTHER not in seen:
+            ordered.append(OTHER)
+        self.labels: tuple[str, ...] = tuple(ordered)
+        self._index: dict[str, int] = {
+            label: i for i, label in enumerate(self.labels)}
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelSpace) and other.labels == self.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def index_of(self, label: str) -> int:
+        """Column index of ``label`` in score matrices."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise KeyError(
+                f"label {label!r} is not in this label space") from None
+
+    def label_at(self, index: int) -> str:
+        """Label at column ``index``."""
+        return self.labels[index]
+
+    @property
+    def other_index(self) -> int:
+        """Column index of the OTHER label."""
+        return self._index[OTHER]
+
+    def real_labels(self) -> tuple[str, ...]:
+        """All labels except OTHER (the mediated-schema tags)."""
+        return tuple(label for label in self.labels if label != OTHER)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabelSpace({len(self.labels)} labels)"

@@ -1,0 +1,112 @@
+"""1-1 semantic mappings between source tags and mediated-schema labels."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping as MappingABC
+
+from .labels import OTHER
+
+
+class Mapping:
+    """An immutable 1-1 mapping ``source tag -> label``.
+
+    ``OTHER`` marks a source tag with no mediated counterpart. The mapping
+    is "1-1" in the paper's sense — each source tag gets one label — while
+    several source tags may share a label only where the domain allows it
+    (frequency constraints police that during search).
+    """
+
+    def __init__(self, assignments: MappingABC[str, str]) -> None:
+        self._assignments: dict[str, str] = dict(assignments)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, str]]) -> "Mapping":
+        """Build from ``(source_tag, label)`` pairs."""
+        return cls(dict(pairs))
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, tag: str) -> str:
+        return self._assignments[tag]
+
+    def get(self, tag: str, default: str | None = None) -> str | None:
+        """Label of ``tag`` or ``default``."""
+        return self._assignments.get(tag, default)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._assignments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._assignments)
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Mapping)
+                and other._assignments == self._assignments)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._assignments.items()))
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        """Iterate ``(source_tag, label)`` pairs."""
+        return iter(self._assignments.items())
+
+    def tags(self) -> tuple[str, ...]:
+        """The mapped source tags."""
+        return tuple(self._assignments)
+
+    def label_of(self, tag: str) -> str:
+        """Label of ``tag`` (KeyError if unmapped)."""
+        return self._assignments[tag]
+
+    def tags_for(self, label: str) -> tuple[str, ...]:
+        """All source tags mapped to ``label``."""
+        return tuple(tag for tag, lab in self._assignments.items()
+                     if lab == label)
+
+    def matchable_tags(self) -> tuple[str, ...]:
+        """Source tags mapped to a real label (not OTHER)."""
+        return tuple(tag for tag, lab in self._assignments.items()
+                     if lab != OTHER)
+
+    def with_assignment(self, tag: str, label: str) -> "Mapping":
+        """A copy with one assignment changed/added."""
+        updated = dict(self._assignments)
+        updated[tag] = label
+        return Mapping(updated)
+
+    def restricted_to(self, tags: Iterable[str]) -> "Mapping":
+        """A copy containing only the given tags."""
+        tags = set(tags)
+        return Mapping({t: l for t, l in self._assignments.items()
+                        if t in tags})
+
+    # ------------------------------------------------------------------
+    def accuracy_against(self, truth: "Mapping",
+                         matchable_only: bool = True) -> float:
+        """Matching accuracy of this mapping w.r.t. a ground truth.
+
+        The paper defines accuracy as "the percentage of matchable
+        source-schema tags that are matched correctly"; pass
+        ``matchable_only=False`` to score all tags instead.
+        """
+        tags = (truth.matchable_tags() if matchable_only
+                else truth.tags())
+        if not tags:
+            return 1.0
+        correct = sum(
+            1 for tag in tags if self.get(tag) == truth.label_of(tag))
+        return correct / len(tags)
+
+    def differences(self, truth: "Mapping") -> list[tuple[str, str, str]]:
+        """``(tag, predicted, expected)`` for every disagreement."""
+        return [(tag, self.get(tag, "<unmapped>"), expected)
+                for tag, expected in truth.items()
+                if self.get(tag) != expected]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{t}=>{l}" for t, l in
+                          sorted(self._assignments.items())[:4])
+        suffix = "..." if len(self._assignments) > 4 else ""
+        return f"Mapping({pairs}{suffix})"

@@ -1,0 +1,148 @@
+"""The matching phase (§3.2): classify a new source's tags.
+
+Pipeline for a target source:
+
+1. extract one instance column per source tag;
+2. apply every base learner to every instance, combine per-instance
+   predictions with the meta-learner, and collapse each column with the
+   prediction converter;
+3. (structure pass) derive preliminary per-tag labels, expose them to the
+   XML learner as child labels, and re-run the learners that use them;
+4. hand the per-tag predictions to the constraint handler, which returns
+   the least-cost 1-1 mapping (or argmax when no handler is configured).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..constraints.base import Constraint, MatchContext
+from ..constraints.handler import ConstraintHandler
+from ..learners.base import BaseLearner
+from ..learners.meta import StackingMetaLearner
+from ..xmlio import Element
+from .converter import PredictionConverter
+from .instance import (ElementInstance, InstanceColumn, extract_columns,
+                       fill_child_labels)
+from .labels import LabelSpace
+from .mapping import Mapping
+from .prediction import Prediction
+from .schema import SourceSchema
+
+
+@dataclass
+class MatchResult:
+    """Everything the matching phase produced for one source."""
+
+    mapping: Mapping
+    tag_scores: dict[str, np.ndarray]
+    space: LabelSpace
+    columns: dict[str, InstanceColumn]
+    context: MatchContext
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def prediction_for(self, tag: str) -> Prediction:
+        """The converter's prediction for one source tag."""
+        return Prediction(self.space, self.tag_scores[tag])
+
+    def top_candidates(self, tag: str, k: int = 3
+                       ) -> list[tuple[str, float]]:
+        """The k best labels for a tag, with scores."""
+        return self.prediction_for(tag).top_k(k)
+
+    def ambiguous_tags(self, threshold: float = 0.1) -> list[str]:
+        """Tags whose best-vs-second margin is below ``threshold`` —
+        the natural targets for user feedback."""
+        return [tag for tag in self.tag_scores
+                if self.prediction_for(tag).margin() < threshold]
+
+
+def match_source(schema: SourceSchema, listings: Sequence[Element],
+                 learners: list[BaseLearner], meta: StackingMetaLearner,
+                 converter: PredictionConverter,
+                 handler: ConstraintHandler | None, space: LabelSpace,
+                 extra_constraints: Sequence[Constraint] = (),
+                 max_instances_per_tag: int | None = None,
+                 structure_passes: int = 1,
+                 score_filter=None) -> MatchResult:
+    """Run the full matching pipeline; see module docstring.
+
+    ``score_filter(tag_scores, columns) -> tag_scores`` runs between the
+    prediction converter and the constraint handler — the hook the §7
+    type-compatibility pruner uses.
+    """
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    columns = extract_columns(schema, list(listings),
+                              max_instances_per_tag)
+    timings["extract"] = time.perf_counter() - start
+
+    # Flatten instances so each learner predicts one batch.
+    tags = list(columns)
+    flat: list[ElementInstance] = []
+    slices: dict[str, slice] = {}
+    for tag in tags:
+        begin = len(flat)
+        flat.extend(columns[tag].instances)
+        slices[tag] = slice(begin, len(flat))
+
+    start = time.perf_counter()
+    tag_scores = _predict_tags(flat, slices, columns, learners, meta,
+                               converter, space, structure_passes)
+    if score_filter is not None:
+        tag_scores = score_filter(tag_scores, columns)
+    timings["predict"] = time.perf_counter() - start
+
+    ctx = MatchContext(schema, columns)
+    start = time.perf_counter()
+    if handler is None:
+        mapping = Mapping({
+            tag: space.label_at(int(np.argmax(row)))
+            for tag, row in tag_scores.items()})
+    else:
+        mapping = handler.find_mapping(tag_scores, space, ctx,
+                                       extra_constraints)
+    timings["constraints"] = time.perf_counter() - start
+
+    return MatchResult(mapping, tag_scores, space, columns, ctx, timings)
+
+
+def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
+                  columns: dict[str, InstanceColumn],
+                  learners: list[BaseLearner], meta: StackingMetaLearner,
+                  converter: PredictionConverter, space: LabelSpace,
+                  structure_passes: int) -> dict[str, np.ndarray]:
+    """Per-tag converted scores, with optional structure re-passes."""
+    scores_by_learner = {
+        learner.name: learner.predict_scores(flat) for learner in learners}
+    tag_scores = _convert(scores_by_learner, slices, meta, converter,
+                          space)
+
+    structural = [lrn for lrn in learners if lrn.uses_child_labels]
+    for _ in range(structure_passes if structural else 0):
+        preliminary = {
+            tag: space.label_at(int(np.argmax(row)))
+            for tag, row in tag_scores.items()}
+        fill_child_labels(columns, preliminary)
+        for learner in structural:
+            scores_by_learner[learner.name] = learner.predict_scores(flat)
+        tag_scores = _convert(scores_by_learner, slices, meta, converter,
+                              space)
+    return tag_scores
+
+
+def _convert(scores_by_learner: dict[str, np.ndarray],
+             slices: dict[str, slice], meta: StackingMetaLearner,
+             converter: PredictionConverter,
+             space: LabelSpace) -> dict[str, np.ndarray]:
+    combined = meta.combine(scores_by_learner) if scores_by_learner else \
+        np.zeros((0, len(space)))
+    return {
+        tag: converter.convert(combined[piece])
+        for tag, piece in slices.items()
+    }

@@ -1,0 +1,62 @@
+"""Save and load trained LSD systems.
+
+The training phase is cheap for a demo but expensive at production scale
+(the paper's motivation is amortising user effort over "tens or hundreds
+of sources"), so a trained system — learners, meta-learner weights,
+constraints, pruner profiles — can be persisted and reloaded.
+
+Pickle is the serialisation layer; a format header guards against loading
+files produced by incompatible library versions.
+
+.. warning:: as with any pickle-based format, only load model files you
+   trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from .system import LSDSystem
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+_MAGIC = "repro-lsd"
+
+
+class ModelFormatError(RuntimeError):
+    """The file is not a compatible saved LSD system."""
+
+
+def save_system(system: LSDSystem, path: str | Path) -> None:
+    """Serialise a (typically trained) system to ``path``."""
+    payload = {
+        "magic": _MAGIC,
+        "version": FORMAT_VERSION,
+        "system": system,
+    }
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_system(path: str | Path) -> LSDSystem:
+    """Load a system saved by :func:`save_system`."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:  # unpickling errors vary widely
+            raise ModelFormatError(
+                f"{path} is not a readable LSD model: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise ModelFormatError(f"{path} is not an LSD model file")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ModelFormatError(
+            f"{path} uses format version {version}, this library reads "
+            f"version {FORMAT_VERSION}")
+    system = payload["system"]
+    if not isinstance(system, LSDSystem):
+        raise ModelFormatError(f"{path} does not contain an LSDSystem")
+    return system

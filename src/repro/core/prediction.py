@@ -1,0 +1,107 @@
+"""Confidence-score predictions over a label space.
+
+Every learner prediction in the paper has the form
+``<s(c1|x,L), ..., s(cn|x,L)>`` with the scores summing to one. Internally
+the library carries dense numpy score matrices for speed;
+:class:`Prediction` is the user-facing view of one row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .labels import LabelSpace
+
+
+class Prediction:
+    """A normalised confidence distribution over a :class:`LabelSpace`."""
+
+    __slots__ = ("space", "scores")
+
+    def __init__(self, space: LabelSpace, scores: np.ndarray) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (len(space),):
+            raise ValueError(
+                f"scores have shape {scores.shape}, label space has "
+                f"{len(space)} labels")
+        self.space = space
+        self.scores = normalize_scores(scores)
+
+    @classmethod
+    def from_dict(cls, space: LabelSpace,
+                  scores: dict[str, float]) -> "Prediction":
+        """Build from a sparse ``{label: score}`` mapping."""
+        row = np.zeros(len(space))
+        for label, score in scores.items():
+            row[space.index_of(label)] = score
+        return cls(space, row)
+
+    @classmethod
+    def uniform(cls, space: LabelSpace) -> "Prediction":
+        """The maximally uncertain prediction."""
+        return cls(space, np.ones(len(space)))
+
+    @classmethod
+    def certain(cls, space: LabelSpace, label: str) -> "Prediction":
+        """All mass on a single label."""
+        row = np.zeros(len(space))
+        row[space.index_of(label)] = 1.0
+        return cls(space, row)
+
+    # ------------------------------------------------------------------
+    def score(self, label: str) -> float:
+        """Confidence score for ``label``."""
+        return float(self.scores[self.space.index_of(label)])
+
+    def top(self) -> str:
+        """The label with the highest score."""
+        return self.space.label_at(int(np.argmax(self.scores)))
+
+    def top_k(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` highest-scoring ``(label, score)`` pairs."""
+        order = np.argsort(self.scores)[::-1][:k]
+        return [(self.space.label_at(int(i)), float(self.scores[i]))
+                for i in order]
+
+    def as_dict(self) -> dict[str, float]:
+        """Dense ``{label: score}`` view."""
+        return {label: float(self.scores[i])
+                for i, label in enumerate(self.space.labels)}
+
+    def margin(self) -> float:
+        """Score gap between the best and second-best label.
+
+        A small margin flags an ambiguous tag — useful for ordering
+        feedback requests.
+        """
+        if len(self.scores) < 2:
+            return float(self.scores[0])
+        top_two = np.partition(self.scores, -2)[-2:]
+        return float(top_two[1] - top_two[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{label}:{score:.2f}"
+                          for label, score in self.top_k(3))
+        return f"<Prediction {pairs}>"
+
+
+def normalize_scores(scores: np.ndarray) -> np.ndarray:
+    """Clamp negatives to zero and scale to sum 1 (uniform if all zero).
+
+    Negative raw scores can appear after the meta-learner's least-squares
+    combination; the paper normalises combined scores before use.
+    """
+    scores = np.maximum(np.asarray(scores, dtype=np.float64), 0.0)
+    total = scores.sum()
+    if total <= 0.0:
+        return np.full(scores.shape, 1.0 / scores.shape[-1])
+    return scores / total
+
+
+def normalize_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`normalize_scores` for an ``(n, n_labels)`` matrix."""
+    matrix = np.maximum(np.asarray(matrix, dtype=np.float64), 0.0)
+    totals = matrix.sum(axis=1, keepdims=True)
+    out = np.where(totals > 0.0, matrix / np.where(totals == 0, 1, totals),
+                   1.0 / matrix.shape[1])
+    return out

@@ -1,0 +1,130 @@
+"""Type-compatibility pruning (§7's efficiency suggestion).
+
+"There are many fairly simple constraints that can be pre-processed, such
+as constraints on an element being textual or numeric." During training
+the pruner profiles each label's data (how often instances are numeric,
+how long their values run); during matching it zeroes out candidate
+labels whose profile is grossly incompatible with a column's data before
+the constraint handler searches — shrinking the search space exactly as
+the paper proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..text import tokenize, tokenize_numeric
+from .instance import ElementInstance, InstanceColumn
+from .labels import OTHER, LabelSpace
+
+
+@dataclass
+class TypeProfile:
+    """Summary of the values observed for one label (or one column)."""
+
+    numeric_rate: float   # fraction of instances that are purely numeric
+    mean_tokens: float    # average token count per instance
+    samples: int
+
+    @classmethod
+    def of_texts(cls, texts: Sequence[str]) -> "TypeProfile":
+        if not texts:
+            return cls(0.0, 0.0, 0)
+        numeric = 0
+        token_total = 0
+        for text in texts:
+            tokens = tokenize(text)
+            token_total += len(tokens)
+            numbers = tokenize_numeric(text)
+            word_tokens = [t for t in tokens if t.isalpha()]
+            if numbers and not word_tokens:
+                numeric += 1
+        return cls(numeric / len(texts), token_total / len(texts),
+                   len(texts))
+
+
+class TypePruner:
+    """Prunes label candidates with incompatible value types.
+
+    Conservative by design: a label is pruned for a column only when both
+    profiles are confidently known (enough samples) and disagree on the
+    numeric/textual axis by a wide margin. OTHER is never pruned.
+    """
+
+    def __init__(self, min_samples: int = 5,
+                 numeric_high: float = 0.9,
+                 numeric_low: float = 0.1) -> None:
+        self.min_samples = min_samples
+        self.numeric_high = numeric_high
+        self.numeric_low = numeric_low
+        self.profiles: dict[str, TypeProfile] = {}
+        self.space: LabelSpace | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.space is not None
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        """Profile every label from the training stream."""
+        texts_by_label: dict[str, list[str]] = {}
+        for instance, label in zip(instances, labels):
+            texts_by_label.setdefault(label, []).append(instance.text)
+        self.profiles = {
+            label: TypeProfile.of_texts(texts)
+            for label, texts in texts_by_label.items()
+        }
+        self.space = space
+
+    def incompatible_labels(self, column: InstanceColumn) -> set[str]:
+        """Labels whose training profile clashes with this column."""
+        if self.space is None:
+            raise RuntimeError("pruner is not fitted")
+        observed = TypeProfile.of_texts(column.texts())
+        if observed.samples < self.min_samples:
+            return set()
+        pruned: set[str] = set()
+        for label, profile in self.profiles.items():
+            if label == OTHER or profile.samples < self.min_samples:
+                continue
+            label_numeric = profile.numeric_rate >= self.numeric_high
+            label_textual = profile.numeric_rate <= self.numeric_low
+            column_numeric = observed.numeric_rate >= self.numeric_high
+            column_textual = observed.numeric_rate <= self.numeric_low
+            if (label_numeric and column_textual) or \
+                    (label_textual and column_numeric):
+                pruned.add(label)
+        return pruned
+
+    def prune_scores(self, tag_scores: dict[str, np.ndarray],
+                     columns: dict[str, InstanceColumn]
+                     ) -> dict[str, np.ndarray]:
+        """Zero out incompatible labels and renormalise each row.
+
+        Rows whose mass would vanish entirely are left untouched (the
+        pruner must never make a tag unmatchable on its own).
+        """
+        if self.space is None:
+            raise RuntimeError("pruner is not fitted")
+        pruned_scores: dict[str, np.ndarray] = {}
+        for tag, row in tag_scores.items():
+            column = columns.get(tag)
+            if column is None:
+                pruned_scores[tag] = row
+                continue
+            bad = self.incompatible_labels(column)
+            if not bad:
+                pruned_scores[tag] = row
+                continue
+            adjusted = row.copy()
+            for label in bad:
+                adjusted[self.space.index_of(label)] = 0.0
+            total = adjusted.sum()
+            if total <= 0.0:
+                pruned_scores[tag] = row
+            else:
+                pruned_scores[tag] = adjusted / total
+        return pruned_scores

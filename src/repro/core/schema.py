@@ -1,0 +1,126 @@
+"""Mediated- and source-schema models.
+
+Both schemas are DTDs (Section 2.1 of the paper); these classes wrap a
+:class:`repro.xmlio.DTD` with the queries the matching layers use. The
+mediated schema's tags (minus the root) are the class labels; the source
+schema's tags (minus the root) are what gets classified.
+
+The root tags are excluded because they describe "one listing" in both
+schemas and the paper matches the elements *inside* listings.
+"""
+
+from __future__ import annotations
+
+from ..xmlio import DTD, parse_dtd
+from .labels import LabelSpace
+
+
+class _SchemaBase:
+    """Shared structural queries over a wrapped DTD."""
+
+    def __init__(self, dtd: DTD | str, name: str | None = None) -> None:
+        if isinstance(dtd, str):
+            dtd = parse_dtd(dtd)
+        self.dtd = dtd
+        self.name = name or dtd.name or dtd.root_name()
+        self.root = dtd.root_name()
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """All schema tags except the root, in declaration order."""
+        return tuple(t for t in self.dtd.tag_names() if t != self.root)
+
+    @property
+    def non_leaf_tags(self) -> tuple[str, ...]:
+        """Non-leaf tags (excluding the root)."""
+        return tuple(t for t in self.dtd.non_leaf_names() if t != self.root)
+
+    @property
+    def leaf_tags(self) -> tuple[str, ...]:
+        """Leaf tags."""
+        return tuple(t for t in self.dtd.leaf_names() if t != self.root)
+
+    def depth(self) -> int:
+        """Depth of the schema tree including the root."""
+        return self.dtd.depth()
+
+    def path_to(self, tag: str) -> tuple[str, ...]:
+        """One shortest tag path from the root down to (excluding) ``tag``.
+
+        Used to expand tag names with their context. If the tag is
+        unreachable from the root an empty path is returned.
+        """
+        if tag == self.root:
+            return ()
+        frontier: list[tuple[str, tuple[str, ...]]] = [(self.root, ())]
+        seen = {self.root}
+        while frontier:
+            next_frontier: list[tuple[str, tuple[str, ...]]] = []
+            for current, path in frontier:
+                for child in sorted(self.dtd.children_of(current)):
+                    if child == tag:
+                        return path + (current,)
+                    if child not in seen:
+                        seen.add(child)
+                        next_frontier.append((child, path + (current,)))
+            frontier = next_frontier
+        return ()
+
+    def is_nested_within(self, inner: str, outer: str) -> bool:
+        """True if ``inner`` can appear below ``outer`` in this schema."""
+        return self.dtd.nested_within(outer, inner)
+
+    def siblings(self, a: str, b: str) -> bool:
+        """True if some tag may contain both ``a`` and ``b`` directly."""
+        return any(
+            {a, b} <= self.dtd.children_of(parent)
+            for parent in self.dtd.tag_names())
+
+    def children_of(self, tag: str) -> set[str]:
+        """Tags that may appear directly inside ``tag``."""
+        return self.dtd.children_of(tag)
+
+    def descendant_count(self, tag: str) -> int:
+        """Distinct tags nestable within ``tag`` (the §6.3 feedback score)."""
+        return self.dtd.descendant_count(tag)
+
+    def sibling_order(self, parent: str) -> list[str]:
+        """Declared order of the children of ``parent``.
+
+        Derived from the content model's name references in appearance
+        order; used by contiguity and numeric-proximity constraints.
+        """
+        decl = self.dtd.elements.get(parent)
+        if decl is None:
+            return []
+        order: list[str] = []
+        _collect_names(decl.model, order)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"{len(self.tags)} tags)")
+
+
+def _collect_names(model, order: list[str]) -> None:
+    from ..xmlio import Choice, NameRef, Sequence
+
+    if isinstance(model, NameRef):
+        if model.name not in order:
+            order.append(model.name)
+    elif isinstance(model, (Sequence, Choice)):
+        for item in model.items:
+            _collect_names(item, order)
+
+
+class MediatedSchema(_SchemaBase):
+    """The virtual schema users query; its tags are the class labels."""
+
+    def label_space(self) -> LabelSpace:
+        """Labels = mediated tags (root excluded) + OTHER."""
+        return LabelSpace(self.tags)
+
+
+class SourceSchema(_SchemaBase):
+    """The schema of one data source, to be matched against the mediated
+    schema."""

@@ -1,0 +1,188 @@
+"""The LSD system façade: train on mapped sources, match new ones.
+
+Mirrors the architecture of Figure 4 in the paper: base learners, the
+stacking meta-learner, the prediction converter, and the constraint
+handler, wired into a training phase and a matching phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints.base import Constraint
+from ..constraints.handler import ConstraintHandler
+from ..learners import default_learners
+from ..learners.base import BaseLearner
+from ..learners.meta import StackingMetaLearner
+from ..xmlio import Element
+from .converter import PredictionConverter
+from .labels import LabelSpace
+from .mapping import Mapping
+from .matching import MatchResult, match_source
+from .pruning import TypePruner
+from .schema import MediatedSchema, SourceSchema
+from .training import (TrainingSource, build_training_set,
+                       train_base_learners, train_meta_learner)
+
+
+class LSDSystem:
+    """End-to-end LSD: add training sources, train, match new sources."""
+
+    def __init__(self, mediated_schema: MediatedSchema | str,
+                 learners: Sequence[BaseLearner],
+                 constraints: Sequence[Constraint] = (),
+                 use_constraint_handler: bool = True,
+                 use_meta_learner: bool = True,
+                 converter: PredictionConverter | None = None,
+                 handler: ConstraintHandler | None = None,
+                 folds: int = 5, seed: int = 0,
+                 max_instances_per_tag: int | None = None,
+                 prune_types: bool = False) -> None:
+        """
+        Parameters
+        ----------
+        mediated_schema:
+            The mediated DTD (or its text); its tags are the labels.
+        learners:
+            The base learners to employ (see
+            :func:`repro.learners.default_learners`).
+        constraints:
+            Domain constraints, written once per domain (§4.1).
+        use_constraint_handler:
+            When False, matching assigns each tag its argmax label — the
+            configuration ladder's "no constraint handler" rung.
+        use_meta_learner:
+            When False the meta-learner averages the base learners
+            uniformly instead of learning stacking weights.
+        handler:
+            A pre-configured :class:`ConstraintHandler`; by default one is
+            built from ``constraints``.
+        max_instances_per_tag:
+            Cap on extracted instances per tag (both phases).
+        prune_types:
+            Enable §7's pre-processed textual/numeric compatibility
+            constraints: candidate labels whose training data type is
+            grossly incompatible with a column are zeroed before the
+            constraint handler runs.
+        """
+        if isinstance(mediated_schema, str):
+            mediated_schema = MediatedSchema(mediated_schema)
+        self.mediated_schema = mediated_schema
+        self.space: LabelSpace = mediated_schema.label_space()
+        self.learners = list(learners)
+        if not self.learners:
+            raise ValueError("need at least one base learner")
+        self.constraints = list(constraints)
+        self.use_meta_learner = use_meta_learner
+        self.converter = converter or PredictionConverter()
+        if handler is not None:
+            self.handler: ConstraintHandler | None = handler
+        elif use_constraint_handler:
+            self.handler = ConstraintHandler(self.constraints)
+        else:
+            self.handler = None
+        self.folds = folds
+        self.seed = seed
+        self.max_instances_per_tag = max_instances_per_tag
+        self.training_sources: list[TrainingSource] = []
+        self.meta: StackingMetaLearner | None = None
+        self.pruner = TypePruner() if prune_types else None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_default_learners(cls, mediated_schema: MediatedSchema | str,
+                              constraints: Sequence[Constraint] = (),
+                              extra_learners: Sequence[BaseLearner] = (),
+                              **kwargs) -> "LSDSystem":
+        """LSD with the paper's learner set plus any domain recognizers."""
+        return cls(mediated_schema,
+                   [*default_learners(), *extra_learners],
+                   constraints, **kwargs)
+
+    # ------------------------------------------------------------------
+    # training phase
+    # ------------------------------------------------------------------
+    def add_training_source(self, schema: SourceSchema | str,
+                            listings: Sequence[Element],
+                            mapping: Mapping | dict[str, str]) -> None:
+        """Register one user-mapped source (§3.1 step 1)."""
+        if isinstance(schema, str):
+            schema = SourceSchema(schema)
+        if isinstance(mapping, dict):
+            mapping = Mapping(mapping)
+        self.training_sources.append(
+            TrainingSource(schema, list(listings), mapping))
+        self.meta = None  # new data invalidates previous training
+
+    def train(self) -> None:
+        """Run the full training phase (§3.1 steps 2-5)."""
+        if not self.training_sources:
+            raise RuntimeError("no training sources added")
+        instances, labels = build_training_set(
+            self.training_sources, self.space, self.max_instances_per_tag)
+        if not instances:
+            raise RuntimeError("training sources produced no instances")
+        train_base_learners(self.learners, instances, labels, self.space)
+        if self.pruner is not None:
+            self.pruner.fit(instances, labels, self.space)
+        self.meta = train_meta_learner(
+            self.learners, instances, labels, self.space,
+            folds=self.folds, seed=self.seed,
+            uniform=not self.use_meta_learner)
+
+    @property
+    def is_trained(self) -> bool:
+        return self.meta is not None
+
+    # ------------------------------------------------------------------
+    # matching phase
+    # ------------------------------------------------------------------
+    def match(self, schema: SourceSchema | str,
+              listings: Sequence[Element],
+              extra_constraints: Sequence[Constraint] = ()
+              ) -> MatchResult:
+        """Propose 1-1 mappings for a new source (§3.2)."""
+        if self.meta is None:
+            raise RuntimeError("call train() before match()")
+        if isinstance(schema, str):
+            schema = SourceSchema(schema)
+        score_filter = self.pruner.prune_scores if self.pruner else None
+        return match_source(
+            schema, listings, self.learners, self.meta, self.converter,
+            self.handler, self.space, extra_constraints,
+            self.max_instances_per_tag, score_filter=score_filter)
+
+    def confirm_and_learn(self, schema: SourceSchema | str,
+                          listings: Sequence[Element],
+                          mapping: Mapping | dict[str, str]) -> None:
+        """Fold a confirmed matching back into the training set (§3.1).
+
+        "Once a new source has been matched by LSD and the matchings have
+        been confirmed/refined by the user, it can serve as an additional
+        training source, making LSD unique in that it can directly and
+        seamlessly reuse past matchings to continuously improve its
+        performance." Adds the source and retrains immediately.
+        """
+        self.add_training_source(schema, listings, mapping)
+        self.train()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def learner_names(self) -> list[str]:
+        """Names of the configured base learners."""
+        return [learner.name for learner in self.learners]
+
+    def weight_table(self) -> dict[str, dict[str, float]]:
+        """The meta-learner's per-(label, learner) weights."""
+        if self.meta is None:
+            raise RuntimeError("call train() first")
+        return self.meta.weight_table()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "trained" if self.is_trained else "untrained"
+        return (f"<LSDSystem {state}: {len(self.learners)} learners, "
+                f"{len(self.space)} labels, "
+                f"{len(self.training_sources)} training sources>")

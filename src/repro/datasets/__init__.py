@@ -1,0 +1,14 @@
+"""Synthetic evaluation domains standing in for the paper's web sources.
+
+Four domains matching Table 3 of the paper: Real Estate I, Time Schedule,
+Faculty Listings, and Real Estate II. See DESIGN.md §3 for why the
+substitution preserves the experimental signal.
+"""
+
+from .base import (Domain, Group, Leaf, Record, Source, SourceDef)
+from .registry import DOMAIN_NAMES, load_all_domains, load_domain
+
+__all__ = [
+    "DOMAIN_NAMES", "Domain", "Group", "Leaf", "Record", "Source",
+    "SourceDef", "load_all_domains", "load_domain",
+]

@@ -1,0 +1,256 @@
+"""Framework for declaring synthetic evaluation domains.
+
+A :class:`Domain` plays the role of one of the paper's four evaluation
+domains: a mediated schema, domain constraints, a synonym dictionary, and
+five heterogeneous :class:`Source` definitions. Every source declares its
+own tag vocabulary and tree structure over the domain's *concepts*; the
+generator turns a shared per-listing record into differently named,
+differently formatted XML for each source, so tag names, formats and
+structure vary across sources while the underlying semantics (what the
+learners must recover) stay aligned.
+
+Determinism: every listing stream is derived from ``(domain seed, source
+name, sample seed)``, so experiments are reproducible and "taking a new
+sample of data" (the paper's methodology) is just a different sample seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..constraints.base import Constraint
+from ..core.labels import OTHER
+from ..core.mapping import Mapping
+from ..core.schema import MediatedSchema, SourceSchema
+from ..learners.base import BaseLearner
+from ..text.synonyms import SynonymDictionary
+from ..xmlio import Element
+
+#: A per-listing record of raw semantic values, keyed by concept name.
+Record = dict[str, object]
+#: Formats one concept of a record as a string, honouring source style.
+Formatter = Callable[[Record, dict, random.Random], str]
+
+
+@dataclass
+class Leaf:
+    """A leaf field of a source schema.
+
+    ``label`` is the mediated tag this field truly corresponds to (None
+    for unmatchable fields → OTHER). ``concept`` is the value-generator
+    key; it defaults to the label, and *must* be given for OTHER fields.
+    ``optional`` is the per-listing probability that the field is absent.
+    """
+
+    tag: str
+    label: str | None
+    concept: str | None = None
+    optional: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.concept is None:
+            if self.label is None:
+                raise ValueError(
+                    f"leaf {self.tag!r} has no label and no concept")
+            self.concept = self.label
+
+
+@dataclass
+class Group:
+    """A non-leaf element grouping child fields."""
+
+    tag: str
+    label: str | None
+    children: list["Leaf | Group"]
+    optional: float = 0.0
+
+
+@dataclass
+class SourceDef:
+    """Declarative description of one source."""
+
+    name: str
+    root_tag: str
+    tree: list[Leaf | Group]
+    n_listings: int
+    style: dict = field(default_factory=dict)
+
+
+class Source:
+    """A concrete source: schema, ground-truth mapping, listing generator."""
+
+    def __init__(self, definition: SourceDef,
+                 make_record: Callable[[random.Random], Record],
+                 formatters: dict[str, Formatter], domain_seed: int) -> None:
+        self._definition = definition
+        self._make_record = make_record
+        self._formatters = formatters
+        self._domain_seed = domain_seed
+        self.name = definition.name
+        self.n_listings = definition.n_listings
+        self.style = dict(definition.style)
+        self.schema = SourceSchema(_build_dtd(definition),
+                                   name=definition.name)
+        self.mapping = _build_mapping(definition)
+
+    def listings(self, count: int | None = None,
+                 sample_seed: int = 0) -> list[Element]:
+        """Generate ``count`` listings (default: the source's full size).
+
+        Different ``sample_seed`` values produce different samples from
+        the same underlying source distribution — the paper's "each time
+        taking a new sample of data from each source".
+        """
+        if count is None:
+            count = self.n_listings
+        count = min(count, self.n_listings)
+        rng = random.Random(
+            f"{self._domain_seed}:{self._definition.name}:{sample_seed}")
+        return [self._generate_listing(rng, index)
+                for index in range(count)]
+
+    # ------------------------------------------------------------------
+    def _generate_listing(self, rng: random.Random, index: int) -> Element:
+        record = self._make_record(rng)
+        # The listing's position in the stream: lets formatters mint
+        # guaranteed-unique identifiers (MLS numbers, schedule line
+        # numbers) that key constraints can rely on.
+        record["_index"] = index
+        root = Element(self._definition.root_tag)
+        for node in self._definition.tree:
+            child = self._generate_node(node, record, rng)
+            if child is not None:
+                root.append(child)
+        return root
+
+    def _generate_node(self, node: Leaf | Group, record: Record,
+                       rng: random.Random) -> Element | None:
+        if node.optional and rng.random() < node.optional:
+            return None
+        if isinstance(node, Leaf):
+            formatter = self._formatters.get(node.concept)
+            if formatter is None:
+                raise KeyError(
+                    f"source {self.name!r}: no formatter for concept "
+                    f"{node.concept!r} (tag {node.tag!r})")
+            element = Element(node.tag)
+            value = formatter(record, self.style, rng)
+            if value:
+                element.append_text(value)
+            return element
+        element = Element(node.tag)
+        for child_node in node.children:
+            child = self._generate_node(child_node, record, rng)
+            if child is not None:
+                element.append(child)
+        return element
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Source {self.name!r}: {len(self.schema.tags)} tags, "
+                f"{self.n_listings} listings>")
+
+
+class Domain:
+    """One evaluation domain: mediated schema + constraints + 5 sources."""
+
+    def __init__(self, name: str, title: str,
+                 mediated_schema: MediatedSchema | str,
+                 source_defs: Sequence[SourceDef],
+                 make_record: Callable[[random.Random], Record],
+                 formatters: dict[str, Formatter],
+                 constraints: Sequence[Constraint] = (),
+                 synonyms: SynonymDictionary | None = None,
+                 recognizers: Callable[[], list[BaseLearner]] | None = None,
+                 seed: int = 0) -> None:
+        if isinstance(mediated_schema, str):
+            mediated_schema = MediatedSchema(mediated_schema)
+        self.name = name
+        self.title = title
+        self.mediated_schema = mediated_schema
+        self.constraints = list(constraints)
+        self.synonyms = synonyms
+        self._recognizers = recognizers
+        self.seed = seed
+        self.sources = [
+            Source(definition, make_record, formatters, seed)
+            for definition in source_defs
+        ]
+        self._validate()
+
+    def recognizers(self) -> list[BaseLearner]:
+        """Fresh instances of the domain's recognizer learners."""
+        if self._recognizers is None:
+            return []
+        return self._recognizers()
+
+    def source_named(self, name: str) -> Source:
+        """Look up a source by name."""
+        for source in self.sources:
+            if source.name == name:
+                return source
+        raise KeyError(f"domain {self.name!r} has no source {name!r}")
+
+    def matchable_fraction(self, source: Source) -> float:
+        """Fraction of the source's tags with a real (non-OTHER) label —
+        Table 3's rightmost column."""
+        tags = source.schema.tags
+        if not tags:
+            return 0.0
+        matchable = sum(
+            1 for tag in tags if source.mapping.get(tag, OTHER) != OTHER)
+        return matchable / len(tags)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        space = self.mediated_schema.label_space()
+        for source in self.sources:
+            for tag, label in source.mapping.items():
+                if label not in space:
+                    raise ValueError(
+                        f"source {source.name!r} maps {tag!r} to unknown "
+                        f"label {label!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Domain {self.name!r}: "
+                f"{len(self.mediated_schema.tags)} mediated tags, "
+                f"{len(self.sources)} sources>")
+
+
+# ---------------------------------------------------------------------------
+# schema / mapping construction from SourceDef trees
+# ---------------------------------------------------------------------------
+
+def _build_dtd(definition: SourceDef) -> str:
+    """Render a SourceDef tree as DTD text."""
+    lines: list[str] = []
+
+    def declare(tag: str, children: list[Leaf | Group]) -> None:
+        parts = []
+        for node in children:
+            suffix = "?" if node.optional else ""
+            parts.append(f"{node.tag}{suffix}")
+        lines.append(f"<!ELEMENT {tag} ({', '.join(parts)})>")
+        for node in children:
+            if isinstance(node, Group):
+                declare(node.tag, node.children)
+            else:
+                lines.append(f"<!ELEMENT {node.tag} (#PCDATA)>")
+
+    declare(definition.root_tag, definition.tree)
+    return "\n".join(lines)
+
+
+def _build_mapping(definition: SourceDef) -> Mapping:
+    """Ground-truth mapping for a SourceDef (OTHER for unlabelled tags)."""
+    assignments: dict[str, str] = {}
+
+    def walk(nodes: list[Leaf | Group]) -> None:
+        for node in nodes:
+            assignments[node.tag] = node.label if node.label else OTHER
+            if isinstance(node, Group):
+                walk(node.children)
+
+    walk(definition.tree)
+    return Mapping(assignments)

@@ -1,0 +1,409 @@
+"""The Real Estate I domain (Table 3, row 1).
+
+Mediated schema: 20 tags, 4 non-leaf, depth 3. Five sources listing
+houses for sale, 502-3002 listings each, 19-21 tags, with 84-100% of
+source tags matchable — all matching the paper's reported
+characteristics. The record maker here is shared with Real Estate II,
+which extends the same listings with many more fields.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints import parse_constraints
+from ..learners import GazetteerRecognizer, RegexRecognizer
+from ..text import SynonymDictionary, default_synonyms
+from . import vocab
+from .base import Domain, Group, Leaf, Record, SourceDef
+from .values import (FIRM_DIRECTORY, format_date, format_person,
+                     format_phone, format_price, format_state,
+                     format_street, format_time, make_description,
+                     phone_digits, pick, sample, street_address)
+
+MEDIATED_DTD = """
+<!ELEMENT LISTING (ADDRESS, CITY, STATE, ZIP, PRICE, DESCRIPTION,
+                   HOUSE-INFO, CONTACT-INFO, LOCATION-INFO)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT CITY (#PCDATA)>
+<!ELEMENT STATE (#PCDATA)>
+<!ELEMENT ZIP (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT DESCRIPTION (#PCDATA)>
+<!ELEMENT HOUSE-INFO (BEDS, BATHS, SQFT, LOT-SIZE, YEAR-BUILT)>
+<!ELEMENT BEDS (#PCDATA)>
+<!ELEMENT BATHS (#PCDATA)>
+<!ELEMENT SQFT (#PCDATA)>
+<!ELEMENT LOT-SIZE (#PCDATA)>
+<!ELEMENT YEAR-BUILT (#PCDATA)>
+<!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE, OFFICE-NAME)>
+<!ELEMENT AGENT-NAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+<!ELEMENT OFFICE-NAME (#PCDATA)>
+<!ELEMENT LOCATION-INFO (COUNTY, SCHOOL-DISTRICT)>
+<!ELEMENT COUNTY (#PCDATA)>
+<!ELEMENT SCHOOL-DISTRICT (#PCDATA)>
+"""
+
+CONSTRAINTS = """
+# Real Estate I domain constraints (hard unless noted).
+frequency PRICE at-most 1
+frequency ADDRESS at-most 1
+frequency CITY at-most 1
+frequency STATE at-most 1
+frequency ZIP at-most 1
+frequency BEDS at-most 1
+frequency BATHS at-most 1
+frequency SQFT at-most 1
+frequency LOT-SIZE at-most 1
+frequency YEAR-BUILT at-most 1
+frequency AGENT-NAME at-most 1
+frequency AGENT-PHONE at-most 1
+frequency OFFICE-NAME at-most 1
+frequency COUNTY at-most 1
+frequency SCHOOL-DISTRICT at-most 1
+frequency DESCRIPTION at-most 2
+nesting CONTACT-INFO contains AGENT-NAME
+nesting CONTACT-INFO contains AGENT-PHONE
+nesting HOUSE-INFO contains BEDS
+nesting HOUSE-INFO contains BATHS
+nesting HOUSE-INFO excludes AGENT-PHONE
+nesting CONTACT-INFO excludes PRICE
+proximity BEDS BATHS
+proximity AGENT-NAME AGENT-PHONE
+"""
+
+
+def _county_of(city: str) -> str:
+    """Deterministic city -> county association (gazetteer-coherent)."""
+    rng = random.Random(f"county:{city}")
+    return pick(rng, vocab.COUNTIES)
+
+
+def make_real_estate_record(rng: random.Random) -> Record:
+    """One coherent house listing's raw values (shared with RE II)."""
+    city, state = pick(rng, vocab.CITIES)
+    firm = pick(rng, vocab.FIRM_NAMES)
+    office_address, office_phone = FIRM_DIRECTORY[firm]
+    beds = rng.randint(1, 6)
+    full_baths = rng.randint(1, 4)
+    half_baths = rng.randint(0, 2)
+    sqft = rng.randint(70, 520) * 10
+    agent_first = pick(rng, vocab.FIRST_NAMES)
+    agent_last = pick(rng, vocab.LAST_NAMES)
+    county = _county_of(city)
+    school_district = pick(rng, vocab.SCHOOL_DISTRICTS)
+    elementary = pick(rng, vocab.SCHOOL_NAMES) + " Elementary"
+    # Real listing prose name-drops the agent, firm, neighborhood and
+    # schools — the vocabulary overlap that §5 of the paper says confuses
+    # flat bag-of-words learners (Figure 7's contact-vs-description case).
+    description = make_description(rng, sentences=rng.randint(1, 2))
+    extras = []
+    if rng.random() < 0.6:
+        extras.append(f"Contact {agent_first} {agent_last} "
+                      f"at {firm} today.")
+    if rng.random() < 0.4:
+        extras.append(f"Located in {county} County, {city}.")
+    if rng.random() < 0.4:
+        extras.append(f"Walk to {elementary} in the acclaimed "
+                      f"{school_district}.")
+    if rng.random() < 0.3:
+        extras.append(f"{beds} bedrooms, {full_baths} baths.")
+    if extras:
+        description = " ".join([description, *extras])
+    return {
+        "street": street_address(rng),
+        "city": city,
+        "state": state,
+        "zip": f"{rng.randint(10000, 99499)}",
+        "county": county,
+        "price": rng.randint(60, 1200) * 1000,
+        "description": description,
+        "beds": beds,
+        "full_baths": full_baths,
+        "half_baths": half_baths,
+        "sqft": sqft,
+        "lot_acres": round(rng.uniform(0.08, 5.0), 2),
+        "year_built": rng.randint(1905, 2001),
+        "stories": rng.randint(1, 3),
+        "agent_first": agent_first,
+        "agent_last": agent_last,
+        "agent_phone": phone_digits(rng),
+        "firm": firm,
+        "office_address": office_address,
+        "office_phone": office_phone,
+        "school_district": school_district,
+        "elementary": elementary,
+        "middle": pick(rng, vocab.SCHOOL_NAMES) + " Middle School",
+        "high": pick(rng, vocab.SCHOOL_NAMES) + " High School",
+        "mls": f"MLS{rng.randint(100000, 999999)}",
+        "status": pick(rng, vocab.LISTING_STATUS),
+        "listing_date": (rng.randint(1, 12), rng.randint(1, 28), 2000),
+        "subdivision": pick(rng, vocab.SUBDIVISIONS),
+        "hoa": rng.randint(0, 45) * 10,
+        "amenities": sample(rng, vocab.AMENITIES, rng.randint(1, 3)),
+        "taxes": rng.randint(800, 9000),
+        "tax_year": rng.randint(1998, 2000),
+        "assessment": rng.randint(50, 1100) * 1000,
+        "flooring": sample(rng, vocab.FLOORING, rng.randint(1, 2)),
+        "heating": pick(rng, vocab.HEATING),
+        "cooling": pick(rng, vocab.COOLING),
+        "fireplaces": rng.randint(0, 3),
+        "basement": rng.random() < 0.4,
+        "appliances": sample(rng, vocab.APPLIANCES, rng.randint(2, 4)),
+        "garage": pick(rng, vocab.GARAGE_TYPES),
+        "roof": pick(rng, vocab.ROOF_TYPES),
+        "siding": pick(rng, vocab.SIDING_TYPES),
+        "pool": rng.random() < 0.15,
+        "waterfront": rng.random() < 0.1,
+        "view": pick(rng, vocab.VIEW_TYPES),
+        "fence": rng.random() < 0.5,
+        "water": pick(rng, vocab.WATER_SOURCES),
+        "sewer": pick(rng, vocab.SEWER_TYPES),
+        "open_date": (rng.randint(1, 12), rng.randint(1, 28), 2001),
+        "open_time": rng.randint(18, 34) * 30,  # 9:00am - 5:00pm
+        "page_views": rng.randint(3, 4000),
+        "area_name": pick(rng, vocab.NEIGHBORHOODS),
+        "directions": (
+            f"From I-{pick(rng, (5, 90, 405, 10, 80))}, take exit "
+            f"{rng.randint(2, 180)}, "
+            f"{pick(rng, ('left', 'right'))} on "
+            f"{pick(rng, vocab.STREET_NAMES)} "
+            f"{pick(rng, vocab.STREET_TYPES)}."),
+        "electric": pick(rng, vocab.ELECTRIC_PROVIDERS),
+    }
+
+
+def real_estate_formatters() -> dict:
+    """Concept -> formatter map shared by both real-estate domains."""
+    return {
+        "ADDRESS": lambda r, s, g: format_street(r["street"], s),
+        "CITY": lambda r, s, g: r["city"],
+        "STATE": lambda r, s, g: format_state(r["state"], s),
+        "ZIP": lambda r, s, g: r["zip"],
+        "PRICE": lambda r, s, g: format_price(r["price"], s),
+        "DESCRIPTION": lambda r, s, g: r["description"],
+        "BEDS": lambda r, s, g: str(r["beds"]),
+        "BATHS": lambda r, s, g: _total_baths(r),
+        "SQFT": lambda r, s, g: (f"{r['sqft']:,}"
+                                 if s.get("sqft_style") == "comma"
+                                 else f"{r['sqft']} sq ft"
+                                 if s.get("sqft_style") == "unit"
+                                 else str(r["sqft"])),
+        "LOT-SIZE": lambda r, s, g: (f"{r['lot_acres']} acres"
+                                     if s.get("lot_style") == "unit"
+                                     else str(r["lot_acres"])),
+        "YEAR-BUILT": lambda r, s, g: str(r["year_built"]),
+        "AGENT-NAME": lambda r, s, g: format_person(
+            r["agent_first"], r["agent_last"], s),
+        "AGENT-PHONE": lambda r, s, g: format_phone(r["agent_phone"], s),
+        "OFFICE-NAME": lambda r, s, g: r["firm"],
+        "COUNTY": lambda r, s, g: (f"{r['county']} County"
+                                   if s.get("county_style") == "suffixed"
+                                   else r["county"]),
+        "SCHOOL-DISTRICT": lambda r, s, g: r["school_district"],
+        # Concepts used only by unmatchable (OTHER) tags:
+        "mls_id": lambda r, s, g: f"MLS{100001 + r['_index']}",
+        "listing_status": lambda r, s, g: r["status"],
+        "listing_date": lambda r, s, g: format_date(*r["listing_date"], s),
+        "listing_url": lambda r, s, g: (
+            "http://listings.example.com/"
+            f"{r['mls'].lower()}.html"),
+        "page_views": lambda r, s, g: str(r["page_views"]),
+        "disclaimer": lambda r, s, g: (
+            "Information deemed reliable but not guaranteed."),
+        "open_house": lambda r, s, g: (
+            f"{format_date(*r['open_date'], s)} "
+            f"{format_time(r['open_time'], s)}"),
+    }
+
+
+def _total_baths(record: Record) -> str:
+    total = record["full_baths"] + 0.5 * record["half_baths"]
+    return str(int(total)) if total == int(total) else str(total)
+
+
+def _sources() -> list[SourceDef]:
+    return [
+        # Flat source, terse names, three unmatchable tags (84% matchable).
+        SourceDef(
+            name="homeseekers.com", root_tag="house", n_listings=3002,
+            style={"phone_format": "paren", "price_format": "symbol_comma",
+                   "sqft_style": "comma"},
+            tree=[
+                Leaf("location", "ADDRESS"),
+                Leaf("city", "CITY"),
+                Leaf("state", "STATE"),
+                Leaf("zipcode", "ZIP"),
+                Leaf("asking-price", "PRICE"),
+                Leaf("comments", "DESCRIPTION"),
+                Leaf("num-beds", "BEDS"),
+                Leaf("num-baths", "BATHS"),
+                Leaf("square-feet", "SQFT"),
+                Leaf("lot-acres", "LOT-SIZE"),
+                Leaf("built-year", "YEAR-BUILT"),
+                Leaf("realtor", "AGENT-NAME"),
+                Leaf("realtor-phone", "AGENT-PHONE"),
+                Leaf("realty-office", "OFFICE-NAME"),
+                Leaf("county-name", "COUNTY"),
+                Leaf("school-dist", "SCHOOL-DISTRICT"),
+                Leaf("mls-number", None, concept="mls_id"),
+                Leaf("photo-link", None, concept="listing_url"),
+                Leaf("open-house", None, concept="open_house",
+                     optional=0.5),
+            ]),
+        # Fully grouped source mirroring the mediated structure.
+        SourceDef(
+            name="yahoo-homes.com", root_tag="entry", n_listings=2240,
+            style={"phone_format": "dash", "price_format": "plain",
+                   "state_style": "full", "name_order": "last_first",
+                   "lot_style": "unit"},
+            tree=[
+                Leaf("address", "ADDRESS"),
+                Leaf("town", "CITY"),
+                Leaf("state", "STATE"),
+                Leaf("postal-code", "ZIP"),
+                Leaf("list-price", "PRICE"),
+                Leaf("remarks", "DESCRIPTION"),
+                Group("home-facts", "HOUSE-INFO", [
+                    Leaf("bedrooms", "BEDS"),
+                    Leaf("bathrooms", "BATHS"),
+                    Leaf("living-area", "SQFT"),
+                    Leaf("lot-size", "LOT-SIZE"),
+                    Leaf("year", "YEAR-BUILT"),
+                ]),
+                Group("agent-contact", "CONTACT-INFO", [
+                    Leaf("agent", "AGENT-NAME"),
+                    Leaf("phone", "AGENT-PHONE"),
+                    Leaf("office", "OFFICE-NAME"),
+                ]),
+                Group("area-info", "LOCATION-INFO", [
+                    Leaf("county", "COUNTY"),
+                    Leaf("district", "SCHOOL-DISTRICT"),
+                ]),
+            ]),
+        # Vacuous group names and a couple of partial leaf names.
+        SourceDef(
+            name="realestate.com", root_tag="ad", n_listings=1500,
+            style={"phone_format": "dot", "price_format": "symbol_space",
+                   "county_style": "suffixed", "sqft_style": "unit"},
+            tree=[
+                Leaf("location", "ADDRESS"),
+                Leaf("city-name", "CITY"),
+                Leaf("st", "STATE"),
+                Leaf("zip-code", "ZIP"),
+                Leaf("price", "PRICE"),
+                Leaf("extra-info", "DESCRIPTION"),
+                Group("details", "HOUSE-INFO", [
+                    Leaf("beds", "BEDS"),
+                    Leaf("baths", "BATHS"),
+                    Leaf("size", "SQFT"),
+                    Leaf("lot", "LOT-SIZE"),
+                    Leaf("yr-built", "YEAR-BUILT"),
+                ]),
+                Group("contact", "CONTACT-INFO", [
+                    Leaf("name", "AGENT-NAME"),
+                    Leaf("office-phone", "AGENT-PHONE"),
+                    Leaf("firm", "OFFICE-NAME"),
+                ]),
+                Leaf("county", "COUNTY"),
+                Leaf("school", "SCHOOL-DISTRICT"),
+                Leaf("banner", None, concept="disclaimer"),
+            ]),
+        # Contact details flattened to the top level; verbose names.
+        SourceDef(
+            name="greathomes.com", root_tag="home", n_listings=880,
+            style={"phone_format": "paren", "price_format": "symbol_comma",
+                   "street_style": "verbose", "bool_style": "yn"},
+            tree=[
+                Leaf("street-address", "ADDRESS"),
+                Leaf("city", "CITY"),
+                Leaf("state-name", "STATE"),
+                Leaf("zip", "ZIP"),
+                Leaf("listed-price", "PRICE"),
+                Leaf("description", "DESCRIPTION"),
+                Group("house-facts", "HOUSE-INFO", [
+                    Leaf("bedrooms", "BEDS"),
+                    Leaf("bathrooms", "BATHS"),
+                    Leaf("sqft", "SQFT"),
+                    Leaf("acreage", "LOT-SIZE"),
+                    Leaf("year-built", "YEAR-BUILT"),
+                ]),
+                Leaf("agent-name", "AGENT-NAME"),
+                Leaf("work-phone", "AGENT-PHONE"),
+                Leaf("brokerage", "OFFICE-NAME"),
+                Leaf("county-name", "COUNTY"),
+                Leaf("school-district", "SCHOOL-DISTRICT"),
+                Leaf("ad-id", None, concept="mls_id"),
+                Leaf("status", None, concept="listing_status"),
+            ]),
+        # Heavily abbreviated names: the name matcher's weak spot.
+        SourceDef(
+            name="nwrealty.com", root_tag="listing", n_listings=502,
+            style={"phone_format": "plain", "price_format": "thousands",
+                   "name_order": "last_first"},
+            tree=[
+                Leaf("addr", "ADDRESS"),
+                Leaf("cty", "CITY"),
+                Leaf("st", "STATE"),
+                Leaf("zip", "ZIP"),
+                Leaf("prc", "PRICE"),
+                Leaf("desc", "DESCRIPTION"),
+                Group("specs", "HOUSE-INFO", [
+                    Leaf("bd", "BEDS"),
+                    Leaf("ba", "BATHS"),
+                    Leaf("sf", "SQFT"),
+                    Leaf("lot", "LOT-SIZE"),
+                    Leaf("yr", "YEAR-BUILT"),
+                ]),
+                Group("agt-info", "CONTACT-INFO", [
+                    Leaf("agt", "AGENT-NAME"),
+                    Leaf("agt-ph", "AGENT-PHONE"),
+                    Leaf("ofc", "OFFICE-NAME"),
+                ]),
+                Leaf("cnty", "COUNTY"),
+                Leaf("schl-dist", "SCHOOL-DISTRICT"),
+                Leaf("hotline", None, concept="disclaimer",
+                     optional=0.3),
+            ]),
+    ]
+
+
+def domain_synonyms() -> SynonymDictionary:
+    """Default synonyms extended with real-estate-specific groups."""
+    synonyms = default_synonyms()
+    synonyms.add_group(("brokerage", "office", "realty", "firm"))
+    synonyms.add_group(("remarks", "comments", "description"))
+    synonyms.add_group(("acreage", "lot"))
+    return synonyms
+
+
+def recognizers() -> list:
+    """Domain recognizers: the paper's county-name module plus a phone
+    regex recognizer."""
+    return [
+        GazetteerRecognizer(
+            "COUNTY",
+            list(vocab.COUNTIES) + [f"{c} County" for c in vocab.COUNTIES],
+            name="county_recognizer"),
+        RegexRecognizer(
+            "AGENT-PHONE",
+            r"\(?\d{3}\)?[ .-]\d{3}[ .-]\d{4}|\d{3} \d{3} \d{4}",
+            name="phone_recognizer"),
+    ]
+
+
+def build(seed: int = 0) -> Domain:
+    """Construct the Real Estate I domain."""
+    return Domain(
+        name="real_estate_1",
+        title="Real Estate I",
+        mediated_schema=MEDIATED_DTD,
+        source_defs=_sources(),
+        make_record=make_real_estate_record,
+        formatters=real_estate_formatters(),
+        constraints=parse_constraints(CONSTRAINTS),
+        synonyms=domain_synonyms(),
+        recognizers=recognizers,
+        seed=seed,
+    )

@@ -1,0 +1,447 @@
+"""The Real Estate II domain (Table 3, row 4).
+
+Same houses-for-sale task as Real Estate I but with a much larger
+mediated schema: 66 tags, 13 non-leaf, depth 4. Sources carry 33-48 tags
+with 11-13 non-leaf tags — the deep structure that gives the XML learner
+"more room for showing improvements" (§6.1). All source tags are
+matchable (100%), as in Table 3.
+"""
+
+from __future__ import annotations
+
+from ..constraints import parse_constraints
+from ..text import SynonymDictionary
+from .base import Domain, Group, Leaf, SourceDef
+from .real_estate import (domain_synonyms as _re1_synonyms,
+                          make_real_estate_record, real_estate_formatters,
+                          recognizers)
+from .values import format_date, format_time, format_yes_no
+
+MEDIATED_DTD = """
+<!ELEMENT LISTING (GENERAL-INFO, LOCATION-INFO, INTERIOR-INFO,
+                   EXTERIOR-INFO, COMMUNITY-INFO, FINANCIAL-INFO,
+                   UTILITY-INFO, CONTACT-INFO, OPEN-HOUSE-INFO)>
+<!ELEMENT GENERAL-INFO (MLS-ID, STATUS, LISTING-DATE, PRICE, DESCRIPTION)>
+<!ELEMENT MLS-ID (#PCDATA)>
+<!ELEMENT STATUS (#PCDATA)>
+<!ELEMENT LISTING-DATE (#PCDATA)>
+<!ELEMENT PRICE (#PCDATA)>
+<!ELEMENT DESCRIPTION (#PCDATA)>
+<!ELEMENT LOCATION-INFO (ADDRESS, CITY, STATE, ZIP, COUNTY, AREA-NAME,
+                         DIRECTIONS, SCHOOL-INFO)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT CITY (#PCDATA)>
+<!ELEMENT STATE (#PCDATA)>
+<!ELEMENT ZIP (#PCDATA)>
+<!ELEMENT COUNTY (#PCDATA)>
+<!ELEMENT AREA-NAME (#PCDATA)>
+<!ELEMENT DIRECTIONS (#PCDATA)>
+<!ELEMENT SCHOOL-INFO (ELEMENTARY-SCHOOL, MIDDLE-SCHOOL, HIGH-SCHOOL,
+                       SCHOOL-DISTRICT)>
+<!ELEMENT ELEMENTARY-SCHOOL (#PCDATA)>
+<!ELEMENT MIDDLE-SCHOOL (#PCDATA)>
+<!ELEMENT HIGH-SCHOOL (#PCDATA)>
+<!ELEMENT SCHOOL-DISTRICT (#PCDATA)>
+<!ELEMENT INTERIOR-INFO (BEDS, FULL-BATHS, HALF-BATHS, SQFT, FLOORING,
+                         HEATING, COOLING, FIREPLACES, BASEMENT,
+                         APPLIANCES)>
+<!ELEMENT BEDS (#PCDATA)>
+<!ELEMENT FULL-BATHS (#PCDATA)>
+<!ELEMENT HALF-BATHS (#PCDATA)>
+<!ELEMENT SQFT (#PCDATA)>
+<!ELEMENT FLOORING (#PCDATA)>
+<!ELEMENT HEATING (#PCDATA)>
+<!ELEMENT COOLING (#PCDATA)>
+<!ELEMENT FIREPLACES (#PCDATA)>
+<!ELEMENT BASEMENT (#PCDATA)>
+<!ELEMENT APPLIANCES (#PCDATA)>
+<!ELEMENT EXTERIOR-INFO (LOT-SIZE, YEAR-BUILT, STORIES, GARAGE, ROOF,
+                         SIDING, POOL, WATERFRONT, VIEW, FENCE)>
+<!ELEMENT LOT-SIZE (#PCDATA)>
+<!ELEMENT YEAR-BUILT (#PCDATA)>
+<!ELEMENT STORIES (#PCDATA)>
+<!ELEMENT GARAGE (#PCDATA)>
+<!ELEMENT ROOF (#PCDATA)>
+<!ELEMENT SIDING (#PCDATA)>
+<!ELEMENT POOL (#PCDATA)>
+<!ELEMENT WATERFRONT (#PCDATA)>
+<!ELEMENT VIEW (#PCDATA)>
+<!ELEMENT FENCE (#PCDATA)>
+<!ELEMENT COMMUNITY-INFO (SUBDIVISION, HOA-FEE, AMENITIES)>
+<!ELEMENT SUBDIVISION (#PCDATA)>
+<!ELEMENT HOA-FEE (#PCDATA)>
+<!ELEMENT AMENITIES (#PCDATA)>
+<!ELEMENT FINANCIAL-INFO (TAXES, TAX-YEAR, ASSESSMENT)>
+<!ELEMENT TAXES (#PCDATA)>
+<!ELEMENT TAX-YEAR (#PCDATA)>
+<!ELEMENT ASSESSMENT (#PCDATA)>
+<!ELEMENT UTILITY-INFO (WATER, SEWER, ELECTRIC)>
+<!ELEMENT WATER (#PCDATA)>
+<!ELEMENT SEWER (#PCDATA)>
+<!ELEMENT ELECTRIC (#PCDATA)>
+<!ELEMENT CONTACT-INFO (AGENT-INFO, OFFICE-INFO)>
+<!ELEMENT AGENT-INFO (AGENT-NAME, AGENT-PHONE, AGENT-EMAIL)>
+<!ELEMENT AGENT-NAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+<!ELEMENT AGENT-EMAIL (#PCDATA)>
+<!ELEMENT OFFICE-INFO (OFFICE-NAME, OFFICE-PHONE, OFFICE-ADDRESS)>
+<!ELEMENT OFFICE-NAME (#PCDATA)>
+<!ELEMENT OFFICE-PHONE (#PCDATA)>
+<!ELEMENT OFFICE-ADDRESS (#PCDATA)>
+<!ELEMENT OPEN-HOUSE-INFO (OPEN-DATE, OPEN-TIME)>
+<!ELEMENT OPEN-DATE (#PCDATA)>
+<!ELEMENT OPEN-TIME (#PCDATA)>
+"""
+
+CONSTRAINTS = """
+# Real Estate II domain constraints.
+key MLS-ID
+frequency MLS-ID at-most 1
+frequency PRICE at-most 1
+frequency ADDRESS at-most 1
+frequency CITY at-most 1
+frequency STATE at-most 1
+frequency ZIP at-most 1
+frequency COUNTY at-most 1
+frequency BEDS at-most 1
+frequency FULL-BATHS at-most 1
+frequency HALF-BATHS at-most 1
+frequency SQFT at-most 1
+frequency LOT-SIZE at-most 1
+frequency YEAR-BUILT at-most 1
+frequency AGENT-NAME at-most 1
+frequency AGENT-PHONE at-most 1
+frequency AGENT-EMAIL at-most 1
+frequency OFFICE-NAME at-most 1
+frequency OFFICE-PHONE at-most 1
+frequency OFFICE-ADDRESS at-most 1
+frequency TAXES at-most 1
+frequency TAX-YEAR at-most 1
+frequency ASSESSMENT at-most 1
+frequency DESCRIPTION at-most 2
+nesting AGENT-INFO contains AGENT-NAME
+nesting AGENT-INFO contains AGENT-PHONE
+nesting OFFICE-INFO contains OFFICE-NAME
+nesting SCHOOL-INFO contains ELEMENTARY-SCHOOL
+nesting AGENT-INFO excludes PRICE
+nesting SCHOOL-INFO excludes AGENT-PHONE
+fd CITY OFFICE-NAME -> OFFICE-ADDRESS
+contiguous FULL-BATHS HALF-BATHS
+proximity BEDS FULL-BATHS
+proximity AGENT-NAME AGENT-PHONE
+proximity OPEN-DATE OPEN-TIME
+soft-max AMENITIES 2
+"""
+
+
+def _formatters() -> dict:
+    """RE I formatters extended with the RE II-only concepts."""
+    formatters = real_estate_formatters()
+    formatters.update({
+        "MLS-ID": lambda r, s, g: f"MLS{100001 + r['_index']}",
+        "STATUS": lambda r, s, g: r["status"],
+        "LISTING-DATE": lambda r, s, g: format_date(*r["listing_date"],
+                                                    s),
+        "AREA-NAME": lambda r, s, g: r["area_name"],
+        "DIRECTIONS": lambda r, s, g: r["directions"],
+        "ELEMENTARY-SCHOOL": lambda r, s, g: r["elementary"],
+        "MIDDLE-SCHOOL": lambda r, s, g: r["middle"],
+        "HIGH-SCHOOL": lambda r, s, g: r["high"],
+        "FULL-BATHS": lambda r, s, g: str(r["full_baths"]),
+        "HALF-BATHS": lambda r, s, g: str(r["half_baths"]),
+        "FLOORING": lambda r, s, g: ", ".join(r["flooring"]),
+        "HEATING": lambda r, s, g: r["heating"],
+        "COOLING": lambda r, s, g: r["cooling"],
+        "FIREPLACES": lambda r, s, g: str(r["fireplaces"]),
+        "BASEMENT": lambda r, s, g: format_yes_no(r["basement"], s),
+        "APPLIANCES": lambda r, s, g: ", ".join(r["appliances"]),
+        "STORIES": lambda r, s, g: str(r["stories"]),
+        "GARAGE": lambda r, s, g: r["garage"],
+        "ROOF": lambda r, s, g: r["roof"],
+        "SIDING": lambda r, s, g: r["siding"],
+        "POOL": lambda r, s, g: format_yes_no(r["pool"], s),
+        "WATERFRONT": lambda r, s, g: format_yes_no(r["waterfront"], s),
+        "VIEW": lambda r, s, g: r["view"],
+        "FENCE": lambda r, s, g: format_yes_no(r["fence"], s),
+        "SUBDIVISION": lambda r, s, g: r["subdivision"],
+        "HOA-FEE": lambda r, s, g: (f"${r['hoa']}/mo" if r["hoa"]
+                                    else "none"),
+        "AMENITIES": lambda r, s, g: ", ".join(r["amenities"]),
+        "TAXES": lambda r, s, g: f"${r['taxes']:,}",
+        "TAX-YEAR": lambda r, s, g: str(r["tax_year"]),
+        "ASSESSMENT": lambda r, s, g: f"${r['assessment']:,}",
+        "WATER": lambda r, s, g: r["water"],
+        "SEWER": lambda r, s, g: r["sewer"],
+        "ELECTRIC": lambda r, s, g: r["electric"],
+        "AGENT-EMAIL": lambda r, s, g: (
+            f"{r['agent_first'].lower()}.{r['agent_last'].lower()}"
+            "@realty.example.com"),
+        "OFFICE-PHONE": lambda r, s, g: r["office_phone"],
+        "OFFICE-ADDRESS": lambda r, s, g: r["office_address"],
+        "OPEN-DATE": lambda r, s, g: format_date(*r["open_date"], s),
+        "OPEN-TIME": lambda r, s, g: format_time(r["open_time"], s),
+    })
+    return formatters
+
+
+def _leaves(pairs: list[tuple[str, str]]) -> list[Leaf]:
+    """Shorthand: build leaves from (tag, label) pairs."""
+    return [Leaf(tag, label) for tag, label in pairs]
+
+
+def _sources() -> list[SourceDef]:
+    return [
+        # Rich MLS feed: 48 tags, 13 non-leaf, mirrors the mediated tree.
+        SourceDef(
+            name="windermere.com", root_tag="property", n_listings=3002,
+            style={"phone_format": "paren",
+                   "price_format": "symbol_comma", "sqft_style": "comma"},
+            tree=[
+                Group("overview", "GENERAL-INFO", _leaves([
+                    ("mls-number", "MLS-ID"),
+                    ("date-listed", "LISTING-DATE"),
+                    ("asking-price", "PRICE"),
+                    ("remarks", "DESCRIPTION")])),
+                Group("where", "LOCATION-INFO", [
+                    *_leaves([
+                        ("street", "ADDRESS"), ("city", "CITY"),
+                        ("state", "STATE"), ("zip", "ZIP"),
+                        ("county", "COUNTY")]),
+                    Group("schools", "SCHOOL-INFO", _leaves([
+                        ("elementary", "ELEMENTARY-SCHOOL"),
+                        ("junior-high", "MIDDLE-SCHOOL"),
+                        ("senior-high", "HIGH-SCHOOL"),
+                        ("district", "SCHOOL-DISTRICT")])),
+                ]),
+                Group("inside", "INTERIOR-INFO", _leaves([
+                    ("bedrooms", "BEDS"), ("full-baths", "FULL-BATHS"),
+                    ("half-baths", "HALF-BATHS"), ("square-feet", "SQFT"),
+                    ("heat-type", "HEATING")])),
+                Group("outside", "EXTERIOR-INFO", _leaves([
+                    ("lot-size", "LOT-SIZE"), ("year-built", "YEAR-BUILT"),
+                    ("stories", "STORIES"), ("garage", "GARAGE"),
+                    ("view", "VIEW")])),
+                Group("community", "COMMUNITY-INFO", _leaves([
+                    ("subdivision", "SUBDIVISION"),
+                    ("monthly-dues", "HOA-FEE")])),
+                Group("financials", "FINANCIAL-INFO", _leaves([
+                    ("annual-taxes", "TAXES"), ("tax-year", "TAX-YEAR"),
+                    ("assessed-value", "ASSESSMENT")])),
+                Group("utilities", "UTILITY-INFO", _leaves([
+                    ("water-source", "WATER"), ("sewer-type", "SEWER")])),
+                Group("listing-agent", "CONTACT-INFO", [
+                    Group("agent", "AGENT-INFO", _leaves([
+                        ("name", "AGENT-NAME"), ("phone", "AGENT-PHONE"),
+                        ("email", "AGENT-EMAIL")])),
+                    Group("office", "OFFICE-INFO", _leaves([
+                        ("office-name", "OFFICE-NAME"),
+                        ("office-phone", "OFFICE-PHONE"),
+                        ("office-address", "OFFICE-ADDRESS")])),
+                ]),
+            ]),
+        # Broker feed with different grouping and terser names: 42 tags.
+        SourceDef(
+            name="johnlscott.com", root_tag="house", n_listings=2350,
+            style={"phone_format": "dash", "price_format": "plain",
+                   "bool_style": "yn", "name_order": "last_first",
+                   "lot_style": "unit"},
+            tree=[
+                Group("listing-info", "GENERAL-INFO", _leaves([
+                    ("listing-no", "MLS-ID"), ("list-date", "LISTING-DATE"),
+                    ("price", "PRICE"), ("description", "DESCRIPTION")])),
+                Group("location", "LOCATION-INFO", [
+                    *_leaves([
+                        ("address", "ADDRESS"), ("town", "CITY"),
+                        ("st", "STATE"), ("postal", "ZIP"),
+                        ("county-name", "COUNTY"),
+                        ("area", "AREA-NAME")]),
+                    Group("school-data", "SCHOOL-INFO", _leaves([
+                        ("elem", "ELEMENTARY-SCHOOL"),
+                        ("high", "HIGH-SCHOOL"),
+                        ("school-district", "SCHOOL-DISTRICT")])),
+                ]),
+                Group("rooms", "INTERIOR-INFO", _leaves([
+                    ("beds", "BEDS"), ("baths-full", "FULL-BATHS"),
+                    ("baths-half", "HALF-BATHS"),
+                    ("floors", "FLOORING"), ("heating", "HEATING"),
+                    ("cooling", "COOLING"), ("appliances", "APPLIANCES")])),
+                Group("structure", "EXTERIOR-INFO", _leaves([
+                    ("lot", "LOT-SIZE"), ("built", "YEAR-BUILT"),
+                    ("parking", "GARAGE"),
+                    ("roofing", "ROOF"), ("siding", "SIDING"),
+                    ("pool", "POOL"), ("fenced", "FENCE")])),
+                Group("dues-info", "COMMUNITY-INFO", _leaves([
+                    ("development", "SUBDIVISION")])),
+                Group("tax-info", "FINANCIAL-INFO", _leaves([
+                    ("taxes", "TAXES")])),
+                Group("services", "UTILITY-INFO", _leaves([
+                    ("water", "WATER"), ("sewer", "SEWER")])),
+                Group("contact", "CONTACT-INFO", [
+                    Group("realtor", "AGENT-INFO", _leaves([
+                        ("realtor-name", "AGENT-NAME"),
+                        ("cell", "AGENT-PHONE")])),
+                    Group("brokerage", "OFFICE-INFO", _leaves([
+                        ("brokerage-name", "OFFICE-NAME"),
+                        ("main-line", "OFFICE-PHONE")])),
+                ]),
+            ]),
+        # Newspaper-classified style: flatter inside groups, 36 tags.
+        SourceDef(
+            name="nwclassifieds.com", root_tag="ad", n_listings=1400,
+            style={"phone_format": "dot", "price_format": "symbol_space",
+                   "county_style": "suffixed", "state_style": "full"},
+            tree=[
+                Group("header", "GENERAL-INFO", _leaves([
+                    ("ad-number", "MLS-ID"), ("ad-status", "STATUS"),
+                    ("cost", "PRICE"), ("text", "DESCRIPTION")])),
+                Group("place", "LOCATION-INFO", _leaves([
+                    ("street-address", "ADDRESS"), ("city", "CITY"),
+                    ("state", "STATE"), ("zip-code", "ZIP"),
+                    ("county", "COUNTY"), ("district-name",
+                                           "SCHOOL-DISTRICT")])),
+                Group("home-details", "INTERIOR-INFO", _leaves([
+                    ("br", "BEDS"), ("full-ba", "FULL-BATHS"),
+                    ("half-ba", "HALF-BATHS"), ("area-sqft", "SQFT"),
+                    ("heat", "HEATING"), ("ac", "COOLING"),
+                    ("fireplace-count", "FIREPLACES")])),
+                Group("yard-details", "EXTERIOR-INFO", _leaves([
+                    ("lot-acres", "LOT-SIZE"), ("yr", "YEAR-BUILT"),
+                    ("floors", "STORIES"), ("garage-type", "GARAGE"),
+                    ("view-type", "VIEW"), ("water-front", "WATERFRONT")])),
+                Group("money", "FINANCIAL-INFO", _leaves([
+                    ("property-tax", "TAXES"),
+                    ("valuation", "ASSESSMENT")])),
+                Group("seller", "CONTACT-INFO", [
+                    Group("agent-details", "AGENT-INFO", _leaves([
+                        ("contact-name", "AGENT-NAME"),
+                        ("contact-phone", "AGENT-PHONE")])),
+                    Group("office-details", "OFFICE-INFO", _leaves([
+                        ("company", "OFFICE-NAME"),
+                        ("company-phone", "OFFICE-PHONE"),
+                        ("company-address", "OFFICE-ADDRESS")])),
+                ]),
+                Group("showing", "OPEN-HOUSE-INFO", _leaves([
+                    ("open-date", "OPEN-DATE"),
+                    ("open-hour", "OPEN-TIME")])),
+            ]),
+        # County assessor-flavoured feed: 38 tags, data-heavy names.
+        SourceDef(
+            name="assessor-feed.gov", root_tag="parcel", n_listings=1900,
+            style={"phone_format": "plain", "price_format": "plain",
+                   "bool_style": "true_false", "date_style": "iso",
+                   "time_style": "military"},
+            tree=[
+                Group("record", "GENERAL-INFO", _leaves([
+                    ("record-id", "MLS-ID"), ("record-date",
+                                              "LISTING-DATE"),
+                    ("sale-price", "PRICE"), ("notes", "DESCRIPTION")])),
+                Group("situs", "LOCATION-INFO", [
+                    *_leaves([
+                        ("situs-address", "ADDRESS"),
+                        ("situs-city", "CITY"), ("situs-state", "STATE"),
+                        ("situs-zip", "ZIP"), ("county-id", "COUNTY"),
+                        ("plat-name", "AREA-NAME")]),
+                    Group("school-zones", "SCHOOL-INFO", _leaves([
+                        ("elementary-zone", "ELEMENTARY-SCHOOL"),
+                        ("middle-zone", "MIDDLE-SCHOOL"),
+                        ("high-zone", "HIGH-SCHOOL"),
+                        ("district", "SCHOOL-DISTRICT")])),
+                ]),
+                Group("improvements", "INTERIOR-INFO", _leaves([
+                    ("bedroom-count", "BEDS"),
+                    ("bath-full-count", "FULL-BATHS"),
+                    ("bath-half-count", "HALF-BATHS"),
+                    ("finished-sqft", "SQFT"),
+                    ("heat-system", "HEATING"),
+                    ("basement-flag", "BASEMENT")])),
+                Group("land", "EXTERIOR-INFO", _leaves([
+                    ("acreage", "LOT-SIZE"), ("year-built", "YEAR-BUILT"),
+                    ("story-count", "STORIES"), ("garage-desc", "GARAGE"),
+                    ("roof-material", "ROOF"),
+                    ("siding-material", "SIDING")])),
+                Group("assessment-data", "FINANCIAL-INFO", _leaves([
+                    ("levy-amount", "TAXES"), ("levy-year", "TAX-YEAR"),
+                    ("assessed-value", "ASSESSMENT")])),
+                Group("utility-services", "UTILITY-INFO", _leaves([
+                    ("water-service", "WATER"),
+                    ("sewer-service", "SEWER"),
+                    ("electric-service", "ELECTRIC")])),
+                Group("listing-contact", "CONTACT-INFO", [
+                    Group("agent-of-record", "AGENT-INFO", _leaves([
+                        ("agent", "AGENT-NAME"),
+                        ("agent-telephone", "AGENT-PHONE")])),
+                    Group("firm-of-record", "OFFICE-INFO", _leaves([
+                        ("firm", "OFFICE-NAME"),
+                        ("firm-address", "OFFICE-ADDRESS")])),
+                ]),
+            ]),
+        # Boutique agency site: 33 tags, chatty names.
+        SourceDef(
+            name="dreamhomes.com", root_tag="dream-home",
+            n_listings=502,
+            style={"phone_format": "paren",
+                   "price_format": "symbol_comma",
+                   "street_style": "verbose", "sqft_style": "unit"},
+            tree=[
+                Group("the-basics", "GENERAL-INFO", _leaves([
+                    ("reference", "MLS-ID"), ("offered-at", "PRICE"),
+                    ("about-this-home", "DESCRIPTION")])),
+                Group("the-neighborhood", "LOCATION-INFO", _leaves([
+                    ("address", "ADDRESS"), ("city", "CITY"),
+                    ("state", "STATE"), ("zip", "ZIP"),
+                    ("neighborhood", "AREA-NAME"),
+                    ("how-to-find-us", "DIRECTIONS")])),
+                Group("the-interior", "INTERIOR-INFO", _leaves([
+                    ("bedrooms", "BEDS"), ("bathrooms", "FULL-BATHS"),
+                    ("powder-rooms", "HALF-BATHS"),
+                    ("living-space", "SQFT"),
+                    ("cozy-fireplaces", "FIREPLACES"),
+                    ("kitchen-appliances", "APPLIANCES")])),
+                Group("the-exterior", "EXTERIOR-INFO", _leaves([
+                    ("grounds", "LOT-SIZE"), ("vintage", "YEAR-BUILT"),
+                    ("swimming-pool", "POOL"),
+                    ("the-view", "VIEW"), ("private-fence", "FENCE")])),
+                Group("the-community", "COMMUNITY-INFO", _leaves([
+                    ("estate-name", "SUBDIVISION"),
+                    ("association-fee", "HOA-FEE"),
+                    ("perks", "AMENITIES")])),
+                Group("your-agent", "CONTACT-INFO", [
+                    Group("agent-card", "AGENT-INFO", _leaves([
+                        ("agent-name", "AGENT-NAME"),
+                        ("direct-line", "AGENT-PHONE"),
+                        ("agent-email", "AGENT-EMAIL")])),
+                    Group("office-card", "OFFICE-INFO", _leaves([
+                        ("agency", "OFFICE-NAME"),
+                        ("agency-phone", "OFFICE-PHONE")])),
+                ]),
+                Group("visit-us", "OPEN-HOUSE-INFO", _leaves([
+                    ("visit-date", "OPEN-DATE"),
+                    ("visit-time", "OPEN-TIME")])),
+            ]),
+    ]
+
+
+def domain_synonyms() -> SynonymDictionary:
+    synonyms = _re1_synonyms()
+    synonyms.add_group(("mls", "reference", "record", "ad", "listing"))
+    synonyms.add_group(("taxes", "levy", "tax"))
+    synonyms.add_group(("assessment", "valuation", "assessed"))
+    synonyms.add_group(("subdivision", "development", "estate", "plat"))
+    synonyms.add_group(("neighborhood", "area"))
+    return synonyms
+
+
+def build(seed: int = 0) -> Domain:
+    """Construct the Real Estate II domain."""
+    return Domain(
+        name="real_estate_2",
+        title="Real Estate II",
+        mediated_schema=MEDIATED_DTD,
+        source_defs=_sources(),
+        make_record=make_real_estate_record,
+        formatters=_formatters(),
+        constraints=parse_constraints(CONSTRAINTS),
+        synonyms=domain_synonyms(),
+        recognizers=recognizers,
+        seed=seed,
+    )

@@ -1,0 +1,35 @@
+"""Domain registry: name -> builder for the four evaluation domains."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import faculty, real_estate, real_estate2, time_schedule
+from .base import Domain
+
+_BUILDERS: dict[str, Callable[[int], Domain]] = {
+    "real_estate_1": real_estate.build,
+    "time_schedule": time_schedule.build,
+    "faculty": faculty.build,
+    "real_estate_2": real_estate2.build,
+}
+
+#: Presentation order used by the paper's figures.
+DOMAIN_NAMES: tuple[str, ...] = (
+    "real_estate_1", "time_schedule", "faculty", "real_estate_2")
+
+
+def load_domain(name: str, seed: int = 0) -> Domain:
+    """Build one of the four evaluation domains by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(DOMAIN_NAMES)
+        raise KeyError(f"unknown domain {name!r}; known: {known}") \
+            from None
+    return builder(seed)
+
+
+def load_all_domains(seed: int = 0) -> list[Domain]:
+    """All four domains in the paper's presentation order."""
+    return [load_domain(name, seed) for name in DOMAIN_NAMES]

@@ -1,0 +1,324 @@
+"""The Time Schedule domain (Table 3, row 2): course offerings across
+universities. Mediated schema: 23 tags, 6 non-leaf, depth 4; five sources
+with 704-3925 listings and 15-19 tags, 95-100% matchable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..constraints import parse_constraints
+from ..learners import RegexRecognizer
+from ..text import SynonymDictionary, default_synonyms
+from . import vocab
+from .base import Domain, Group, Leaf, Record, SourceDef
+from .values import (email_for, format_person, format_time, pick)
+
+MEDIATED_DTD = """
+<!ELEMENT COURSE-OFFERING (SLN, SEMESTER, COURSE-INFO, SECTION-INFO,
+                           INSTRUCTOR-INFO, NOTES)>
+<!ELEMENT SLN (#PCDATA)>
+<!ELEMENT SEMESTER (#PCDATA)>
+<!ELEMENT COURSE-INFO (COURSE-CODE, COURSE-TITLE, CREDITS, DEPARTMENT)>
+<!ELEMENT COURSE-CODE (#PCDATA)>
+<!ELEMENT COURSE-TITLE (#PCDATA)>
+<!ELEMENT CREDITS (#PCDATA)>
+<!ELEMENT DEPARTMENT (#PCDATA)>
+<!ELEMENT SECTION-INFO (SECTION-NUMBER, ENROLLMENT, LIMIT, SCHEDULE,
+                        ROOM-INFO)>
+<!ELEMENT SECTION-NUMBER (#PCDATA)>
+<!ELEMENT ENROLLMENT (#PCDATA)>
+<!ELEMENT LIMIT (#PCDATA)>
+<!ELEMENT SCHEDULE (DAYS, START-TIME, END-TIME)>
+<!ELEMENT DAYS (#PCDATA)>
+<!ELEMENT START-TIME (#PCDATA)>
+<!ELEMENT END-TIME (#PCDATA)>
+<!ELEMENT ROOM-INFO (BUILDING, ROOM-NUMBER)>
+<!ELEMENT BUILDING (#PCDATA)>
+<!ELEMENT ROOM-NUMBER (#PCDATA)>
+<!ELEMENT INSTRUCTOR-INFO (INSTRUCTOR-NAME, INSTRUCTOR-EMAIL)>
+<!ELEMENT INSTRUCTOR-NAME (#PCDATA)>
+<!ELEMENT INSTRUCTOR-EMAIL (#PCDATA)>
+<!ELEMENT NOTES (#PCDATA)>
+"""
+
+CONSTRAINTS = """
+# Time Schedule domain constraints.
+key SLN
+frequency SLN at-most 1
+frequency SEMESTER at-most 1
+frequency COURSE-CODE at-most 1
+frequency COURSE-TITLE at-most 1
+frequency CREDITS at-most 1
+frequency DEPARTMENT at-most 1
+frequency SECTION-NUMBER at-most 1
+frequency ENROLLMENT at-most 1
+frequency LIMIT at-most 1
+frequency DAYS at-most 1
+frequency START-TIME at-most 1
+frequency END-TIME at-most 1
+frequency BUILDING at-most 1
+frequency ROOM-NUMBER at-most 1
+frequency INSTRUCTOR-NAME at-most 1
+frequency INSTRUCTOR-EMAIL at-most 1
+nesting SCHEDULE contains DAYS
+nesting SCHEDULE contains START-TIME
+nesting ROOM-INFO contains BUILDING
+nesting COURSE-INFO contains COURSE-CODE
+nesting SCHEDULE excludes INSTRUCTOR-NAME
+contiguous START-TIME END-TIME
+proximity BUILDING ROOM-NUMBER
+proximity START-TIME END-TIME
+"""
+
+
+def make_schedule_record(rng: random.Random) -> Record:
+    """One coherent course-offering record."""
+    dept_code, dept_name = pick(rng, vocab.DEPARTMENTS)
+    number = rng.randint(100, 599)
+    start = rng.randint(16, 34) * 30  # 8:00am .. 5:00pm
+    duration = pick(rng, (50, 80, 110))
+    limit = pick(rng, (20, 25, 30, 40, 60, 90, 120, 200))
+    first = pick(rng, vocab.FIRST_NAMES)
+    last = pick(rng, vocab.LAST_NAMES)
+    return {
+        "dept_code": dept_code,
+        "dept_name": dept_name,
+        "course_number": number,
+        "title": pick(rng, vocab.COURSE_TOPICS),
+        "credits": rng.randint(1, 5),
+        "section": pick(rng, ("A", "B", "C", "01", "02", "1", "2")),
+        "enrollment": rng.randint(0, limit),
+        "limit": limit,
+        "days": pick(rng, vocab.DAY_PATTERNS),
+        "start": start,
+        "end": start + duration,
+        "building": pick(rng, vocab.BUILDINGS),
+        "room": rng.randint(100, 499),
+        "instructor_first": first,
+        "instructor_last": last,
+        "instructor_email": email_for(first, last, "u.example.edu", rng),
+        "semester": pick(rng, vocab.SEMESTERS),
+        "notes": _make_notes(rng, first, last),
+    }
+
+
+def _make_notes(rng: random.Random, first: str, last: str) -> str:
+    """Course notes that name-drop the instructor and a building —
+    vocabulary overlap that makes flat content learners confuse NOTES
+    with INSTRUCTOR-NAME and BUILDING."""
+    note = pick(rng, vocab.COURSE_NOTES)
+    if rng.random() < 0.5:
+        note += f" See {first} {last} for an add code."
+    if rng.random() < 0.3:
+        note += f" Meets in {pick(rng, vocab.BUILDINGS)}."
+    return note
+
+
+def schedule_formatters() -> dict:
+    return {
+        "SLN": lambda r, s, g: str(10001 + r["_index"]),
+        "SEMESTER": lambda r, s, g: r["semester"],
+        "COURSE-CODE": lambda r, s, g: (
+            f"{r['dept_code']} {r['course_number']}"
+            if s.get("code_style") == "spaced"
+            else f"{r['dept_code']}{r['course_number']}"),
+        "COURSE-TITLE": lambda r, s, g: r["title"],
+        "CREDITS": lambda r, s, g: (f"{r['credits']} cr"
+                                    if s.get("credit_style") == "unit"
+                                    else str(r["credits"])),
+        "DEPARTMENT": lambda r, s, g: (r["dept_code"]
+                                       if s.get("dept_style") == "code"
+                                       else r["dept_name"]),
+        "SECTION-NUMBER": lambda r, s, g: r["section"],
+        "ENROLLMENT": lambda r, s, g: str(r["enrollment"]),
+        "LIMIT": lambda r, s, g: str(r["limit"]),
+        "DAYS": lambda r, s, g: r["days"],
+        "START-TIME": lambda r, s, g: format_time(r["start"], s),
+        "END-TIME": lambda r, s, g: format_time(r["end"], s),
+        "BUILDING": lambda r, s, g: r["building"],
+        "ROOM-NUMBER": lambda r, s, g: str(r["room"]),
+        "INSTRUCTOR-NAME": lambda r, s, g: format_person(
+            r["instructor_first"], r["instructor_last"], s),
+        "INSTRUCTOR-EMAIL": lambda r, s, g: r["instructor_email"],
+        "NOTES": lambda r, s, g: r["notes"],
+        "catalog_url": lambda r, s, g: (
+            f"http://catalog.example.edu/{r['dept_code'].lower()}"
+            f"{r['course_number']}.html"),
+        "fee": lambda r, s, g: f"${g.randint(0, 12) * 5}",
+    }
+
+
+def _sources() -> list[SourceDef]:
+    return [
+        # Structured like the mediated schema (a university time schedule).
+        SourceDef(
+            name="uw.edu", root_tag="offering", n_listings=3925,
+            style={"code_style": "spaced", "dept_style": "name"},
+            tree=[
+                Leaf("sln", "SLN"),
+                Group("course", "COURSE-INFO", [
+                    Leaf("course-code", "COURSE-CODE"),
+                    Leaf("course-title", "COURSE-TITLE"),
+                    Leaf("credits", "CREDITS"),
+                    Leaf("department", "DEPARTMENT"),
+                ]),
+                Group("section", "SECTION-INFO", [
+                    Leaf("section-id", "SECTION-NUMBER"),
+                    Leaf("enrolled", "ENROLLMENT"),
+                    Group("meeting-time", "SCHEDULE", [
+                        Leaf("days", "DAYS"),
+                        Leaf("begins", "START-TIME"),
+                        Leaf("ends", "END-TIME"),
+                    ]),
+                    Group("place", "ROOM-INFO", [
+                        Leaf("bldg", "BUILDING"),
+                        Leaf("room", "ROOM-NUMBER"),
+                    ]),
+                ]),
+                Group("instructor", "INSTRUCTOR-INFO", [
+                    Leaf("name", "INSTRUCTOR-NAME"),
+                ]),
+            ]),
+        # Flatter catalogue with military times.
+        SourceDef(
+            name="reed.edu", root_tag="class", n_listings=704,
+            style={"time_style": "military", "dept_style": "code",
+                   "name_order": "last_first"},
+            tree=[
+                Leaf("class-id", "SLN"),
+                Leaf("term", "SEMESTER"),
+                Leaf("course-num", "COURSE-CODE"),
+                Leaf("title", "COURSE-TITLE"),
+                Leaf("units", "CREDITS"),
+                Leaf("dept", "DEPARTMENT"),
+                Leaf("sect", "SECTION-NUMBER"),
+                Group("when", "SCHEDULE", [
+                    Leaf("meets", "DAYS"),
+                    Leaf("from", "START-TIME"),
+                    Leaf("to", "END-TIME"),
+                ]),
+                Group("where", "ROOM-INFO", [
+                    Leaf("hall", "BUILDING"),
+                    Leaf("room-no", "ROOM-NUMBER"),
+                ]),
+                Leaf("taught-by", "INSTRUCTOR-NAME"),
+                Leaf("contact-email", "INSTRUCTOR-EMAIL"),
+                Leaf("notes", "NOTES", optional=0.4),
+            ]),
+        # Enrollment-centric registrar dump.
+        SourceDef(
+            name="wsu.edu", root_tag="course-listing", n_listings=2880,
+            style={"credit_style": "unit", "code_style": "spaced"},
+            tree=[
+                Leaf("line-number", "SLN"),
+                Leaf("code", "COURSE-CODE"),
+                Leaf("name", "COURSE-TITLE"),
+                Leaf("credit-hours", "CREDITS"),
+                Leaf("offering-dept", "DEPARTMENT"),
+                Group("enrollment-info", "SECTION-INFO", [
+                    Leaf("section", "SECTION-NUMBER"),
+                    Leaf("current-enrollment", "ENROLLMENT"),
+                    Leaf("enrollment-limit", "LIMIT"),
+                    Group("time-info", "SCHEDULE", [
+                        Leaf("day-pattern", "DAYS"),
+                        Leaf("start", "START-TIME"),
+                        Leaf("end", "END-TIME"),
+                    ]),
+                    Group("location", "ROOM-INFO", [
+                        Leaf("building", "BUILDING"),
+                        Leaf("room-number", "ROOM-NUMBER"),
+                    ]),
+                ]),
+                Leaf("professor", "INSTRUCTOR-NAME"),
+                Leaf("e-mail", "INSTRUCTOR-EMAIL"),
+            ]),
+        # Terse department listing without enrollment data.
+        SourceDef(
+            name="gatech.edu", root_tag="entry", n_listings=1100,
+            style={"dept_style": "code", "time_style": "military"},
+            tree=[
+                Leaf("crn", "SLN"),
+                Leaf("term", "SEMESTER"),
+                Leaf("course", "COURSE-CODE"),
+                Leaf("course-name", "COURSE-TITLE"),
+                Leaf("hours", "CREDITS"),
+                Leaf("school", "DEPARTMENT"),
+                Leaf("sec", "SECTION-NUMBER"),
+                Leaf("cap", "LIMIT"),
+                Group("schedule", "SCHEDULE", [
+                    Leaf("days", "DAYS"),
+                    Leaf("start-time", "START-TIME"),
+                    Leaf("end-time", "END-TIME"),
+                ]),
+                Leaf("building", "BUILDING"),
+                Leaf("room", "ROOM-NUMBER"),
+                Leaf("instructor", "INSTRUCTOR-NAME"),
+                Leaf("lab-fee", None, concept="fee", optional=0.6),
+            ]),
+        # Course bulletin with verbose tag names.
+        SourceDef(
+            name="conncoll.edu", root_tag="course-offering",
+            n_listings=950,
+            style={"code_style": "spaced", "dept_style": "name",
+                   "credit_style": "unit"},
+            tree=[
+                Leaf("registration-number", "SLN"),
+                Leaf("academic-term", "SEMESTER"),
+                Group("course-description", "COURSE-INFO", [
+                    Leaf("course-number", "COURSE-CODE"),
+                    Leaf("course-title", "COURSE-TITLE"),
+                    Leaf("credit-hours", "CREDITS"),
+                    Leaf("department-name", "DEPARTMENT"),
+                ]),
+                Group("meeting-details", "SCHEDULE", [
+                    Leaf("meeting-days", "DAYS"),
+                    Leaf("begin-time", "START-TIME"),
+                    Leaf("finish-time", "END-TIME"),
+                ]),
+                Group("classroom", "ROOM-INFO", [
+                    Leaf("building-name", "BUILDING"),
+                    Leaf("room-num", "ROOM-NUMBER"),
+                ]),
+                Leaf("section-letter", "SECTION-NUMBER"),
+                Leaf("seats-taken", "ENROLLMENT"),
+                Leaf("faculty-name", "INSTRUCTOR-NAME"),
+                Leaf("comments", "NOTES", optional=0.3),
+            ]),
+    ]
+
+
+def domain_synonyms() -> SynonymDictionary:
+    synonyms = default_synonyms()
+    synonyms.add_group(("sln", "crn", "line", "registration"))
+    synonyms.add_group(("quarter", "term", "semester"))
+    synonyms.add_group(("enrolled", "enrollment", "seats"))
+    synonyms.add_group(("capacity", "limit", "cap"))
+    synonyms.add_group(("days", "meets", "meeting"))
+    synonyms.add_group(("begin", "begins", "start", "from"))
+    synonyms.add_group(("end", "ends", "finish", "to"))
+    return synonyms
+
+
+def recognizers() -> list:
+    """A course-code format recognizer (the §7 suggestion)."""
+    return [
+        RegexRecognizer("COURSE-CODE", r"[A-Z]{2,5} ?\d{3}",
+                        name="course_code_recognizer"),
+    ]
+
+
+def build(seed: int = 0) -> Domain:
+    """Construct the Time Schedule domain."""
+    return Domain(
+        name="time_schedule",
+        title="Time Schedule",
+        mediated_schema=MEDIATED_DTD,
+        source_defs=_sources(),
+        make_record=make_schedule_record,
+        formatters=schedule_formatters(),
+        constraints=parse_constraints(CONSTRAINTS),
+        synonyms=domain_synonyms(),
+        recognizers=recognizers,
+        seed=seed,
+    )

@@ -1,0 +1,158 @@
+"""Shared value-formatting helpers for the synthetic domains.
+
+A *record* holds raw semantic values (integers, name tuples, digit
+strings); formatters render them as strings with per-source quirks picked
+via the source's ``style`` dict. Two sources can therefore present the
+same underlying fact as ``"(206) 523 4719"`` vs ``"206-523-4719"`` or
+``"$ 250,000"`` vs ``"250000"`` — exactly the heterogeneity the paper's
+learners must see through.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from . import vocab
+
+
+def pick(rng: random.Random, items: Sequence):
+    """Uniform choice (tiny wrapper to keep call sites short)."""
+    return items[rng.randrange(len(items))]
+
+
+def sample(rng: random.Random, items: Sequence, count: int) -> list:
+    """Sample without replacement (clamped to the population size)."""
+    return rng.sample(list(items), min(count, len(items)))
+
+
+def phone_digits(rng: random.Random) -> tuple[int, int, int]:
+    """Raw (area, exchange, number) phone components."""
+    return (rng.randint(200, 989), rng.randint(200, 989),
+            rng.randint(1000, 9999))
+
+
+def format_phone(parts: tuple[int, int, int], style: dict) -> str:
+    """Render phone digits per the source's ``phone_format`` style."""
+    area, exchange, number = parts
+    variant = style.get("phone_format", "paren")
+    if variant == "paren":
+        return f"({area}) {exchange} {number}"
+    if variant == "dash":
+        return f"{area}-{exchange}-{number}"
+    if variant == "dot":
+        return f"{area}.{exchange}.{number}"
+    return f"{area} {exchange} {number}"
+
+
+def format_price(amount: int, style: dict) -> str:
+    """Render a dollar amount per the source's ``price_format`` style."""
+    variant = style.get("price_format", "symbol_comma")
+    if variant == "symbol_comma":
+        return f"${amount:,}"
+    if variant == "symbol_space":
+        return f"$ {amount:,}"
+    if variant == "plain":
+        return str(amount)
+    if variant == "thousands":
+        return f"{amount // 1000}K"
+    return f"{amount:,}"
+
+
+def format_person(first: str, last: str, style: dict) -> str:
+    """Render a person name per the source's ``name_order`` style."""
+    if style.get("name_order") == "last_first":
+        return f"{last}, {first}"
+    return f"{first} {last}"
+
+
+def format_state(abbrev: str, style: dict) -> str:
+    """Render a state per the source's ``state_style`` style."""
+    if style.get("state_style") == "full":
+        return vocab.STATE_NAMES.get(abbrev, abbrev)
+    return abbrev
+
+
+def format_yes_no(value: bool, style: dict) -> str:
+    """Render a boolean per the source's ``bool_style`` style."""
+    variant = style.get("bool_style", "yes_no")
+    if variant == "yn":
+        return "Y" if value else "N"
+    if variant == "true_false":
+        return "true" if value else "false"
+    return "yes" if value else "no"
+
+
+def format_time(minutes: int, style: dict) -> str:
+    """Render a time-of-day (minutes after midnight)."""
+    hour, minute = divmod(minutes, 60)
+    if style.get("time_style") == "military":
+        return f"{hour:02d}{minute:02d}"
+    suffix = "am" if hour < 12 else "pm"
+    display_hour = hour % 12 or 12
+    return f"{display_hour}:{minute:02d} {suffix}"
+
+
+def format_date(month: int, day: int, year: int, style: dict) -> str:
+    """Render a date per the source's ``date_style`` style."""
+    variant = style.get("date_style", "slash")
+    if variant == "iso":
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    if variant == "text":
+        months = ("Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug",
+                  "Sep", "Oct", "Nov", "Dec")
+        return f"{months[month - 1]} {day}, {year}"
+    return f"{month}/{day}/{year}"
+
+
+def make_description(rng: random.Random, sentences: int = 2) -> str:
+    """A house description from the phrase banks (word-frequency signal
+    for the Naive Bayes learner, per the paper's 'fantastic'/'great'
+    example)."""
+    parts = []
+    for __ in range(max(1, sentences)):
+        opener = pick(rng, vocab.DESCRIPTION_OPENERS)
+        subject = pick(rng, vocab.DESCRIPTION_SUBJECTS)
+        feature = pick(rng, vocab.DESCRIPTION_FEATURES)
+        parts.append(f"{opener} {subject} {feature}.")
+    parts.append(pick(rng, vocab.DESCRIPTION_CLOSERS))
+    return " ".join(parts)
+
+
+def street_address(rng: random.Random) -> tuple[int, str, str]:
+    """Raw (number, street, type) address components."""
+    return (rng.randint(100, 19999), pick(rng, vocab.STREET_NAMES),
+            pick(rng, vocab.STREET_TYPES))
+
+
+def format_street(parts: tuple[int, str, str], style: dict) -> str:
+    number, street, street_type = parts
+    if style.get("street_style") == "verbose":
+        expansions = {"St": "Street", "Ave": "Avenue", "Blvd": "Boulevard",
+                      "Dr": "Drive", "Ln": "Lane", "Rd": "Road",
+                      "Ct": "Court", "Pl": "Place"}
+        street_type = expansions.get(street_type, street_type)
+    return f"{number} {street} {street_type}"
+
+
+def firm_directory() -> dict[str, tuple[str, str]]:
+    """Deterministic (address, phone) per firm, so CITY & FIRM-NAME
+    functionally determine FIRM-ADDRESS in every generated source."""
+    directory: dict[str, tuple[str, str]] = {}
+    for firm in vocab.FIRM_NAMES:
+        rng = random.Random(f"firm:{firm}")
+        address = format_street(street_address(rng), {})
+        phone = format_phone(phone_digits(rng), {})
+        directory[firm] = (address, phone)
+    return directory
+
+
+FIRM_DIRECTORY = firm_directory()
+
+
+def email_for(first: str, last: str, domain: str,
+              rng: random.Random) -> str:
+    """A plausible email address for a person."""
+    forms = (f"{first.lower()}.{last.lower()}", f"{first[0].lower()}"
+             f"{last.lower()}", f"{last.lower()}{rng.randint(1, 99)}")
+    return f"{pick(rng, forms)}@{domain}"

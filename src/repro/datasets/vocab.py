@@ -1,0 +1,284 @@
+"""Vocabulary banks used by the synthetic-source generators.
+
+These stand in for the web-sourced data the paper downloaded (DESIGN.md
+§3): city/county gazetteers, personal names, street names, description
+phrase banks, university course catalogues, and research areas. The
+*content matchers* learn from these distributions, so each bank is large
+enough that train/test sources share vocabulary without sharing listings.
+"""
+
+from __future__ import annotations
+
+CITIES: tuple[tuple[str, str], ...] = (
+    ("Seattle", "WA"), ("Portland", "OR"), ("Miami", "FL"),
+    ("Boston", "MA"), ("Austin", "TX"), ("Denver", "CO"),
+    ("Kent", "WA"), ("Orlando", "FL"), ("Phoenix", "AZ"),
+    ("Atlanta", "GA"), ("Chicago", "IL"), ("Houston", "TX"),
+    ("Madison", "WI"), ("Raleigh", "NC"), ("Tucson", "AZ"),
+    ("Spokane", "WA"), ("Eugene", "OR"), ("Tampa", "FL"),
+    ("Salem", "OR"), ("Bellevue", "WA"), ("Tacoma", "WA"),
+    ("Everett", "WA"), ("Renton", "WA"), ("Boulder", "CO"),
+    ("Plano", "TX"), ("Naples", "FL"), ("Savannah", "GA"),
+    ("Ithaca", "NY"), ("Albany", "NY"), ("Trenton", "NJ"),
+    ("Dayton", "OH"), ("Columbus", "OH"), ("Omaha", "NE"),
+    ("Wichita", "KS"), ("Reno", "NV"), ("Provo", "UT"),
+    ("Fresno", "CA"), ("Oakland", "CA"), ("Pasadena", "CA"),
+    ("Berkeley", "CA"),
+)
+
+STATE_NAMES: dict[str, str] = {
+    "WA": "Washington", "OR": "Oregon", "FL": "Florida",
+    "MA": "Massachusetts", "TX": "Texas", "CO": "Colorado",
+    "AZ": "Arizona", "GA": "Georgia", "IL": "Illinois",
+    "WI": "Wisconsin", "NC": "North Carolina", "NY": "New York",
+    "NJ": "New Jersey", "OH": "Ohio", "NE": "Nebraska", "KS": "Kansas",
+    "NV": "Nevada", "UT": "Utah", "CA": "California",
+}
+
+COUNTIES: tuple[str, ...] = (
+    "King", "Pierce", "Snohomish", "Multnomah", "Washington", "Clackamas",
+    "Miami-Dade", "Broward", "Orange", "Suffolk", "Middlesex", "Travis",
+    "Denver", "Boulder", "Maricopa", "Pima", "Fulton", "Cook", "Harris",
+    "Dane", "Wake", "Spokane", "Lane", "Hillsborough", "Marion",
+    "Collier", "Chatham", "Tompkins", "Albany", "Mercer", "Montgomery",
+    "Franklin", "Douglas", "Sedgwick", "Washoe", "Utah", "Fresno",
+    "Alameda", "Los Angeles",
+)
+
+STREET_NAMES: tuple[str, ...] = (
+    "Pine", "Oak", "Maple", "Cedar", "Elm", "Birch", "Walnut", "Cherry",
+    "Spruce", "Willow", "Juniper", "Magnolia", "Chestnut", "Sycamore",
+    "Laurel", "Alder", "Hawthorn", "Hickory", "Poplar", "Aspen",
+    "Main", "Park", "Lake", "Hill", "River", "Sunset", "Highland",
+    "Meadow", "Forest", "Garden", "Spring", "Valley", "Ridge", "Canyon",
+)
+
+STREET_TYPES: tuple[str, ...] = (
+    "St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Ct", "Way", "Pl", "Terrace",
+)
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Kate", "Mike", "Jane", "Matt", "Gail", "Joe", "Ann", "Sam",
+    "Laura", "Peter", "Susan", "David", "Karen", "James", "Linda",
+    "Robert", "Nancy", "Paul", "Carol", "Mark", "Lisa", "Brian",
+    "Emily", "Kevin", "Sarah", "Eric", "Julia", "Alan", "Diane",
+    "Greg", "Helen", "Tom", "Rachel", "Steve", "Monica", "Frank",
+    "Alice", "Dan", "Grace", "Carl",
+    # Names that are also surnames: real rosters contain them, and they
+    # keep a pure content matcher from separating FIRST-NAME from
+    # LAST-NAME by vocabulary alone.
+    "Scott", "Carter", "Taylor", "Murphy", "Jordan", "Lee",
+    "Grant", "Logan", "Parker", "Blake", "Reed", "Wade", "Glenn",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Richardson", "Smith", "Kendall", "Murphy", "Brown", "Lee", "Fox",
+    "Johnson", "Williams", "Jones", "Garcia", "Miller", "Davis",
+    "Martinez", "Lopez", "Wilson", "Anderson", "Taylor", "Thomas",
+    "Moore", "Jackson", "Martin", "Thompson", "White", "Harris",
+    "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+    "Scott", "Green", "Baker", "Adams", "Nelson", "Carter", "Mitchell",
+    "Turner",
+    # Surnames that also serve as given names (see FIRST_NAMES).
+    "James", "Thomas", "Frank", "Grant", "Logan", "Parker", "Blake",
+    "Reed", "Wade", "Glenn",
+)
+
+FIRM_NAMES: tuple[str, ...] = (
+    "MAX Realtors", "ACME Homes", "Evergreen Realty", "Sunrise Properties",
+    "Cascade Brokers", "Pacific Crest Realty", "Landmark Estates",
+    "Golden Key Realty", "Summit Homes", "Harborview Properties",
+    "Bluebird Realty", "Cornerstone Brokers", "Lakeside Realty",
+    "Pioneer Property Group", "Redwood Realty",
+)
+
+DESCRIPTION_OPENERS: tuple[str, ...] = (
+    "Fantastic", "Great", "Beautiful", "Charming", "Spacious",
+    "Stunning", "Lovely", "Wonderful", "Immaculate", "Delightful",
+    "Gorgeous", "Inviting", "Sunny", "Elegant", "Cozy",
+)
+
+DESCRIPTION_SUBJECTS: tuple[str, ...] = (
+    "house", "home", "rambler", "bungalow", "colonial", "craftsman",
+    "Victorian", "townhome", "cottage", "split-level", "property",
+    "residence",
+)
+
+DESCRIPTION_FEATURES: tuple[str, ...] = (
+    "with a great location", "close to the river", "with a beautiful view",
+    "near fantastic schools", "with a great yard", "close to downtown",
+    "with a spacious kitchen", "near the beach", "with hardwood floors",
+    "close to the highway", "with a large deck", "on a quiet street",
+    "with vaulted ceilings", "near great shopping", "with mature trees",
+    "with a fenced backyard", "close to parks", "with mountain views",
+    "with a new roof", "in a friendly neighborhood",
+)
+
+DESCRIPTION_CLOSERS: tuple[str, ...] = (
+    "A must see!", "Won't last long!", "Name your price!",
+    "Priced to sell.", "Move-in ready.", "Call today!",
+    "Pride of ownership.", "A rare find.", "Shows beautifully.",
+    "Bring your offers!",
+)
+
+SCHOOL_DISTRICTS: tuple[str, ...] = (
+    "Lakeview School District", "Riverside Unified", "North Hill District",
+    "Cedar Valley Schools", "Sunset Public Schools",
+    "Evergreen District 12", "Harbor City Schools",
+    "Maple Grove District", "Eastside Union", "Franklin County Schools",
+)
+
+SCHOOL_NAMES: tuple[str, ...] = (
+    "Lincoln", "Jefferson", "Roosevelt", "Washington", "Franklin",
+    "Whitman", "Garfield", "Madison", "Monroe", "Adams", "Kennedy",
+    "Wilson",
+)
+
+SUBDIVISIONS: tuple[str, ...] = (
+    "Willow Creek", "Eagle Ridge", "Stonebridge", "Foxfield",
+    "Harbor Pointe", "Autumn Glen", "Cedar Hollow", "Brookside",
+    "Silver Lake Estates", "Quail Run", "Copper Canyon", "The Meadows",
+)
+
+AMENITIES: tuple[str, ...] = (
+    "community pool", "tennis courts", "clubhouse", "walking trails",
+    "playground", "golf course", "fitness center", "boat launch",
+    "gated entry", "picnic area",
+)
+
+FLOORING: tuple[str, ...] = (
+    "hardwood", "carpet", "tile", "laminate", "vinyl", "bamboo",
+    "slate", "wall-to-wall carpet", "oak hardwood",
+)
+
+HEATING: tuple[str, ...] = (
+    "forced air", "gas furnace", "heat pump", "electric baseboard",
+    "radiant floor", "oil furnace",
+)
+
+COOLING: tuple[str, ...] = (
+    "central air", "none", "window units", "heat pump", "evaporative",
+)
+
+APPLIANCES: tuple[str, ...] = (
+    "dishwasher", "range", "refrigerator", "microwave", "washer",
+    "dryer", "garbage disposal", "double oven",
+)
+
+ROOF_TYPES: tuple[str, ...] = (
+    "composition", "cedar shake", "tile", "metal", "asphalt shingle",
+    "flat",
+)
+
+SIDING_TYPES: tuple[str, ...] = (
+    "wood", "brick", "vinyl", "stucco", "cement plank", "stone",
+    "aluminum",
+)
+
+GARAGE_TYPES: tuple[str, ...] = (
+    "2 car attached", "1 car detached", "3 car attached", "carport",
+    "none", "2 car detached", "1 car attached",
+)
+
+VIEW_TYPES: tuple[str, ...] = (
+    "mountain", "lake", "territorial", "city", "golf course", "sound",
+    "river", "none",
+)
+
+WATER_SOURCES: tuple[str, ...] = ("public", "well", "community", "city")
+SEWER_TYPES: tuple[str, ...] = ("public", "septic", "city sewer")
+ELECTRIC_PROVIDERS: tuple[str, ...] = (
+    "City Light", "Pacific Power", "Puget Sound Energy", "Valley Electric",
+    "Northern Grid Co-op",
+)
+
+NEIGHBORHOODS: tuple[str, ...] = (
+    "North End", "Capitol Hill", "Riverside", "Old Town", "Westlake",
+    "Greenwood", "Bayview", "Hillcrest", "South Shore",
+    "University District", "Downtown", "Eastgate",
+)
+
+LISTING_STATUS: tuple[str, ...] = (
+    "active", "pending", "new", "price reduced", "back on market",
+)
+
+# ---------------------------------------------------------------------------
+# Time Schedule domain
+# ---------------------------------------------------------------------------
+
+DEPARTMENTS: tuple[tuple[str, str], ...] = (
+    ("CSE", "Computer Science"), ("MATH", "Mathematics"),
+    ("PHYS", "Physics"), ("CHEM", "Chemistry"), ("BIO", "Biology"),
+    ("ECON", "Economics"), ("HIST", "History"), ("PSYCH", "Psychology"),
+    ("ENGL", "English"), ("MUSIC", "Music"), ("STAT", "Statistics"),
+    ("ART", "Art"), ("PHIL", "Philosophy"), ("GEOG", "Geography"),
+    ("ASTR", "Astronomy"),
+)
+
+COURSE_TOPICS: tuple[str, ...] = (
+    "Introduction to Programming", "Data Structures", "Algorithms",
+    "Operating Systems", "Databases", "Machine Learning",
+    "Linear Algebra", "Calculus I", "Calculus II", "Real Analysis",
+    "Quantum Mechanics", "Thermodynamics", "Organic Chemistry",
+    "Genetics", "Microbiology", "Microeconomics", "Macroeconomics",
+    "World History", "Cognitive Psychology", "Shakespeare",
+    "Music Theory", "Probability", "Statistical Inference",
+    "Modern Art", "Ethics", "Logic", "Cartography", "Stellar Physics",
+    "Compilers", "Computer Networks", "Artificial Intelligence",
+    "Number Theory", "Topology", "Electromagnetism", "Biochemistry",
+)
+
+BUILDINGS: tuple[str, ...] = (
+    "Sieg Hall", "Loew Hall", "Guggenheim Hall", "Smith Hall",
+    "Savery Hall", "Thomson Hall", "Kane Hall", "Bagley Hall",
+    "Johnson Hall", "Gowen Hall", "Mary Gates Hall", "Odegaard",
+)
+
+DAY_PATTERNS: tuple[str, ...] = (
+    "MWF", "TTh", "MW", "Daily", "F", "M", "W", "T", "Th", "MTWTh",
+)
+
+SEMESTERS: tuple[str, ...] = (
+    "Fall 2000", "Winter 2001", "Spring 2001", "Summer 2001",
+)
+
+COURSE_NOTES: tuple[str, ...] = (
+    "Prerequisite required", "Majors only", "Instructor permission",
+    "Lab fee applies", "Meets with graduate section", "No auditors",
+    "Honors section available", "Open enrollment", "Waitlist available",
+    "First-year students only",
+)
+
+# ---------------------------------------------------------------------------
+# Faculty Listings domain
+# ---------------------------------------------------------------------------
+
+UNIVERSITIES: tuple[str, ...] = (
+    "University of Washington", "Stanford University", "MIT",
+    "UC Berkeley", "Carnegie Mellon University", "Cornell University",
+    "University of Wisconsin", "Princeton University",
+    "University of Texas", "Georgia Tech", "Caltech",
+    "University of Michigan", "UCLA", "Columbia University",
+    "University of Illinois",
+)
+
+ACADEMIC_TITLES: tuple[str, ...] = (
+    "Professor", "Associate Professor", "Assistant Professor",
+    "Senior Lecturer", "Lecturer", "Professor Emeritus",
+    "Research Professor", "Affiliate Professor",
+)
+
+RESEARCH_AREAS: tuple[str, ...] = (
+    "machine learning", "data integration", "databases",
+    "computer vision", "natural language processing", "robotics",
+    "distributed systems", "computer architecture", "networking",
+    "computational biology", "human-computer interaction",
+    "programming languages", "software engineering",
+    "theory of computation",
+    "cryptography", "computer graphics", "operating systems",
+    "information retrieval", "artificial intelligence", "compilers",
+)
+
+DEGREES: tuple[str, ...] = (
+    "PhD", "Ph.D.", "DSc", "MS", "M.S.", "MSc",
+)

@@ -1,0 +1,40 @@
+"""Evaluation harness reproducing the paper's §6 experiments."""
+
+from .charts import bar_chart, grouped_bar_chart, line_series
+from .error_analysis import (AMBIGUOUS, ErrorReport, MISRANKED,
+                             NO_TRAINING_DATA, TagError, analyze_errors,
+                             trained_label_set)
+from .confusion import ConfusionMatrix
+from .configurations import (FLAT_LEARNERS, LADDER, SystemConfig,
+                             build_system, filter_constraints,
+                             information_configs, lesion_configs,
+                             single_learner_config)
+from .experiment import (DomainResult, ExperimentSettings,
+                         run_configuration, run_ladder, train_test_splits)
+from .feedback import (FeedbackOutcome, FeedbackStudyResult,
+                       corrections_to_perfect, run_feedback_study)
+from .lesion import run_information_study, run_lesion_study
+from .metrics import Accumulator, matching_accuracy
+from .reporting import (TABLE3_HEADERS, feedback_table, format_table,
+                        ladder_table, percent, sensitivity_series,
+                        study_table, table3_row)
+from .sensitivity import DEFAULT_LISTING_COUNTS, run_sensitivity
+from .significance import Comparison, compare, paired_bootstrap
+
+__all__ = [
+    "AMBIGUOUS", "Accumulator", "DEFAULT_LISTING_COUNTS", "DomainResult",
+    "ErrorReport", "MISRANKED", "NO_TRAINING_DATA", "TagError",
+    "Comparison", "ConfusionMatrix", "analyze_errors", "bar_chart",
+    "compare",
+    "grouped_bar_chart", "line_series", "paired_bootstrap",
+    "trained_label_set",
+    "ExperimentSettings", "FLAT_LEARNERS", "FeedbackOutcome",
+    "FeedbackStudyResult", "LADDER", "SystemConfig", "TABLE3_HEADERS",
+    "build_system", "corrections_to_perfect", "feedback_table",
+    "filter_constraints", "format_table", "information_configs",
+    "ladder_table", "lesion_configs", "matching_accuracy", "percent",
+    "run_configuration", "run_feedback_study", "run_information_study",
+    "run_ladder", "run_lesion_study", "run_sensitivity",
+    "sensitivity_series", "single_learner_config", "study_table",
+    "table3_row", "train_test_splits",
+]

@@ -1,0 +1,58 @@
+"""ASCII chart rendering for experiment results.
+
+The paper presents Figures 8 and 9 as bar charts and line plots; these
+helpers render the same data as monospace charts so benchmark output and
+EXPERIMENTS.md can show shape at a glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+BAR_CHARACTER = "#"
+
+
+def bar_chart(items: list[tuple[str, float]], width: int = 50,
+              title: str | None = None,
+              value_format: str = "{:.1%}") -> str:
+    """Horizontal bar chart of (label, value) pairs; values in [0, 1].
+
+    >>> print(bar_chart([("a", 0.5), ("b", 1.0)], width=4))
+    a  ##    50.0%
+    b  ####  100.0%
+    """
+    if not items:
+        return title or ""
+    label_width = max(len(label) for label, __ in items)
+    peak = max(value for __, value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        # value/peak (not width/peak) avoids overflow on subnormal peaks.
+        ratio = value / peak if peak > 0 else 0.0
+        bar = BAR_CHARACTER * min(max(int(round(ratio * width)), 0),
+                                  width)
+        rendered = value_format.format(value)
+        lines.append(f"{label.ljust(label_width)}  "
+                     f"{bar.ljust(width)}  {rendered}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: dict[str, list[tuple[str, float]]],
+                      width: int = 50, title: str | None = None) -> str:
+    """One bar block per group (a figure-8a-style chart in text).
+
+    ``groups`` maps a group heading (e.g. a domain) to its bars.
+    """
+    blocks = [title] if title else []
+    for heading, items in groups.items():
+        blocks.append(f"\n{heading}")
+        blocks.append(bar_chart(items, width=width))
+    return "\n".join(blocks).strip()
+
+
+def line_series(points: dict[int, float], width: int = 50,
+                title: str | None = None) -> str:
+    """A sparkline-style series for sensitivity sweeps.
+
+    ``points`` maps the x value (listings per source) to accuracy.
+    """
+    items = [(str(x), points[x]) for x in sorted(points)]
+    return bar_chart(items, width=width, title=title)

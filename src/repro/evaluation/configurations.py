@@ -1,0 +1,155 @@
+"""System configurations for the paper's experiment ladders.
+
+Figure 8(a) compares four configurations per domain:
+
+1. the best single base learner (excluding the XML learner),
+2. base learners + meta-learner,
+3. + domain-constraint handler,
+4. + XML learner (the complete LSD system).
+
+Figure 9(a) lesions one component at a time; Figure 9(b) splits the
+system into schema-information-only and data-information-only halves.
+:func:`build_system` turns a :class:`SystemConfig` into a ready
+:class:`LSDSystem` for a given domain, wiring in the domain's synonym
+dictionary, recognizers and constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constraints import (Constraint, FunctionalDependencyConstraint,
+                           KeyConstraint)
+from ..core.system import LSDSystem
+from ..datasets.base import Domain
+from ..learners import (ContentMatcher, NaiveBayesLearner, NameMatcher,
+                        XMLLearner)
+from ..learners.base import BaseLearner
+
+#: Names of the flat base learners (the "excluding XML" pool of Fig 8a).
+FLAT_LEARNERS = ("name_matcher", "content_matcher", "naive_bayes")
+
+
+@dataclass
+class SystemConfig:
+    """A recipe for building one LSD variant."""
+
+    name: str
+    learners: tuple[str, ...] = FLAT_LEARNERS
+    use_xml: bool = True
+    use_meta: bool = True
+    use_constraints: bool = True
+    use_recognizers: bool = True
+    #: "schema" / "data" / "both" — which constraint kinds to keep.
+    constraint_information: str = "both"
+
+    def describe(self) -> str:
+        parts = [", ".join(self.learners)]
+        if self.use_xml:
+            parts.append("xml_learner")
+        if self.use_meta:
+            parts.append("meta")
+        if self.use_constraints:
+            parts.append(f"constraints[{self.constraint_information}]")
+        return f"{self.name}: " + " + ".join(parts)
+
+
+#: The Figure 8(a) ladder (config 1 is expanded per learner by callers).
+LADDER = (
+    SystemConfig("base+meta", use_xml=False, use_constraints=False,
+                 use_recognizers=True),
+    SystemConfig("base+meta+constraints", use_xml=False),
+    SystemConfig("complete", use_xml=True),
+)
+
+
+def single_learner_config(learner_name: str) -> SystemConfig:
+    """Config running one base learner alone (Fig 8a's first bar pool)."""
+    return SystemConfig(
+        name=f"single[{learner_name}]",
+        learners=(learner_name,), use_xml=False, use_meta=False,
+        use_constraints=False, use_recognizers=False)
+
+
+def lesion_configs() -> list[SystemConfig]:
+    """Figure 9(a): the complete system minus one component each."""
+    def drop(name: str) -> tuple[str, ...]:
+        return tuple(l for l in FLAT_LEARNERS if l != name)
+
+    return [
+        SystemConfig("without name matcher",
+                     learners=drop("name_matcher")),
+        SystemConfig("without naive bayes",
+                     learners=drop("naive_bayes")),
+        SystemConfig("without content matcher",
+                     learners=drop("content_matcher")),
+        SystemConfig("without constraint handler",
+                     use_constraints=False),
+        SystemConfig("complete"),
+    ]
+
+
+def information_configs() -> list[SystemConfig]:
+    """Figure 9(b): schema-only vs data-only vs the complete system."""
+    return [
+        SystemConfig("schema only", learners=("name_matcher",),
+                     use_xml=False, use_recognizers=False,
+                     constraint_information="schema"),
+        SystemConfig("data only",
+                     learners=("content_matcher", "naive_bayes"),
+                     use_xml=True, constraint_information="data"),
+        SystemConfig("complete"),
+    ]
+
+
+def build_system(domain: Domain, config: SystemConfig,
+                 max_instances_per_tag: int | None = 100,
+                 seed: int = 0) -> LSDSystem:
+    """Instantiate an LSD variant for ``domain`` per ``config``."""
+    learners: list[BaseLearner] = []
+    for name in config.learners:
+        learners.append(_make_learner(name, domain))
+    if config.use_xml:
+        learners.append(XMLLearner())
+    if config.use_recognizers:
+        learners.extend(domain.recognizers())
+    constraints = filter_constraints(domain.constraints,
+                                     config.constraint_information)
+    return LSDSystem(
+        domain.mediated_schema, learners,
+        constraints=constraints,
+        use_constraint_handler=config.use_constraints,
+        use_meta_learner=config.use_meta,
+        max_instances_per_tag=max_instances_per_tag,
+        seed=seed)
+
+
+def filter_constraints(constraints: list[Constraint],
+                       information: str) -> list[Constraint]:
+    """Keep only schema-verifiable or data-verifiable constraints.
+
+    Column constraints (keys, functional dependencies) need source data;
+    everything else in Table 1 is verifiable from the schema alone.
+    """
+    if information == "both":
+        return list(constraints)
+    data_kinds = (KeyConstraint, FunctionalDependencyConstraint)
+    if information == "schema":
+        return [c for c in constraints
+                if not isinstance(c, data_kinds)]
+    if information == "data":
+        return [c for c in constraints if isinstance(c, data_kinds)]
+    raise ValueError(f"unknown information kind {information!r}")
+
+
+def _make_learner(name: str, domain: Domain) -> BaseLearner:
+    if name == "name_matcher":
+        return NameMatcher(synonyms=domain.synonyms)
+    if name == "content_matcher":
+        return ContentMatcher()
+    if name == "naive_bayes":
+        return NaiveBayesLearner()
+    if name == "xml_learner":
+        return XMLLearner()
+    from ..learners import registry
+    return registry.create(name)

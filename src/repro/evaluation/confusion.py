@@ -1,0 +1,77 @@
+"""Label confusion reporting: which labels LSD mistakes for which.
+
+Complements the §7 error-cause breakdown (:mod:`.error_analysis`) with a
+*what-for-what* view: a matrix counting, over many match results, how
+often a tag whose true label is ``X`` was assigned label ``Y``. The
+report surfaces the most-confused label pairs — in our domains typically
+sibling concepts such as START-TIME/END-TIME or the school levels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.mapping import Mapping
+from .reporting import format_table
+
+
+class ConfusionMatrix:
+    """Accumulates (true label, predicted label) counts."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, predicted: Mapping, truth: Mapping) -> None:
+        """Add one match result's tag outcomes."""
+        for tag, expected in truth.items():
+            assigned = predicted.get(tag)
+            if assigned is not None:
+                self._counts[(expected, assigned)] += 1
+
+    def count(self, true_label: str, predicted_label: str) -> int:
+        """How often ``true_label`` tags were assigned
+        ``predicted_label``."""
+        return self._counts[(true_label, predicted_label)]
+
+    def total(self) -> int:
+        """All recorded tag outcomes."""
+        return sum(self._counts.values())
+
+    def accuracy(self) -> float:
+        """Fraction of outcomes on the diagonal."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        correct = sum(count for (expected, assigned), count
+                      in self._counts.items() if expected == assigned)
+        return correct / total
+
+    def confusions(self, top: int | None = None
+                   ) -> list[tuple[str, str, int]]:
+        """Off-diagonal cells as (true, predicted, count), largest first."""
+        cells = [(expected, assigned, count)
+                 for (expected, assigned), count in self._counts.items()
+                 if expected != assigned]
+        cells.sort(key=lambda cell: (-cell[2], cell[0], cell[1]))
+        if top is not None:
+            cells = cells[:top]
+        return cells
+
+    def recall(self, label: str) -> float:
+        """Fraction of ``label`` tags that were labelled correctly."""
+        total = sum(count for (expected, __), count
+                    in self._counts.items() if expected == label)
+        if total == 0:
+            return 0.0
+        return self._counts[(label, label)] / total
+
+    def report(self, top: int = 10) -> str:
+        """A table of the worst label confusions."""
+        rows = [[expected, assigned, str(count)]
+                for expected, assigned, count in self.confusions(top)]
+        if not rows:
+            rows = [["(none)", "-", "0"]]
+        return format_table(
+            ["True label", "Predicted as", "Count"], rows,
+            title=f"Top label confusions "
+                  f"(overall accuracy {self.accuracy():.1%})")

@@ -1,0 +1,96 @@
+"""Error analysis per §7 of the paper.
+
+The discussion section attributes LSD's residual 10-30% errors to three
+causes:
+
+1. **no training data** — "some tags (e.g., suburb) cannot be matched
+   because none of the training sources has matching tags that would
+   provide training data";
+2. **wrong learner bias** — "some tags simply require different types of
+   learners" (e.g. format-shaped fields);
+3. **ambiguity** — "some tags cannot be matched because they are simply
+   ambiguous" (near-tie predictions).
+
+:func:`analyze_errors` classifies every mistake of a match result into
+those buckets so experiments can report not just *how much* LSD misses
+but *why* — the same breakdown the paper walks through.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.labels import OTHER
+from ..core.mapping import Mapping
+from ..core.matching import MatchResult
+
+#: Error-cause buckets (§7's three reasons plus a residual).
+NO_TRAINING_DATA = "no-training-data"
+AMBIGUOUS = "ambiguous"
+MISRANKED = "misranked"
+
+
+@dataclass
+class TagError:
+    """One wrongly matched tag with its diagnosed cause."""
+
+    tag: str
+    predicted: str
+    expected: str
+    cause: str
+    margin: float
+
+
+@dataclass
+class ErrorReport:
+    """All errors of one match, grouped by cause."""
+
+    errors: list[TagError] = field(default_factory=list)
+
+    def by_cause(self) -> dict[str, int]:
+        return dict(Counter(error.cause for error in self.errors))
+
+    def tags(self) -> list[str]:
+        return [error.tag for error in self.errors]
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+
+def analyze_errors(result: MatchResult, truth: Mapping,
+                   trained_labels: set[str],
+                   ambiguity_margin: float = 0.1) -> ErrorReport:
+    """Classify each wrong tag of ``result`` against ``truth``.
+
+    ``trained_labels`` is the set of labels that had at least one training
+    example — the §7 "suburb problem" is a wrong tag whose true label was
+    never trainable. A wrong tag with a sub-``ambiguity_margin`` score gap
+    is *ambiguous*; the remainder are *misranked* (the learners were
+    confidently wrong — the wrong-learner-bias bucket).
+    """
+    report = ErrorReport()
+    for tag, expected in truth.items():
+        predicted = result.mapping.get(tag)
+        if predicted is None or predicted == expected:
+            continue
+        prediction = result.prediction_for(tag)
+        margin = prediction.margin()
+        if expected != OTHER and expected not in trained_labels:
+            cause = NO_TRAINING_DATA
+        elif margin < ambiguity_margin:
+            cause = AMBIGUOUS
+        else:
+            cause = MISRANKED
+        report.errors.append(
+            TagError(tag, predicted, expected, cause, margin))
+    return report
+
+
+def trained_label_set(system) -> set[str]:
+    """Labels with at least one training example in an LSD system."""
+    labels: set[str] = set()
+    for source in system.training_sources:
+        for tag in source.schema.tags:
+            labels.add(source.mapping.get(tag, OTHER))
+    return labels

@@ -1,0 +1,123 @@
+"""The paper's experimental methodology (§6, "Experimental Methodology").
+
+For each domain: all C(5,3) = 10 ways of choosing three training sources
+are run, the remaining two sources are matched, and accuracy is averaged;
+the whole procedure repeats for several trials, "each time taking a new
+sample of data from each source". The *average domain accuracy* averages
+over every (trial, split, test source) observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..datasets.base import Domain, Source
+from .configurations import SystemConfig, build_system, \
+    single_learner_config
+from .metrics import Accumulator
+
+
+@dataclass
+class ExperimentSettings:
+    """Knobs of the §6 methodology.
+
+    The paper uses 300 listings per source, 3 trials and all 10 splits;
+    benchmark defaults scale these down via environment variables (see
+    ``benchmarks/common.py``) because our substrate re-runs the entire
+    pipeline dozens of times per figure.
+    """
+
+    n_listings: int = 300
+    trials: int = 3
+    max_splits: int | None = None  # None = all C(5,3) splits
+    max_instances_per_tag: int | None = 100
+    seed: int = 0
+
+
+@dataclass
+class DomainResult:
+    """Accuracy observations for one (domain, configuration) pair."""
+
+    domain_name: str
+    config_name: str
+    overall: Accumulator = field(default_factory=Accumulator)
+    per_source: dict[str, Accumulator] = field(default_factory=dict)
+
+    def record(self, source_name: str, accuracy: float) -> None:
+        self.overall.add(accuracy)
+        self.per_source.setdefault(source_name, Accumulator()).add(
+            accuracy)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.overall.mean
+
+
+def train_test_splits(sources: list[Source],
+                      max_splits: int | None = None
+                      ) -> list[tuple[list[Source], list[Source]]]:
+    """All (train, test) splits choosing 3 of the 5 sources to train."""
+    splits = []
+    for train_names in combinations(range(len(sources)), 3):
+        train = [sources[i] for i in train_names]
+        test = [s for i, s in enumerate(sources)
+                if i not in train_names]
+        splits.append((train, test))
+    if max_splits is not None:
+        splits = splits[:max_splits]
+    return splits
+
+
+def run_configuration(domain: Domain, config: SystemConfig,
+                      settings: ExperimentSettings) -> DomainResult:
+    """Run the full methodology for one system configuration."""
+    result = DomainResult(domain.name, config.name)
+    splits = train_test_splits(domain.sources, settings.max_splits)
+    for trial in range(settings.trials):
+        for train_sources, test_sources in splits:
+            system = build_system(
+                domain, config,
+                max_instances_per_tag=settings.max_instances_per_tag,
+                seed=settings.seed + trial)
+            for source in train_sources:
+                system.add_training_source(
+                    source.schema,
+                    source.listings(settings.n_listings,
+                                    sample_seed=trial),
+                    source.mapping)
+            system.train()
+            for source in test_sources:
+                match = system.match(
+                    source.schema,
+                    source.listings(settings.n_listings,
+                                    sample_seed=trial))
+                result.record(source.name,
+                              match.mapping.accuracy_against(
+                                  source.mapping))
+    return result
+
+
+def run_ladder(domain: Domain, settings: ExperimentSettings,
+               base_learner_pool: tuple[str, ...] = (
+                   "name_matcher", "content_matcher", "naive_bayes"),
+               ) -> dict[str, DomainResult]:
+    """Figure 8(a)'s four bars for one domain.
+
+    Returns results keyed ``best_base`` / ``meta`` / ``constraints`` /
+    ``complete``. The ``best_base`` entry is the best-scoring single base
+    learner, as in the paper.
+    """
+    from .configurations import LADDER
+
+    singles = [
+        run_configuration(domain, single_learner_config(name), settings)
+        for name in base_learner_pool
+    ]
+    best_base = max(singles, key=lambda r: r.mean_accuracy)
+
+    results: dict[str, DomainResult] = {"best_base": best_base}
+    keys = ("meta", "constraints", "complete")
+    for key, config in zip(keys, LADDER):
+        results[key] = run_configuration(domain, config, settings)
+    return results

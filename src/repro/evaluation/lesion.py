@@ -1,0 +1,28 @@
+"""Lesion studies (Figure 9a) and the schema-vs-data split (Figure 9b)."""
+
+from __future__ import annotations
+
+from ..datasets.base import Domain
+from .configurations import information_configs, lesion_configs
+from .experiment import (DomainResult, ExperimentSettings,
+                         run_configuration)
+
+
+def run_lesion_study(domain: Domain, settings: ExperimentSettings
+                     ) -> dict[str, DomainResult]:
+    """Figure 9(a): accuracy with each component removed, plus the
+    complete system for comparison."""
+    return {
+        config.name: run_configuration(domain, config, settings)
+        for config in lesion_configs()
+    }
+
+
+def run_information_study(domain: Domain, settings: ExperimentSettings
+                          ) -> dict[str, DomainResult]:
+    """Figure 9(b): schema-information-only vs data-information-only vs
+    the complete system."""
+    return {
+        config.name: run_configuration(domain, config, settings)
+        for config in information_configs()
+    }

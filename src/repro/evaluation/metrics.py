@@ -1,0 +1,50 @@
+"""Accuracy metrics and small aggregation helpers (§6 definitions)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.mapping import Mapping
+
+
+def matching_accuracy(predicted: Mapping, truth: Mapping,
+                      matchable_only: bool = True) -> float:
+    """§6: "the percentage of matchable source-schema tags that are
+    matched correctly"."""
+    return predicted.accuracy_against(truth, matchable_only)
+
+
+@dataclass
+class Accumulator:
+    """Streaming mean/std over accuracy observations."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Accumulator(mean={self.mean:.3f}, n={self.count})"

@@ -1,0 +1,129 @@
+"""Plain-text reporters that print the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from ..datasets.base import Domain
+from .experiment import DomainResult
+from .feedback import FeedbackStudyResult
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    """Monospace table with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """0.824 -> '82.4%'."""
+    return f"{value * 100:.1f}%"
+
+
+def table3_row(domain: Domain) -> list[str]:
+    """One row of the paper's Table 3 for a generated domain."""
+    mediated = domain.mediated_schema.dtd
+    source_tags = [len(s.schema.dtd.tag_names()) for s in domain.sources]
+    source_non_leaf = [len(s.schema.dtd.non_leaf_names())
+                       for s in domain.sources]
+    source_depth = [s.schema.depth() for s in domain.sources]
+    listings = [s.n_listings for s in domain.sources]
+    matchable = [domain.matchable_fraction(s) for s in domain.sources]
+    return [
+        domain.title,
+        str(len(mediated.tag_names())),
+        str(len(mediated.non_leaf_names())),
+        str(mediated.depth()),
+        str(len(domain.sources)),
+        f"{min(listings)} - {max(listings)}",
+        f"{min(source_tags)} - {max(source_tags)}",
+        f"{min(source_non_leaf)} - {max(source_non_leaf)}",
+        f"{min(source_depth)} - {max(source_depth)}",
+        f"{percent(min(matchable))} - {percent(max(matchable))}",
+    ]
+
+
+TABLE3_HEADERS = [
+    "Domain", "Med. Tags", "Med. Non-leaf", "Med. Depth", "Sources",
+    "Listings", "Src Tags", "Src Non-leaf", "Src Depth", "Matchable",
+]
+
+
+def ladder_table(results_by_domain: dict[str, dict[str, DomainResult]]
+                 ) -> str:
+    """Figure 8(a) as a table: one row per domain, one column per bar."""
+    headers = ["Domain", "Best Base Learner", "+ Meta-Learner",
+               "+ Constraint Handler", "+ XML Learner (complete)"]
+    rows = []
+    for domain_name, ladder in results_by_domain.items():
+        rows.append([
+            domain_name,
+            percent(ladder["best_base"].mean_accuracy),
+            percent(ladder["meta"].mean_accuracy),
+            percent(ladder["constraints"].mean_accuracy),
+            percent(ladder["complete"].mean_accuracy),
+        ])
+    return format_table(headers, rows,
+                        title="Figure 8(a): average matching accuracy")
+
+
+def sensitivity_series(sweep: dict[int, dict[str, DomainResult]],
+                       title: str) -> str:
+    """Figures 8(b)/(c) as a series table: rows = listing counts."""
+    headers = ["Listings/source", "Best Base", "+Meta", "+Constraints",
+               "+XML (complete)"]
+    rows = []
+    for count in sorted(sweep):
+        ladder = sweep[count]
+        rows.append([
+            str(count),
+            percent(ladder["best_base"].mean_accuracy),
+            percent(ladder["meta"].mean_accuracy),
+            percent(ladder["constraints"].mean_accuracy),
+            percent(ladder["complete"].mean_accuracy),
+        ])
+    return format_table(headers, rows, title=title)
+
+
+def study_table(results_by_domain: dict[str, dict[str, DomainResult]],
+                title: str) -> str:
+    """Figure 9(a)/(b) style table: rows = domains, columns = variants."""
+    domains = list(results_by_domain)
+    variants = list(next(iter(results_by_domain.values())))
+    headers = ["Domain", *variants]
+    rows = []
+    for domain_name in domains:
+        row = [domain_name]
+        for variant in variants:
+            row.append(percent(
+                results_by_domain[domain_name][variant].mean_accuracy))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def feedback_table(results: list[FeedbackStudyResult]) -> str:
+    """§6.3: corrections needed to reach perfect matching."""
+    headers = ["Domain", "Avg corrections", "Avg tags in test schema",
+               "Runs"]
+    rows = []
+    for result in results:
+        rows.append([
+            result.domain_name,
+            f"{result.corrections.mean:.1f}",
+            f"{result.tags.mean:.1f}",
+            str(result.corrections.count),
+        ])
+    return format_table(
+        headers, rows,
+        title="Section 6.3: user feedback to perfect matching")

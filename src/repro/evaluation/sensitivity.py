@@ -1,0 +1,28 @@
+"""Performance-sensitivity sweeps (Figures 8b and 8c).
+
+Accuracy of the four ladder configurations as a function of the number of
+data listings available per source. The paper sweeps 0-500 and observes a
+steep climb to ~20 listings, little change from 20 to 200, and a plateau
+after 200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..datasets.base import Domain
+from .experiment import (DomainResult, ExperimentSettings, run_ladder)
+
+#: The x-axis of Figures 8(b)-(c).
+DEFAULT_LISTING_COUNTS = (5, 10, 20, 50, 100, 200, 300)
+
+
+def run_sensitivity(domain: Domain, settings: ExperimentSettings,
+                    listing_counts=DEFAULT_LISTING_COUNTS
+                    ) -> dict[int, dict[str, DomainResult]]:
+    """Ladder results per listing count: ``{n: {config: result}}``."""
+    sweep: dict[int, dict[str, DomainResult]] = {}
+    for count in listing_counts:
+        point_settings = replace(settings, n_listings=count)
+        sweep[count] = run_ladder(domain, point_settings)
+    return sweep

@@ -1,0 +1,79 @@
+"""Statistical significance for configuration comparisons.
+
+The paper reports bar heights without error analysis; with a simulated
+substrate we can do better. :func:`paired_bootstrap` implements the
+standard paired bootstrap test over per-observation accuracy differences
+(each observation = one (trial, split, test source) accuracy), and
+:func:`compare` packages it for two :class:`DomainResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .experiment import DomainResult
+
+
+@dataclass
+class Comparison:
+    """Outcome of a paired significance test between two systems."""
+
+    mean_a: float
+    mean_b: float
+    delta: float          # mean(b) - mean(a)
+    p_value: float        # P(delta <= 0) under the bootstrap
+    resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 5% level."""
+        return self.p_value < 0.05
+
+    def describe(self) -> str:
+        direction = "improves" if self.delta > 0 else "changes"
+        return (f"{direction} accuracy by {self.delta * 100:+.1f}pp "
+                f"(p={self.p_value:.3f}, "
+                f"{'significant' if self.significant else 'n.s.'})")
+
+
+def paired_bootstrap(a: list[float], b: list[float],
+                     resamples: int = 10_000, seed: int = 0
+                     ) -> Comparison:
+    """Paired bootstrap test that system ``b`` beats system ``a``.
+
+    ``a`` and ``b`` are accuracy observations from the *same* (trial,
+    split, source) runs, in the same order. The p-value estimates the
+    probability that the observed improvement is not real: the fraction
+    of resampled mean differences at or below zero.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples differ in length")
+    if not a:
+        raise ValueError("need at least one paired observation")
+    a_array = np.asarray(a, dtype=np.float64)
+    b_array = np.asarray(b, dtype=np.float64)
+    differences = b_array - a_array
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(differences),
+                           size=(resamples, len(differences)))
+    means = differences[indices].mean(axis=1)
+    p_value = float(np.mean(means <= 0.0))
+    return Comparison(
+        mean_a=float(a_array.mean()),
+        mean_b=float(b_array.mean()),
+        delta=float(differences.mean()),
+        p_value=p_value,
+        resamples=resamples)
+
+
+def compare(a: DomainResult, b: DomainResult,
+            resamples: int = 10_000, seed: int = 0) -> Comparison:
+    """Paired bootstrap between two configurations' DomainResults.
+
+    Both results must come from :func:`run_configuration` with identical
+    settings, so their observation streams are aligned run-for-run.
+    """
+    return paired_bootstrap(a.overall.values, b.overall.values,
+                            resamples=resamples, seed=seed)

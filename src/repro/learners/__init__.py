@@ -1,0 +1,48 @@
+"""LSD's base learners and the stacking meta-learner.
+
+The default learner set mirrors the paper: name matcher, content matcher,
+Naive Bayes, and the structural XML learner, with recognizers (county
+names) added per domain. The format and numeric learners implement the
+extensions §7 of the paper calls for.
+"""
+
+from .base import BaseLearner, LearnerRegistry, registry
+from .content_matcher import ContentMatcher
+from .edit_distance import EditDistanceNameMatcher
+from .format_learner import FormatLearner, shape_tokens, value_shape
+from .meta import StackingMetaLearner, cross_validate
+from .metadata import MetadataLearner, metadata_document
+from .name_matcher import NameMatcher
+from .naive_bayes import NaiveBayesLearner, default_tokenizer
+from .numeric import NumericLearner
+from .recognizers import GazetteerRecognizer, RegexRecognizer
+from .statistics import StatisticsLearner, statistics_vector
+from .whirl import WhirlIndex
+from .xml_learner import XMLLearner, structure_tokens
+
+__all__ = [
+    "BaseLearner", "ContentMatcher", "EditDistanceNameMatcher",
+    "FormatLearner",
+    "GazetteerRecognizer", "LearnerRegistry", "MetadataLearner",
+    "NameMatcher", "NaiveBayesLearner", "NumericLearner",
+    "RegexRecognizer", "StackingMetaLearner", "StatisticsLearner",
+    "WhirlIndex", "XMLLearner", "cross_validate", "default_tokenizer",
+    "metadata_document", "registry", "shape_tokens", "statistics_vector",
+    "structure_tokens", "value_shape",
+]
+
+registry.register("name_matcher", NameMatcher)
+registry.register("content_matcher", ContentMatcher)
+registry.register("naive_bayes", NaiveBayesLearner)
+registry.register("xml_learner", XMLLearner)
+registry.register("format", FormatLearner)
+registry.register("numeric", NumericLearner)
+registry.register("edit_distance", EditDistanceNameMatcher)
+registry.register("statistics", StatisticsLearner)
+registry.register("metadata", MetadataLearner)
+
+
+def default_learners() -> list[BaseLearner]:
+    """The paper's core learner set (recognizers are added per domain)."""
+    return [NameMatcher(), ContentMatcher(), NaiveBayesLearner(),
+            XMLLearner()]

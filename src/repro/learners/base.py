@@ -1,0 +1,122 @@
+"""The base-learner interface and learner registry.
+
+A base learner (§3.3) inspects training examples derived from XML element
+instances and, once fitted, emits a confidence-score distribution over the
+label space for each new instance. Implementations must be *cloneable* so
+the stacking meta-learner can retrain them inside cross-validation folds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..core.prediction import Prediction, normalize_matrix
+
+
+class BaseLearner(ABC):
+    """Interface every LSD base learner implements.
+
+    Score matrices returned by :meth:`predict_scores` are aligned to the
+    label space given to :meth:`fit`: shape ``(n_instances, n_labels)``,
+    rows non-negative and summing to one.
+    """
+
+    #: Stable identifier used by the meta-learner, lesion studies and
+    #: reports. Subclasses override it.
+    name: str = "base"
+
+    #: True for learners (the XML learner) whose features depend on the
+    #: labels of an instance's descendants. The matching pipeline re-runs
+    #: such learners in a second pass once preliminary labels exist.
+    uses_child_labels: bool = False
+
+    def __init__(self) -> None:
+        self.space: LabelSpace | None = None
+
+    @abstractmethod
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        """Train on instances paired with their true labels."""
+
+    @abstractmethod
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        """Confidence scores for each instance, aligned to the fit space."""
+
+    @abstractmethod
+    def clone(self) -> "BaseLearner":
+        """A fresh, unfitted learner with the same configuration."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all learners
+    # ------------------------------------------------------------------
+    def predict(self,
+                instances: Sequence[ElementInstance]) -> list[Prediction]:
+        """User-facing predictions (one :class:`Prediction` per instance)."""
+        if self.space is None:
+            raise RuntimeError(f"learner {self.name!r} is not fitted")
+        scores = self.predict_scores(instances)
+        return [Prediction(self.space, row) for row in scores]
+
+    def _require_fitted(self) -> LabelSpace:
+        if self.space is None:
+            raise RuntimeError(f"learner {self.name!r} is not fitted")
+        return self.space
+
+    def _uniform(self, count: int) -> np.ndarray:
+        space = self._require_fitted()
+        return np.full((count, len(space)), 1.0 / len(space))
+
+    @staticmethod
+    def _normalize(matrix: np.ndarray) -> np.ndarray:
+        return normalize_matrix(matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fitted" if self.space is not None else "unfitted"
+        return f"<{type(self).__name__} {self.name!r} ({state})>"
+
+
+class LearnerRegistry:
+    """Name -> factory registry; lets applications plug in new learners.
+
+    The paper stresses that LSD "is extensible to additional learners";
+    registering a factory here makes a learner available to
+    ``LSDSystem.with_default_learners(extra=[...])`` and to the evaluation
+    configuration ladder by name.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], BaseLearner]] = {}
+
+    def register(self, name: str,
+                 factory: Callable[[], BaseLearner]) -> None:
+        """Register a zero-argument factory under ``name``."""
+        if name in self._factories:
+            raise ValueError(f"learner {name!r} is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str) -> BaseLearner:
+        """Instantiate the learner registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(
+                f"no learner named {name!r}; known: {known}") from None
+        return factory()
+
+    def names(self) -> list[str]:
+        """All registered learner names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+#: The process-wide default registry (populated by repro.learners).
+registry = LearnerRegistry()

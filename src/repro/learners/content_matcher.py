@@ -1,0 +1,67 @@
+"""The content matcher: WHIRL nearest-neighbour over data content.
+
+"The Content Matcher also uses Whirl. However, this learner matches an XML
+element using its data content, instead of its tag name" (§3.3). It is
+strong on long textual elements (house descriptions) and elements with
+distinctive value vocabularies (colours), weak on short numeric fields.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import remove_stopwords, stem_tokens, tokenize
+from .base import BaseLearner
+from .whirl import WhirlIndex
+
+
+class ContentMatcher(BaseLearner):
+    """WHIRL classifier over stemmed content tokens."""
+
+    name = "content_matcher"
+
+    def __init__(self, max_neighbors: int = 30,
+                 max_examples_per_label: int = 400) -> None:
+        super().__init__()
+        self.max_neighbors = max_neighbors
+        #: Cap on stored examples per label: nearest-neighbour cost scales
+        #: with the index size and a few hundred examples per label carry
+        #: all the signal the vote combination can use.
+        self.max_examples_per_label = max_examples_per_label
+        self._index = WhirlIndex(max_neighbors=max_neighbors)
+
+    def clone(self) -> "ContentMatcher":
+        return ContentMatcher(self.max_neighbors,
+                              self.max_examples_per_label)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _document(instance: ElementInstance) -> list[str]:
+        return stem_tokens(remove_stopwords(tokenize(instance.text)))
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        per_label: dict[str, int] = {}
+        documents: list[list[str]] = []
+        kept_labels: list[str] = []
+        for instance, label in zip(instances, labels):
+            count = per_label.get(label, 0)
+            if count >= self.max_examples_per_label:
+                continue
+            per_label[label] = count + 1
+            documents.append(self._document(instance))
+            kept_labels.append(label)
+        self._index.fit(documents, kept_labels, space)
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if not instances:
+            return np.zeros((0, len(space)))
+        documents = [self._document(instance) for instance in instances]
+        return self._index.scores(documents)

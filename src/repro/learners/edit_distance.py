@@ -1,0 +1,76 @@
+"""Edit-distance name matcher: an optional extra base learner.
+
+§7 of the paper notes that partial and truncated names (``tel``,
+``desc``, ``agt``) defeat the token-based name matcher. This learner
+compares *characters* instead of tokens: Jaro-Winkler over the best
+greedy token alignment of the split names. It demonstrates the
+architecture's extensibility — drop it into the learner list and the
+meta-learner learns when to trust it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import split_name
+from ..text.similarity import best_token_alignment
+from .base import BaseLearner
+
+
+class EditDistanceNameMatcher(BaseLearner):
+    """Nearest-neighbour over character-level name similarity."""
+
+    name = "edit_distance"
+
+    def __init__(self, sharpness: float = 6.0) -> None:
+        """``sharpness`` exponentiates similarities so near-exact matches
+        dominate moderately similar ones."""
+        super().__init__()
+        self.sharpness = sharpness
+        self._examples: list[tuple[list[str], int]] = []
+
+    def clone(self) -> "EditDistanceNameMatcher":
+        return EditDistanceNameMatcher(self.sharpness)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        seen: set[tuple[tuple[str, ...], int]] = set()
+        self._examples = []
+        for instance, label in zip(instances, labels):
+            tokens = split_name(instance.tag)
+            key = (tuple(tokens), space.index_of(label))
+            if key not in seen:
+                seen.add(key)
+                self._examples.append((tokens, space.index_of(label)))
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if not instances:
+            return np.zeros((0, len(space)))
+        # Score each distinct tag once and broadcast.
+        distinct: dict[str, np.ndarray] = {}
+        scores = np.zeros((len(instances), len(space)))
+        for row, instance in enumerate(instances):
+            if instance.tag not in distinct:
+                distinct[instance.tag] = self._score_tag(instance.tag)
+            scores[row] = distinct[instance.tag]
+        return scores
+
+    def _score_tag(self, tag: str) -> np.ndarray:
+        space = self._require_fitted()
+        tokens = split_name(tag)
+        raw = np.zeros(len(space))
+        for example_tokens, label_index in self._examples:
+            similarity = best_token_alignment(tokens, example_tokens)
+            raw[label_index] = max(raw[label_index],
+                                   similarity ** self.sharpness)
+        total = raw.sum()
+        if total <= 0.0:
+            return np.full(len(space), 1.0 / len(space))
+        return raw / total

@@ -1,0 +1,158 @@
+"""Stacking meta-learner: per-label least-squares learner weights (§3.1).
+
+Training (step 5 of the training phase):
+
+1. Cross-validate every base learner on the training examples (``d = 5``
+   folds, per the paper) to obtain unbiased prediction sets ``CV(L)``.
+2. For each label ``c``, gather the tuples
+   ``<s(c|x,L1), ..., s(c|x,Lk), l(c,x)>`` over all training instances.
+3. Least-squares regression of the indicator ``l(c,x)`` on the learner
+   scores yields the weights ``W[c, Lj]``.
+
+Matching: the combined score of label ``c`` for an instance is
+``sum_j W[c, Lj] * s(c|x, Lj)``, then the scores are normalised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..core.prediction import normalize_matrix
+from .base import BaseLearner
+
+
+def cross_validate(learner: BaseLearner,
+                   instances: Sequence[ElementInstance],
+                   labels: Sequence[str], space: LabelSpace,
+                   folds: int = 5, seed: int = 0) -> np.ndarray:
+    """Out-of-fold predictions of ``learner`` on its own training data.
+
+    The examples are shuffled into ``folds`` equal parts; each part is
+    predicted by a clone trained on the remaining parts, preventing the
+    bias the paper warns about ("when applied to any example t, it has
+    already been trained on t").
+    """
+    n = len(instances)
+    if n == 0:
+        return np.zeros((0, len(space)))
+    folds = max(2, min(folds, n))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    scores = np.zeros((n, len(space)))
+    boundaries = np.array_split(order, folds)
+    for held_out in boundaries:
+        train_idx = np.setdiff1d(order, held_out, assume_unique=False)
+        clone = learner.clone()
+        clone.fit([instances[i] for i in train_idx],
+                  [labels[i] for i in train_idx], space)
+        held_instances = [instances[i] for i in held_out]
+        scores[held_out] = clone.predict_scores(held_instances)
+    return scores
+
+
+class StackingMetaLearner:
+    """Combines base-learner score matrices with per-label weights."""
+
+    def __init__(self, folds: int = 5, regularization: float = 0.05,
+                 seed: int = 0) -> None:
+        self.folds = folds
+        #: Ridge strength, as a fraction of the training-set size, pulling
+        #: the weights toward uniform averaging. Plain least squares is
+        #: brittle here: base learners are correlated, and a learner that
+        #: happens to be near-perfect on the training *sources* (e.g. the
+        #: name matcher when training tag names all share synonyms) would
+        #: zero out every other learner and then fail on a source with
+        #: novel names. Shrinking toward the average keeps every learner's
+        #: evidence alive while still letting the regression shift trust.
+        self.regularization = regularization
+        self.seed = seed
+        self.learner_names: tuple[str, ...] = ()
+        self.weights: np.ndarray | None = None  # (n_labels, n_learners)
+        self.space: LabelSpace | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.weights is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, cv_scores: dict[str, np.ndarray],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        """Learn weights from cross-validated base-learner scores.
+
+        ``cv_scores[name]`` is the ``(n, n_labels)`` out-of-fold score
+        matrix of one base learner (from :func:`cross_validate`).
+        """
+        if not cv_scores:
+            raise ValueError("need at least one base learner")
+        self.space = space
+        self.learner_names = tuple(cv_scores)
+        n = len(labels)
+        n_labels = len(space)
+        n_learners = len(self.learner_names)
+
+        # indicator[i, c] = l(c, x_i)
+        indicator = np.zeros((n, n_labels))
+        for i, label in enumerate(labels):
+            indicator[i, space.index_of(label)] = 1.0
+
+        self.weights = np.zeros((n_labels, n_learners))
+        lam = self.regularization * max(n, 1)
+        ridge = lam * np.eye(n_learners)
+        prior = np.full(n_learners, 1.0 / n_learners)
+        for c in range(n_labels):
+            # design[i, j] = s(c | x_i, L_j)
+            design = np.column_stack(
+                [cv_scores[name][:, c] for name in self.learner_names])
+            gram = design.T @ design + ridge
+            target = design.T @ indicator[:, c] + lam * prior
+            # Negative weights would let one learner's *low* score argue
+            # for a label; clip to keep combination interpretable.
+            self.weights[c] = np.maximum(np.linalg.solve(gram, target),
+                                         0.0)
+
+    def fit_uniform(self, learner_names: Sequence[str],
+                    space: LabelSpace) -> None:
+        """Ablation baseline: equal weight for every learner and label."""
+        self.space = space
+        self.learner_names = tuple(learner_names)
+        self.weights = np.full((len(space), len(self.learner_names)),
+                               1.0 / len(self.learner_names))
+
+    # ------------------------------------------------------------------
+    def combine(self, scores_by_learner: dict[str, np.ndarray]
+                ) -> np.ndarray:
+        """Weighted combination of base-learner score matrices.
+
+        Returns a normalised ``(n, n_labels)`` matrix.
+        """
+        if self.weights is None or self.space is None:
+            raise RuntimeError("meta-learner is not fitted")
+        missing = set(self.learner_names) - set(scores_by_learner)
+        if missing:
+            raise ValueError(f"missing scores for learners: {missing}")
+        first = scores_by_learner[self.learner_names[0]]
+        combined = np.zeros_like(first, dtype=np.float64)
+        for j, name in enumerate(self.learner_names):
+            combined += scores_by_learner[name] * self.weights[:, j]
+        return normalize_matrix(combined)
+
+    def weight_of(self, label: str, learner_name: str) -> float:
+        """The learned weight ``W[label, learner]``."""
+        if self.weights is None or self.space is None:
+            raise RuntimeError("meta-learner is not fitted")
+        return float(self.weights[self.space.index_of(label),
+                                  self.learner_names.index(learner_name)])
+
+    def weight_table(self) -> dict[str, dict[str, float]]:
+        """``{label: {learner: weight}}`` view for reports and debugging."""
+        if self.weights is None or self.space is None:
+            raise RuntimeError("meta-learner is not fitted")
+        return {
+            label: {name: float(self.weights[c, j])
+                    for j, name in enumerate(self.learner_names)}
+            for c, label in enumerate(self.space.labels)
+        }

@@ -1,0 +1,77 @@
+"""A DELTA-style metadata learner (§8 of the paper).
+
+"Clifton et al. describe DELTA, which associates with each attribute a
+text string that consists of all meta-data on the attribute, then matches
+attributes based on the similarity of the text strings." As with Semint,
+the paper notes DELTA "could be plugged in as [a] new base learner".
+
+Here the metadata document for an instance is the concatenation of its
+tag-name tokens, its ancestor-path tokens, and a sample of its content
+tokens — everything one would find in a data dictionary entry — matched
+with the same WHIRL nearest-neighbour engine the other matchers use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import remove_stopwords, split_name, stem_tokens, tokenize
+from .base import BaseLearner
+from .whirl import WhirlIndex
+
+_CONTENT_SAMPLE_TOKENS = 12
+
+
+def metadata_document(instance: ElementInstance) -> list[str]:
+    """The DELTA-style all-metadata text for one instance."""
+    tokens: list[str] = []
+    tokens.extend(split_name(instance.tag))
+    for ancestor in instance.path[1:]:
+        tokens.extend(split_name(ancestor))
+    content = stem_tokens(remove_stopwords(tokenize(instance.text)))
+    tokens.extend(content[:_CONTENT_SAMPLE_TOKENS])
+    return tokens
+
+
+class MetadataLearner(BaseLearner):
+    """WHIRL over combined name+path+content metadata documents."""
+
+    name = "metadata"
+
+    def __init__(self, max_neighbors: int = 30,
+                 max_examples_per_label: int = 300) -> None:
+        super().__init__()
+        self.max_neighbors = max_neighbors
+        self.max_examples_per_label = max_examples_per_label
+        self._index = WhirlIndex(max_neighbors=max_neighbors)
+
+    def clone(self) -> "MetadataLearner":
+        return MetadataLearner(self.max_neighbors,
+                               self.max_examples_per_label)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        per_label: dict[str, int] = {}
+        documents: list[list[str]] = []
+        kept: list[str] = []
+        for instance, label in zip(instances, labels):
+            count = per_label.get(label, 0)
+            if count >= self.max_examples_per_label:
+                continue
+            per_label[label] = count + 1
+            documents.append(metadata_document(instance))
+            kept.append(label)
+        self._index.fit(documents, kept, space)
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if not instances:
+            return np.zeros((0, len(space)))
+        documents = [metadata_document(i) for i in instances]
+        return self._index.scores(documents)

@@ -1,0 +1,120 @@
+"""Multinomial Naive Bayes over stemmed content tokens (§3.3).
+
+The learner treats an instance as a bag of tokens and assigns the class
+maximising ``P(c) * prod_j P(w_j | c)`` with Laplace-smoothed token
+probabilities. It shines when some tokens are strongly indicative of a
+label ("beautiful", "great" for DESCRIPTION) or when many weakly
+suggestive tokens accumulate; it is weak on short numeric fields.
+
+The implementation is vectorised: training builds an
+``(n_labels, vocabulary)`` log-probability matrix; prediction is one
+sparse matrix product followed by a row-softmax.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import remove_stopwords, stem_tokens, tokenize
+from .base import BaseLearner
+
+
+def default_tokenizer(instance: ElementInstance) -> list[str]:
+    """Parse + stem the words and symbols of the instance content."""
+    return stem_tokens(remove_stopwords(tokenize(instance.text)))
+
+
+class NaiveBayesLearner(BaseLearner):
+    """Multinomial NB with Laplace smoothing over instance token bags."""
+
+    name = "naive_bayes"
+
+    def __init__(self, alpha: float = 1.0,
+                 tokenizer: Callable[[ElementInstance], list[str]]
+                 = default_tokenizer) -> None:
+        super().__init__()
+        self.alpha = alpha
+        self.tokenizer = tokenizer
+        self.vocabulary: dict[str, int] = {}
+        self._log_prior: np.ndarray | None = None
+        self._log_likelihood: np.ndarray | None = None
+
+    def clone(self) -> "NaiveBayesLearner":
+        return type(self)(self.alpha, self.tokenizer)
+
+    # ------------------------------------------------------------------
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        if len(instances) != len(labels):
+            raise ValueError("instances and labels differ in length")
+        self.space = space
+        documents = [self.tokenizer(instance) for instance in instances]
+        self.vocabulary = {}
+        for doc in documents:
+            for token in doc:
+                if token not in self.vocabulary:
+                    self.vocabulary[token] = len(self.vocabulary)
+
+        n_labels = len(space)
+        vocab_size = max(len(self.vocabulary), 1)
+        token_counts = np.zeros((n_labels, vocab_size))
+        class_counts = np.zeros(n_labels)
+        for doc, label in zip(documents, labels):
+            row = space.index_of(label)
+            class_counts[row] += 1
+            for token in doc:
+                token_counts[row, self.vocabulary[token]] += 1
+
+        # P(c): Laplace-smoothed so labels absent from training keep a
+        # tiny prior instead of a hard zero.
+        smoothed = class_counts + self.alpha
+        self._log_prior = np.log(smoothed / smoothed.sum())
+        # P(w|c) = (n(w,c) + alpha) / (n(c) + alpha * |V|)
+        totals = token_counts.sum(axis=1, keepdims=True)
+        self._log_likelihood = np.log(
+            (token_counts + self.alpha) / (totals + self.alpha * vocab_size))
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if self._log_prior is None or self._log_likelihood is None:
+            raise RuntimeError("learner is not fitted")
+        if not instances:
+            return np.zeros((0, len(space)))
+        documents = [self.tokenizer(instance) for instance in instances]
+        matrix = self._document_matrix(documents)
+        log_scores = matrix @ self._log_likelihood.T + self._log_prior
+        return _row_softmax(log_scores)
+
+    # ------------------------------------------------------------------
+    def _document_matrix(self,
+                         documents: list[list[str]]) -> sparse.csr_matrix:
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for row_index, doc in enumerate(documents):
+            counts: dict[int, int] = {}
+            for token in doc:
+                col = self.vocabulary.get(token)
+                if col is not None:
+                    counts[col] = counts.get(col, 0) + 1
+            for col, count in counts.items():
+                rows.append(row_index)
+                cols.append(col)
+                data.append(float(count))
+        return sparse.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(documents), max(len(self.vocabulary), 1)))
+
+
+def _row_softmax(log_scores: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax per row."""
+    log_scores = np.asarray(log_scores)
+    shifted = log_scores - log_scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)

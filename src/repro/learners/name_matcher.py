@@ -1,0 +1,68 @@
+"""The name matcher: WHIRL nearest-neighbour over expanded tag names.
+
+"The Name Matcher matches an XML element using its tag name (expanded with
+synonyms and all tag names leading to this element from the root element)"
+(§3.3). It is strong on specific, descriptive names (``price``,
+``house-location``) and weak on vacuous ones (``item``, ``listing``) —
+the meta-learner's per-label weights account for that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import SynonymDictionary, default_synonyms, expand_name
+from .base import BaseLearner
+from .whirl import WhirlIndex
+
+
+class NameMatcher(BaseLearner):
+    """WHIRL classifier over tag-name tokens."""
+
+    name = "name_matcher"
+
+    def __init__(self, synonyms: SynonymDictionary | None = None,
+                 use_paths: bool = True, max_neighbors: int = 30) -> None:
+        super().__init__()
+        self.synonyms = synonyms if synonyms is not None \
+            else default_synonyms()
+        self.use_paths = use_paths
+        self.max_neighbors = max_neighbors
+        self._index = WhirlIndex(max_neighbors=max_neighbors)
+
+    def clone(self) -> "NameMatcher":
+        return NameMatcher(self.synonyms, self.use_paths,
+                           self.max_neighbors)
+
+    # ------------------------------------------------------------------
+    def _document(self, instance: ElementInstance) -> list[str]:
+        path = instance.path[1:] if self.use_paths else ()
+        return expand_name(instance.tag, path, self.synonyms)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        documents = [self._document(instance) for instance in instances]
+        self._index.fit(documents, list(labels), space)
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if not instances:
+            return np.zeros((0, len(space)))
+        # Every instance of a tag shares the same name document: score each
+        # distinct (tag, path) once and broadcast.
+        keys = [(i.tag, i.path) for i in instances]
+        distinct: dict[tuple, int] = {}
+        documents: list[list[str]] = []
+        for key, instance in zip(keys, instances):
+            if key not in distinct:
+                distinct[key] = len(documents)
+                documents.append(self._document(instance))
+        per_key = self._index.scores(documents)
+        rows = np.array([distinct[key] for key in keys])
+        return per_key[rows]

@@ -1,0 +1,105 @@
+"""Value-distribution learner for numeric fields.
+
+The paper's introduction motivates learning "from the characteristics of
+value distributions: ... if the average value is in the thousands, then
+the element is more likely to be price than the number of bathrooms", and
+§7 lists a format/value learner as the fix for fields where the text
+learners fail (counts, prices, zip codes).
+
+Per label the learner fits a Gaussian in ``log1p`` space over the numeric
+values observed in training instances, plus the probability that an
+instance of the label contains a number at all. Prediction combines both:
+non-numeric instances are scored by the labels' non-numeric rates, numeric
+instances by rate x likelihood.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import tokenize_numeric
+from .base import BaseLearner
+
+_MIN_STD = 0.25  # floor in log-space: a label seen once is not a spike
+
+
+class NumericLearner(BaseLearner):
+    """Gaussian value-distribution classifier for numeric content."""
+
+    name = "numeric"
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        super().__init__()
+        self.smoothing = smoothing
+        self._means: np.ndarray | None = None
+        self._stds: np.ndarray | None = None
+        self._numeric_rate: np.ndarray | None = None
+        self._prior: np.ndarray | None = None
+
+    def clone(self) -> "NumericLearner":
+        return NumericLearner(self.smoothing)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _value_of(instance: ElementInstance) -> float | None:
+        """Representative numeric value of an instance (mean of mentions)."""
+        values = tokenize_numeric(instance.text)
+        if not values:
+            return None
+        return math.log1p(abs(sum(values) / len(values)))
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        n_labels = len(space)
+        per_label_values: list[list[float]] = [[] for _ in range(n_labels)]
+        numeric_counts = np.zeros(n_labels)
+        totals = np.zeros(n_labels)
+        for instance, label in zip(instances, labels):
+            row = space.index_of(label)
+            totals[row] += 1
+            value = self._value_of(instance)
+            if value is not None:
+                numeric_counts[row] += 1
+                per_label_values[row].append(value)
+
+        self._means = np.zeros(n_labels)
+        self._stds = np.full(n_labels, _MIN_STD)
+        for row, values in enumerate(per_label_values):
+            if values:
+                self._means[row] = float(np.mean(values))
+                if len(values) > 1:
+                    self._stds[row] = max(float(np.std(values)), _MIN_STD)
+        # P(instance contains a number | label), Laplace-smoothed.
+        self._numeric_rate = ((numeric_counts + self.smoothing)
+                              / (totals + 2.0 * self.smoothing))
+        smoothed = totals + self.smoothing
+        self._prior = smoothed / smoothed.sum()
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        assert self._means is not None and self._stds is not None
+        assert self._numeric_rate is not None and self._prior is not None
+        if not instances:
+            return np.zeros((0, len(space)))
+        scores = np.zeros((len(instances), len(space)))
+        for row, instance in enumerate(instances):
+            value = self._value_of(instance)
+            if value is None:
+                scores[row] = self._prior * (1.0 - self._numeric_rate)
+            else:
+                likelihood = _gaussian_pdf(value, self._means, self._stds)
+                scores[row] = self._prior * self._numeric_rate * likelihood
+        return self._normalize(scores)
+
+
+def _gaussian_pdf(x: float, means: np.ndarray,
+                  stds: np.ndarray) -> np.ndarray:
+    z = (x - means) / stds
+    return np.exp(-0.5 * z * z) / (stds * math.sqrt(2.0 * math.pi))

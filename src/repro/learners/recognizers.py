@@ -1,0 +1,108 @@
+"""Recognizer learners with a narrow, high-precision area of expertise.
+
+The paper's county-name recognizer "searches a database (extracted from
+the Web) to verify if an XML element is a county name" and illustrates how
+special-purpose modules slot into the multi-strategy architecture. The
+generic :class:`GazetteerRecognizer` covers that pattern for any label and
+any value list; :class:`RegexRecognizer` does the same for value *shapes*
+(phone numbers, zip codes, course codes).
+
+Recognizers abstain (uniform prediction) when they see nothing they
+recognise — the meta-learner's regression weights then learn how much each
+recognizer's non-abstaining votes are worth per label.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from .base import BaseLearner
+
+
+class GazetteerRecognizer(BaseLearner):
+    """Scores its bound label high when the instance value is in a known
+    value set (a gazetteer)."""
+
+    def __init__(self, label: str, values: Iterable[str],
+                 name: str | None = None,
+                 match_confidence: float = 0.9) -> None:
+        super().__init__()
+        self.label = label
+        self.values = {v.strip().lower() for v in values}
+        self.match_confidence = match_confidence
+        if name:
+            self.name = name
+        else:
+            self.name = f"gazetteer[{label.lower()}]"
+
+    def clone(self) -> "GazetteerRecognizer":
+        return GazetteerRecognizer(self.label, self.values, self.name,
+                                   self.match_confidence)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        # Gazetteers are knowledge-based: fitting only records the space.
+        self.space = space
+
+    def _recognizes(self, instance: ElementInstance) -> bool:
+        return instance.text.strip().lower() in self.values
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        scores = self._uniform(len(instances))
+        if self.label not in space:
+            return scores  # label not in this domain: always abstain
+        col = space.index_of(self.label)
+        others = 1.0 - self.match_confidence
+        spread = others / max(len(space) - 1, 1)
+        for row, instance in enumerate(instances):
+            if self._recognizes(instance):
+                scores[row, :] = spread
+                scores[row, col] = self.match_confidence
+        return scores
+
+
+class RegexRecognizer(BaseLearner):
+    """Scores its bound label high when the full value matches a pattern."""
+
+    def __init__(self, label: str, pattern: str,
+                 name: str | None = None,
+                 match_confidence: float = 0.85) -> None:
+        super().__init__()
+        self.label = label
+        self.pattern = pattern
+        self._compiled = re.compile(pattern)
+        self.match_confidence = match_confidence
+        if name:
+            self.name = name
+        else:
+            self.name = f"regex[{label.lower()}]"
+
+    def clone(self) -> "RegexRecognizer":
+        return RegexRecognizer(self.label, self.pattern, self.name,
+                               self.match_confidence)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        scores = self._uniform(len(instances))
+        if self.label not in space:
+            return scores
+        col = space.index_of(self.label)
+        others = 1.0 - self.match_confidence
+        spread = others / max(len(space) - 1, 1)
+        for row, instance in enumerate(instances):
+            if self._compiled.fullmatch(instance.text.strip()):
+                scores[row, :] = spread
+                scores[row, col] = self.match_confidence
+        return scores

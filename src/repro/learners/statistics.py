@@ -1,0 +1,111 @@
+"""A Semint-style statistics learner (§8 of the paper).
+
+"The Semint system uses a neural-network learner. It matches schema
+elements using properties such as field specifications (e.g., data types
+and scale) and statistics of data content (e.g., maximum, minimum, and
+average)." The paper adds: "With LSD, both Semint and DELTA could be
+plugged in as new base learners, and their predictions would be combined
+by the meta-learner." This module does exactly that plugging-in.
+
+Instead of Semint's small neural network, each label is summarised by the
+centroid of a per-instance statistics vector (value magnitudes, length,
+character-class composition, distinctness); prediction is softmax over
+negative distances to the centroids — the same "field statistics" signal
+with a simpler, deterministic estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.instance import ElementInstance
+from ..core.labels import LabelSpace
+from ..text import tokenize, tokenize_numeric
+from .base import BaseLearner
+
+#: Number of features in the statistics vector.
+N_FEATURES = 8
+
+
+def statistics_vector(text: str) -> np.ndarray:
+    """Per-instance field statistics (all roughly unit-scaled)."""
+    stripped = text.strip()
+    length = len(stripped)
+    if length == 0:
+        return np.zeros(N_FEATURES)
+    digits = sum(ch.isdigit() for ch in stripped)
+    alphas = sum(ch.isalpha() for ch in stripped)
+    spaces = sum(ch.isspace() for ch in stripped)
+    punct = length - digits - alphas - spaces
+    numbers = tokenize_numeric(stripped)
+    tokens = tokenize(stripped)
+    magnitude = 0.0
+    if numbers:
+        mean_value = sum(abs(n) for n in numbers) / len(numbers)
+        magnitude = math.log1p(mean_value) / 16.0  # ~1.0 near 1e7
+    return np.array([
+        min(length / 80.0, 1.0),          # scaled length
+        digits / length,                  # digit ratio
+        alphas / length,                  # letter ratio
+        punct / length,                   # punctuation ratio
+        min(len(tokens) / 12.0, 1.0),     # token count
+        1.0 if numbers else 0.0,          # contains a number
+        magnitude,                        # log value magnitude
+        min(len(numbers) / 6.0, 1.0),     # how many numbers
+    ])
+
+
+class StatisticsLearner(BaseLearner):
+    """Nearest-centroid classifier over field-statistics vectors."""
+
+    name = "statistics"
+
+    def __init__(self, temperature: float = 0.15) -> None:
+        """``temperature`` scales distances before the softmax; smaller
+        values make the learner more opinionated. The default is soft
+        on purpose: field statistics overlap across labels, and an
+        overconfident statistics vote drags the stacked ensemble down.
+        """
+        super().__init__()
+        self.temperature = temperature
+        self._centroids: np.ndarray | None = None
+        self._seen: np.ndarray | None = None
+
+    def clone(self) -> "StatisticsLearner":
+        return StatisticsLearner(self.temperature)
+
+    def fit(self, instances: Sequence[ElementInstance],
+            labels: Sequence[str], space: LabelSpace) -> None:
+        self.space = space
+        sums = np.zeros((len(space), N_FEATURES))
+        counts = np.zeros(len(space))
+        for instance, label in zip(instances, labels):
+            row = space.index_of(label)
+            sums[row] += statistics_vector(instance.text)
+            counts[row] += 1
+        self._seen = counts > 0
+        safe = np.where(counts == 0, 1, counts)
+        self._centroids = sums / safe[:, None]
+
+    def predict_scores(self,
+                       instances: Sequence[ElementInstance]) -> np.ndarray:
+        space = self._require_fitted()
+        if self._centroids is None or self._seen is None:
+            raise RuntimeError("learner is not fitted")
+        if not instances:
+            return np.zeros((0, len(space)))
+        vectors = np.stack([statistics_vector(i.text) for i in instances])
+        # (n, labels) squared distances to each centroid.
+        deltas = vectors[:, None, :] - self._centroids[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=2))
+        logits = -distances / self.temperature
+        # Labels never seen in training get no vote.
+        logits[:, ~self._seen] = -np.inf
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        totals = exp.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return exp / totals

@@ -1,0 +1,112 @@
+"""WHIRL-style nearest-neighbour classification over TF-IDF space.
+
+Cohen & Hirsh's WHIRL, which the paper's name matcher and content matcher
+use, stores training documents and scores a query label by combining the
+cosine similarities of the stored neighbours carrying that label:
+
+    score(c | q) = 1 - prod_{d in top-K neighbours with label c} (1 - sim(q, d))
+
+so several moderately similar neighbours of one label reinforce each
+other, and a single exact-name neighbour dominates. Scores are then
+normalised across labels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.labels import LabelSpace
+from ..text import TfidfVectorSpace
+
+
+class WhirlIndex:
+    """A fitted nearest-neighbour index over token-list documents."""
+
+    def __init__(self, max_neighbors: int = 30,
+                 min_similarity: float = 0.0,
+                 deduplicate: bool = True) -> None:
+        """
+        Parameters
+        ----------
+        max_neighbors:
+            Only the K most similar stored documents vote for a query;
+            keeps hundreds of duplicate training examples from saturating
+            every label's score at 1.
+        min_similarity:
+            Neighbours below this cosine similarity are ignored (the
+            paper's ``delta`` distance threshold).
+        deduplicate:
+            Store each distinct ``(document, label)`` pair once. Training
+            columns contain the same tag name hundreds of times; WHIRL's
+            vote combination only needs the distinct evidence.
+        """
+        self.max_neighbors = max_neighbors
+        self.min_similarity = min_similarity
+        self.deduplicate = deduplicate
+        self._space: TfidfVectorSpace | None = None
+        self._label_matrix: np.ndarray | None = None
+        self._labels: LabelSpace | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._space is not None
+
+    def fit(self, documents: Sequence[list[str]], labels: Sequence[str],
+            space: LabelSpace) -> None:
+        """Index ``documents`` with their labels."""
+        if len(documents) != len(labels):
+            raise ValueError("documents and labels differ in length")
+        if not documents:
+            raise ValueError("cannot fit WHIRL on zero documents")
+        if self.deduplicate:
+            seen: set[tuple[tuple[str, ...], str]] = set()
+            kept_docs: list[list[str]] = []
+            kept_labels: list[str] = []
+            for doc, label in zip(documents, labels):
+                key = (tuple(doc), label)
+                if key not in seen:
+                    seen.add(key)
+                    kept_docs.append(list(doc))
+                    kept_labels.append(label)
+            documents, labels = kept_docs, kept_labels
+
+        self._labels = space
+        self._space = TfidfVectorSpace(list(documents))
+        # One-hot (n_docs, n_labels) matrix for vectorised vote grouping.
+        label_matrix = np.zeros((len(documents), len(space)))
+        for row, label in enumerate(labels):
+            label_matrix[row, space.index_of(label)] = 1.0
+        self._label_matrix = label_matrix
+
+    def scores(self, queries: Sequence[list[str]]) -> np.ndarray:
+        """Normalised ``(n_queries, n_labels)`` WHIRL scores."""
+        if self._space is None or self._label_matrix is None \
+                or self._labels is None:
+            raise RuntimeError("WhirlIndex is not fitted")
+        if not queries:
+            return np.zeros((0, len(self._labels)))
+        sims = self._space.similarities(list(queries))
+        sims = np.clip(sims, 0.0, 1.0 - 1e-9)
+        if self.min_similarity > 0.0:
+            sims[sims < self.min_similarity] = 0.0
+        sims = self._keep_top_k(sims)
+        # 1 - prod(1 - sim) per label, via log-space grouped sums:
+        # log(1-sim) is 0 where sim == 0, so non-neighbours drop out.
+        log_miss = np.log1p(-sims)
+        grouped = log_miss @ self._label_matrix
+        raw = 1.0 - np.exp(grouped)
+        totals = raw.sum(axis=1, keepdims=True)
+        uniform = np.full_like(raw, 1.0 / raw.shape[1])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            normalized = np.where(totals > 0.0, raw / totals, uniform)
+        return normalized
+
+    def _keep_top_k(self, sims: np.ndarray) -> np.ndarray:
+        k = self.max_neighbors
+        if k is None or sims.shape[1] <= k:
+            return sims
+        # Zero out everything below each row's k-th largest similarity.
+        thresholds = np.partition(sims, -k, axis=1)[:, -k][:, None]
+        return np.where(sims >= thresholds, sims, 0.0)

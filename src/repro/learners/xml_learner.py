@@ -1,0 +1,81 @@
+"""The XML learner: Naive Bayes over text, node, and edge tokens (§5).
+
+Flat text learners confuse structured classes (HOUSE vs CONTACT-INFO vs
+AGENT-INFO) because they share vocabulary. The XML learner keeps the Naive
+Bayes machinery but adds *structure tokens* derived from the instance tree
+after replacing each non-root, non-leaf node with its (true or predicted)
+label:
+
+* **node tokens** — one per labelled descendant node
+  (``CONTACT-INFO`` instances contain ``AGENT-NAME`` node tokens,
+  ``DESCRIPTION`` instances do not);
+* **edge tokens** — one per parent→child pair, where the instance root is
+  the generic node ``d`` and leaf words count as children
+  (``d→AGENT-NAME`` separates AGENT-INFO from HOUSE even when the node
+  token ``AGENT-NAME`` appears in both; ``WATERFRONT→yes`` carries signal
+  the bare word ``yes`` does not).
+
+During training the descendant labels come from the user-provided mapping;
+during matching, from LSD's current predictions for the child tags
+(``ElementInstance.child_labels`` is filled by the pipelines either way —
+Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from ..core.instance import ElementInstance
+from ..text import remove_stopwords, stem_tokens, tokenize
+from .naive_bayes import NaiveBayesLearner
+
+#: Label given to descendant tags for which no label is known (yet).
+UNKNOWN_NODE = "?"
+#: The generic root node of every instance tree (paper's ``d``).
+ROOT_NODE = "d"
+
+
+def structure_tokens(instance: ElementInstance,
+                     include_structure: bool = True) -> list[str]:
+    """The XML learner's bag of text + node + edge tokens."""
+    tokens: list[str] = []
+    element = instance.element
+    labels = instance.child_labels
+
+    def label_of(tag: str) -> str:
+        return labels.get(tag, UNKNOWN_NODE)
+
+    def words_of(node) -> list[str]:
+        return stem_tokens(remove_stopwords(tokenize(node.immediate_text())))
+
+    def walk(node, node_name: str) -> None:
+        for word in words_of(node):
+            tokens.append(word)
+            if include_structure:
+                tokens.append(f"{node_name}->{word}")
+        for child in node.element_children:
+            child_label = label_of(child.tag)
+            if include_structure:
+                tokens.append(f"node:{child_label}")
+                tokens.append(f"{node_name}->{child_label}")
+            walk(child, child_label)
+
+    walk(element, ROOT_NODE)
+    return tokens
+
+
+class XMLLearner(NaiveBayesLearner):
+    """Naive Bayes with structure tokens; see module docstring."""
+
+    name = "xml_learner"
+    uses_child_labels = True
+
+    def __init__(self, alpha: float = 1.0,
+                 include_structure: bool = True) -> None:
+        self.include_structure = include_structure
+        super().__init__(alpha=alpha, tokenizer=self._structure_tokenizer)
+
+    def _structure_tokenizer(self,
+                             instance: ElementInstance) -> list[str]:
+        return structure_tokens(instance, self.include_structure)
+
+    def clone(self) -> "XMLLearner":
+        return XMLLearner(self.alpha, self.include_structure)

@@ -1,0 +1,24 @@
+"""Text-processing substrate: tokenization, stemming, TF-IDF, names.
+
+Everything here is dependency-free (numpy/scipy only) because the target
+environment has no NLP or ML libraries; see DESIGN.md §3.
+"""
+
+from .names import ABBREVIATIONS, expand_name, normalize_name, split_name
+from .similarity import (best_token_alignment, jaro, jaro_winkler,
+                         levenshtein, levenshtein_similarity)
+from .stemming import stem, stem_tokens
+from .stopwords import STOPWORDS, is_stopword, remove_stopwords
+from .synonyms import (DEFAULT_GROUPS, SynonymDictionary, default_synonyms)
+from .tfidf import TfidfVectorSpace, cosine_similarity
+from .tokenize import char_ngrams, ngrams, tokenize, tokenize_numeric
+
+__all__ = [
+    "ABBREVIATIONS", "DEFAULT_GROUPS", "STOPWORDS", "SynonymDictionary",
+    "best_token_alignment", "jaro", "jaro_winkler", "levenshtein",
+    "levenshtein_similarity",
+    "TfidfVectorSpace", "char_ngrams", "cosine_similarity",
+    "default_synonyms", "expand_name", "is_stopword", "ngrams",
+    "normalize_name", "remove_stopwords", "split_name", "stem",
+    "stem_tokens", "tokenize", "tokenize_numeric",
+]

@@ -1,0 +1,82 @@
+"""Tag-name normalisation and expansion for the name matcher.
+
+Schema tag names arrive in many spellings: ``listed-price``,
+``listedPrice``, ``LISTED_PRICE``, ``price2``. :func:`split_name` breaks a
+name into lowercase word tokens; :func:`expand_name` additionally prepends
+the tokens of every tag on the path from the root (the paper expands a
+name "with synonyms and all tag names leading to this element from the
+root element") and applies a synonym dictionary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .synonyms import SynonymDictionary
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_WORD = re.compile(r"[a-zA-Z]+|\d+")
+
+#: Common abbreviations worth expanding even without a synonym dictionary.
+ABBREVIATIONS: dict[str, str] = {
+    "no": "number",
+    "nbr": "number",
+    "qty": "quantity",
+    "st": "street",
+    "ave": "avenue",
+    "apt": "apartment",
+    "dept": "department",
+    "univ": "university",
+    "prof": "professor",
+    "asst": "assistant",
+    "assoc": "associate",
+}
+
+
+def split_name(name: str) -> list[str]:
+    """Split a tag name into lowercase word tokens.
+
+    Handles hyphens, underscores, dots, digits and camelCase:
+    ``"listedPrice"`` → ``["listed", "price"]``;
+    ``"AGENT-PHONE2"`` → ``["agent", "phone", "2"]``.
+    """
+    with_boundaries = _CAMEL_BOUNDARY.sub(" ", name)
+    return [token.lower() for token in _WORD.findall(with_boundaries)]
+
+
+def normalize_name(name: str) -> str:
+    """Canonical single-string form of a tag name (space-joined tokens)."""
+    return " ".join(split_name(name))
+
+
+def expand_name(name: str, path: tuple[str, ...] = (),
+                synonyms: SynonymDictionary | None = None,
+                expand_abbreviations: bool = True) -> list[str]:
+    """Token representation of a tag name for the name matcher.
+
+    Parameters
+    ----------
+    name:
+        The tag name itself.
+    path:
+        Tag names from the root down to (excluding) this tag; their tokens
+        are included with lower weight by simply appearing once while the
+        tag's own tokens appear twice (a cheap, rank-preserving weighting).
+    synonyms:
+        Optional synonym dictionary; matching tokens are expanded in place.
+    """
+    own = split_name(name)
+    context: list[str] = []
+    for ancestor in path:
+        context.extend(split_name(ancestor))
+    tokens = own + own + context
+    if expand_abbreviations:
+        expanded: list[str] = []
+        for token in tokens:
+            expanded.append(token)
+            if token in ABBREVIATIONS:
+                expanded.append(ABBREVIATIONS[token])
+        tokens = expanded
+    if synonyms is not None:
+        tokens = synonyms.expand(tokens)
+    return tokens

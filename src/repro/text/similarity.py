@@ -1,0 +1,112 @@
+"""String-similarity metrics implemented from scratch.
+
+The WHIRL matchers compare names as TF-IDF token bags, which is blind to
+*within-token* similarity (``tel`` vs ``tele``, misspellings,
+truncations). These classic metrics fill that gap and power the
+edit-distance name matcher, an optional extra base learner in the spirit
+of systems like Cupid that LSD's architecture can absorb.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance: insertions, deletions, substitutions."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1,        # deletion
+                               current[j - 1] + 1,     # insertion
+                               previous[j - 1] + cost))  # substitution
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised into [0, 1] (1 = identical)."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if matched_b[j] or b[j] != char_a:
+                continue
+            matched_a[i] = True
+            matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len(a)):
+        if not matched_a[i]:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1,
+                 max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro with a bonus for shared prefixes.
+
+    Favouring prefixes suits schema names, where truncations
+    (``tel``/``telephone``, ``desc``/``description``) abound.
+    """
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a[:max_prefix], b[:max_prefix]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def best_token_alignment(tokens_a: list[str], tokens_b: list[str],
+                         metric=jaro_winkler) -> float:
+    """Average greedy best-match similarity between two token lists.
+
+    Each token of the shorter list is matched to its most similar token
+    of the other list; the mean of those scores is returned. A cheap,
+    order-insensitive name similarity for multi-word names.
+    """
+    if not tokens_a or not tokens_b:
+        return 0.0
+    if len(tokens_a) > len(tokens_b):
+        tokens_a, tokens_b = tokens_b, tokens_a
+    total = 0.0
+    for token in tokens_a:
+        total += max(metric(token, other) for other in tokens_b)
+    return total / len(tokens_a)

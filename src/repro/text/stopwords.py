@@ -1,0 +1,30 @@
+"""English stopword list used by the content learners.
+
+A compact, standard list: function words that carry no class signal in
+data instances. The learners drop stopwords before stemming so that
+"close to the river" and "close to a river" produce the same evidence.
+"""
+
+from __future__ import annotations
+
+STOPWORDS = frozenset("""
+a about above after again against all am an and any are as at be because
+been before being below between both but by can cannot could did do does
+doing down during each few for from further had has have having he her
+here hers herself him himself his how i if in into is it its itself just
+me more most my myself no nor not now of off on once only or other our
+ours ourselves out over own same she should so some such than that the
+their theirs them themselves then there these they this those through to
+too under until up very was we were what when where which while who whom
+why will with you your yours yourself yourselves
+""".split())
+
+
+def is_stopword(token: str) -> bool:
+    """True if ``token`` (lowercase) is an English function word."""
+    return token in STOPWORDS
+
+
+def remove_stopwords(tokens: list[str]) -> list[str]:
+    """Filter stopwords out of a token list."""
+    return [t for t in tokens if t not in STOPWORDS]

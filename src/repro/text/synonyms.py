@@ -1,0 +1,103 @@
+"""Synonym dictionary used to expand tag names before matching.
+
+The paper's name matcher matches an element "using its tag name (expanded
+with synonyms ...)". A :class:`SynonymDictionary` maps a word to the set of
+words the domain builder considers equivalent; expansion is symmetric and
+transitive within a group.
+
+:func:`default_synonyms` ships a small domain-independent core (phone/
+telephone, price/cost, …) which the dataset domains extend.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+#: Domain-independent synonym groups shipped with the library.
+DEFAULT_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("phone", "telephone", "tel"),
+    ("price", "cost", "amount"),
+    ("address", "location", "addr"),
+    ("description", "comments", "remarks", "desc", "info"),
+    ("name", "title"),
+    ("email", "mail"),
+    ("fax", "facsimile"),
+    ("city", "town"),
+    ("state", "province"),
+    ("zip", "zipcode", "postal"),
+    ("agent", "realtor", "broker"),
+    ("id", "identifier", "code", "number", "num"),
+    ("date", "day"),
+    ("time", "hour"),
+    ("firm", "company", "office", "agency"),
+    ("picture", "photo", "image"),
+    ("contact", "contacts"),
+    ("course", "class"),
+    ("instructor", "teacher", "professor", "lecturer", "faculty"),
+    ("credit", "credits", "unit", "units"),
+    ("section", "sect"),
+    ("building", "bldg", "hall"),
+    ("room", "rm"),
+    ("degree", "diploma"),
+    ("research", "interests"),
+    ("beds", "bedrooms", "bed", "bedroom", "br"),
+    ("baths", "bathrooms", "bath", "bathroom", "ba"),
+    ("sqft", "square", "area", "size"),
+    ("lot", "acreage", "land"),
+    ("year", "built", "yr"),
+    ("garage", "parking", "carport"),
+    ("school", "district"),
+    ("county", "parish"),
+    ("mls", "listing"),
+    ("url", "link", "website", "web", "homepage"),
+)
+
+
+class SynonymDictionary:
+    """Symmetric, transitive synonym groups over lowercase words."""
+
+    def __init__(self, groups: Iterable[Iterable[str]] = ()) -> None:
+        self._groups: dict[str, set[str]] = defaultdict(set)
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, words: Iterable[str]) -> None:
+        """Declare that all of ``words`` are mutual synonyms.
+
+        A word may belong to several declared groups; its expansion is the
+        union of all groups containing it (groups are merged on overlap).
+        """
+        words = [w.lower() for w in words]
+        merged: set[str] = set(words)
+        for word in words:
+            merged |= self._groups.get(word, set())
+        for word in merged:
+            self._groups[word] = merged
+
+    def synonyms_of(self, word: str) -> set[str]:
+        """All synonyms of ``word`` including itself."""
+        return set(self._groups.get(word.lower(), {word.lower()}))
+
+    def expand(self, tokens: list[str]) -> list[str]:
+        """Expand a token list with all synonyms (order-stable, deduped)."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for token in tokens:
+            for candidate in [token, *sorted(self.synonyms_of(token))]:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    out.append(candidate)
+        return out
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """True if the two words fall in the same synonym group."""
+        return b.lower() in self.synonyms_of(a)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+def default_synonyms() -> SynonymDictionary:
+    """The library's built-in domain-independent synonym dictionary."""
+    return SynonymDictionary(DEFAULT_GROUPS)

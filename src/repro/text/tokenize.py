@@ -1,0 +1,54 @@
+"""Tokenization for schema names and data content.
+
+The paper's learners "parse and stem the words and symbols in the
+instance" and the data preparation splits strings like ``$70000`` into
+``$`` and ``70000``. :func:`tokenize` reproduces that behaviour:
+
+* alphabetic runs become lowercase word tokens,
+* digit runs become number tokens; thousands separators are removed first,
+  so ``70,000`` is the single token ``70000``,
+* the currency/punctuation symbols that carry signal (``$ % # @``) become
+  single-character tokens,
+* everything else (commas, parentheses, dashes…) separates tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: ``1,234`` / ``12,345,678`` — commas used as thousands separators.
+_THOUSANDS_RE = re.compile(r"(?<=\d),(?=\d{3}(?!\d))")
+_TOKEN_RE = re.compile(r"[a-z]+|\d+|[$%#@]")
+_NUMBER_RE = re.compile(r"\d+(?:\.\d+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase word/number/symbol tokens."""
+    cleaned = _THOUSANDS_RE.sub("", text.lower())
+    return _TOKEN_RE.findall(cleaned)
+
+
+def tokenize_numeric(text: str) -> list[float]:
+    """Extract the numeric values mentioned in ``text``.
+
+    ``"3 beds / 2.5 baths, $70,000"`` yields ``[3.0, 2.5, 70000.0]``.
+    Used by the value-distribution learner.
+    """
+    cleaned = _THOUSANDS_RE.sub("", text)
+    return [float(m) for m in _NUMBER_RE.findall(cleaned)]
+
+
+def ngrams(tokens: list[str], n: int) -> list[tuple[str, ...]]:
+    """Contiguous n-grams of a token list (empty if too short)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def char_ngrams(text: str, n: int) -> list[str]:
+    """Character n-grams of ``text`` (used by the format learner)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(text) < n:
+        return [text] if text else []
+    return [text[i:i + n] for i in range(len(text) - n + 1)]

@@ -1,0 +1,33 @@
+"""From-scratch XML + DTD substrate used by the LSD reproduction.
+
+Public surface:
+
+* :func:`parse_document` / :func:`parse_element` / :func:`parse_fragments`
+  — XML parsing into the :class:`Element` tree model.
+* :func:`parse_dtd` and the :class:`DTD` schema model with structural
+  queries (roots, leaves, nesting, depth).
+* :func:`validate` / :func:`is_valid` — DTD validation.
+* :func:`write_element` / :func:`write_document` / :func:`write_dtd` —
+  serialization.
+"""
+
+from .dtd import (Any, AttributeDecl, Choice, ContentModel, DTD,
+                  ElementDecl, Empty, NameRef, PCData, Sequence, parse_dtd)
+from .errors import DTDSyntaxError, ValidationError, XMLError, XMLSyntaxError
+from .parser import parse_document, parse_element, parse_fragments
+from .paths import PathSyntaxError, select, select_one, select_text
+from .tree import Document, Element, Text, element, from_pairs
+from .validator import is_valid, validate
+from .writer import (escape_attribute, escape_text, write_content_model,
+                     write_document, write_dtd, write_element)
+
+__all__ = [
+    "Any", "AttributeDecl", "Choice", "ContentModel", "DTD", "Document",
+    "DTDSyntaxError", "Element", "ElementDecl", "Empty", "NameRef",
+    "PCData", "PathSyntaxError", "Sequence", "Text", "ValidationError",
+    "XMLError", "XMLSyntaxError", "element", "escape_attribute",
+    "escape_text", "from_pairs", "is_valid", "parse_document",
+    "parse_dtd", "parse_element", "parse_fragments", "select",
+    "select_one", "select_text", "validate", "write_content_model",
+    "write_document", "write_dtd", "write_element",
+]

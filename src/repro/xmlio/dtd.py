@@ -1,0 +1,475 @@
+"""DTD (document type descriptor) parser and schema model.
+
+LSD assumes every source and the mediated schema are described by DTDs
+(Section 2.1 of the paper). This module parses the BNF-style grammar of
+``<!ELEMENT>`` and ``<!ATTLIST>`` declarations into a small AST:
+
+* :class:`PCData` — ``#PCDATA``
+* :class:`NameRef` — a reference to a child element
+* :class:`Sequence` — ``(a, b, c)``
+* :class:`Choice` — ``(a | b | c)`` (also used for mixed content)
+
+Every node carries an occurrence flag from ``{'', '?', '*', '+'}``. The
+:class:`DTD` aggregate offers the structural queries the matching layers
+need: the set of tags, leaf/non-leaf classification, parent/child edges,
+root inference and tree depth — the same statistics the paper reports in
+its Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import DTDSyntaxError, XMLSyntaxError
+from .lexer import Scanner
+
+OCCURRENCES = ("", "?", "*", "+")
+
+
+class ContentModel:
+    """Base class for content-model AST nodes."""
+
+    occurrence: str = ""
+
+    def with_occurrence(self, occurrence: str) -> "ContentModel":
+        """Return a copy of this node with the given occurrence flag."""
+        if occurrence not in OCCURRENCES:
+            raise ValueError(f"bad occurrence flag {occurrence!r}")
+        clone = self._clone()
+        clone.occurrence = occurrence
+        return clone
+
+    def _clone(self) -> "ContentModel":
+        raise NotImplementedError
+
+    def child_names(self) -> set[str]:
+        """All element names referenced anywhere below this node."""
+        return set()
+
+    def is_optional(self) -> bool:
+        """True if this node can match the empty sequence."""
+        return self.occurrence in ("?", "*")
+
+    def allows_repeat(self) -> bool:
+        """True if this node may match more than once."""
+        return self.occurrence in ("*", "+")
+
+
+class Empty(ContentModel):
+    """The ``EMPTY`` content model."""
+
+    def _clone(self) -> "Empty":
+        return Empty()
+
+    def __repr__(self) -> str:
+        return "EMPTY"
+
+
+class Any(ContentModel):
+    """The ``ANY`` content model."""
+
+    def _clone(self) -> "Any":
+        return Any()
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+class PCData(ContentModel):
+    """``#PCDATA`` — character data."""
+
+    def _clone(self) -> "PCData":
+        return PCData()
+
+    def __repr__(self) -> str:
+        return "#PCDATA"
+
+
+class NameRef(ContentModel):
+    """A reference to a child element by name."""
+
+    def __init__(self, name: str, occurrence: str = "") -> None:
+        self.name = name
+        self.occurrence = occurrence
+
+    def _clone(self) -> "NameRef":
+        return NameRef(self.name, self.occurrence)
+
+    def child_names(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"{self.name}{self.occurrence}"
+
+
+class Sequence(ContentModel):
+    """An ordered group ``(a, b, c)``."""
+
+    def __init__(self, items: list[ContentModel],
+                 occurrence: str = "") -> None:
+        self.items = items
+        self.occurrence = occurrence
+
+    def _clone(self) -> "Sequence":
+        return Sequence(list(self.items), self.occurrence)
+
+    def child_names(self) -> set[str]:
+        names: set[str] = set()
+        for item in self.items:
+            names |= item.child_names()
+        return names
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(i) for i in self.items)
+        return f"({inner}){self.occurrence}"
+
+
+class Choice(ContentModel):
+    """An alternation group ``(a | b | c)``; mixed content uses this too."""
+
+    def __init__(self, items: list[ContentModel],
+                 occurrence: str = "") -> None:
+        self.items = items
+        self.occurrence = occurrence
+
+    def _clone(self) -> "Choice":
+        return Choice(list(self.items), self.occurrence)
+
+    def child_names(self) -> set[str]:
+        names: set[str] = set()
+        for item in self.items:
+            names |= item.child_names()
+        return names
+
+    def __repr__(self) -> str:
+        inner = " | ".join(repr(i) for i in self.items)
+        return f"({inner}){self.occurrence}"
+
+
+@dataclass
+class AttributeDecl:
+    """One attribute in an ``<!ATTLIST>`` declaration."""
+
+    name: str
+    type: str
+    default: str  # '#REQUIRED', '#IMPLIED', '#FIXED "v"', or a literal
+
+
+@dataclass
+class ElementDecl:
+    """An ``<!ELEMENT name model>`` declaration."""
+
+    name: str
+    model: ContentModel
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the element can contain no child elements."""
+        return not self.model.child_names()
+
+    def child_names(self) -> set[str]:
+        """Names of elements that may appear directly inside this one."""
+        return self.model.child_names()
+
+
+class DTD:
+    """A parsed DTD: the element declarations plus structural queries."""
+
+    def __init__(self, elements: dict[str, ElementDecl] | None = None,
+                 name: str | None = None) -> None:
+        self.name = name
+        self.elements: dict[str, ElementDecl] = dict(elements or {})
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def declare(self, declaration: ElementDecl) -> None:
+        """Add (or replace) an element declaration.
+
+        Attributes collected from an earlier ``<!ATTLIST>`` for the same
+        element are preserved when the ``<!ELEMENT>`` arrives afterwards.
+        """
+        existing = self.elements.get(declaration.name)
+        if existing is not None and existing.attributes \
+                and not declaration.attributes:
+            declaration.attributes = existing.attributes
+        self.elements[declaration.name] = declaration
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.elements
+
+    def __getitem__(self, name: str) -> ElementDecl:
+        return self.elements[name]
+
+    def tag_names(self) -> list[str]:
+        """All declared element names, in declaration order."""
+        return list(self.elements)
+
+    def leaf_names(self) -> list[str]:
+        """Names of elements with no element children."""
+        return [n for n, d in self.elements.items() if d.is_leaf]
+
+    def non_leaf_names(self) -> list[str]:
+        """Names of elements that may contain child elements."""
+        return [n for n, d in self.elements.items() if not d.is_leaf]
+
+    def children_of(self, name: str) -> set[str]:
+        """Element names that may appear directly inside ``name``."""
+        decl = self.elements.get(name)
+        if decl is None:
+            return set()
+        return decl.child_names()
+
+    def parents_of(self, name: str) -> set[str]:
+        """Element names that may directly contain ``name``."""
+        return {parent for parent, decl in self.elements.items()
+                if name in decl.child_names()}
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All (parent, child) containment edges in the DTD graph."""
+        for parent, decl in self.elements.items():
+            for child in sorted(decl.child_names()):
+                yield parent, child
+
+    def root_name(self) -> str:
+        """Infer the root element: declared but never referenced as a child.
+
+        If the inference is ambiguous, the first declared candidate wins;
+        if no candidate exists (cyclic DTD), the first declaration wins.
+        """
+        referenced: set[str] = set()
+        for decl in self.elements.values():
+            referenced |= decl.child_names()
+        for name in self.elements:
+            if name not in referenced:
+                return name
+        if not self.elements:
+            raise DTDSyntaxError("DTD has no element declarations")
+        return next(iter(self.elements))
+
+    def depth(self) -> int:
+        """Maximum depth of the DTD tree (root has depth 1).
+
+        Cycles are cut rather than followed, matching how the paper counts
+        DTD depth for its Table 3.
+        """
+        memo: dict[str, int] = {}
+
+        def walk(name: str, seen: frozenset[str]) -> int:
+            if name in memo:
+                return memo[name]
+            if name in seen or name not in self.elements:
+                return 0
+            children = self.children_of(name)
+            if not children:
+                result = 1
+            else:
+                result = 1 + max(
+                    walk(child, seen | {name}) for child in children)
+            memo[name] = result
+            return result
+
+        return walk(self.root_name(), frozenset())
+
+    def nested_within(self, outer: str, inner: str) -> bool:
+        """True if ``inner`` can appear anywhere below ``outer``."""
+        seen: set[str] = set()
+        frontier = [outer]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for child in self.children_of(current):
+                if child == inner:
+                    return True
+                frontier.append(child)
+        return False
+
+    def descendant_count(self, name: str) -> int:
+        """Number of distinct tags nestable (at any depth) within ``name``.
+
+        This is the score Section 6.3 of the paper uses to order tags when
+        soliciting user feedback.
+        """
+        seen: set[str] = set()
+        frontier = list(self.children_of(name))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.children_of(current))
+        return len(seen)
+
+
+def parse_dtd(text: str, name: str | None = None) -> DTD:
+    """Parse DTD text (a sequence of declarations) into a :class:`DTD`.
+
+    All syntax problems are reported as :class:`DTDSyntaxError`, including
+    ones detected by the shared low-level scanner.
+    """
+    try:
+        return _parse_dtd(text, name)
+    except DTDSyntaxError:
+        raise
+    except XMLSyntaxError as exc:
+        raise DTDSyntaxError(str(exc)) from exc
+
+
+def _parse_dtd(text: str, name: str | None) -> DTD:
+    scanner = Scanner(text)
+    dtd = DTD(name=name)
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end:
+            break
+        if scanner.looking_at("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.looking_at("<!ELEMENT"):
+            dtd.declare(_parse_element_decl(scanner))
+        elif scanner.looking_at("<!ATTLIST"):
+            _parse_attlist(scanner, dtd)
+        elif scanner.looking_at("<!ENTITY"):
+            # Entity declarations are tolerated and skipped.
+            scanner.advance(len("<!ENTITY"))
+            scanner.read_until(">")
+        elif scanner.looking_at("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+        else:
+            raise _dtd_error(scanner, "expected a DTD declaration")
+    return dtd
+
+
+def _dtd_error(scanner: Scanner, message: str) -> DTDSyntaxError:
+    return DTDSyntaxError(message, scanner.line, scanner.column)
+
+
+def _parse_element_decl(scanner: Scanner) -> ElementDecl:
+    scanner.expect("<!ELEMENT")
+    scanner.skip_whitespace()
+    name = scanner.read_name()
+    scanner.skip_whitespace()
+    if scanner.looking_at("EMPTY"):
+        scanner.advance(len("EMPTY"))
+        model: ContentModel = Empty()
+    elif scanner.looking_at("ANY"):
+        scanner.advance(len("ANY"))
+        model = Any()
+    elif scanner.peek() == "(":
+        model = _parse_group(scanner)
+    else:
+        raise _dtd_error(scanner, f"bad content model for element {name!r}")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return ElementDecl(name, model)
+
+
+def _parse_group(scanner: Scanner) -> ContentModel:
+    """Parse a parenthesised group, including mixed content."""
+    scanner.expect("(")
+    scanner.skip_whitespace()
+    items: list[ContentModel] = []
+    separator: str | None = None
+
+    if scanner.looking_at("#PCDATA"):
+        scanner.advance(len("#PCDATA"))
+        items.append(PCData())
+        scanner.skip_whitespace()
+        # Mixed content: (#PCDATA | a | b)* or just (#PCDATA)
+        while scanner.peek() == "|":
+            scanner.advance()
+            scanner.skip_whitespace()
+            items.append(NameRef(scanner.read_name()))
+            scanner.skip_whitespace()
+        scanner.expect(")")
+        if len(items) == 1:
+            occurrence = _read_occurrence(scanner)
+            node: ContentModel = items[0]
+            return node.with_occurrence(occurrence)
+        scanner.expect("*")
+        return Choice(items, occurrence="*")
+
+    while True:
+        items.append(_parse_particle(scanner))
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (",", "|"):
+            if separator is None:
+                separator = ch
+            elif separator != ch:
+                raise _dtd_error(
+                    scanner, "cannot mix ',' and '|' in one group")
+            scanner.advance()
+            scanner.skip_whitespace()
+        elif ch == ")":
+            scanner.advance()
+            break
+        else:
+            raise _dtd_error(scanner, f"unexpected {ch!r} in content model")
+
+    occurrence = _read_occurrence(scanner)
+    if len(items) == 1 and occurrence == "":
+        return items[0]
+    if separator == "|":
+        return Choice(items, occurrence=occurrence)
+    return Sequence(items, occurrence=occurrence)
+
+
+def _parse_particle(scanner: Scanner) -> ContentModel:
+    if scanner.peek() == "(":
+        return _parse_group(scanner)
+    name = scanner.read_name()
+    return NameRef(name, _read_occurrence(scanner))
+
+
+def _read_occurrence(scanner: Scanner) -> str:
+    ch = scanner.peek()
+    if ch in ("?", "*", "+"):
+        scanner.advance()
+        return ch
+    return ""
+
+
+def _parse_attlist(scanner: Scanner, dtd: DTD) -> None:
+    scanner.expect("<!ATTLIST")
+    scanner.skip_whitespace()
+    element_name = scanner.read_name()
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek() == ">":
+            scanner.advance()
+            break
+        attr_name = scanner.read_name()
+        scanner.skip_whitespace()
+        if scanner.peek() == "(":
+            # Enumerated type: (a | b | c)
+            scanner.advance()
+            attr_type = "(" + scanner.read_until(")") + ")"
+        else:
+            attr_type = scanner.read_name()
+        scanner.skip_whitespace()
+        if scanner.looking_at("#FIXED"):
+            scanner.advance(len("#FIXED"))
+            scanner.skip_whitespace()
+            default = '#FIXED "' + scanner.read_quoted() + '"'
+        elif scanner.peek() == "#":
+            scanner.advance()
+            default = "#" + scanner.read_name()
+        else:
+            default = scanner.read_quoted()
+        decl = AttributeDecl(attr_name, attr_type, default)
+        if element_name in dtd.elements:
+            dtd.elements[element_name].attributes[attr_name] = decl
+        else:
+            # ATTLIST before ELEMENT: create a placeholder declaration.
+            placeholder = ElementDecl(element_name, Empty())
+            placeholder.attributes[attr_name] = decl
+            dtd.declare(placeholder)

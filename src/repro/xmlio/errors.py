@@ -1,0 +1,57 @@
+"""Error types raised by the :mod:`repro.xmlio` substrate.
+
+Every error carries enough positional information (line and column where
+available) to point a user at the offending byte of the document or DTD.
+"""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for all errors raised by the XML substrate."""
+
+
+class XMLSyntaxError(XMLError):
+    """A document is not well-formed XML.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what went wrong.
+    line, column:
+        1-based position of the offending character, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DTDSyntaxError(XMLSyntaxError):
+    """A DTD declaration could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ValidationError(XMLError):
+    """A well-formed document does not conform to its DTD.
+
+    ``path`` holds the slash-separated element path at which the violation
+    was detected, e.g. ``"house-listing/contact"``.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        self.path = path
+        if path:
+            message = f"{message} (at {path})"
+        super().__init__(message)

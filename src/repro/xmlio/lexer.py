@@ -1,0 +1,159 @@
+"""Character-level scanner shared by the XML and DTD parsers.
+
+The scanner is a thin cursor over a string with line/column tracking and
+the small set of lookahead/consume primitives a recursive-descent parser
+needs. Both :mod:`repro.xmlio.parser` and :mod:`repro.xmlio.dtd` build on
+it so position reporting is consistent across the substrate.
+"""
+
+from __future__ import annotations
+
+from .errors import XMLSyntaxError
+
+#: Characters allowed to *start* an XML name (simplified to ASCII plus a
+#: couple of common extras; sufficient for schema-matching workloads).
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+#: Characters allowed in the body of an XML name.
+_NAME_BODY = _NAME_START | set("0123456789.-")
+
+#: The five predefined XML entities.
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+def is_name_start(ch: str) -> bool:
+    """True if ``ch`` may begin an XML name."""
+    return ch in _NAME_START
+
+
+def is_name_char(ch: str) -> bool:
+    """True if ``ch`` may appear inside an XML name."""
+    return ch in _NAME_BODY
+
+
+class Scanner:
+    """A cursor over ``text`` with line/column tracking.
+
+    All parser-level consumption goes through :meth:`advance` so that the
+    position bookkeeping can never drift from the cursor.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    @property
+    def at_end(self) -> bool:
+        """True once every character has been consumed."""
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        """The character ``offset`` ahead of the cursor, or ``""`` at EOF."""
+        index = self.pos + offset
+        if index >= len(self.text):
+            return ""
+        return self.text[index]
+
+    def looking_at(self, prefix: str) -> bool:
+        """True if the unconsumed input starts with ``prefix``."""
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> str:
+        """Consume ``count`` characters and return them."""
+        end = min(self.pos + count, len(self.text))
+        chunk = self.text[self.pos:end]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos = end
+        return chunk
+
+    def error(self, message: str) -> XMLSyntaxError:
+        """Build a syntax error pinned at the current position."""
+        return XMLSyntaxError(message, self.line, self.column)
+
+    # ------------------------------------------------------------------
+    # compound consumers
+    # ------------------------------------------------------------------
+    def expect(self, literal: str) -> None:
+        """Consume ``literal`` or raise."""
+        if not self.looking_at(literal):
+            found = self.peek() or "<end of input>"
+            raise self.error(f"expected {literal!r}, found {found!r}")
+        self.advance(len(literal))
+
+    def skip_whitespace(self) -> int:
+        """Consume any run of whitespace; return how many chars were eaten."""
+        count = 0
+        while not self.at_end and self.peek().isspace():
+            self.advance()
+            count += 1
+        return count
+
+    def read_name(self) -> str:
+        """Consume and return an XML name."""
+        if self.at_end or not is_name_start(self.peek()):
+            found = self.peek() or "<end of input>"
+            raise self.error(f"expected a name, found {found!r}")
+        start = self.pos
+        self.advance()
+        while not self.at_end and is_name_char(self.peek()):
+            self.advance()
+        return self.text[start:self.pos]
+
+    def read_until(self, terminator: str) -> str:
+        """Consume up to (but not including) ``terminator``; consume it too.
+
+        Returns the text before the terminator. Raises at EOF.
+        """
+        index = self.text.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct, expected {terminator!r}")
+        chunk = self.text[self.pos:index]
+        self.advance(len(chunk) + len(terminator))
+        return chunk
+
+    def read_quoted(self) -> str:
+        """Consume a single- or double-quoted literal; return its body."""
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a quoted literal")
+        self.advance()
+        return self.read_until(quote)
+
+
+def decode_entity(name: str, scanner: Scanner | None = None) -> str:
+    """Resolve an entity reference body (the part between ``&`` and ``;``).
+
+    Supports the five predefined entities plus decimal (``#65``) and hex
+    (``#x41``) character references.
+    """
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except ValueError:
+            pass
+    elif name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except ValueError:
+            pass
+    elif name in PREDEFINED_ENTITIES:
+        return PREDEFINED_ENTITIES[name]
+    if scanner is not None:
+        raise scanner.error(f"unknown entity reference &{name};")
+    raise XMLSyntaxError(f"unknown entity reference &{name};")

@@ -1,0 +1,145 @@
+"""A small path-query language over :class:`repro.xmlio.tree.Element`.
+
+Supports the useful core of XPath for exploring listings:
+
+* ``a/b/c``       — child steps
+* ``//phone``     — descendants at any depth (also mid-path: ``a//b``)
+* ``*``           — any child tag
+* ``tag[2]``      — 1-based positional predicate
+* ``tag[@id]``    — attribute-presence predicate
+* ``tag[@id='7']``— attribute-equality predicate
+
+:func:`select` returns matching elements in document order;
+:func:`select_text` maps them to their text content;
+:func:`select_one` returns the first match or ``None``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import XMLError
+from .tree import Element
+
+_SEGMENT_RE = re.compile(
+    r"^(?P<name>\*|[A-Za-z_][\w.-]*)"
+    r"(?:\[(?P<predicate>[^\]]+)\])?$")
+
+
+class PathSyntaxError(XMLError):
+    """A path expression could not be parsed."""
+
+
+def select(root: Element, path: str) -> list[Element]:
+    """All elements matching ``path``, evaluated relative to ``root``.
+
+    The path is relative: its first step matches *children* of ``root``
+    (or any descendant, with a leading ``//``).
+    """
+    steps = _parse(path)
+    current: list[Element] = [root]
+    for descend, name, predicate in steps:
+        gathered: list[Element] = []
+        seen: set[int] = set()
+        for node in current:
+            candidates = (_descendants(node) if descend
+                          else node.element_children)
+            for candidate in candidates:
+                if name != "*" and candidate.tag != name:
+                    continue
+                if id(candidate) not in seen:
+                    seen.add(id(candidate))
+                    gathered.append(candidate)
+        current = _apply_predicate(gathered, predicate)
+    return current
+
+
+def select_one(root: Element, path: str) -> Element | None:
+    """First match of ``path`` or ``None``."""
+    matches = select(root, path)
+    return matches[0] if matches else None
+
+
+def select_text(root: Element, path: str) -> list[str]:
+    """Character data of every match of ``path``.
+
+    Unlike :meth:`Element.text_content` (which folds attribute values in,
+    as LSD's learners want), this returns pure character data.
+    """
+    return [_character_data(element) for element in select(root, path)]
+
+
+def _character_data(node: Element) -> str:
+    parts = [node.immediate_text()]
+    parts.extend(_character_data(child)
+                 for child in node.element_children)
+    return " ".join(" ".join(parts).split())
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+def _parse(path: str) -> list[tuple[bool, str, str | None]]:
+    """Parse into (descend?, name, predicate) steps."""
+    if not path or path == "/":
+        raise PathSyntaxError(f"empty path expression {path!r}")
+    if path.startswith("/") and not path.startswith("//"):
+        raise PathSyntaxError(
+            "absolute paths are not supported; start with a tag or '//'")
+    steps: list[tuple[bool, str, str | None]] = []
+    descend = False
+    remaining = path
+    if remaining.startswith("//"):
+        descend = True
+        remaining = remaining[2:]
+    while True:
+        if "//" in remaining:
+            segment, remaining = remaining.split("//", 1)
+            next_descend = True
+        elif "/" in remaining:
+            segment, remaining = remaining.split("/", 1)
+            next_descend = False
+        else:
+            segment, remaining = remaining, None
+            next_descend = False
+        match = _SEGMENT_RE.match(segment.strip())
+        if match is None:
+            raise PathSyntaxError(f"bad path segment {segment!r}")
+        steps.append((descend, match.group("name"),
+                      match.group("predicate")))
+        if remaining is None:
+            return steps
+        if not remaining:
+            raise PathSyntaxError(f"trailing slash in {path!r}")
+        descend = next_descend
+
+
+def _descendants(node: Element) -> list[Element]:
+    out: list[Element] = []
+    for child in node.element_children:
+        out.append(child)
+        out.extend(_descendants(child))
+    return out
+
+
+def _apply_predicate(elements: list[Element],
+                     predicate: str | None) -> list[Element]:
+    if predicate is None:
+        return elements
+    predicate = predicate.strip()
+    if predicate.isdigit():
+        index = int(predicate)
+        if index < 1:
+            raise PathSyntaxError("positional predicates are 1-based")
+        return elements[index - 1:index]
+    if predicate.startswith("@"):
+        body = predicate[1:]
+        if "=" in body:
+            attr, value = body.split("=", 1)
+            value = value.strip().strip("'\"")
+            attr = attr.strip()
+            return [e for e in elements
+                    if e.attributes.get(attr) == value]
+        return [e for e in elements if body.strip() in e.attributes]
+    raise PathSyntaxError(f"unsupported predicate [{predicate}]")

@@ -1,0 +1,160 @@
+"""Validate a parsed XML document against a parsed DTD.
+
+Content-model matching is implemented as a nondeterministic recursive
+matcher: ``_match(model, names, start)`` returns the *set* of positions the
+model can end at, so alternation and optional/repeat particles are handled
+without exponential backtracking on typical (near-deterministic) DTD
+content models.
+"""
+
+from __future__ import annotations
+
+from .dtd import (Any, Choice, ContentModel, DTD, Empty, NameRef, PCData,
+                  Sequence)
+from .errors import ValidationError
+from .tree import Document, Element, Text
+
+
+def validate(document: Document | Element, dtd: DTD) -> None:
+    """Raise :class:`ValidationError` if ``document`` violates ``dtd``.
+
+    Checks performed:
+
+    * every element tag is declared,
+    * each element's child-element sequence matches its content model,
+    * character data only appears where the content model allows it,
+    * ``#REQUIRED`` attributes are present and enumerated attribute values
+      are legal.
+    """
+    root = document.root if isinstance(document, Document) else document
+    expected_root = dtd.root_name()
+    if root.tag != expected_root:
+        raise ValidationError(
+            f"root element is <{root.tag}>, DTD expects <{expected_root}>",
+            root.tag)
+    _validate_element(root, dtd)
+
+
+def is_valid(document: Document | Element, dtd: DTD) -> bool:
+    """Boolean twin of :func:`validate`."""
+    try:
+        validate(document, dtd)
+    except ValidationError:
+        return False
+    return True
+
+
+def _validate_element(node: Element, dtd: DTD) -> None:
+    if node.tag not in dtd:
+        raise ValidationError(f"undeclared element <{node.tag}>",
+                              node.path())
+    decl = dtd[node.tag]
+    model = decl.model
+
+    _validate_attributes(node, dtd)
+
+    has_text = any(isinstance(c, Text) and c.value.strip()
+                   for c in node.children)
+    child_tags = [c.tag for c in node.element_children]
+
+    if isinstance(model, Empty):
+        if has_text or child_tags:
+            raise ValidationError(
+                f"element <{node.tag}> is declared EMPTY but has content",
+                node.path())
+    elif isinstance(model, Any):
+        pass
+    elif _is_mixed(model) or isinstance(model, PCData):
+        allowed = model.child_names()
+        for tag in child_tags:
+            if tag not in allowed:
+                raise ValidationError(
+                    f"element <{tag}> not allowed in mixed content of "
+                    f"<{node.tag}>", node.path())
+    else:
+        if has_text:
+            raise ValidationError(
+                f"character data not allowed inside <{node.tag}>",
+                node.path())
+        ends = _match(model, child_tags, 0)
+        if len(child_tags) not in ends:
+            raise ValidationError(
+                f"children of <{node.tag}> ({', '.join(child_tags) or 'none'}) "
+                f"do not match content model {model!r}", node.path())
+
+    for child in node.element_children:
+        _validate_element(child, dtd)
+
+
+def _validate_attributes(node: Element, dtd: DTD) -> None:
+    decl = dtd[node.tag]
+    for attr_name, attr_decl in decl.attributes.items():
+        value = node.attributes.get(attr_name)
+        if value is None:
+            if attr_decl.default == "#REQUIRED":
+                raise ValidationError(
+                    f"missing required attribute {attr_name!r} on "
+                    f"<{node.tag}>", node.path())
+            continue
+        if attr_decl.type.startswith("("):
+            allowed = {v.strip() for v in
+                       attr_decl.type.strip("()").split("|")}
+            if value not in allowed:
+                raise ValidationError(
+                    f"attribute {attr_name!r} of <{node.tag}> has value "
+                    f"{value!r}, expected one of {sorted(allowed)}",
+                    node.path())
+
+
+def _is_mixed(model: ContentModel) -> bool:
+    """True for mixed content: a Choice containing #PCDATA."""
+    return isinstance(model, Choice) and any(
+        isinstance(item, PCData) for item in model.items)
+
+
+def _match(model: ContentModel, names: list[str], start: int) -> set[int]:
+    """Positions where ``model`` can stop matching ``names`` from ``start``."""
+    base = _match_once(model, names, start)
+    ends = set(base)
+    if model.is_optional():
+        ends.add(start)
+    if model.allows_repeat():
+        frontier = set(base)
+        while frontier:
+            new: set[int] = set()
+            for pos in frontier:
+                for nxt in _match_once(model, names, pos):
+                    if nxt not in ends and nxt != pos:
+                        new.add(nxt)
+            ends |= new
+            frontier = new
+    return ends
+
+
+def _match_once(model: ContentModel, names: list[str],
+                start: int) -> set[int]:
+    """Match exactly one occurrence of ``model`` (ignoring its own flag)."""
+    if isinstance(model, (PCData, Empty)):
+        return {start}
+    if isinstance(model, Any):
+        return set(range(start, len(names) + 1))
+    if isinstance(model, NameRef):
+        if start < len(names) and names[start] == model.name:
+            return {start + 1}
+        return set()
+    if isinstance(model, Choice):
+        ends: set[int] = set()
+        for item in model.items:
+            ends |= _match(item, names, start)
+        return ends
+    if isinstance(model, Sequence):
+        positions = {start}
+        for item in model.items:
+            next_positions: set[int] = set()
+            for pos in positions:
+                next_positions |= _match(item, names, pos)
+            if not next_positions:
+                return set()
+            positions = next_positions
+        return positions
+    raise TypeError(f"unknown content model node {model!r}")

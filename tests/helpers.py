@@ -1,0 +1,33 @@
+"""Shared test helpers for building instances, schemas and listings."""
+
+from __future__ import annotations
+
+from repro.core.instance import ElementInstance
+from repro.core.labels import LabelSpace
+from repro.xmlio import Element
+
+
+def make_instance(tag: str, text: str = "", path: tuple[str, ...] = ("root",),
+                  children: list[tuple[str, str]] | None = None,
+                  child_labels: dict[str, str] | None = None
+                  ) -> ElementInstance:
+    """Build an ElementInstance with optional (tag, text) children."""
+    element = Element(tag)
+    if text:
+        element.append_text(text)
+    for child_tag, child_text in children or []:
+        element.make_child(child_tag, child_text)
+    return ElementInstance(element, tag, path, dict(child_labels or {}))
+
+
+def space_of(*labels: str) -> LabelSpace:
+    """A label space over the given labels (OTHER appended automatically)."""
+    return LabelSpace(labels)
+
+
+def training_set(pairs: list[tuple[ElementInstance, str]]
+                 ) -> tuple[list[ElementInstance], list[str]]:
+    """Split (instance, label) pairs into parallel lists."""
+    instances = [instance for instance, _ in pairs]
+    labels = [label for _, label in pairs]
+    return instances, labels

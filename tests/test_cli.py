@@ -1,0 +1,158 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    """A generated Real Estate I domain on disk."""
+    out = tmp_path_factory.mktemp("data")
+    code = main(["generate", "--domain", "real_estate_1",
+                 "--out", str(out), "--listings", "20"])
+    assert code == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def model(generated, tmp_path_factory):
+    """A model trained via the CLI on three generated sources."""
+    model_path = tmp_path_factory.mktemp("models") / "model.lsd"
+    code = main([
+        "train",
+        "--mediated", str(generated / "mediated.dtd"),
+        "--constraints", str(generated / "constraints.txt"),
+        "--train",
+        str(generated / "homeseekers.com"),
+        str(generated / "yahoo-homes.com"),
+        str(generated / "realestate.com"),
+        "--model", str(model_path),
+        "--max-instances", "20",
+    ])
+    assert code == 0
+    return model_path
+
+
+class TestGenerate:
+    def test_layout(self, generated):
+        assert (generated / "mediated.dtd").exists()
+        assert (generated / "constraints.txt").exists()
+        source = generated / "homeseekers.com"
+        for name in ("schema.dtd", "listings.xml", "mapping.txt"):
+            assert (source / name).exists()
+
+    def test_mapping_file_format(self, generated):
+        text = (generated / "homeseekers.com" / "mapping.txt").read_text()
+        assert "location = ADDRESS" in text
+
+    def test_listings_parse(self, generated):
+        from repro.xmlio import parse_fragments
+        listings = parse_fragments(
+            (generated / "nwrealty.com" / "listings.xml").read_text())
+        assert len(listings) == 20
+
+    def test_constraints_parse(self, generated):
+        from repro.constraints import parse_constraints
+        constraints = parse_constraints(
+            (generated / "constraints.txt").read_text())
+        assert len(constraints) > 10
+
+
+class TestTrainAndMatch:
+    def test_model_file_written(self, model):
+        assert model.exists() and model.stat().st_size > 0
+
+    def test_match_new_source(self, generated, model, tmp_path,
+                              capsys):
+        out_file = tmp_path / "proposed.txt"
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--out", str(out_file),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "=>" in printed
+        text = out_file.read_text()
+        assert "listed-price = PRICE" in text
+
+    def test_match_with_feedback(self, generated, model, capsys):
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--feedback", "city=OTHER",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "city                 => OTHER" in printed
+
+    def test_bad_feedback_syntax(self, generated, model, capsys):
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--feedback", "city",
+        ])
+        assert code == 2
+        assert "TAG=LABEL" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_source_dir(self, generated, tmp_path, capsys):
+        code = main([
+            "train", "--mediated", str(generated / "mediated.dtd"),
+            "--train", str(tmp_path / "nope"),
+            "--model", str(tmp_path / "m.lsd"),
+        ])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_bad_dtd(self, generated, tmp_path, capsys):
+        bad = tmp_path / "bad.dtd"
+        bad.write_text("<!ELEMENT broken")
+        code = main([
+            "train", "--mediated", str(bad),
+            "--train", str(generated / "homeseekers.com"),
+            "--model", str(tmp_path / "m.lsd"),
+        ])
+        assert code == 2
+
+    def test_bad_mapping_file(self, generated, tmp_path, capsys):
+        source = tmp_path / "src"
+        source.mkdir()
+        (source / "schema.dtd").write_text(
+            (generated / "homeseekers.com" / "schema.dtd").read_text())
+        (source / "listings.xml").write_text(
+            (generated / "homeseekers.com" / "listings.xml").read_text())
+        (source / "mapping.txt").write_text("just some words\n")
+        code = main([
+            "train", "--mediated", str(generated / "mediated.dtd"),
+            "--train", str(source),
+            "--model", str(tmp_path / "m.lsd"),
+        ])
+        assert code == 2
+        assert "tag = LABEL" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_ladder_runs(self, capsys):
+        code = main(["evaluate", "--domain", "faculty",
+                     "--experiment", "ladder",
+                     "--listings", "15", "--splits", "1"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "faculty" in printed and "%" in printed
+
+    def test_feedback_experiment_runs(self, capsys):
+        code = main(["evaluate", "--domain", "faculty",
+                     "--experiment", "feedback", "--listings", "15"])
+        assert code == 0
+        assert "corrections" in capsys.readouterr().out

@@ -1,0 +1,255 @@
+"""Tests for the A* search and the constraint handler."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (AssignmentConstraint, ConstraintHandler,
+                               ExclusionConstraint, FrequencyConstraint,
+                               KeyConstraint, MatchContext,
+                               MaxCountSoftConstraint, NestingConstraint,
+                               astar)
+from repro.core.instance import extract_columns
+from repro.core.labels import LabelSpace
+from repro.core.schema import SourceSchema
+from repro.xmlio import parse_fragments
+
+SPACE = LabelSpace(["PRICE", "ADDRESS", "AGENT-NAME", "AGENT-INFO"])
+
+SCHEMA_TEXT = """
+<!ELEMENT listing (price, area, contact)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT area (#PCDATA)>
+<!ELEMENT contact (name)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+LISTINGS = """
+<listing><price>1</price><area>Kent, WA</area>
+  <contact><name>Ann</name></contact></listing>
+<listing><price>1</price><area>Kent, WA</area>
+  <contact><name>Ann</name></contact></listing>
+"""
+
+
+@pytest.fixture
+def ctx():
+    schema = SourceSchema(SCHEMA_TEXT)
+    listings = parse_fragments(LISTINGS)
+    return MatchContext(schema, extract_columns(schema, listings))
+
+
+def row(**scores) -> np.ndarray:
+    out = np.full(len(SPACE), 0.01)
+    for label, value in scores.items():
+        out[SPACE.index_of(label.replace("_", "-"))] = value
+    return out / out.sum()
+
+
+class TestAStar:
+    def test_straight_line(self):
+        # States 0..3, cost 1 per step.
+        result = astar(
+            0, lambda s: [(s + 1, 1.0)], lambda s: s == 3,
+            lambda s: float(3 - s))
+        assert result.found and result.state == 3
+        assert result.cost == pytest.approx(3.0)
+
+    def test_prefers_cheaper_path(self):
+        # Two routes to the goal 'g': direct cost 5, detour cost 1+1.
+        graph = {"s": [("g", 5.0), ("m", 1.0)], "m": [("g", 1.0)],
+                 "g": []}
+        result = astar("s", lambda s: graph[s], lambda s: s == "g",
+                       lambda s: 0.0)
+        assert result.cost == pytest.approx(2.0)
+
+    def test_no_goal(self):
+        result = astar(0, lambda s: [], lambda s: False, lambda s: 0.0)
+        assert not result.found
+
+    def test_budget_exhaustion_reported(self):
+        result = astar(
+            0, lambda s: [(s + 1, 1.0), (s + 2, 1.0)],
+            lambda s: s >= 10_000, lambda s: 0.0, max_expansions=10)
+        assert result.exhausted_budget
+
+    def test_heuristic_guides_search(self):
+        # With a perfect heuristic, expansion count stays linear.
+        result = astar(
+            0, lambda s: [(s + 1, 1.0), (s - 1, 1.0)],
+            lambda s: s == 20, lambda s: float(abs(20 - s)))
+        assert result.found
+        assert result.expanded <= 50
+
+
+class TestHandlerBasics:
+    def test_no_constraints_is_argmax(self, ctx):
+        handler = ConstraintHandler()
+        scores = {
+            "price": row(PRICE=0.9),
+            "area": row(ADDRESS=0.8),
+            "contact": row(AGENT_INFO=0.7),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert mapping["price"] == "PRICE"
+        assert mapping["area"] == "ADDRESS"
+        assert mapping["name"] == "AGENT-NAME"
+
+    def test_empty_scores(self, ctx):
+        assert len(ConstraintHandler().find_mapping({}, SPACE, ctx)) == 0
+
+    def test_greedy_mapping(self, ctx):
+        handler = ConstraintHandler()
+        mapping = handler.greedy_mapping({"price": row(PRICE=0.9)}, SPACE)
+        assert mapping["price"] == "PRICE"
+
+
+class TestHandlerConstraints:
+    def test_frequency_forces_second_best(self, ctx):
+        """Two tags both prefer PRICE; at-most-one forces the weaker one
+        to its runner-up label."""
+        handler = ConstraintHandler(
+            [FrequencyConstraint.at_most_one("PRICE")])
+        scores = {
+            "price": row(PRICE=0.9, ADDRESS=0.05),
+            "area": row(PRICE=0.6, ADDRESS=0.39),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert mapping["price"] == "PRICE"
+        assert mapping["area"] == "ADDRESS"
+
+    def test_exactly_one_pulls_label_in(self, ctx):
+        """No tag's argmax is PRICE but the domain requires one."""
+        handler = ConstraintHandler(
+            [FrequencyConstraint.exactly_one("PRICE")])
+        scores = {
+            "price": row(ADDRESS=0.5, PRICE=0.45),
+            "area": row(ADDRESS=0.9),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert mapping["price"] == "PRICE"
+
+    def test_nesting_constraint_steers(self, ctx):
+        """AGENT-NAME must be nested in AGENT-INFO: the non-nested
+        candidate (area) loses it to the nested one (name)."""
+        handler = ConstraintHandler(
+            [NestingConstraint("AGENT-INFO", "AGENT-NAME")])
+        scores = {
+            "price": row(PRICE=0.9),
+            "area": row(AGENT_NAME=0.55, ADDRESS=0.44),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.6, OTHER=0.3),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert mapping["area"] == "ADDRESS"
+        assert mapping["name"] == "AGENT-NAME"
+
+    def test_key_constraint_uses_data(self, ctx):
+        """'price' column has duplicate values, so a key-constrained label
+        must go elsewhere (the paper's num-bedrooms/HOUSE-ID case)."""
+        space = LabelSpace(["HOUSE-ID", "PRICE"])
+        handler = ConstraintHandler([KeyConstraint("HOUSE-ID")])
+        scores = {
+            "price": np.array([0.6, 0.3, 0.1]),  # prefers HOUSE-ID
+            "area": np.array([0.1, 0.2, 0.7]),
+        }
+        mapping = handler.find_mapping(scores, space, ctx)
+        assert mapping["price"] != "HOUSE-ID"
+
+    def test_soft_constraint_breaks_near_tie(self, ctx):
+        handler = ConstraintHandler(
+            [MaxCountSoftConstraint("PRICE", 1)],
+            soft_weights={"binary": 10.0})
+        scores = {
+            "price": row(PRICE=0.9),
+            "area": row(PRICE=0.51, ADDRESS=0.48),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert mapping["area"] == "ADDRESS"
+
+    def test_feedback_assignment_pins(self, ctx):
+        handler = ConstraintHandler()
+        scores = {
+            "price": row(PRICE=0.9),
+            "area": row(ADDRESS=0.9),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(
+            scores, SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("area", "OTHER")])
+        assert mapping["area"] == "OTHER"
+        assert mapping["price"] == "PRICE"
+
+    def test_feedback_exclusion(self, ctx):
+        handler = ConstraintHandler()
+        scores = {
+            "price": row(PRICE=0.9, ADDRESS=0.05),
+            "area": row(ADDRESS=0.9),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(
+            scores, SPACE, ctx,
+            extra_constraints=[ExclusionConstraint("price", "PRICE")])
+        assert mapping["price"] != "PRICE"
+
+    def test_unsatisfiable_falls_back_to_greedy(self, ctx):
+        handler = ConstraintHandler([
+            FrequencyConstraint.exactly_one("PRICE"),
+            FrequencyConstraint("PRICE", 0, 0) if False else
+            ExclusionConstraint("price", "PRICE"),
+            ExclusionConstraint("area", "PRICE"),
+            ExclusionConstraint("contact", "PRICE"),
+            ExclusionConstraint("name", "PRICE"),
+        ])
+        scores = {
+            "price": row(PRICE=0.9),
+            "area": row(ADDRESS=0.9),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        # Greedy fallback: argmax assignment.
+        assert mapping["price"] == "PRICE"
+
+
+class TestHandlerDiagnostics:
+    def test_violations_lists_broken_constraints(self, ctx):
+        handler = ConstraintHandler(
+            [FrequencyConstraint.at_most_one("PRICE"),
+             MaxCountSoftConstraint("PRICE", 1)])
+        from repro.core.mapping import Mapping
+        mapping = Mapping({"price": "PRICE", "area": "PRICE",
+                           "contact": "OTHER", "name": "OTHER"})
+        violated = handler.violations(mapping, ctx)
+        assert len(violated) == 2
+
+    def test_mapping_cost_orders_candidates(self, ctx):
+        from repro.core.mapping import Mapping
+        handler = ConstraintHandler()
+        scores = {"price": row(PRICE=0.9), "area": row(ADDRESS=0.9)}
+        good = Mapping({"price": "PRICE", "area": "ADDRESS"})
+        bad = Mapping({"price": "ADDRESS", "area": "PRICE"})
+        assert handler.mapping_cost(good, scores, SPACE, ctx) < \
+            handler.mapping_cost(bad, scores, SPACE, ctx)
+
+    def test_mapping_cost_infinite_on_hard_violation(self, ctx):
+        from repro.core.mapping import Mapping
+        handler = ConstraintHandler(
+            [FrequencyConstraint.at_most_one("PRICE")])
+        scores = {"price": row(PRICE=0.9), "area": row(PRICE=0.9)}
+        bad = Mapping({"price": "PRICE", "area": "PRICE"})
+        assert handler.mapping_cost(bad, scores, SPACE, ctx) == \
+            float("inf")
+
+    def test_search_order_most_structured_first(self, ctx):
+        handler = ConstraintHandler()
+        order = handler._tag_order(["price", "contact", "name"], ctx)
+        assert order[0] == "contact"

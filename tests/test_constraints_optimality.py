@@ -1,0 +1,106 @@
+"""Property tests: the branch-and-bound handler finds the true optimum.
+
+On small random instances, the handler's mapping is compared against a
+brute-force enumeration of every complete assignment under the same cost
+model — hard constraints, soft costs, and -log probability included.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (ConstraintHandler, ExclusivityConstraint,
+                               FrequencyConstraint, MatchContext,
+                               MaxCountSoftConstraint, NestingConstraint)
+from repro.core import LabelSpace, Mapping, SourceSchema
+
+SCHEMA = SourceSchema("""
+<!ELEMENT l (g, p, q)>
+<!ELEMENT g (x, y)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y (#PCDATA)>
+<!ELEMENT p (#PCDATA)>
+<!ELEMENT q (#PCDATA)>
+""")
+
+SPACE = LabelSpace(["GROUP", "ALPHA", "BETA"])
+TAGS = ("g", "x", "y", "p", "q")
+
+
+def brute_force_best(scores, handler, ctx):
+    """Exhaustive minimum-cost complete assignment (None if infeasible)."""
+    from repro.constraints.base import split_constraints
+
+    hard, soft = split_constraints(handler.constraints)
+    best_cost = math.inf
+    best = None
+    labels = SPACE.labels
+    for combo in itertools.product(labels, repeat=len(TAGS)):
+        assignment = dict(zip(TAGS, combo))
+        if any(c.check_complete(assignment, ctx) for c in hard):
+            continue
+        cost = sum(
+            handler.soft_weights.get(c.kind, 1.0) * c.cost(assignment, ctx)
+            for c in soft)
+        for tag, label in assignment.items():
+            score = max(float(scores[tag][SPACE.index_of(label)]),
+                        handler.epsilon)
+            cost += -handler.prob_weight * math.log(score)
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = assignment
+    return best, best_cost
+
+
+CONSTRAINT_SETS = [
+    [],
+    [FrequencyConstraint.at_most_one("ALPHA")],
+    [FrequencyConstraint.exactly_one("BETA")],
+    [NestingConstraint("GROUP", "ALPHA")],
+    [ExclusivityConstraint("ALPHA", "BETA")],
+    [FrequencyConstraint.at_most_one("GROUP"),
+     NestingConstraint("GROUP", "ALPHA"),
+     MaxCountSoftConstraint("BETA", 1)],
+]
+
+
+class TestOptimality:
+    @given(seed=st.integers(0, 10_000),
+           constraint_index=st.integers(0, len(CONSTRAINT_SETS) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_handler_matches_brute_force_cost(self, seed,
+                                              constraint_index):
+        rng = np.random.default_rng(seed)
+        scores = {tag: rng.dirichlet(np.ones(len(SPACE)))
+                  for tag in TAGS}
+        handler = ConstraintHandler(
+            CONSTRAINT_SETS[constraint_index],
+            candidates_per_tag=len(SPACE))  # no candidate truncation
+        ctx = MatchContext(SCHEMA)
+
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        expected, expected_cost = brute_force_best(scores, handler, ctx)
+
+        assert expected is not None  # all sets are satisfiable here
+        actual_cost = handler.mapping_cost(mapping, scores, SPACE, ctx)
+        # Costs must agree (assignments may tie, so compare costs).
+        assert actual_cost == pytest.approx(expected_cost, abs=1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_handler_never_violates_hard_constraints(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = {tag: rng.dirichlet(np.ones(len(SPACE)))
+                  for tag in TAGS}
+        constraints = [FrequencyConstraint.at_most_one("ALPHA"),
+                       FrequencyConstraint.at_most_one("BETA"),
+                       NestingConstraint("GROUP", "ALPHA")]
+        handler = ConstraintHandler(constraints)
+        ctx = MatchContext(SCHEMA)
+        mapping = handler.find_mapping(scores, SPACE, ctx)
+        assert handler.violations(mapping, ctx) == [] or all(
+            c.kind == "binary" for c in handler.violations(mapping, ctx))

@@ -1,0 +1,111 @@
+"""Tests for the constraint declaration mini-language."""
+
+import pytest
+
+from repro.constraints import (ConstraintSyntaxError, ContiguityConstraint,
+                               ExclusivityConstraint, FrequencyConstraint,
+                               FunctionalDependencyConstraint,
+                               KeyConstraint, MaxCountSoftConstraint,
+                               NestingConstraint, ProximityConstraint,
+                               parse_constraints)
+
+
+class TestParsing:
+    def test_frequency_at_most(self):
+        [c] = parse_constraints("frequency PRICE at-most 1")
+        assert isinstance(c, FrequencyConstraint)
+        assert c.label == "PRICE" and c.max_count == 1 and c.min_count == 0
+
+    def test_frequency_exactly(self):
+        [c] = parse_constraints("frequency HOUSE exactly 1")
+        assert c.min_count == 1 and c.max_count == 1
+
+    def test_frequency_at_least(self):
+        [c] = parse_constraints("frequency ADDRESS at-least 1")
+        assert c.min_count == 1 and c.max_count is None
+
+    def test_frequency_between(self):
+        [c] = parse_constraints("frequency ADDRESS between 1 2")
+        assert c.min_count == 1 and c.max_count == 2
+
+    def test_nesting_contains(self):
+        [c] = parse_constraints("nesting AGENT-INFO contains AGENT-NAME")
+        assert isinstance(c, NestingConstraint)
+        assert not c.forbidden
+        assert c.outer_label == "AGENT-INFO"
+
+    def test_nesting_excludes(self):
+        [c] = parse_constraints("nesting AGENT-INFO excludes PRICE")
+        assert c.forbidden
+
+    def test_contiguous(self):
+        [c] = parse_constraints("contiguous BATHS BEDS")
+        assert isinstance(c, ContiguityConstraint)
+
+    def test_exclusive(self):
+        [c] = parse_constraints("exclusive COURSE-CREDIT SECTION-CREDIT")
+        assert isinstance(c, ExclusivityConstraint)
+
+    def test_key(self):
+        [c] = parse_constraints("key HOUSE-ID")
+        assert isinstance(c, KeyConstraint)
+        assert c.label == "HOUSE-ID"
+
+    def test_fd(self):
+        [c] = parse_constraints("fd CITY FIRM-NAME -> FIRM-ADDRESS")
+        assert isinstance(c, FunctionalDependencyConstraint)
+        assert c.determinants == ["CITY", "FIRM-NAME"]
+        assert c.dependent == "FIRM-ADDRESS"
+
+    def test_soft_max(self):
+        [c] = parse_constraints("soft-max DESCRIPTION 3")
+        assert isinstance(c, MaxCountSoftConstraint)
+        assert c.max_count == 3
+
+    def test_proximity(self):
+        [c] = parse_constraints("proximity AGENT-NAME AGENT-PHONE")
+        assert isinstance(c, ProximityConstraint)
+
+    def test_multi_line_with_comments(self):
+        text = """
+        # Real-estate constraints
+        frequency PRICE exactly 1   # one price per listing
+        key HOUSE-ID
+
+        nesting CONTACT-INFO contains AGENT-PHONE
+        """
+        constraints = parse_constraints(text)
+        assert len(constraints) == 3
+
+    def test_empty_text(self):
+        assert parse_constraints("") == []
+        assert parse_constraints("# only a comment\n") == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "frequency PRICE",
+        "frequency PRICE sometimes 1",
+        "frequency PRICE at-most many",
+        "frequency PRICE between 1",
+        "nesting A within B",
+        "nesting A contains",
+        "contiguous A",
+        "exclusive A B C",
+        "key",
+        "fd A B C",
+        "fd -> X",
+        "fd A -> X Y",
+        "soft-max DESCRIPTION",
+        "soft-max DESCRIPTION lots",
+        "proximity A",
+        "wibble A B",
+    ])
+    def test_bad_lines_raise(self, bad):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraints(bad)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ConstraintSyntaxError) as excinfo:
+            parse_constraints("key HOUSE-ID\nwibble X")
+        assert excinfo.value.line_number == 2

@@ -1,0 +1,227 @@
+"""Tests for the individual constraint types (Table 1 of the paper)."""
+
+import pytest
+
+from repro.constraints import (AssignmentConstraint, ContiguityConstraint,
+                               ExclusionConstraint, ExclusivityConstraint,
+                               FrequencyConstraint,
+                               FunctionalDependencyConstraint,
+                               KeyConstraint, MatchContext,
+                               MaxCountSoftConstraint, NestingConstraint,
+                               ProximityConstraint)
+from repro.core.instance import extract_columns
+from repro.core.schema import SourceSchema
+from repro.xmlio import parse_fragments
+
+SCHEMA_TEXT = """
+<!ELEMENT listing (house-id, baths, extra, beds, agent-info)>
+<!ELEMENT house-id (#PCDATA)>
+<!ELEMENT baths (#PCDATA)>
+<!ELEMENT extra (#PCDATA)>
+<!ELEMENT beds (#PCDATA)>
+<!ELEMENT agent-info (agent-name, firm-city, firm-name, firm-address)>
+<!ELEMENT agent-name (#PCDATA)>
+<!ELEMENT firm-city (#PCDATA)>
+<!ELEMENT firm-name (#PCDATA)>
+<!ELEMENT firm-address (#PCDATA)>
+"""
+
+LISTINGS_TEXT = """
+<listing><house-id>1</house-id><baths>2</baths><extra>x</extra>
+  <beds>3</beds>
+  <agent-info><agent-name>Ann</agent-name><firm-city>Seattle</firm-city>
+  <firm-name>MAX</firm-name><firm-address>1 Pine St</firm-address>
+  </agent-info></listing>
+<listing><house-id>2</house-id><baths>2</baths><extra>y</extra>
+  <beds>4</beds>
+  <agent-info><agent-name>Bob</agent-name><firm-city>Seattle</firm-city>
+  <firm-name>MAX</firm-name><firm-address>1 Pine St</firm-address>
+  </agent-info></listing>
+<listing><house-id>3</house-id><baths>3</baths><extra>z</extra>
+  <beds>3</beds>
+  <agent-info><agent-name>Cat</agent-name><firm-city>Portland</firm-city>
+  <firm-name>MAX</firm-name><firm-address>9 Oak Ave</firm-address>
+  </agent-info></listing>
+"""
+
+
+@pytest.fixture
+def ctx():
+    schema = SourceSchema(SCHEMA_TEXT, name="test-source")
+    listings = parse_fragments(LISTINGS_TEXT)
+    return MatchContext(schema, extract_columns(schema, listings))
+
+
+class TestFrequency:
+    def test_at_most_one_violated(self, ctx):
+        c = FrequencyConstraint.at_most_one("HOUSE")
+        assert c.check_partial({"a": "HOUSE", "b": "HOUSE"}, ctx)
+        assert c.check_complete({"a": "HOUSE", "b": "HOUSE"}, ctx)
+
+    def test_at_most_one_satisfied(self, ctx):
+        c = FrequencyConstraint.at_most_one("HOUSE")
+        assert not c.check_complete({"a": "HOUSE", "b": "OTHER"}, ctx)
+
+    def test_exactly_one_partial_not_definite_when_missing(self, ctx):
+        # Zero HOUSE assignments so far could still be repaired.
+        c = FrequencyConstraint.exactly_one("HOUSE")
+        assert not c.check_partial({"a": "OTHER"}, ctx)
+        assert c.check_complete({"a": "OTHER"}, ctx)
+
+    def test_between(self, ctx):
+        c = FrequencyConstraint("PHONE", 1, 2)
+        assert not c.check_complete({"a": "PHONE", "b": "PHONE"}, ctx)
+        assert c.check_complete(
+            {"a": "PHONE", "b": "PHONE", "c": "PHONE"}, ctx)
+
+    def test_other_label_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyConstraint("OTHER")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyConstraint("X", 2, 1)
+
+    def test_describe(self):
+        assert "exactly 1" in FrequencyConstraint.exactly_one("PRICE"
+                                                              ).describe()
+
+
+class TestNesting:
+    def test_required_nesting_satisfied(self, ctx):
+        c = NestingConstraint("AGENT-INFO", "AGENT-NAME")
+        assignment = {"agent-info": "AGENT-INFO",
+                      "agent-name": "AGENT-NAME"}
+        assert not c.check_complete(assignment, ctx)
+
+    def test_required_nesting_violated(self, ctx):
+        c = NestingConstraint("AGENT-INFO", "AGENT-NAME")
+        assignment = {"agent-info": "AGENT-INFO", "baths": "AGENT-NAME"}
+        assert c.check_partial(assignment, ctx)
+
+    def test_forbidden_nesting(self, ctx):
+        c = NestingConstraint("AGENT-INFO", "PRICE", forbidden=True)
+        assert c.check_complete(
+            {"agent-info": "AGENT-INFO", "firm-name": "PRICE"}, ctx)
+        assert not c.check_complete(
+            {"agent-info": "AGENT-INFO", "baths": "PRICE"}, ctx)
+
+    def test_vacuous_when_labels_absent(self, ctx):
+        c = NestingConstraint("AGENT-INFO", "AGENT-NAME")
+        assert not c.check_complete({"baths": "BATHS"}, ctx)
+
+
+class TestContiguity:
+    def test_adjacent_siblings_ok(self, ctx):
+        c = ContiguityConstraint("BATHS", "BEDS")
+        assignment = {"baths": "BATHS", "beds": "BEDS", "extra": "OTHER"}
+        assert not c.check_complete(assignment, ctx)
+
+    def test_tag_between_must_be_other(self, ctx):
+        c = ContiguityConstraint("BATHS", "BEDS")
+        assignment = {"baths": "BATHS", "beds": "BEDS", "extra": "PRICE"}
+        assert c.check_complete(assignment, ctx)
+
+    def test_non_siblings_violate(self, ctx):
+        c = ContiguityConstraint("BATHS", "BEDS")
+        assignment = {"baths": "BATHS", "agent-name": "BEDS"}
+        assert c.check_complete(assignment, ctx)
+
+    def test_unassigned_between_tag_tolerated_partially(self, ctx):
+        c = ContiguityConstraint("BATHS", "BEDS")
+        # 'extra' not yet assigned: not a definite violation.
+        assert not c.check_partial({"baths": "BATHS", "beds": "BEDS"}, ctx)
+
+
+class TestExclusivity:
+    def test_both_present_violates(self, ctx):
+        c = ExclusivityConstraint("COURSE-CREDIT", "SECTION-CREDIT")
+        assert c.check_complete(
+            {"a": "COURSE-CREDIT", "b": "SECTION-CREDIT"}, ctx)
+
+    def test_one_present_ok(self, ctx):
+        c = ExclusivityConstraint("COURSE-CREDIT", "SECTION-CREDIT")
+        assert not c.check_complete({"a": "COURSE-CREDIT"}, ctx)
+
+
+class TestKey:
+    def test_unique_column_satisfies(self, ctx):
+        c = KeyConstraint("HOUSE-ID")
+        assert not c.check_complete({"house-id": "HOUSE-ID"}, ctx)
+
+    def test_duplicated_column_violates(self, ctx):
+        """The paper's example: num-bedrooms cannot be HOUSE-ID because its
+        values contain duplicates."""
+        c = KeyConstraint("HOUSE-ID")
+        assert c.check_complete({"beds": "HOUSE-ID"}, ctx)
+        assert c.check_partial({"baths": "HOUSE-ID"}, ctx)
+
+    def test_no_data_means_no_violation(self, ctx):
+        c = KeyConstraint("HOUSE-ID")
+        assert not c.check_complete({"unknown-tag": "HOUSE-ID"}, ctx)
+
+
+class TestFunctionalDependency:
+    def test_holding_fd(self, ctx):
+        c = FunctionalDependencyConstraint(["CITY", "FIRM-NAME"],
+                                           "FIRM-ADDRESS")
+        assignment = {"firm-city": "CITY", "firm-name": "FIRM-NAME",
+                      "firm-address": "FIRM-ADDRESS"}
+        assert not c.check_complete(assignment, ctx)
+
+    def test_refuted_fd(self, ctx):
+        # firm-name alone does not determine firm-address (MAX has two).
+        c = FunctionalDependencyConstraint(["FIRM-NAME"], "FIRM-ADDRESS")
+        assignment = {"firm-name": "FIRM-NAME",
+                      "firm-address": "FIRM-ADDRESS"}
+        assert c.check_complete(assignment, ctx)
+
+    def test_unassigned_determinant_is_vacuous(self, ctx):
+        c = FunctionalDependencyConstraint(["CITY"], "FIRM-ADDRESS")
+        assert not c.check_complete({"firm-address": "FIRM-ADDRESS"}, ctx)
+
+    def test_needs_determinants(self):
+        with pytest.raises(ValueError):
+            FunctionalDependencyConstraint([], "X")
+
+
+class TestSoftConstraints:
+    def test_max_count_soft(self, ctx):
+        c = MaxCountSoftConstraint("DESCRIPTION", 2)
+        under = {"a": "DESCRIPTION", "b": "DESCRIPTION"}
+        over = {**under, "c": "DESCRIPTION"}
+        assert c.cost(under, ctx) == 0.0
+        assert c.cost(over, ctx) == 1.0
+
+    def test_proximity_adjacent_is_free(self, ctx):
+        c = ProximityConstraint("BATHS", "BEDS")
+        assert c.cost({"baths": "BATHS", "extra": "BEDS"}, ctx) == 0.0
+
+    def test_proximity_grows_with_distance(self, ctx):
+        c = ProximityConstraint("BATHS", "BEDS")
+        near = c.cost({"baths": "BATHS", "extra": "BEDS"}, ctx)
+        far = c.cost({"house-id": "BATHS", "beds": "BEDS"}, ctx)
+        assert far > near
+
+    def test_proximity_non_siblings_max_cost(self, ctx):
+        c = ProximityConstraint("BATHS", "BEDS")
+        assert c.cost({"baths": "BATHS", "agent-name": "BEDS"},
+                      ctx) == 1.0
+
+    def test_proximity_vacuous_when_absent(self, ctx):
+        c = ProximityConstraint("BATHS", "BEDS")
+        assert c.cost({"baths": "BATHS"}, ctx) == 0.0
+
+
+class TestFeedbackConstraints:
+    def test_assignment_pins(self, ctx):
+        c = AssignmentConstraint("ad-id", "HOUSE-ID")
+        assert c.check_complete({"ad-id": "OTHER"}, ctx)
+        assert not c.check_complete({"ad-id": "HOUSE-ID"}, ctx)
+        # Unassigned tag is not a *partial* violation.
+        assert not c.check_partial({}, ctx)
+
+    def test_exclusion_forbids(self, ctx):
+        c = ExclusionConstraint("ad-id", "HOUSE-ID")
+        assert c.check_partial({"ad-id": "HOUSE-ID"}, ctx)
+        assert not c.check_complete({"ad-id": "OTHER"}, ctx)

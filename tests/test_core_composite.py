@@ -1,0 +1,150 @@
+"""Tests for complex-mapping detection and §7 error analysis."""
+
+import pytest
+
+from repro.core import Mapping, SourceSchema, extract_columns
+from repro.core.composite import find_composite_mappings
+from repro.evaluation.error_analysis import (AMBIGUOUS, MISRANKED,
+                                             NO_TRAINING_DATA,
+                                             analyze_errors,
+                                             trained_label_set)
+from repro.xmlio import parse_fragments
+
+SCHEMA = SourceSchema("""
+<!ELEMENT l (full, half, total, price, note)>
+<!ELEMENT full (#PCDATA)>
+<!ELEMENT half (#PCDATA)>
+<!ELEMENT total (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+""")
+
+
+def columns_for(rows):
+    """rows: list of (full, half, total, price) tuples."""
+    text = "".join(
+        f"<l><full>{f}</full><half>{h}</half><total>{t}</total>"
+        f"<price>{p}</price><note>words only</note></l>"
+        for f, h, t, p in rows)
+    return extract_columns(SCHEMA, parse_fragments(text))
+
+
+BASE_MAPPING = Mapping({"full": "FULL-BATHS", "half": "HALF-BATHS",
+                        "total": "OTHER", "price": "PRICE",
+                        "note": "OTHER"})
+
+
+class TestCompositeDetection:
+    def test_detects_sum(self):
+        """The paper's example: num-baths = half-baths + full-baths."""
+        rows = [(2, 1, 3, 100), (1, 0, 1, 90), (3, 2, 5, 150),
+                (2, 2, 4, 120), (1, 1, 2, 80), (4, 0, 4, 200)]
+        composites = find_composite_mappings(columns_for(rows),
+                                             BASE_MAPPING)
+        assert len(composites) == 1
+        found = composites[0]
+        assert found.tag == "total"
+        assert set(found.part_tags) == {"full", "half"}
+        assert set(found.part_labels) == {"FULL-BATHS", "HALF-BATHS"}
+        assert found.support == 1.0
+        assert "FULL-BATHS + HALF-BATHS" in found.describe() or \
+            "HALF-BATHS + FULL-BATHS" in found.describe()
+
+    def test_no_false_positive_without_relationship(self):
+        rows = [(2, 1, 9, 100), (1, 0, 7, 90), (3, 2, 2, 150),
+                (2, 2, 8, 120), (1, 1, 5, 80), (4, 0, 1, 200)]
+        assert find_composite_mappings(columns_for(rows),
+                                       BASE_MAPPING) == []
+
+    def test_tolerates_minority_noise(self):
+        rows = [(2, 1, 3, 100), (1, 0, 1, 90), (3, 2, 5, 150),
+                (2, 2, 4, 120), (1, 1, 2, 80), (4, 0, 4, 200),
+                (2, 1, 3, 100), (1, 2, 3, 95), (3, 1, 4, 140),
+                (2, 0, 9, 110)]  # one disagreeing listing out of ten
+        composites = find_composite_mappings(columns_for(rows),
+                                             BASE_MAPPING,
+                                             min_support=0.85)
+        assert len(composites) == 1
+        assert composites[0].support == pytest.approx(0.9)
+
+    def test_mapped_tags_not_searched(self):
+        # 'total' already has a 1-1 label: nothing to explain.
+        mapping = BASE_MAPPING.with_assignment("total", "BATHS")
+        rows = [(2, 1, 3, 100), (1, 0, 1, 90), (3, 2, 5, 150),
+                (2, 2, 4, 120), (1, 1, 2, 80), (4, 0, 4, 200)]
+        assert find_composite_mappings(columns_for(rows), mapping) == []
+
+    def test_min_listings_guard(self):
+        rows = [(2, 1, 3, 100), (1, 0, 1, 90)]
+        assert find_composite_mappings(columns_for(rows), BASE_MAPPING,
+                                       min_listings=5) == []
+
+    def test_non_numeric_columns_ignored(self):
+        rows = [(2, 1, 3, 100), (1, 0, 1, 90), (3, 2, 5, 150),
+                (2, 2, 4, 120), (1, 1, 2, 80), (4, 0, 4, 200)]
+        composites = find_composite_mappings(columns_for(rows),
+                                             BASE_MAPPING)
+        assert all("note" not in c.part_tags for c in composites)
+
+
+class TestErrorAnalysis:
+    def make_result(self, mapping_dict, scores):
+        import numpy as np
+        from repro.constraints import MatchContext
+        from repro.core import LabelSpace
+        from repro.core.matching import MatchResult
+
+        space = LabelSpace(["A", "B", "SUBURB"])
+        tag_scores = {
+            tag: np.array(row) for tag, row in scores.items()}
+        return MatchResult(Mapping(mapping_dict), tag_scores, space, {},
+                           MatchContext(SCHEMA))
+
+    def test_buckets(self):
+        result = self.make_result(
+            {"full": "A", "half": "B", "total": "A"},
+            {
+                "full": [0.9, 0.05, 0.03, 0.02],    # confident, wrong
+                "half": [0.05, 0.48, 0.45, 0.02],   # ambiguous, wrong
+                "total": [0.8, 0.1, 0.05, 0.05],    # truth never trained
+            })
+        truth = Mapping({"full": "B", "half": "SUBURB",
+                         "total": "SUBURB"})
+        report = analyze_errors(result, truth,
+                                trained_labels={"A", "B"})
+        causes = {e.tag: e.cause for e in report.errors}
+        assert causes["full"] == MISRANKED
+        assert causes["total"] == NO_TRAINING_DATA
+        # 'half' truth (SUBURB) is untrained too — that bucket wins even
+        # though the prediction is also ambiguous.
+        assert causes["half"] == NO_TRAINING_DATA
+        assert report.by_cause()[NO_TRAINING_DATA] == 2
+
+    def test_ambiguous_bucket(self):
+        result = self.make_result(
+            {"full": "A"},
+            {"full": [0.45, 0.44, 0.06, 0.05]})
+        truth = Mapping({"full": "B"})
+        report = analyze_errors(result, truth,
+                                trained_labels={"A", "B"})
+        assert report.errors[0].cause == AMBIGUOUS
+
+    def test_correct_tags_not_reported(self):
+        result = self.make_result(
+            {"full": "A"}, {"full": [0.9, 0.05, 0.03, 0.02]})
+        truth = Mapping({"full": "A"})
+        report = analyze_errors(result, truth, trained_labels={"A"})
+        assert len(report) == 0
+
+    def test_trained_label_set(self):
+        from repro.datasets import load_domain
+        from repro.evaluation import SystemConfig, build_system
+
+        domain = load_domain("faculty", seed=0)
+        system = build_system(domain, SystemConfig("complete"),
+                              max_instances_per_tag=10)
+        system.add_training_source(domain.sources[0].schema,
+                                   domain.sources[0].listings(10),
+                                   domain.sources[0].mapping)
+        labels = trained_label_set(system)
+        assert "FIRST-NAME" in labels

@@ -1,0 +1,232 @@
+"""Tests for the §7/§9 extension features: label hierarchies,
+type-compatibility pruning, and confirmed-source reuse."""
+
+import numpy as np
+import pytest
+
+from repro.core import (LabelHierarchy, LabelSpace, Prediction,
+                        SourceSchema, TypeProfile, TypePruner,
+                        extract_columns, generalize_prediction)
+from repro.xmlio import parse_fragments
+
+from .helpers import make_instance
+
+
+class TestLabelHierarchy:
+    def make(self):
+        return LabelHierarchy([
+            ("CREDIT", "COURSE-CREDIT"),
+            ("CREDIT", "SECTION-CREDIT"),
+            ("CONTACT", "AGENT-PHONE"),
+            ("CONTACT", "OFFICE-PHONE"),
+        ])
+
+    def test_parent_child(self):
+        h = self.make()
+        assert h.parent_of("COURSE-CREDIT") == "CREDIT"
+        assert h.children_of("CREDIT") == {"COURSE-CREDIT",
+                                           "SECTION-CREDIT"}
+        assert h.parent_of("CREDIT") is None
+
+    def test_ancestors_and_descendants(self):
+        h = self.make()
+        h.add("ROOT", "CREDIT")
+        assert h.ancestors_of("COURSE-CREDIT") == ["CREDIT", "ROOT"]
+        assert h.descendants_of("ROOT") == {
+            "CREDIT", "COURSE-CREDIT", "SECTION-CREDIT"}
+
+    def test_lowest_common_ancestor(self):
+        h = self.make()
+        assert h.lowest_common_ancestor(
+            "COURSE-CREDIT", "SECTION-CREDIT") == "CREDIT"
+        assert h.lowest_common_ancestor(
+            "COURSE-CREDIT", "AGENT-PHONE") is None
+        assert h.lowest_common_ancestor(
+            "CREDIT", "COURSE-CREDIT") == "CREDIT"
+
+    def test_cycle_rejected(self):
+        h = self.make()
+        with pytest.raises(ValueError):
+            h.add("COURSE-CREDIT", "CREDIT")
+        with pytest.raises(ValueError):
+            h.add("X", "X")
+
+    def test_double_parent_rejected(self):
+        h = self.make()
+        with pytest.raises(ValueError):
+            h.add("OTHER-PARENT", "COURSE-CREDIT")
+
+    def test_contains_and_len(self):
+        h = self.make()
+        assert "CREDIT" in h and "COURSE-CREDIT" in h
+        assert "NOPE" not in h
+        assert len(h) == 4
+
+
+class TestGeneralizePrediction:
+    SPACE = LabelSpace(["COURSE-CREDIT", "SECTION-CREDIT", "PRICE"])
+
+    def hierarchy(self):
+        return LabelHierarchy([
+            ("CREDIT", "COURSE-CREDIT"), ("CREDIT", "SECTION-CREDIT")])
+
+    def test_unambiguous_keeps_top(self):
+        """The paper's §7 scenario: course- vs section-credits split."""
+        p = Prediction.from_dict(self.SPACE, {
+            "COURSE-CREDIT": 0.8, "SECTION-CREDIT": 0.15, "PRICE": 0.05})
+        assert generalize_prediction(p, self.hierarchy()) == \
+            "COURSE-CREDIT"
+
+    def test_ambiguous_siblings_back_off(self):
+        p = Prediction.from_dict(self.SPACE, {
+            "COURSE-CREDIT": 0.46, "SECTION-CREDIT": 0.44, "PRICE": 0.1})
+        assert generalize_prediction(p, self.hierarchy()) == "CREDIT"
+
+    def test_ambiguous_unrelated_labels_keep_top(self):
+        p = Prediction.from_dict(self.SPACE, {
+            "COURSE-CREDIT": 0.45, "PRICE": 0.44,
+            "SECTION-CREDIT": 0.11})
+        assert generalize_prediction(p, self.hierarchy()) == \
+            "COURSE-CREDIT"
+
+    def test_low_family_mass_keeps_top(self):
+        # Siblings are ambiguous but their combined mass (0.78) is below
+        # the requested coverage, so the backoff is not justified.
+        p = Prediction.from_dict(self.SPACE, {
+            "COURSE-CREDIT": 0.40, "SECTION-CREDIT": 0.38, "PRICE": 0.22})
+        assert generalize_prediction(p, self.hierarchy(),
+                                     coverage=0.9) == "COURSE-CREDIT"
+
+
+SCHEMA = SourceSchema("""
+<!ELEMENT l (beds, city, note)>
+<!ELEMENT beds (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+""")
+
+
+class TestTypeProfile:
+    def test_numeric_texts(self):
+        profile = TypeProfile.of_texts(["3", "4", "2.5"])
+        assert profile.numeric_rate == 1.0
+
+    def test_textual_texts(self):
+        profile = TypeProfile.of_texts(["great house", "nice yard"])
+        assert profile.numeric_rate == 0.0
+        assert profile.mean_tokens == 2.0
+
+    def test_mixed_value_counts_as_textual(self):
+        profile = TypeProfile.of_texts(["3 beds"])
+        assert profile.numeric_rate == 0.0
+
+    def test_empty(self):
+        assert TypeProfile.of_texts([]).samples == 0
+
+
+class TestTypePruner:
+    SPACE = LabelSpace(["BEDS", "CITY"])
+
+    def fitted(self):
+        pruner = TypePruner(min_samples=3)
+        instances = (
+            [make_instance("b", str(i)) for i in range(1, 7)]
+            + [make_instance("c", text) for text in
+               ["Miami", "Boston", "Seattle", "Austin", "Denver",
+                "Kent"]])
+        labels = ["BEDS"] * 6 + ["CITY"] * 6
+        pruner.fit(instances, labels, self.SPACE)
+        return pruner
+
+    def column(self, texts):
+        listings = parse_fragments("".join(
+            f"<l><beds>{t}</beds><city>x</city><note>n</note></l>"
+            for t in texts))
+        return extract_columns(SCHEMA, listings)["beds"]
+
+    def test_numeric_column_prunes_textual_label(self):
+        pruner = self.fitted()
+        column = self.column(["1", "2", "3", "4", "5"])
+        assert pruner.incompatible_labels(column) == {"CITY"}
+
+    def test_textual_column_prunes_numeric_label(self):
+        pruner = self.fitted()
+        column = self.column(["aa", "bb", "cc", "dd", "ee"])
+        assert pruner.incompatible_labels(column) == {"BEDS"}
+
+    def test_small_column_never_pruned(self):
+        pruner = self.fitted()
+        column = self.column(["1", "2"])
+        assert pruner.incompatible_labels(column) == set()
+
+    def test_prune_scores_renormalises(self):
+        pruner = self.fitted()
+        listings = parse_fragments("".join(
+            f"<l><beds>{i}</beds><city>x</city><note>n</note></l>"
+            for i in range(1, 7)))
+        columns = extract_columns(SCHEMA, listings)
+        scores = {"beds": np.array([0.3, 0.6, 0.1])}  # CITY wrongly on top
+        pruned = pruner.prune_scores(scores, columns)
+        assert pruned["beds"][self.SPACE.index_of("CITY")] == 0.0
+        assert pruned["beds"].sum() == pytest.approx(1.0)
+        assert np.argmax(pruned["beds"]) == self.SPACE.index_of("BEDS")
+
+    def test_prune_never_empties_a_row(self):
+        pruner = self.fitted()
+        listings = parse_fragments("".join(
+            f"<l><beds>{i}</beds><city>x</city><note>n</note></l>"
+            for i in range(1, 7)))
+        columns = extract_columns(SCHEMA, listings)
+        # All mass on the (incompatible) CITY label: pruning would zero
+        # the row, so the row must be left untouched.
+        scores = {"beds": np.array([0.0, 1.0, 0.0])}
+        pruned = pruner.prune_scores(scores, columns)
+        assert pruned["beds"][self.SPACE.index_of("CITY")] == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TypePruner().incompatible_labels(self.column(["1"] * 6))
+
+
+class TestConfirmAndLearn:
+    def test_reuse_improves_and_retrains(self):
+        from repro.datasets import load_domain
+        from repro.evaluation import SystemConfig, build_system
+
+        domain = load_domain("real_estate_1", seed=0)
+        system = build_system(domain, SystemConfig("complete"),
+                              max_instances_per_tag=20)
+        for source in domain.sources[:2]:
+            system.add_training_source(source.schema,
+                                       source.listings(20),
+                                       source.mapping)
+        system.train()
+        assert len(system.training_sources) == 2
+
+        third = domain.sources[2]
+        system.confirm_and_learn(third.schema, third.listings(20),
+                                 third.mapping)
+        assert len(system.training_sources) == 3
+        assert system.is_trained  # retrained automatically
+
+    def test_pruned_system_end_to_end(self):
+        from repro.datasets import load_domain
+        from repro.learners import NaiveBayesLearner, NameMatcher
+        from repro.core import LSDSystem
+
+        domain = load_domain("real_estate_1", seed=0)
+        system = LSDSystem(domain.mediated_schema,
+                           [NameMatcher(synonyms=domain.synonyms),
+                            NaiveBayesLearner()],
+                           constraints=domain.constraints,
+                           prune_types=True,
+                           max_instances_per_tag=25)
+        for source in domain.sources[:3]:
+            system.add_training_source(source.schema,
+                                       source.listings(25),
+                                       source.mapping)
+        system.train()
+        assert system.pruner is not None and system.pruner.is_fitted
+        test = domain.sources[4]
+        result = system.match(test.schema, test.listings(25))
+        assert result.mapping.accuracy_against(test.mapping) >= 0.6

@@ -1,0 +1,106 @@
+"""Tests for instance-column extraction."""
+
+from repro.core import SourceSchema, extract_columns, fill_child_labels
+from repro.xmlio import parse_fragments
+
+SCHEMA = SourceSchema("""
+<!ELEMENT listing (location?, price, contact)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT contact (name, phone)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+""")
+
+LISTINGS = parse_fragments("""
+<listing><location>Miami, FL</location><price>$1</price>
+  <contact><name>Ann</name><phone>555-0001</phone></contact></listing>
+<listing><price>$2</price>
+  <contact><name>Bob</name><phone>555-0002</phone></contact></listing>
+""")
+
+
+class TestExtraction:
+    def test_every_tag_gets_a_column(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        assert set(columns) == set(SCHEMA.tags)
+
+    def test_column_sizes(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        assert len(columns["price"]) == 2
+        assert len(columns["location"]) == 1  # optional, absent once
+        assert len(columns["name"]) == 2
+
+    def test_texts(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        assert columns["price"].texts() == ["$1", "$2"]
+
+    def test_paths_recorded(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        [instance] = columns["location"].instances
+        assert instance.path == ("listing",)
+        assert columns["phone"].instances[0].path == ("listing", "contact")
+
+    def test_listing_indices(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        assert [i.listing_index for i in columns["price"].instances] == \
+            [0, 1]
+
+    def test_cap_limits_instances(self):
+        columns = extract_columns(SCHEMA, LISTINGS,
+                                  max_instances_per_tag=1)
+        assert len(columns["price"]) == 1
+
+    def test_nested_instance_text(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        text = columns["contact"].instances[0].text
+        assert "Ann" in text and "555-0001" in text
+
+    def test_duplicates_detected(self):
+        listings = parse_fragments(
+            "<listing><price>$1</price><contact><name>A</name>"
+            "<phone>1</phone></contact></listing>"
+            "<listing><price>$1</price><contact><name>B</name>"
+            "<phone>2</phone></contact></listing>")
+        columns = extract_columns(SCHEMA, listings)
+        assert columns["price"].has_duplicates()
+        assert not columns["name"].has_duplicates()
+
+    def test_attributes_become_columns(self):
+        schema = SourceSchema(
+            '<!ELEMENT l (x)><!ELEMENT x (#PCDATA)>'
+            '<!ATTLIST x unit CDATA #IMPLIED>'
+            '<!ELEMENT unit (#PCDATA)>')
+        listings = parse_fragments('<l><x unit="usd">5</x></l>')
+        columns = extract_columns(schema, listings)
+        assert columns["unit"].texts() == ["usd"]
+
+
+class TestChildLabels:
+    def test_fill_child_labels_direct(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        fill_child_labels(columns, {"name": "AGENT-NAME",
+                                    "phone": "AGENT-PHONE"})
+        instance = columns["contact"].instances[0]
+        assert instance.child_labels == {"name": "AGENT-NAME",
+                                         "phone": "AGENT-PHONE"}
+
+    def test_fill_child_labels_descendants(self):
+        schema = SourceSchema(
+            "<!ELEMENT l (a)><!ELEMENT a (b)><!ELEMENT b (c)>"
+            "<!ELEMENT c (#PCDATA)>")
+        listings = parse_fragments("<l><a><b><c>x</c></b></a></l>")
+        columns = extract_columns(schema, listings)
+        fill_child_labels(columns, {"b": "B", "c": "C"})
+        [a] = columns["a"].instances
+        assert a.child_labels == {"b": "B", "c": "C"}
+
+    def test_leaf_instances_get_empty_labels(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        fill_child_labels(columns, {"name": "AGENT-NAME"})
+        assert columns["price"].instances[0].child_labels == {}
+
+    def test_unknown_tags_skipped(self):
+        columns = extract_columns(SCHEMA, LISTINGS)
+        fill_child_labels(columns, {})
+        assert columns["contact"].instances[0].child_labels == {}

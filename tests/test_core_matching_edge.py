@@ -1,0 +1,155 @@
+"""Edge-case and failure-injection tests for the matching pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (LSDSystem, LabelSpace, Mapping, MediatedSchema,
+                        PredictionConverter, SourceSchema, match_source,
+                        normalize_matrix)
+from repro.core.matching import MatchResult
+from repro.constraints import ConstraintHandler, MatchContext
+from repro.learners import NaiveBayesLearner, NameMatcher
+from repro.learners.meta import StackingMetaLearner
+from repro.xmlio import parse_fragments
+
+MEDIATED = MediatedSchema("""
+<!ELEMENT L (A, B)>
+<!ELEMENT A (#PCDATA)>
+<!ELEMENT B (#PCDATA)>
+""")
+
+SOURCE = SourceSchema("""
+<!ELEMENT l (a, b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+""")
+
+
+def trained_system(**kwargs) -> LSDSystem:
+    system = LSDSystem(MEDIATED, [NameMatcher(), NaiveBayesLearner()],
+                       **kwargs)
+    listings = parse_fragments(
+        "<l><a>alpha apple avocado</a><b>berry banana blue</b></l>" * 1)
+    system.add_training_source(SOURCE, listings * 6,
+                               {"a": "A", "b": "B"})
+    system.train()
+    return system
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_match_with_zero_listings(self):
+        system = trained_system()
+        result = system.match(SOURCE, [])
+        # Columns are empty -> uniform predictions, but a full mapping is
+        # still produced for every tag.
+        assert set(result.mapping.tags()) == {"a", "b"}
+
+    def test_match_source_with_optional_tag_never_present(self):
+        system = trained_system()
+        sparse_schema = SourceSchema(
+            "<!ELEMENT l (a, b?)><!ELEMENT a (#PCDATA)>"
+            "<!ELEMENT b (#PCDATA)>")
+        listings = parse_fragments("<l><a>alpha apple</a></l>")
+        result = system.match(sparse_schema, listings)
+        assert "b" in result.mapping
+
+    def test_single_tag_source(self):
+        system = trained_system()
+        schema = SourceSchema("<!ELEMENT l (x)><!ELEMENT x (#PCDATA)>")
+        listings = parse_fragments("<l><x>berry banana</x></l>")
+        result = system.match(schema, listings)
+        assert result.mapping["x"] == "B"
+
+    def test_listings_with_unknown_tags_ignored(self):
+        system = trained_system()
+        # Data contains a tag the schema does not declare: extraction
+        # only collects declared tags.
+        listings = parse_fragments(
+            "<l><a>alpha</a><b>berry</b><zz>noise</zz></l>")
+        result = system.match(SOURCE, listings)
+        assert "zz" not in result.mapping
+
+    def test_duplicate_learner_names_rejected(self):
+        system = LSDSystem(MEDIATED,
+                           [NaiveBayesLearner(), NaiveBayesLearner()])
+        listings = parse_fragments("<l><a>x</a><b>y</b></l>")
+        system.add_training_source(SOURCE, listings,
+                                   {"a": "A", "b": "B"})
+        with pytest.raises(ValueError):
+            system.train()
+
+
+class TestMatchResultHelpers:
+    def test_ambiguous_tags_detection(self):
+        space = LabelSpace(["A", "B"])
+        scores = {
+            "sharp": np.array([0.9, 0.05, 0.05]),
+            "fuzzy": np.array([0.4, 0.38, 0.22]),
+        }
+        result = MatchResult(
+            Mapping({"sharp": "A", "fuzzy": "A"}), scores, space, {},
+            MatchContext(SOURCE))
+        assert result.ambiguous_tags(threshold=0.1) == ["fuzzy"]
+
+    def test_top_candidates_ordering(self):
+        space = LabelSpace(["A", "B"])
+        scores = {"t": np.array([0.2, 0.7, 0.1])}
+        result = MatchResult(Mapping({"t": "B"}), scores, space, {},
+                             MatchContext(SOURCE))
+        candidates = result.top_candidates("t", 3)
+        assert [c[0] for c in candidates] == ["B", "A", "OTHER"]
+
+
+class TestScoreFilterHook:
+    def test_score_filter_applied_before_handler(self):
+        system = trained_system()
+        listings = parse_fragments(
+            "<l><a>alpha apple</a><b>berry banana</b></l>")
+
+        def flip(tag_scores, columns):
+            # Force every tag to OTHER: the mapping must follow.
+            space_size = len(system.space)
+            forced = np.zeros(space_size)
+            forced[system.space.other_index] = 1.0
+            return {tag: forced for tag in tag_scores}
+
+        result = match_source(
+            SOURCE, listings, system.learners, system.meta,
+            system.converter, system.handler, system.space,
+            score_filter=flip)
+        assert all(label == "OTHER" for __, label in
+                   result.mapping.items())
+
+
+class TestNormalizeMatrixProperties:
+    @given(st.lists(st.lists(st.floats(-5, 5), min_size=3, max_size=3),
+                    min_size=1, max_size=6))
+    @settings(max_examples=60)
+    def test_rows_become_distributions(self, rows):
+        matrix = normalize_matrix(np.array(rows))
+        assert np.all(matrix >= 0)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_all_negative_row_goes_uniform(self):
+        matrix = normalize_matrix(np.array([[-1.0, -2.0, -3.0]]))
+        assert np.allclose(matrix, 1.0 / 3)
+
+
+class TestHandlerPropertyVsArgmax:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_no_constraints_equals_argmax(self, seed):
+        """Without constraints the handler must reproduce argmax."""
+        rng = np.random.default_rng(seed)
+        space = LabelSpace(["A", "B", "C"])
+        tags = ["t1", "t2", "t3"]
+        scores = {tag: rng.dirichlet(np.ones(len(space)))
+                  for tag in tags}
+        handler = ConstraintHandler()
+        ctx = MatchContext(SOURCE)
+        mapping = handler.find_mapping(scores, space, ctx)
+        for tag in tags:
+            assert mapping[tag] == space.label_at(
+                int(np.argmax(scores[tag])))

@@ -1,0 +1,208 @@
+"""Tests for labels, predictions, mappings, schemas, and the converter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (LabelSpace, Mapping, MediatedSchema, OTHER,
+                        Prediction, PredictionConverter, SourceSchema)
+
+MEDIATED = """
+<!ELEMENT LISTING (ADDRESS, LISTED-PRICE, CONTACT-INFO)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT LISTED-PRICE (#PCDATA)>
+<!ELEMENT CONTACT-INFO (FNAME, LNAME, AGENT-PHONE)>
+<!ELEMENT FNAME (#PCDATA)>
+<!ELEMENT LNAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+"""
+
+
+class TestLabelSpace:
+    def test_other_always_present(self):
+        space = LabelSpace(["A", "B"])
+        assert OTHER in space
+        assert len(space) == 3
+
+    def test_indexing_roundtrip(self):
+        space = LabelSpace(["A", "B"])
+        for label in space:
+            assert space.label_at(space.index_of(label)) == label
+
+    def test_duplicates_collapsed(self):
+        assert len(LabelSpace(["A", "A", "B"])) == 3
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            LabelSpace(["A"]).index_of("Z")
+
+    def test_real_labels_exclude_other(self):
+        assert LabelSpace(["A", "B"]).real_labels() == ("A", "B")
+
+    def test_equality_and_hash(self):
+        assert LabelSpace(["A"]) == LabelSpace(["A"])
+        assert hash(LabelSpace(["A"])) == hash(LabelSpace(["A"]))
+        assert LabelSpace(["A"]) != LabelSpace(["B"])
+
+
+class TestPrediction:
+    SPACE = LabelSpace(["ADDRESS", "DESCRIPTION", "AGENT-PHONE"])
+
+    def test_normalisation(self):
+        p = Prediction(self.SPACE, np.array([2.0, 1.0, 1.0, 0.0]))
+        assert p.score("ADDRESS") == pytest.approx(0.5)
+        assert sum(p.as_dict().values()) == pytest.approx(1.0)
+
+    def test_paper_example(self):
+        # The name matcher's example prediction from §2.2.
+        p = Prediction.from_dict(self.SPACE, {
+            "ADDRESS": 0.1, "DESCRIPTION": 0.2, "AGENT-PHONE": 0.7})
+        assert p.top() == "AGENT-PHONE"
+        assert p.top_k(2)[1][0] == "DESCRIPTION"
+
+    def test_negative_scores_clamped(self):
+        p = Prediction(self.SPACE, np.array([-1.0, 1.0, 0.0, 0.0]))
+        assert p.score("ADDRESS") == 0.0
+
+    def test_all_zero_is_uniform(self):
+        p = Prediction(self.SPACE, np.zeros(4))
+        assert p.score("ADDRESS") == pytest.approx(0.25)
+
+    def test_uniform_and_certain(self):
+        assert Prediction.uniform(self.SPACE).margin() == pytest.approx(0)
+        certain = Prediction.certain(self.SPACE, "ADDRESS")
+        assert certain.score("ADDRESS") == 1.0
+        assert certain.margin() == pytest.approx(1.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            Prediction(self.SPACE, np.zeros(2))
+
+    @given(st.lists(st.floats(0, 100), min_size=4, max_size=4))
+    @settings(max_examples=50)
+    def test_scores_always_distribution(self, raw):
+        p = Prediction(self.SPACE, np.array(raw))
+        assert np.isclose(p.scores.sum(), 1.0)
+        assert np.all(p.scores >= 0)
+
+
+class TestMapping:
+    def test_basic_lookup(self):
+        m = Mapping({"location": "ADDRESS", "comments": "DESCRIPTION"})
+        assert m["location"] == "ADDRESS"
+        assert m.get("missing") is None
+        assert "location" in m and len(m) == 2
+
+    def test_matchable_excludes_other(self):
+        m = Mapping({"a": "X", "b": OTHER})
+        assert m.matchable_tags() == ("a",)
+
+    def test_accuracy_matchable_only(self):
+        truth = Mapping({"a": "X", "b": "Y", "c": OTHER})
+        predicted = Mapping({"a": "X", "b": "Z", "c": "X"})
+        assert predicted.accuracy_against(truth) == pytest.approx(0.5)
+        assert predicted.accuracy_against(
+            truth, matchable_only=False) == pytest.approx(1 / 3)
+
+    def test_accuracy_empty_truth(self):
+        assert Mapping({}).accuracy_against(Mapping({})) == 1.0
+
+    def test_differences(self):
+        truth = Mapping({"a": "X", "b": "Y"})
+        predicted = Mapping({"a": "X", "b": "Z"})
+        assert predicted.differences(truth) == [("b", "Z", "Y")]
+
+    def test_with_assignment_immutable(self):
+        m = Mapping({"a": "X"})
+        m2 = m.with_assignment("b", "Y")
+        assert "b" not in m and m2["b"] == "Y"
+
+    def test_tags_for(self):
+        m = Mapping({"a": "X", "b": "X", "c": "Y"})
+        assert set(m.tags_for("X")) == {"a", "b"}
+
+    def test_hash_and_eq(self):
+        assert Mapping({"a": "X"}) == Mapping({"a": "X"})
+        assert hash(Mapping({"a": "X"})) == hash(Mapping({"a": "X"}))
+
+
+class TestSchemas:
+    def test_mediated_label_space(self):
+        schema = MediatedSchema(MEDIATED)
+        space = schema.label_space()
+        assert "ADDRESS" in space and "LISTING" not in space
+        assert OTHER in space
+
+    def test_tags_exclude_root(self):
+        schema = MediatedSchema(MEDIATED)
+        assert "LISTING" not in schema.tags
+        assert len(schema.tags) == 6
+
+    def test_non_leaf_tags(self):
+        schema = MediatedSchema(MEDIATED)
+        assert schema.non_leaf_tags == ("CONTACT-INFO",)
+
+    def test_path_to(self):
+        schema = MediatedSchema(MEDIATED)
+        assert schema.path_to("AGENT-PHONE") == ("LISTING", "CONTACT-INFO")
+        assert schema.path_to("ADDRESS") == ("LISTING",)
+
+    def test_path_to_unreachable(self):
+        schema = SourceSchema(
+            "<!ELEMENT a (b)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>")
+        assert schema.path_to("c") == ()
+
+    def test_siblings(self):
+        schema = MediatedSchema(MEDIATED)
+        assert schema.siblings("FNAME", "AGENT-PHONE")
+        assert not schema.siblings("FNAME", "ADDRESS")
+
+    def test_sibling_order(self):
+        schema = MediatedSchema(MEDIATED)
+        assert schema.sibling_order("CONTACT-INFO") == [
+            "FNAME", "LNAME", "AGENT-PHONE"]
+
+    def test_source_schema_from_text(self):
+        schema = SourceSchema(
+            "<!ELEMENT l (a)><!ELEMENT a (#PCDATA)>", name="s1")
+        assert schema.name == "s1"
+        assert schema.tags == ("a",)
+
+
+class TestPredictionConverter:
+    def test_mean_strategy(self):
+        converter = PredictionConverter()
+        scores = np.array([[0.8, 0.2], [0.6, 0.4], [0.7, 0.3]])
+        assert np.allclose(converter.convert(scores), [0.7, 0.3])
+
+    def test_paper_worked_example(self):
+        """§3.2: averaging the three 'area' instance predictions gives
+        <ADDRESS:0.7, DESCRIPTION:0.163, AGENT-PHONE:0.137>."""
+        converter = PredictionConverter()
+        scores = np.array([
+            [0.7, 0.2, 0.1],
+            [0.5, 0.2, 0.3],
+            [0.9, 0.09, 0.01],
+        ])
+        out = converter.convert(scores)
+        assert np.allclose(out, [0.7, 0.163, 0.137], atol=1e-3)
+
+    def test_median_and_max(self):
+        scores = np.array([[0.9, 0.1], [0.1, 0.9], [0.8, 0.2]])
+        assert np.allclose(
+            PredictionConverter("median").convert(scores), [0.8, 0.2])
+        out = PredictionConverter("max").convert(scores)
+        assert out[0] == pytest.approx(0.5)
+
+    def test_empty_column_uniform(self):
+        out = PredictionConverter().convert(np.zeros((0, 4)))
+        assert np.allclose(out, 0.25)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            PredictionConverter("mode")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            PredictionConverter().convert(np.zeros(3))

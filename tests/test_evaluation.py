@@ -1,0 +1,175 @@
+"""Tests for the evaluation harness (configurations, methodology,
+feedback oracle, reporting)."""
+
+import pytest
+
+from repro.constraints import (FrequencyConstraint, KeyConstraint,
+                               FunctionalDependencyConstraint)
+from repro.datasets import load_domain
+from repro.evaluation import (Accumulator, ExperimentSettings,
+                              SystemConfig, build_system,
+                              corrections_to_perfect, feedback_table,
+                              filter_constraints, format_table,
+                              information_configs, ladder_table,
+                              lesion_configs, percent, run_configuration,
+                              run_feedback_study, single_learner_config,
+                              table3_row, train_test_splits)
+
+FAST = ExperimentSettings(n_listings=25, trials=1, max_splits=2,
+                          max_instances_per_tag=25)
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return load_domain("faculty", seed=0)
+
+
+class TestAccumulator:
+    def test_mean_and_std(self):
+        acc = Accumulator()
+        acc.extend([0.5, 1.0])
+        assert acc.mean == pytest.approx(0.75)
+        assert acc.std == pytest.approx(0.3535533906)
+        assert acc.count == 2
+
+    def test_empty(self):
+        acc = Accumulator()
+        assert acc.mean == 0.0 and acc.std == 0.0
+
+    def test_single_value_std_zero(self):
+        acc = Accumulator()
+        acc.add(0.9)
+        assert acc.std == 0.0
+
+
+class TestConfigurations:
+    def test_single_learner_config(self):
+        config = single_learner_config("naive_bayes")
+        assert config.learners == ("naive_bayes",)
+        assert not config.use_constraints and not config.use_xml
+
+    def test_lesion_configs_cover_components(self):
+        names = [c.name for c in lesion_configs()]
+        assert "without name matcher" in names
+        assert "without constraint handler" in names
+        assert "complete" in names
+
+    def test_information_configs(self):
+        configs = {c.name: c for c in information_configs()}
+        assert configs["schema only"].learners == ("name_matcher",)
+        assert configs["schema only"].constraint_information == "schema"
+        assert configs["data only"].constraint_information == "data"
+
+    def test_build_system_wires_recognizers(self, domain):
+        system = build_system(domain, SystemConfig("complete"))
+        assert "university_recognizer" in system.learner_names()
+
+    def test_build_system_without_recognizers(self, domain):
+        config = SystemConfig("bare", use_recognizers=False)
+        system = build_system(domain, config)
+        assert "university_recognizer" not in system.learner_names()
+
+    def test_describe(self):
+        assert "meta" in SystemConfig("x").describe()
+
+
+class TestConstraintFiltering:
+    CONSTRAINTS = [
+        FrequencyConstraint.at_most_one("A"),
+        KeyConstraint("B"),
+        FunctionalDependencyConstraint(["A"], "B"),
+    ]
+
+    def test_both_keeps_all(self):
+        assert len(filter_constraints(self.CONSTRAINTS, "both")) == 3
+
+    def test_schema_drops_column(self):
+        kept = filter_constraints(self.CONSTRAINTS, "schema")
+        assert len(kept) == 1
+        assert isinstance(kept[0], FrequencyConstraint)
+
+    def test_data_keeps_column(self):
+        kept = filter_constraints(self.CONSTRAINTS, "data")
+        assert len(kept) == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            filter_constraints(self.CONSTRAINTS, "everything")
+
+
+class TestMethodology:
+    def test_all_ten_splits(self, domain):
+        splits = train_test_splits(domain.sources)
+        assert len(splits) == 10
+        for train, test in splits:
+            assert len(train) == 3 and len(test) == 2
+            assert not {s.name for s in train} & {s.name for s in test}
+
+    def test_max_splits(self, domain):
+        assert len(train_test_splits(domain.sources, max_splits=4)) == 4
+
+    def test_run_configuration_records_observations(self, domain):
+        result = run_configuration(domain, SystemConfig("complete"), FAST)
+        # 1 trial x 2 splits x 2 test sources = 4 observations.
+        assert result.overall.count == 4
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_complete_beats_or_ties_single_learner(self, domain):
+        complete = run_configuration(domain, SystemConfig("complete"),
+                                     FAST)
+        single = run_configuration(
+            domain, single_learner_config("naive_bayes"), FAST)
+        assert complete.mean_accuracy >= single.mean_accuracy - 0.05
+
+
+class TestFeedback:
+    def test_corrections_reach_perfect(self, domain):
+        source = domain.sources[3]
+        system = build_system(domain, SystemConfig("complete"),
+                              max_instances_per_tag=25)
+        for train in domain.sources[:3]:
+            system.add_training_source(train.schema, train.listings(25),
+                                       train.mapping)
+        system.train()
+        outcome = corrections_to_perfect(system, source, n_listings=25)
+        assert outcome.final_accuracy == 1.0
+        assert outcome.corrections <= outcome.total_tags
+
+    def test_feedback_study_aggregates(self, domain):
+        settings = ExperimentSettings(n_listings=20, trials=1,
+                                      max_instances_per_tag=20)
+        study = run_feedback_study(domain, settings, runs=2)
+        assert study.corrections.count == 2
+        assert all(o.final_accuracy == 1.0 for o in study.outcomes)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["A", "Bee"], [["1", "2"], ["333", "4"]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("A  ")
+        assert all(len(l) >= 6 for l in lines[1:])
+
+    def test_percent(self):
+        assert percent(0.8235) == "82.3%"
+
+    def test_table3_row_shape(self, domain):
+        row = table3_row(domain)
+        assert row[0] == "Faculty Listings"
+        assert len(row) == 10
+
+    def test_ladder_table_renders(self, domain):
+        result = run_configuration(domain, SystemConfig("complete"), FAST)
+        ladder = {"best_base": result, "meta": result,
+                  "constraints": result, "complete": result}
+        out = ladder_table({"faculty": ladder})
+        assert "faculty" in out and "%" in out
+
+    def test_feedback_table_renders(self, domain):
+        settings = ExperimentSettings(n_listings=15, trials=1,
+                                      max_instances_per_tag=15)
+        study = run_feedback_study(domain, settings, runs=1)
+        out = feedback_table([study])
+        assert "faculty" in out

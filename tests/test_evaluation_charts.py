@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import bar_chart, grouped_bar_chart, line_series
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart([("a", 0.5), ("b", 1.0)], width=4)
+        lines = out.splitlines()
+        assert lines[0].startswith("a  ##")
+        assert lines[1].startswith("b  ####")
+        assert "50.0%" in lines[0] and "100.0%" in lines[1]
+
+    def test_title(self):
+        out = bar_chart([("x", 1.0)], title="My chart")
+        assert out.splitlines()[0] == "My chart"
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+        assert bar_chart([], title="t") == "t"
+
+    def test_zero_values(self):
+        out = bar_chart([("a", 0.0), ("b", 0.0)], width=10)
+        assert "#" not in out
+
+    def test_scaling_to_peak(self):
+        out = bar_chart([("low", 0.4), ("high", 0.8)], width=10)
+        low_bar = out.splitlines()[0].count("#")
+        high_bar = out.splitlines()[1].count("#")
+        assert high_bar == 10
+        assert low_bar == 5
+
+    def test_custom_value_format(self):
+        out = bar_chart([("n", 0.123)], value_format="{:.3f}")
+        assert "0.123" in out
+
+    @given(st.lists(
+        st.tuples(st.text(min_size=1, max_size=8,
+                          alphabet="abcdefgh"),
+                  st.floats(0, 1)),
+        min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_one_line_per_item(self, items):
+        out = bar_chart(items, width=20)
+        assert len(out.splitlines()) == len(items)
+
+
+class TestGroupedAndSeries:
+    def test_grouped(self):
+        out = grouped_bar_chart({
+            "domain-1": [("base", 0.5), ("full", 0.9)],
+            "domain-2": [("base", 0.6), ("full", 0.8)],
+        }, title="Figure")
+        assert "domain-1" in out and "domain-2" in out
+        assert out.splitlines()[0] == "Figure"
+
+    def test_line_series_sorted_by_x(self):
+        out = line_series({100: 0.9, 5: 0.5, 20: 0.8})
+        lines = out.splitlines()
+        assert lines[0].startswith("5 ")
+        assert lines[-1].startswith("100")

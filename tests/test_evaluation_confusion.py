@@ -1,0 +1,77 @@
+"""Tests for the label confusion matrix."""
+
+import pytest
+
+from repro.core import Mapping
+from repro.evaluation import ConfusionMatrix
+
+
+def matrix_with(*outcomes):
+    """Build a matrix from (predicted_dict, truth_dict) pairs."""
+    matrix = ConfusionMatrix()
+    for predicted, truth in outcomes:
+        matrix.record(Mapping(predicted), Mapping(truth))
+    return matrix
+
+
+class TestConfusionMatrix:
+    def test_diagonal_counts(self):
+        matrix = matrix_with(
+            ({"a": "X", "b": "Y"}, {"a": "X", "b": "Y"}))
+        assert matrix.count("X", "X") == 1
+        assert matrix.accuracy() == 1.0
+        assert matrix.confusions() == []
+
+    def test_off_diagonal(self):
+        matrix = matrix_with(
+            ({"a": "Y"}, {"a": "X"}),
+            ({"a": "Y"}, {"a": "X"}),
+            ({"b": "Z"}, {"b": "X"}))
+        assert matrix.count("X", "Y") == 2
+        assert matrix.confusions()[0] == ("X", "Y", 2)
+        assert matrix.accuracy() == 0.0
+
+    def test_confusions_sorted_and_capped(self):
+        matrix = matrix_with(
+            ({"a": "Y", "b": "Z", "c": "Z"},
+             {"a": "X", "b": "X", "c": "X"}),
+            ({"a": "Z"}, {"a": "X"}))
+        cells = matrix.confusions(top=1)
+        assert cells == [("X", "Z", 3)]
+
+    def test_recall(self):
+        matrix = matrix_with(
+            ({"a": "X", "b": "Y"}, {"a": "X", "b": "X"}))
+        assert matrix.recall("X") == pytest.approx(0.5)
+        assert matrix.recall("NEVER-SEEN") == 0.0
+
+    def test_unmapped_tags_skipped(self):
+        matrix = matrix_with(({"a": "X"}, {"a": "X", "b": "Y"}))
+        assert matrix.total() == 1
+
+    def test_report_renders(self):
+        matrix = matrix_with(({"a": "Y"}, {"a": "X"}))
+        report = matrix.report()
+        assert "X" in report and "Y" in report and "accuracy" in report
+
+    def test_empty_report(self):
+        assert "(none)" in ConfusionMatrix().report()
+
+    def test_integration_with_real_match(self):
+        from repro.datasets import load_domain
+        from repro.evaluation import SystemConfig, build_system
+
+        domain = load_domain("faculty", seed=0)
+        system = build_system(domain, SystemConfig("complete"),
+                              max_instances_per_tag=15)
+        for source in domain.sources[:3]:
+            system.add_training_source(source.schema,
+                                       source.listings(15),
+                                       source.mapping)
+        system.train()
+        matrix = ConfusionMatrix()
+        for source in domain.sources[3:]:
+            result = system.match(source.schema, source.listings(15))
+            matrix.record(result.mapping, source.mapping)
+        assert matrix.total() > 0
+        assert 0.0 <= matrix.accuracy() <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for the paired bootstrap significance machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (Comparison, DomainResult, compare,
+                              paired_bootstrap)
+
+
+class TestPairedBootstrap:
+    def test_clear_improvement_is_significant(self):
+        a = [0.5] * 30
+        b = [0.8] * 30
+        result = paired_bootstrap(a, b)
+        assert result.delta == pytest.approx(0.3)
+        assert result.p_value == 0.0
+        assert result.significant
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = list(rng.uniform(0.6, 0.9, size=40))
+        # b is a shuffled-noise version of a with zero mean shift.
+        b = [x + e for x, e in
+             zip(a, rng.normal(0.0, 0.05, size=40))]
+        result = paired_bootstrap(a, b, seed=1)
+        assert not result.significant or abs(result.delta) > 0.0
+
+    def test_regression_detected_as_nonsignificant_improvement(self):
+        a = [0.8] * 20
+        b = [0.6] * 20
+        result = paired_bootstrap(a, b)
+        assert result.delta < 0
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_mixed_small_sample(self):
+        a = [0.7, 0.8, 0.6, 0.9]
+        b = [0.75, 0.78, 0.72, 0.88]
+        result = paired_bootstrap(a, b, seed=3)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = [0.7, 0.8, 0.6]
+        b = [0.72, 0.81, 0.66]
+        first = paired_bootstrap(a, b, seed=5)
+        second = paired_bootstrap(a, b, seed=5)
+        assert first.p_value == second.p_value
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.5], [0.5, 0.6])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+    def test_describe(self):
+        result = paired_bootstrap([0.5] * 10, [0.7] * 10)
+        assert "+20.0pp" in result.describe()
+        assert "significant" in result.describe()
+
+    @given(st.lists(st.floats(0, 1), min_size=2, max_size=30),
+           st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_p_value_bounded(self, values, seed):
+        result = paired_bootstrap(values, values, seed=seed,
+                                  resamples=200)
+        assert 0.0 <= result.p_value <= 1.0
+        assert result.delta == pytest.approx(0.0)
+
+
+class TestCompareDomainResults:
+    def test_compare_wires_observations(self):
+        a = DomainResult("d", "base")
+        b = DomainResult("d", "better")
+        for value in (0.6, 0.62, 0.58, 0.61):
+            a.record("s", value)
+        for value in (0.8, 0.82, 0.78, 0.81):
+            b.record("s", value)
+        result = compare(a, b)
+        assert isinstance(result, Comparison)
+        assert result.significant
+        assert result.mean_b > result.mean_a

@@ -1,0 +1,77 @@
+"""Fast unit tests for the study runners (lesion, information,
+sensitivity) on a tiny settings profile."""
+
+import pytest
+
+from repro.datasets import load_domain
+from repro.evaluation import (ExperimentSettings, run_information_study,
+                              run_ladder, run_lesion_study,
+                              run_sensitivity, sensitivity_series,
+                              study_table)
+
+TINY = ExperimentSettings(n_listings=12, trials=1, max_splits=1,
+                          max_instances_per_tag=12)
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return load_domain("faculty", seed=0)
+
+
+class TestLadder:
+    def test_keys_and_counts(self, domain):
+        ladder = run_ladder(domain, TINY)
+        assert set(ladder) == {"best_base", "meta", "constraints",
+                               "complete"}
+        # 1 trial x 1 split x 2 test sources = 2 observations each.
+        for result in ladder.values():
+            assert result.overall.count == 2
+
+    def test_best_base_picks_maximum(self, domain):
+        ladder = run_ladder(domain, TINY,
+                            base_learner_pool=("name_matcher",
+                                               "naive_bayes"))
+        assert ladder["best_base"].config_name.startswith("single[")
+
+
+class TestLesion:
+    def test_all_variants_present(self, domain):
+        study = run_lesion_study(domain, TINY)
+        assert set(study) == {
+            "without name matcher", "without naive bayes",
+            "without content matcher", "without constraint handler",
+            "complete"}
+        for result in study.values():
+            assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_table_renders(self, domain):
+        study = run_lesion_study(domain, TINY)
+        out = study_table({"faculty": study}, "Lesion")
+        assert "without name matcher" in out
+
+
+class TestInformation:
+    def test_variants(self, domain):
+        study = run_information_study(domain, TINY)
+        assert set(study) == {"schema only", "data only", "complete"}
+
+    def test_complete_at_least_as_good_as_parts(self, domain):
+        study = run_information_study(domain, TINY)
+        complete = study["complete"].mean_accuracy
+        assert complete >= study["schema only"].mean_accuracy - 0.1
+        assert complete >= study["data only"].mean_accuracy - 0.1
+
+
+class TestSensitivity:
+    def test_sweep_structure(self, domain):
+        sweep = run_sensitivity(domain, TINY, listing_counts=(4, 8))
+        assert set(sweep) == {4, 8}
+        for ladder in sweep.values():
+            assert "complete" in ladder
+
+    def test_series_renders(self, domain):
+        sweep = run_sensitivity(domain, TINY, listing_counts=(4, 8))
+        out = sensitivity_series(sweep, "title")
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert any(line.startswith("4") for line in lines)

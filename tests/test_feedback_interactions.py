@@ -1,0 +1,100 @@
+"""Interaction tests: feedback constraints composing with domain
+constraints and with each other."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (AssignmentConstraint, ConstraintHandler,
+                               ExclusionConstraint, FrequencyConstraint,
+                               MatchContext)
+from repro.core import LabelSpace, SourceSchema
+
+SPACE = LabelSpace(["A", "B", "C"])
+SCHEMA = SourceSchema("""
+<!ELEMENT l (t1, t2, t3)>
+<!ELEMENT t1 (#PCDATA)>
+<!ELEMENT t2 (#PCDATA)>
+<!ELEMENT t3 (#PCDATA)>
+""")
+
+
+def scores(**rows):
+    return {tag: np.array(row, dtype=float) for tag, row in rows.items()}
+
+
+@pytest.fixture
+def ctx():
+    return MatchContext(SCHEMA)
+
+
+class TestFeedbackComposition:
+    def test_pin_cascades_through_frequency(self, ctx):
+        """Pinning t1=A forces t2 (which also wanted A) elsewhere."""
+        handler = ConstraintHandler([FrequencyConstraint.at_most_one("A")])
+        mapping = handler.find_mapping(
+            scores(t1=[0.5, 0.4, 0.05, 0.05],
+                   t2=[0.6, 0.3, 0.05, 0.05],
+                   t3=[0.1, 0.1, 0.7, 0.1]),
+            SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("t1", "A")])
+        assert mapping["t1"] == "A"
+        assert mapping["t2"] != "A"
+
+    def test_multiple_pins(self, ctx):
+        handler = ConstraintHandler()
+        mapping = handler.find_mapping(
+            scores(t1=[0.9, 0.05, 0.03, 0.02],
+                   t2=[0.9, 0.05, 0.03, 0.02],
+                   t3=[0.9, 0.05, 0.03, 0.02]),
+            SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("t1", "B"),
+                               AssignmentConstraint("t2", "C")])
+        assert mapping["t1"] == "B"
+        assert mapping["t2"] == "C"
+        assert mapping["t3"] == "A"
+
+    def test_exclusions_narrow_until_other(self, ctx):
+        handler = ConstraintHandler()
+        mapping = handler.find_mapping(
+            scores(t1=[0.5, 0.3, 0.15, 0.05],
+                   t2=[0.1, 0.8, 0.05, 0.05],
+                   t3=[0.1, 0.1, 0.75, 0.05]),
+            SPACE, ctx,
+            extra_constraints=[ExclusionConstraint("t1", "A"),
+                               ExclusionConstraint("t1", "B"),
+                               ExclusionConstraint("t1", "C")])
+        assert mapping["t1"] == "OTHER"
+
+    def test_contradictory_pin_and_exclusion_falls_back(self, ctx):
+        """Pin t1=A while excluding t1=A: unsatisfiable, so the handler
+        returns the unconstrained greedy mapping rather than failing."""
+        handler = ConstraintHandler()
+        mapping = handler.find_mapping(
+            scores(t1=[0.9, 0.05, 0.03, 0.02],
+                   t2=[0.1, 0.8, 0.05, 0.05],
+                   t3=[0.1, 0.1, 0.75, 0.05]),
+            SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("t1", "A"),
+                               ExclusionConstraint("t1", "A")])
+        assert mapping["t1"] == "A"  # greedy fallback = argmax
+
+    def test_pin_to_low_probability_label_still_honoured(self, ctx):
+        handler = ConstraintHandler()
+        mapping = handler.find_mapping(
+            scores(t1=[0.97, 0.01, 0.01, 0.01],
+                   t2=[0.1, 0.8, 0.05, 0.05],
+                   t3=[0.1, 0.1, 0.75, 0.05]),
+            SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("t1", "C")])
+        assert mapping["t1"] == "C"
+
+    def test_feedback_does_not_leak_between_calls(self, ctx):
+        """§4.3: feedback applies 'only in matching the current source'."""
+        handler = ConstraintHandler()
+        pinned = handler.find_mapping(
+            scores(t1=[0.9, 0.05, 0.03, 0.02]), SPACE, ctx,
+            extra_constraints=[AssignmentConstraint("t1", "B")])
+        assert pinned["t1"] == "B"
+        fresh = handler.find_mapping(
+            scores(t1=[0.9, 0.05, 0.03, 0.02]), SPACE, ctx)
+        assert fresh["t1"] == "A"

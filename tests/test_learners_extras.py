@@ -1,0 +1,178 @@
+"""Tests for recognizers, the numeric learner, and the format learner."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (FormatLearner, GazetteerRecognizer,
+                            NumericLearner, RegexRecognizer, registry,
+                            value_shape)
+
+from .helpers import make_instance, space_of, training_set
+
+SPACE = space_of("COUNTY", "PRICE", "BATHS", "AGENT-PHONE", "COURSE-CODE")
+
+
+class TestGazetteerRecognizer:
+    def fitted(self):
+        learner = GazetteerRecognizer(
+            "COUNTY", ["King", "Pierce", "Miami-Dade"])
+        learner.fit([], [], SPACE)
+        return learner
+
+    def test_recognized_value(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "King")])
+        assert p.top() == "COUNTY"
+        assert p.score("COUNTY") >= 0.9
+
+    def test_case_insensitive(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "  miami-dade ")])
+        assert p.top() == "COUNTY"
+
+    def test_unrecognized_abstains(self):
+        learner = self.fitted()
+        scores = learner.predict_scores([make_instance("x", "Seattle")])
+        assert np.allclose(scores[0], 1.0 / len(SPACE))
+
+    def test_label_not_in_space_abstains(self):
+        learner = GazetteerRecognizer("NOSUCH", ["King"])
+        learner.fit([], [], SPACE)
+        scores = learner.predict_scores([make_instance("x", "King")])
+        assert np.allclose(scores[0], 1.0 / len(SPACE))
+
+    def test_default_name(self):
+        assert GazetteerRecognizer("COUNTY", []).name == \
+            "gazetteer[county]"
+
+
+class TestRegexRecognizer:
+    def test_phone_pattern(self):
+        learner = RegexRecognizer(
+            "AGENT-PHONE", r"\(\d{3}\) \d{3} \d{4}")
+        learner.fit([], [], SPACE)
+        [hit] = learner.predict([make_instance("x", "(206) 523 4719")])
+        assert hit.top() == "AGENT-PHONE"
+        scores = learner.predict_scores([make_instance("x", "no phone")])
+        assert np.allclose(scores[0], 1.0 / len(SPACE))
+
+    def test_partial_match_does_not_count(self):
+        learner = RegexRecognizer("AGENT-PHONE", r"\d{3}")
+        learner.fit([], [], SPACE)
+        scores = learner.predict_scores([make_instance("x", "12345")])
+        assert np.allclose(scores[0], 1.0 / len(SPACE))
+
+
+NUMERIC_TRAINING = [
+    (make_instance("p", "$ 250,000"), "PRICE"),
+    (make_instance("p", "$ 180,000"), "PRICE"),
+    (make_instance("p", "$ 320,000"), "PRICE"),
+    (make_instance("b", "2"), "BATHS"),
+    (make_instance("b", "3"), "BATHS"),
+    (make_instance("b", "2.5"), "BATHS"),
+    (make_instance("c", "Victorian charm"), "COUNTY"),
+    (make_instance("c", "King"), "COUNTY"),
+]
+
+
+class TestNumericLearner:
+    def fitted(self):
+        learner = NumericLearner()
+        instances, labels = training_set(NUMERIC_TRAINING)
+        learner.fit(instances, labels, SPACE)
+        return learner
+
+    def test_magnitude_separates_price_from_baths(self):
+        """The paper's motivating example: thousands => price, not baths."""
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "195,000")])
+        assert p.top() == "PRICE"
+
+    def test_small_count_is_baths(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "2")])
+        assert p.top() == "BATHS"
+
+    def test_non_numeric_prefers_non_numeric_label(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "lovely text")])
+        assert p.score("COUNTY") > p.score("PRICE")
+
+    def test_rows_are_distributions(self):
+        learner = self.fitted()
+        scores = learner.predict_scores(
+            [make_instance("x", t) for t in ["5", "900000", "words", ""]])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_clone(self):
+        assert NumericLearner(smoothing=2.0).clone().smoothing == 2.0
+
+
+class TestValueShape:
+    @pytest.mark.parametrize("text,shape", [
+        ("(206) 523 4719", "(999) 999 9999"),
+        ("CSE142", "aaa999"),
+        ("$70,000", "$99,999"),
+        ("", ""),
+    ])
+    def test_shapes(self, text, shape):
+        assert value_shape(text) == shape
+
+    def test_long_runs_collapse(self):
+        assert value_shape("aaaaaaaaaa") == "aaaa"
+        assert value_shape("123456789") == "9999"
+
+
+class TestFormatLearner:
+    FORMAT_TRAINING = [
+        (make_instance("ph", "(206) 523 4719"), "AGENT-PHONE"),
+        (make_instance("ph", "(305) 729 0831"), "AGENT-PHONE"),
+        (make_instance("ph", "(617) 253 1429"), "AGENT-PHONE"),
+        (make_instance("cc", "CSE142"), "COURSE-CODE"),
+        (make_instance("cc", "MATH300"), "COURSE-CODE"),
+        (make_instance("cc", "BIO101"), "COURSE-CODE"),
+        (make_instance("pr", "$250,000"), "PRICE"),
+        (make_instance("pr", "$70,000"), "PRICE"),
+    ]
+
+    def fitted(self):
+        learner = FormatLearner()
+        instances, labels = training_set(self.FORMAT_TRAINING)
+        learner.fit(instances, labels, SPACE)
+        return learner
+
+    def test_unseen_phone_number(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "(999) 000 1234")])
+        assert p.top() == "AGENT-PHONE"
+
+    def test_unseen_course_code(self):
+        """§7: 'a format learner would presumably match course codes'."""
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "PHYS121")])
+        assert p.top() == "COURSE-CODE"
+
+    def test_unseen_price(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("x", "$1,250,000")])
+        assert p.top() == "PRICE"
+
+
+class TestRegistry:
+    def test_default_learners_registered(self):
+        for name in ["name_matcher", "content_matcher", "naive_bayes",
+                     "xml_learner", "format", "numeric"]:
+            assert name in registry
+
+    def test_create_returns_fresh_instance(self):
+        a = registry.create("naive_bayes")
+        b = registry.create("naive_bayes")
+        assert a is not b
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.create("definitely-not-a-learner")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError):
+            registry.register("naive_bayes", lambda: None)

@@ -1,0 +1,139 @@
+"""Tests for the name matcher and content matcher."""
+
+import numpy as np
+import pytest
+
+from repro.learners import ContentMatcher, NameMatcher
+from repro.text import SynonymDictionary
+
+from .helpers import make_instance, space_of, training_set
+
+SPACE = space_of("ADDRESS", "DESCRIPTION", "AGENT-PHONE")
+
+TRAINING = [
+    (make_instance("location", "Miami, FL"), "ADDRESS"),
+    (make_instance("location", "Boston, MA"), "ADDRESS"),
+    (make_instance("house-addr", "Seattle, WA"), "ADDRESS"),
+    (make_instance("house-addr", "Portland, OR"), "ADDRESS"),
+    (make_instance("comments", "Nice area"), "DESCRIPTION"),
+    (make_instance("comments", "Close to river"), "DESCRIPTION"),
+    (make_instance("detailed-desc", "Fantastic house"), "DESCRIPTION"),
+    (make_instance("detailed-desc", "Great yard"), "DESCRIPTION"),
+    (make_instance("contact", "(305) 729 0831"), "AGENT-PHONE"),
+    (make_instance("contact", "(617) 253 1429"), "AGENT-PHONE"),
+    (make_instance("phone", "(206) 753 2605"), "AGENT-PHONE"),
+    (make_instance("phone", "(515) 273 4312"), "AGENT-PHONE"),
+]
+
+
+class TestNameMatcher:
+    def fitted(self, **kwargs):
+        learner = NameMatcher(**kwargs)
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        return learner
+
+    def test_shared_word_matches(self):
+        learner = self.fitted()
+        # 'work-phone' shares the token 'phone' with trained phone tags.
+        [prediction] = learner.predict([make_instance("work-phone")])
+        assert prediction.top() == "AGENT-PHONE"
+
+    def test_synonym_expansion_helps(self):
+        syn = SynonymDictionary([("area", "location")])
+        learner = self.fitted(synonyms=syn)
+        [prediction] = learner.predict([make_instance("area")])
+        assert prediction.top() == "ADDRESS"
+
+    def test_paper_weakness_vacuous_name(self):
+        # A vacuous name with no token overlap yields an uninformative
+        # (uniform) prediction — exactly the weakness §3.3 describes.
+        learner = self.fitted(synonyms=SynonymDictionary())
+        scores = learner.predict_scores([make_instance("item")])
+        assert np.allclose(scores[0], scores[0][0])
+
+    def test_rows_are_distributions(self):
+        learner = self.fitted()
+        instances = [make_instance("phone"), make_instance("location")]
+        scores = learner.predict_scores(instances)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_instances_of_same_tag_get_same_scores(self):
+        learner = self.fitted()
+        a = make_instance("phone", "(111) 111 1111")
+        b = make_instance("phone", "completely different content")
+        scores = learner.predict_scores([a, b])
+        assert np.allclose(scores[0], scores[1])
+
+    def test_path_context_used(self):
+        instances, labels = training_set([
+            (make_instance("name", path=("listing", "contact")),
+             "AGENT-PHONE"),
+            (make_instance("name", path=("listing", "house")), "ADDRESS"),
+        ])
+        learner = NameMatcher()
+        learner.fit(instances, labels, SPACE)
+        scores = learner.predict_scores(
+            [make_instance("name", path=("listing", "contact"))])
+        assert scores[0, SPACE.index_of("AGENT-PHONE")] > \
+            scores[0, SPACE.index_of("ADDRESS")]
+
+    def test_empty_prediction(self):
+        learner = self.fitted()
+        assert learner.predict_scores([]).shape == (0, len(SPACE))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NameMatcher().predict([make_instance("x")])
+
+    def test_clone_is_unfitted(self):
+        learner = self.fitted()
+        clone = learner.clone()
+        assert clone.space is None
+        assert clone.use_paths == learner.use_paths
+
+
+class TestContentMatcher:
+    def fitted(self):
+        learner = ContentMatcher()
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        return learner
+
+    def test_city_state_content(self):
+        learner = self.fitted()
+        [prediction] = learner.predict(
+            [make_instance("area", "Miami, FL")])
+        assert prediction.top() == "ADDRESS"
+
+    def test_description_content(self):
+        learner = self.fitted()
+        [prediction] = learner.predict(
+            [make_instance("extra-info", "Fantastic yard")])
+        assert prediction.top() == "DESCRIPTION"
+
+    def test_name_is_ignored(self):
+        learner = self.fitted()
+        # Misleading tag name, description-like content.
+        [prediction] = learner.predict(
+            [make_instance("phone", "Great house close to river")])
+        assert prediction.top() == "DESCRIPTION"
+
+    def test_cap_per_label(self):
+        learner = ContentMatcher(max_examples_per_label=2)
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        assert learner._index._label_matrix.shape[0] <= 2 * len(SPACE)
+
+    def test_rows_are_distributions(self):
+        learner = self.fitted()
+        scores = learner.predict_scores(
+            [make_instance("x", "Nice area"), make_instance("y", "zzz")])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_clone_preserves_config(self):
+        learner = ContentMatcher(max_neighbors=7,
+                                 max_examples_per_label=11)
+        clone = learner.clone()
+        assert clone.max_neighbors == 7
+        assert clone.max_examples_per_label == 11

@@ -1,0 +1,115 @@
+"""Tests for the multinomial Naive Bayes learner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import NaiveBayesLearner
+
+from .helpers import make_instance, space_of, training_set
+
+SPACE = space_of("DESCRIPTION", "ADDRESS", "PRICE")
+
+TRAINING = [
+    (make_instance("d", "fantastic house great location"), "DESCRIPTION"),
+    (make_instance("d", "great yard beautiful view"), "DESCRIPTION"),
+    (make_instance("d", "fantastic beach close to river"), "DESCRIPTION"),
+    (make_instance("a", "Miami, FL"), "ADDRESS"),
+    (make_instance("a", "Boston, MA"), "ADDRESS"),
+    (make_instance("a", "Seattle, WA"), "ADDRESS"),
+    (make_instance("p", "$ 250,000"), "PRICE"),
+    (make_instance("p", "$ 110,000"), "PRICE"),
+    (make_instance("p", "$ 70,000"), "PRICE"),
+]
+
+
+def fitted(**kwargs):
+    learner = NaiveBayesLearner(**kwargs)
+    instances, labels = training_set(TRAINING)
+    learner.fit(instances, labels, SPACE)
+    return learner
+
+
+class TestClassification:
+    def test_word_frequency_signal(self):
+        learner = fitted()
+        [p] = learner.predict(
+            [make_instance("x", "great location fantastic")])
+        assert p.top() == "DESCRIPTION"
+
+    def test_symbol_signal(self):
+        learner = fitted()
+        [p] = learner.predict([make_instance("x", "$ 425,000")])
+        assert p.top() == "PRICE"
+
+    def test_state_abbreviation_signal(self):
+        learner = fitted()
+        [p] = learner.predict([make_instance("x", "Austin, TX, FL area")])
+        assert p.top() == "ADDRESS"
+
+    def test_stemming_generalizes(self):
+        # 'houses' must hit the training token 'house' via stemming.
+        learner = fitted()
+        [p] = learner.predict([make_instance("x", "fantastic houses")])
+        assert p.top() == "DESCRIPTION"
+
+    def test_rows_are_distributions(self):
+        learner = fitted()
+        scores = learner.predict_scores(
+            [make_instance("x", t) for t in ["great", "$", "zzz", ""]])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+        assert np.all(scores >= 0)
+
+    def test_empty_content_falls_back_to_prior(self):
+        learner = fitted()
+        scores = learner.predict_scores([make_instance("x", "")])
+        # Priors are equal here (3 examples each + OTHER smoothing), so no
+        # real label should dominate.
+        real = [scores[0, SPACE.index_of(l)]
+                for l in ("DESCRIPTION", "ADDRESS", "PRICE")]
+        assert np.allclose(real, real[0])
+
+    def test_unseen_label_keeps_tiny_probability(self):
+        learner = fitted()
+        scores = learner.predict_scores([make_instance("x", "great")])
+        assert scores[0, SPACE.other_index] >= 0.0
+        assert scores[0, SPACE.other_index] < scores[
+            0, SPACE.index_of("DESCRIPTION")]
+
+
+class TestMechanics:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            NaiveBayesLearner().fit([make_instance("x", "a")], ["A", "B"],
+                                    SPACE)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NaiveBayesLearner().predict_scores([make_instance("x", "a")])
+
+    def test_clone_unfitted_same_alpha(self):
+        learner = NaiveBayesLearner(alpha=0.5)
+        clone = learner.clone()
+        assert clone.alpha == 0.5
+        assert clone.space is None
+
+    def test_alpha_smoothing_effect(self):
+        # Higher alpha flattens the distribution.
+        sharp = fitted(alpha=0.01)
+        flat = fitted(alpha=100.0)
+        query = [make_instance("x", "fantastic")]
+        sharp_top = sharp.predict_scores(query).max()
+        flat_top = flat.predict_scores(query).max()
+        assert sharp_top > flat_top
+
+    @given(st.lists(st.sampled_from(
+        ["great", "fantastic", "miami", "fl", "$", "70000", "zzz"]),
+        min_size=0, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_any_bag_yields_distribution(self, words):
+        learner = fitted()
+        scores = learner.predict_scores(
+            [make_instance("x", " ".join(words))])
+        assert scores.shape == (1, len(SPACE))
+        assert np.isclose(scores.sum(), 1.0)

@@ -1,0 +1,144 @@
+"""Tests for the §8 plug-in learners: Semint-style statistics and
+DELTA-style metadata."""
+
+import numpy as np
+import pytest
+
+from repro.learners import (MetadataLearner, StatisticsLearner,
+                            metadata_document, statistics_vector)
+
+from .helpers import make_instance, space_of, training_set
+
+SPACE = space_of("PRICE", "DESCRIPTION", "ZIP", "AGENT-PHONE")
+
+TRAINING = [
+    (make_instance("p", "$250,000"), "PRICE"),
+    (make_instance("p", "$110,000"), "PRICE"),
+    (make_instance("p", "$87,500"), "PRICE"),
+    (make_instance("d", "Fantastic house with a great location near "
+                        "the river and wonderful schools"),
+     "DESCRIPTION"),
+    (make_instance("d", "Charming cottage, beautiful garden, close to "
+                        "downtown shopping and parks"), "DESCRIPTION"),
+    (make_instance("d", "Spacious rambler with hardwood floors and a "
+                        "large fenced yard"), "DESCRIPTION"),
+    (make_instance("z", "98105"), "ZIP"),
+    (make_instance("z", "02139"), "ZIP"),
+    (make_instance("z", "73301"), "ZIP"),
+    (make_instance("t", "(206) 523 4719"), "AGENT-PHONE"),
+    (make_instance("t", "(617) 253 1429"), "AGENT-PHONE"),
+    (make_instance("t", "(512) 330 2255"), "AGENT-PHONE"),
+]
+
+
+class TestStatisticsVector:
+    def test_shape_and_bounds(self):
+        for text in ["", "abc", "$250,000", "(206) 523 4719",
+                     "a long description with many words in it"]:
+            vector = statistics_vector(text)
+            assert vector.shape == (8,)
+            assert np.all(vector >= 0.0) and np.all(vector <= 1.0 + 1e-9)
+
+    def test_empty_is_zero(self):
+        assert np.allclose(statistics_vector("   "), 0.0)
+
+    def test_numeric_fields_flagged(self):
+        assert statistics_vector("98105")[5] == 1.0
+        assert statistics_vector("only words")[5] == 0.0
+
+    def test_magnitude_orders_fields(self):
+        # Prices live at higher magnitude than bath counts.
+        assert statistics_vector("250000")[6] > \
+            statistics_vector("2")[6]
+
+
+class TestStatisticsLearner:
+    def fitted(self):
+        learner = StatisticsLearner()
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        return learner
+
+    def test_separates_by_statistics(self):
+        """The Semint signal: data types and scale, no vocabulary."""
+        learner = self.fitted()
+        [price] = learner.predict([make_instance("x", "$375,000")])
+        assert price.top() == "PRICE"
+        [zipcode] = learner.predict([make_instance("x", "60601")])
+        assert zipcode.top() == "ZIP"
+        [phone] = learner.predict([make_instance("x", "(303) 745 1120")])
+        assert phone.top() == "AGENT-PHONE"
+        [description] = learner.predict([make_instance(
+            "x", "Lovely split-level home close to the lake with a "
+                 "sunny kitchen")])
+        assert description.top() == "DESCRIPTION"
+
+    def test_unseen_label_gets_zero(self):
+        learner = self.fitted()
+        scores = learner.predict_scores([make_instance("x", "$1")])
+        assert scores[0, SPACE.other_index] == 0.0
+
+    def test_rows_are_distributions(self):
+        learner = self.fitted()
+        scores = learner.predict_scores(
+            [make_instance("x", t) for t in ["$5", "words", ""]])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_clone(self):
+        assert StatisticsLearner(temperature=0.2).clone().temperature \
+            == 0.2
+
+    def test_registered(self):
+        from repro.learners import registry
+        assert "statistics" in registry and "metadata" in registry
+
+
+class TestMetadataLearner:
+    def test_document_combines_name_path_content(self):
+        instance = make_instance("work-phone", "(206) 523 4719",
+                                 path=("listing", "contact-info"))
+        document = metadata_document(instance)
+        assert "work" in document and "phone" in document
+        assert "contact" in document and "info" in document
+        assert "206" in document
+
+    def test_name_or_content_alone_suffices(self):
+        learner = MetadataLearner()
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        # Right name, useless content.
+        [by_name] = learner.predict([make_instance("p", "n/a")])
+        assert by_name.top() == "PRICE"
+        # Useless name, right content.
+        [by_content] = learner.predict(
+            [make_instance("qq", "$425,000")])
+        assert by_content.top() == "PRICE"
+
+    def test_cap_per_label(self):
+        learner = MetadataLearner(max_examples_per_label=1)
+        instances, labels = training_set(TRAINING)
+        learner.fit(instances, labels, SPACE)
+        assert learner._index._label_matrix.shape[0] <= len(SPACE)
+
+    def test_integrates_with_meta_learner(self):
+        """The §8 claim: plugged-in learners combine via stacking."""
+        from repro.learners import (NaiveBayesLearner, StackingMetaLearner,
+                                    cross_validate)
+        instances, labels = training_set(TRAINING)
+        learners = [NaiveBayesLearner(), StatisticsLearner(),
+                    MetadataLearner()]
+        cv = {
+            learner.name: cross_validate(learner, instances, labels,
+                                         SPACE, seed=0)
+            for learner in learners
+        }
+        meta = StackingMetaLearner()
+        meta.fit(cv, labels, SPACE)
+        for learner in learners:
+            learner.fit(instances, labels, SPACE)
+        combined = meta.combine({
+            learner.name: learner.predict_scores(
+                [make_instance("x", "$99,000")])
+            for learner in learners
+        })
+        assert SPACE.label_at(int(np.argmax(combined[0]))) == "PRICE"

@@ -1,0 +1,107 @@
+"""Tests for the WHIRL nearest-neighbour engine."""
+
+import numpy as np
+import pytest
+
+from repro.learners import WhirlIndex
+
+from .helpers import space_of
+
+
+@pytest.fixture
+def space():
+    return space_of("ADDRESS", "DESCRIPTION", "AGENT-PHONE")
+
+
+@pytest.fixture
+def fitted(space):
+    index = WhirlIndex()
+    docs = [
+        ["location"], ["location", "address"], ["house", "addr"],
+        ["comments"], ["description"], ["remarks"],
+        ["phone"], ["contact", "phone"], ["telephone"],
+    ]
+    labels = (["ADDRESS"] * 3 + ["DESCRIPTION"] * 3 + ["AGENT-PHONE"] * 3)
+    index.fit(docs, labels, space)
+    return index
+
+
+class TestScoring:
+    def test_exact_match_wins(self, fitted, space):
+        scores = fitted.scores([["phone"]])
+        assert scores.shape == (1, len(space))
+        best = space.label_at(int(np.argmax(scores[0])))
+        assert best == "AGENT-PHONE"
+
+    def test_partial_overlap(self, fitted, space):
+        scores = fitted.scores([["office", "phone"]])
+        best = space.label_at(int(np.argmax(scores[0])))
+        assert best == "AGENT-PHONE"
+
+    def test_no_overlap_gives_uniform(self, fitted, space):
+        scores = fitted.scores([["zzz"]])
+        assert np.allclose(scores[0], 1.0 / len(space))
+
+    def test_rows_normalised(self, fitted):
+        scores = fitted.scores([["location"], ["phone"], ["comments"]])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+        assert np.all(scores >= 0)
+
+    def test_multiple_neighbors_reinforce(self, space):
+        # Two moderately similar neighbours of one label should beat one
+        # equally similar neighbour of another.
+        index = WhirlIndex()
+        docs = [["a", "x"], ["a", "y"], ["a", "z"]]
+        labels = ["ADDRESS", "ADDRESS", "DESCRIPTION"]
+        index.fit(docs, labels, space)
+        scores = index.scores([["a"]])
+        assert scores[0, space.index_of("ADDRESS")] > \
+            scores[0, space.index_of("DESCRIPTION")]
+
+    def test_empty_query_list(self, fitted, space):
+        assert fitted.scores([]).shape == (0, len(space))
+
+
+class TestConfiguration:
+    def test_min_similarity_filters(self, space):
+        index = WhirlIndex(min_similarity=0.99)
+        index.fit([["location", "extra", "words", "here"]], ["ADDRESS"],
+                  space)
+        scores = index.scores([["location"]])
+        # Similarity below the threshold: nothing votes, uniform output.
+        assert np.allclose(scores[0], 1.0 / len(space))
+
+    def test_deduplication(self, space):
+        index = WhirlIndex(deduplicate=True)
+        index.fit([["phone"]] * 500 + [["location"]],
+                  ["AGENT-PHONE"] * 500 + ["ADDRESS"], space)
+        assert index._label_matrix.shape[0] == 2
+
+    def test_top_k_limits_votes(self, space):
+        index = WhirlIndex(max_neighbors=2)
+        sims = np.array([[0.9, 0.8, 0.7, 0.6, 0.5]])
+        kept = index._keep_top_k(sims)
+        assert np.count_nonzero(kept) == 2
+        assert kept[0, 0] == 0.9 and kept[0, 1] == 0.8
+
+    def test_many_duplicate_votes_do_not_drown_exact_match(self, space):
+        # 50 weak neighbours of one label vs one strong neighbour of
+        # another: top-k keeps the strong neighbour competitive.
+        index = WhirlIndex(max_neighbors=5, deduplicate=False)
+        docs = [["w", "common", str(i)] for i in range(50)] + [["w"]]
+        labels = ["ADDRESS"] * 50 + ["AGENT-PHONE"]
+        index.fit(docs, labels, space)
+        scores = index.scores([["w"]])
+        assert scores[0, space.index_of("AGENT-PHONE")] > 0.2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            WhirlIndex().scores([["x"]])
+
+    def test_length_mismatch_raises(self, space):
+        with pytest.raises(ValueError):
+            WhirlIndex().fit([["a"]], ["X", "Y"], space)
+
+    def test_empty_fit_raises(self, space):
+        with pytest.raises(ValueError):
+            WhirlIndex().fit([], [], space)

@@ -1,0 +1,95 @@
+"""Tests for saving and loading trained LSD systems."""
+
+import pickle
+
+import pytest
+
+from repro.core.persistence import (FORMAT_VERSION, ModelFormatError,
+                                    load_system, save_system)
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    domain = load_domain("real_estate_1", seed=0)
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=20)
+    for source in domain.sources[:3]:
+        system.add_training_source(source.schema, source.listings(20),
+                                   source.mapping)
+    system.train()
+    return domain, system
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, trained, tmp_path):
+        domain, system = trained
+        path = tmp_path / "model.lsd"
+        save_system(system, path)
+        loaded = load_system(path)
+        assert loaded.is_trained
+        assert loaded.learner_names() == system.learner_names()
+
+    def test_loaded_system_matches_identically(self, trained, tmp_path):
+        domain, system = trained
+        path = tmp_path / "model.lsd"
+        save_system(system, path)
+        loaded = load_system(path)
+
+        test = domain.sources[4]
+        listings = test.listings(20)
+        original = system.match(test.schema, listings)
+        reloaded = loaded.match(test.schema, listings)
+        assert original.mapping == reloaded.mapping
+
+    def test_loaded_system_can_keep_learning(self, trained, tmp_path):
+        domain, system = trained
+        path = tmp_path / "model.lsd"
+        save_system(system, path)
+        loaded = load_system(path)
+        fourth = domain.sources[3]
+        loaded.confirm_and_learn(fourth.schema, fourth.listings(15),
+                                 fourth.mapping)
+        assert len(loaded.training_sources) == 4
+
+    def test_weight_tables_survive(self, trained, tmp_path):
+        domain, system = trained
+        path = tmp_path / "model.lsd"
+        save_system(system, path)
+        loaded = load_system(path)
+        assert loaded.weight_table() == system.weight_table()
+
+
+class TestFormatGuards:
+    def test_not_a_pickle(self, tmp_path):
+        path = tmp_path / "junk.lsd"
+        path.write_text("this is not a model")
+        with pytest.raises(ModelFormatError):
+            load_system(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "other.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": "something-else"}, handle)
+        with pytest.raises(ModelFormatError):
+            load_system(path)
+
+    def test_wrong_version(self, trained, tmp_path):
+        domain, system = trained
+        path = tmp_path / "future.lsd"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": "repro-lsd",
+                         "version": FORMAT_VERSION + 1,
+                         "system": system}, handle)
+        with pytest.raises(ModelFormatError):
+            load_system(path)
+
+    def test_wrong_payload_type(self, tmp_path):
+        path = tmp_path / "odd.lsd"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": "repro-lsd",
+                         "version": FORMAT_VERSION,
+                         "system": "not a system"}, handle)
+        with pytest.raises(ModelFormatError):
+            load_system(path)

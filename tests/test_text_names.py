@@ -1,0 +1,94 @@
+"""Tests for tag-name splitting, expansion and the synonym dictionary."""
+
+from repro.text import (SynonymDictionary, default_synonyms, expand_name,
+                        normalize_name, split_name)
+
+
+class TestSplitName:
+    def test_hyphenated(self):
+        assert split_name("listed-price") == ["listed", "price"]
+
+    def test_underscored(self):
+        assert split_name("agent_phone") == ["agent", "phone"]
+
+    def test_camel_case(self):
+        assert split_name("listedPrice") == ["listed", "price"]
+
+    def test_upper_camel(self):
+        assert split_name("ListedPrice") == ["listed", "price"]
+
+    def test_acronym_boundary(self):
+        assert split_name("MLSNumber") == ["mls", "number"]
+
+    def test_all_caps(self):
+        assert split_name("AGENT-PHONE") == ["agent", "phone"]
+
+    def test_digits(self):
+        assert split_name("phone2") == ["phone", "2"]
+
+    def test_single_word(self):
+        assert split_name("price") == ["price"]
+
+    def test_normalize(self):
+        assert normalize_name("LISTED-PRICE") == "listed price"
+        assert normalize_name("listedPrice") == "listed price"
+
+
+class TestExpandName:
+    def test_own_tokens_doubled(self):
+        tokens = expand_name("price")
+        assert tokens.count("price") == 2
+
+    def test_path_tokens_included(self):
+        tokens = expand_name("phone", path=("house-listing", "contact"))
+        assert "contact" in tokens and "house" in tokens
+
+    def test_abbreviation_expansion(self):
+        tokens = expand_name("office-st")
+        assert "street" in tokens
+
+    def test_synonym_expansion(self):
+        syn = SynonymDictionary([("phone", "telephone")])
+        tokens = expand_name("agent-phone", synonyms=syn)
+        assert "telephone" in tokens
+
+    def test_no_expansion_flag(self):
+        tokens = expand_name("office-st", expand_abbreviations=False)
+        assert "street" not in tokens
+
+
+class TestSynonymDictionary:
+    def test_symmetric(self):
+        syn = SynonymDictionary([("phone", "telephone")])
+        assert syn.are_synonyms("telephone", "phone")
+        assert syn.are_synonyms("phone", "telephone")
+
+    def test_reflexive(self):
+        syn = SynonymDictionary()
+        assert syn.are_synonyms("anything", "anything")
+
+    def test_transitive_through_merge(self):
+        syn = SynonymDictionary([("a", "b"), ("b", "c")])
+        assert syn.are_synonyms("a", "c")
+
+    def test_case_insensitive(self):
+        syn = SynonymDictionary([("Phone", "TELEPHONE")])
+        assert syn.are_synonyms("phone", "telephone")
+
+    def test_expand_dedupes(self):
+        syn = SynonymDictionary([("price", "cost")])
+        expanded = syn.expand(["price", "cost"])
+        assert expanded.count("price") == 1
+        assert expanded.count("cost") == 1
+
+    def test_unknown_word_expands_to_itself(self):
+        syn = SynonymDictionary()
+        assert syn.expand(["widget"]) == ["widget"]
+
+    def test_default_dictionary_covers_paper_pairs(self):
+        syn = default_synonyms()
+        # comments <-> DESCRIPTION is exactly the pair the paper calls out
+        # as hard for a raw name matcher without synonyms.
+        assert syn.are_synonyms("comments", "description")
+        assert syn.are_synonyms("phone", "telephone")
+        assert syn.are_synonyms("location", "address")

@@ -1,0 +1,159 @@
+"""Tests for the string-similarity metrics and the edit-distance
+name matcher."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import EditDistanceNameMatcher
+from repro.text import (best_token_alignment, jaro, jaro_winkler,
+                        levenshtein, levenshtein_similarity)
+
+from .helpers import make_instance, space_of, training_set
+
+words = st.text(alphabet=string.ascii_lowercase, max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("abc", "abc", 0),
+        ("abc", "", 3),
+        ("", "xy", 2),
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("phone", "phne", 1),
+        ("desc", "description", 7),
+    ])
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words)
+    @settings(max_examples=40)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    def test_similarity_normalised(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_pair(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_bounded_and_symmetric(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(jaro(b, a))
+
+    def test_winkler_prefix_bonus(self):
+        plain = jaro("telephone", "telegraph")
+        winkler = jaro_winkler("telephone", "telegraph")
+        assert winkler > plain
+
+    def test_winkler_truncation_strength(self):
+        # The schema-name case: truncations score high.
+        assert jaro_winkler("tel", "telephone") > 0.7
+        assert jaro_winkler("desc", "description") > 0.7
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_winkler_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestTokenAlignment:
+    def test_identical_lists(self):
+        assert best_token_alignment(["agent", "phone"],
+                                    ["agent", "phone"]) == 1.0
+
+    def test_order_insensitive(self):
+        forward = best_token_alignment(["agent", "phone"],
+                                       ["phone", "agent"])
+        assert forward == pytest.approx(1.0)
+
+    def test_partial(self):
+        score = best_token_alignment(["agt"], ["agent", "phone"])
+        assert 0.5 < score < 1.0
+
+    def test_empty(self):
+        assert best_token_alignment([], ["x"]) == 0.0
+
+
+class TestEditDistanceNameMatcher:
+    SPACE = space_of("AGENT-PHONE", "DESCRIPTION", "ADDRESS")
+
+    def fitted(self):
+        learner = EditDistanceNameMatcher()
+        instances, labels = training_set([
+            (make_instance("telephone"), "AGENT-PHONE"),
+            (make_instance("agent-phone"), "AGENT-PHONE"),
+            (make_instance("description"), "DESCRIPTION"),
+            (make_instance("remarks"), "DESCRIPTION"),
+            (make_instance("address"), "ADDRESS"),
+            (make_instance("location"), "ADDRESS"),
+        ])
+        learner.fit(instances, labels, self.SPACE)
+        return learner
+
+    def test_truncated_name_matches(self):
+        """§7's weakness of token matching: 'tel' has no shared token
+        with 'telephone' but shares almost all its characters."""
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("tel")])
+        assert p.top() == "AGENT-PHONE"
+
+    def test_abbreviation_matches(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("desc")])
+        assert p.top() == "DESCRIPTION"
+
+    def test_misspelling_matches(self):
+        learner = self.fitted()
+        [p] = learner.predict([make_instance("adress")])
+        assert p.top() == "ADDRESS"
+
+    def test_unrelated_name_uniform_ish(self):
+        learner = self.fitted()
+        scores = learner.predict_scores([make_instance("zzz-qqq")])
+        assert scores.max() < 0.8
+
+    def test_rows_are_distributions(self):
+        learner = self.fitted()
+        scores = learner.predict_scores(
+            [make_instance("tel"), make_instance("x")])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_registered(self):
+        from repro.learners import registry
+        assert "edit_distance" in registry
+
+    def test_clone(self):
+        assert EditDistanceNameMatcher(sharpness=3.0).clone().sharpness \
+            == 3.0

@@ -1,0 +1,133 @@
+"""Reference-vector and property tests for the Porter stemmer."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import stem, stem_tokens
+
+# Classic reference pairs from Porter's paper and the standard test vocab.
+REFERENCE = {
+    "caresses": "caress",
+    "ponies": "poni",
+    "ties": "ti",
+    "caress": "caress",
+    "cats": "cat",
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "fizzed": "fizz",
+    "failing": "fail",
+    "filing": "file",
+    "happy": "happi",
+    "sky": "sky",
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "conformabli": "conform",
+    "radicalli": "radic",
+    "differentli": "differ",
+    "vileli": "vile",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "homologou": "homolog",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+}
+
+
+class TestReferenceVectors:
+    def test_reference_pairs(self):
+        failures = {
+            word: (stem(word), expected)
+            for word, expected in REFERENCE.items()
+            if stem(word) != expected
+        }
+        assert not failures, f"stemmer disagrees on: {failures}"
+
+    def test_domain_words_collapse(self):
+        # Words that must share stems for the learners to generalize.
+        assert stem("baths") == stem("bath")
+        assert stem("listings") == stem("listing")
+        assert stem("houses") == stem("house")
+        assert stem("bedrooms") == stem("bedroom")
+
+    def test_short_words_untouched(self):
+        assert stem("at") == "at"
+        assert stem("be") == "be"
+        assert stem("a") == "a"
+
+    def test_non_alpha_untouched(self):
+        assert stem("70000") == "70000"
+        assert stem("$") == "$"
+        assert stem("cse142") == "cse142"
+
+
+class TestProperties:
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                   max_size=20))
+    def test_stem_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                   max_size=20))
+    def test_stem_is_idempotent_enough(self, word):
+        # Stemming an already short stem must never error and must stay
+        # non-empty for non-empty input.
+        assert stem(word)
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1,
+                            max_size=12), max_size=10))
+    def test_stem_tokens_preserves_length(self, tokens):
+        assert len(stem_tokens(tokens)) == len(tokens)

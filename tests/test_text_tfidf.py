@@ -1,0 +1,118 @@
+"""Tests for the TF-IDF vector space and cosine similarity."""
+
+import string
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import TfidfVectorSpace, cosine_similarity
+
+DOCS = [
+    ["fantastic", "house", "great", "location"],
+    ["great", "yard", "close", "river"],
+    ["miami", "fl"],
+    ["boston", "ma"],
+]
+
+
+class TestVectorSpace:
+    def test_fit_builds_vocabulary(self):
+        space = TfidfVectorSpace(DOCS)
+        assert "fantastic" in space.vocabulary
+        assert space.n_documents == 4
+
+    def test_self_similarity_is_one(self):
+        space = TfidfVectorSpace(DOCS)
+        sims = space.similarities(DOCS)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_disjoint_docs_have_zero_similarity(self):
+        space = TfidfVectorSpace(DOCS)
+        sims = space.similarities([["miami", "fl"]])
+        assert sims[0, 3] == pytest.approx(0.0)
+
+    def test_similarity_in_unit_interval(self):
+        space = TfidfVectorSpace(DOCS)
+        sims = space.similarities([["great", "house"], ["river"]])
+        assert np.all(sims >= 0.0) and np.all(sims <= 1.0 + 1e-12)
+
+    def test_shared_tokens_increase_similarity(self):
+        space = TfidfVectorSpace(DOCS)
+        sims = space.similarities([["great", "location", "house"]])
+        assert sims[0, 0] > sims[0, 1] > 0.0
+
+    def test_oov_tokens_ignored(self):
+        space = TfidfVectorSpace(DOCS)
+        sims_with = space.similarities([["miami", "zzz", "qqq"]])
+        sims_without = space.similarities([["miami"]])
+        assert sims_with[0, 2] == pytest.approx(sims_without[0, 2])
+
+    def test_all_oov_query_is_zero(self):
+        space = TfidfVectorSpace(DOCS)
+        sims = space.similarities([["nothing", "matches"]])
+        assert np.allclose(sims, 0.0)
+
+    def test_empty_document_allowed(self):
+        space = TfidfVectorSpace([["a"], []])
+        sims = space.similarities([[]])
+        assert np.allclose(sims, 0.0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            TfidfVectorSpace([])
+
+    def test_rare_term_outweighs_common(self):
+        # 'common' appears everywhere, 'rare' once; a query containing both
+        # must be closer to the doc sharing 'rare'.
+        docs = [["common", "rare"], ["common", "x"], ["common", "y"],
+                ["common", "z"]]
+        space = TfidfVectorSpace(docs)
+        sims = space.similarities([["rare"]])
+        assert sims[0, 0] > sims[0, 1]
+
+    def test_term_frequency_saturates(self):
+        # (1 + log tf) weighting: 10 repeats is not 10x the weight.
+        docs = [["word"], ["word"] * 10, ["other"]]
+        space = TfidfVectorSpace(docs)
+        sims = space.similarities([["word"]])
+        assert sims[0, 0] == pytest.approx(sims[0, 1])
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        assert cosine_similarity(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_similarity(["a"], ["b"]) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert cosine_similarity([], ["a"]) == 0.0
+
+    def test_symmetry(self):
+        a = ["house", "great", "yard"]
+        b = ["great", "location"]
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(b, a))
+
+
+tokens = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5)
+documents = st.lists(tokens, min_size=0, max_size=8)
+
+
+class TestProperties:
+    @given(st.lists(documents, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_similarities_bounded(self, docs):
+        space = TfidfVectorSpace(docs)
+        sims = space.similarities(docs)
+        assert np.all(sims >= -1e-12)
+        assert np.all(sims <= 1.0 + 1e-9)
+
+    @given(st.lists(documents, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_matrix_symmetric(self, docs):
+        space = TfidfVectorSpace(docs)
+        sims = space.similarities(docs)
+        assert np.allclose(sims, sims.T, atol=1e-9)

@@ -1,0 +1,101 @@
+"""Unit and property tests for tokenization."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import char_ngrams, ngrams, tokenize, tokenize_numeric
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize("Great location") == ["great", "location"]
+
+    def test_paper_price_split(self):
+        # The paper splits "$70000" into "$" and "70000".
+        assert tokenize("$70000") == ["$", "70000"]
+
+    def test_thousands_separator_kept_together(self):
+        assert tokenize("$70,000") == ["$", "70000"]
+        assert tokenize("$1,234,567") == ["$", "1234567"]
+
+    def test_comma_as_list_separator(self):
+        assert tokenize("Miami, FL") == ["miami", "fl"]
+
+    def test_phone_number(self):
+        assert tokenize("(206) 523 4719") == ["206", "523", "4719"]
+
+    def test_mixed_alnum(self):
+        assert tokenize("CSE142") == ["cse", "142"]
+
+    def test_punctuation_separates(self):
+        assert tokenize("close-to_the.river") == [
+            "close", "to", "the", "river"]
+
+    def test_symbols_kept(self):
+        assert tokenize("50% off @ $5 #2") == [
+            "50", "%", "off", "@", "$", "5", "#", "2"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \t\n ") == []
+
+    @given(st.text(alphabet=string.printable, max_size=200))
+    def test_tokens_are_lowercase_and_nonempty(self, text):
+        for token in tokenize(text):
+            assert token
+            assert token == token.lower()
+
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=100))
+    def test_idempotent_on_word_text(self, text):
+        once = tokenize(text)
+        assert tokenize(" ".join(once)) == once
+
+
+class TestTokenizeNumeric:
+    def test_paper_example(self):
+        assert tokenize_numeric("3 beds / 2.5 baths, $70,000") == [
+            3.0, 2.5, 70000.0]
+
+    def test_plain_integer(self):
+        assert tokenize_numeric("42") == [42.0]
+
+    def test_no_numbers(self):
+        assert tokenize_numeric("no numbers here") == []
+
+    def test_decimal(self):
+        assert tokenize_numeric("pi is 3.14159") == [3.14159]
+
+    def test_trailing_dot_not_decimal(self):
+        assert tokenize_numeric("room 12.") == [12.0]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_char_ngrams(self):
+        assert char_ngrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_char_ngrams_short_text(self):
+        assert char_ngrams("a", 3) == ["a"]
+        assert char_ngrams("", 3) == []
+
+    @given(st.text(min_size=1, max_size=30), st.integers(1, 5))
+    def test_char_ngram_count(self, text, n):
+        grams = char_ngrams(text, n)
+        assert len(grams) == max(len(text) - n + 1, 1)

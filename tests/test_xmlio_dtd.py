@@ -1,0 +1,154 @@
+"""Unit tests for the DTD parser and structural queries."""
+
+import pytest
+
+from repro.xmlio import (Choice, DTDSyntaxError, NameRef, PCData, Sequence,
+                         parse_dtd)
+
+PAPER_SOURCE_DTD = """
+<!ELEMENT house-listing (location?, price, contact)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT contact (name, phone)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+"""
+
+PAPER_MEDIATED_DTD = """
+<!ELEMENT LISTING (ADDRESS, LISTED-PRICE, CONTACT-INFO)>
+<!ELEMENT ADDRESS (#PCDATA)>
+<!ELEMENT LISTED-PRICE (#PCDATA)>
+<!ELEMENT CONTACT-INFO (FNAME, LNAME, AGENT-PHONE)>
+<!ELEMENT FNAME (#PCDATA)>
+<!ELEMENT LNAME (#PCDATA)>
+<!ELEMENT AGENT-PHONE (#PCDATA)>
+"""
+
+
+class TestParsing:
+    def test_paper_source_dtd(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert set(dtd.tag_names()) == {
+            "house-listing", "location", "price", "contact", "name",
+            "phone"}
+        model = dtd["house-listing"].model
+        assert isinstance(model, Sequence)
+        assert isinstance(model.items[0], NameRef)
+        assert model.items[0].name == "location"
+        assert model.items[0].occurrence == "?"
+
+    def test_pcdata_leaf(self):
+        dtd = parse_dtd("<!ELEMENT price (#PCDATA)>")
+        assert isinstance(dtd["price"].model, PCData)
+        assert dtd["price"].is_leaf
+
+    def test_choice_model(self):
+        dtd = parse_dtd("<!ELEMENT x (a | b | c)>")
+        model = dtd["x"].model
+        assert isinstance(model, Choice)
+        assert [i.name for i in model.items] == ["a", "b", "c"]
+
+    def test_occurrence_flags(self):
+        dtd = parse_dtd("<!ELEMENT x (a?, b*, c+, d)>")
+        flags = [i.occurrence for i in dtd["x"].model.items]
+        assert flags == ["?", "*", "+", ""]
+
+    def test_nested_groups(self):
+        dtd = parse_dtd("<!ELEMENT x ((a, b) | c)*>")
+        model = dtd["x"].model
+        assert isinstance(model, Choice)
+        assert model.occurrence == "*"
+        assert isinstance(model.items[0], Sequence)
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT d (#PCDATA | em | strong)*>")
+        model = dtd["d"].model
+        assert isinstance(model, Choice)
+        assert model.occurrence == "*"
+        assert model.child_names() == {"em", "strong"}
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert repr(dtd["a"].model) == "EMPTY"
+        assert repr(dtd["b"].model) == "ANY"
+
+    def test_comments_in_dtd(self):
+        dtd = parse_dtd("<!-- note --><!ELEMENT a (#PCDATA)>")
+        assert "a" in dtd
+
+    def test_attlist(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)>"
+            '<!ATTLIST a id CDATA #REQUIRED status (open|sold) "open">')
+        attrs = dtd["a"].attributes
+        assert attrs["id"].default == "#REQUIRED"
+        assert attrs["status"].type == "(open|sold)"
+        assert attrs["status"].default == "open"
+
+    def test_attlist_before_element(self):
+        dtd = parse_dtd(
+            "<!ATTLIST a id CDATA #IMPLIED>"
+            "<!ELEMENT a (#PCDATA)>")
+        assert "id" in dtd["a"].attributes
+        assert isinstance(dtd["a"].model, PCData)
+
+    @pytest.mark.parametrize("bad", [
+        "<!ELEMENT x (a,>",
+        "<!ELEMENT x (a | b, c)>",
+        "<!ELEMENT x >",
+        "<!BOGUS x (a)>",
+    ])
+    def test_malformed_dtd_raises(self, bad):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd(bad)
+
+
+class TestStructuralQueries:
+    def test_root_inference(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert dtd.root_name() == "house-listing"
+
+    def test_leaf_and_non_leaf(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert set(dtd.non_leaf_names()) == {"house-listing", "contact"}
+        assert set(dtd.leaf_names()) == {"location", "price", "name",
+                                         "phone"}
+
+    def test_children_and_parents(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert dtd.children_of("contact") == {"name", "phone"}
+        assert dtd.parents_of("phone") == {"contact"}
+
+    def test_depth(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert dtd.depth() == 3  # house-listing -> contact -> phone
+
+    def test_depth_mediated(self):
+        dtd = parse_dtd(PAPER_MEDIATED_DTD)
+        assert dtd.depth() == 3
+
+    def test_nested_within(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert dtd.nested_within("house-listing", "phone")
+        assert dtd.nested_within("contact", "name")
+        assert not dtd.nested_within("contact", "price")
+
+    def test_descendant_count(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        assert dtd.descendant_count("house-listing") == 5
+        assert dtd.descendant_count("contact") == 2
+        assert dtd.descendant_count("price") == 0
+
+    def test_edges(self):
+        dtd = parse_dtd(PAPER_SOURCE_DTD)
+        edges = set(dtd.edges())
+        assert ("contact", "phone") in edges
+        assert ("house-listing", "price") in edges
+
+    def test_depth_with_cycle_terminates(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b (a?)>")
+        assert dtd.depth() >= 2
+
+    def test_root_of_empty_dtd_raises(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("").root_name()

@@ -1,0 +1,135 @@
+"""Generator-driven property tests tying the whole XML substrate together.
+
+Hypothesis builds random schema shapes; we render them as DTDs, generate
+conforming documents, and assert the parser/validator/writer loop agrees
+with itself:
+
+* a document generated from a schema validates against its DTD,
+* mutating the document (dropping a required child, injecting an
+  undeclared element) makes validation fail,
+* the DTD survives write/parse round trips.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlio import (Element, is_valid, parse_dtd, validate,
+                         write_dtd, write_element, parse_element)
+
+tag_names = st.text(alphabet=string.ascii_lowercase, min_size=2,
+                    max_size=6)
+
+
+@st.composite
+def schema_shapes(draw):
+    """A random two-level schema: root -> groups/leaves -> leaves.
+
+    Returns (root, children) where children is a list of
+    (tag, optional?, grandchildren) and grandchildren is a (possibly
+    empty) list of (tag, optional?) pairs.
+    """
+    names = draw(st.lists(tag_names, min_size=3, max_size=10,
+                          unique=True))
+    root, *rest = names
+    children = []
+    index = 0
+    while index < len(rest):
+        tag = rest[index]
+        index += 1
+        optional = draw(st.booleans())
+        n_grandchildren = draw(st.integers(0, min(2, len(rest) - index)))
+        grandchildren = []
+        for __ in range(n_grandchildren):
+            grandchildren.append((rest[index], draw(st.booleans())))
+            index += 1
+        children.append((tag, optional, grandchildren))
+    return root, children
+
+
+def render_dtd(shape) -> str:
+    root, children = shape
+    lines = []
+    parts = [f"{tag}{'?' if optional else ''}"
+             for tag, optional, __ in children]
+    lines.append(f"<!ELEMENT {root} ({', '.join(parts)})>")
+    for tag, __, grandchildren in children:
+        if grandchildren:
+            inner = ", ".join(
+                f"{name}{'?' if optional else ''}"
+                for name, optional in grandchildren)
+            lines.append(f"<!ELEMENT {tag} ({inner})>")
+            for name, __opt in grandchildren:
+                lines.append(f"<!ELEMENT {name} (#PCDATA)>")
+        else:
+            lines.append(f"<!ELEMENT {tag} (#PCDATA)>")
+    return "\n".join(lines)
+
+
+def generate_document(shape, include_optional: bool) -> Element:
+    root_tag, children = shape
+    root = Element(root_tag)
+    for tag, optional, grandchildren in children:
+        if optional and not include_optional:
+            continue
+        child = Element(tag)
+        if grandchildren:
+            for name, grand_optional in grandchildren:
+                if grand_optional and not include_optional:
+                    continue
+                child.make_child(name, "text")
+        else:
+            child.append_text("text")
+        root.append(child)
+    return root
+
+
+class TestGeneratedSchemas:
+    @given(schema_shapes(), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_conforming_document_validates(self, shape,
+                                           include_optional):
+        dtd = parse_dtd(render_dtd(shape))
+        document = generate_document(shape, include_optional)
+        validate(document, dtd)  # must not raise
+
+    @given(schema_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_missing_required_child_fails(self, shape):
+        root_tag, children = shape
+        required = [tag for tag, optional, __ in children
+                    if not optional]
+        if not required:
+            return  # nothing required to remove
+        dtd = parse_dtd(render_dtd(shape))
+        document = generate_document(shape, include_optional=True)
+        victim = document.find(required[0])
+        document.children.remove(victim)
+        assert not is_valid(document, dtd)
+
+    @given(schema_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_undeclared_element_fails(self, shape):
+        dtd = parse_dtd(render_dtd(shape))
+        document = generate_document(shape, include_optional=True)
+        document.make_child("zzzzundeclared", "boom")
+        assert not is_valid(document, dtd)
+
+    @given(schema_shapes())
+    @settings(max_examples=60, deadline=None)
+    def test_dtd_roundtrip(self, shape):
+        dtd = parse_dtd(render_dtd(shape))
+        reparsed = parse_dtd(write_dtd(dtd))
+        assert set(reparsed.tag_names()) == set(dtd.tag_names())
+        for name in dtd.tag_names():
+            assert repr(reparsed[name].model) == repr(dtd[name].model)
+
+    @given(schema_shapes(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_document_roundtrip_still_validates(self, shape,
+                                                include_optional):
+        dtd = parse_dtd(render_dtd(shape))
+        document = generate_document(shape, include_optional)
+        reparsed = parse_element(write_element(document))
+        validate(reparsed, dtd)

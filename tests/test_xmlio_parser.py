@@ -1,0 +1,194 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.xmlio import (Element, Text, XMLSyntaxError, parse_document,
+                         parse_element, parse_fragments)
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        doc = parse_document("<root/>")
+        assert doc.root.tag == "root"
+        assert doc.root.children == []
+
+    def test_element_with_text(self):
+        root = parse_element("<price>$70,000</price>")
+        assert root.tag == "price"
+        assert root.immediate_text() == "$70,000"
+
+    def test_nested_elements(self):
+        root = parse_element(
+            "<house-listing><location>Seattle, WA</location>"
+            "<price>$70,000</price></house-listing>")
+        assert [c.tag for c in root.element_children] == ["location", "price"]
+        assert root.find("location").immediate_text() == "Seattle, WA"
+
+    def test_deeply_nested(self):
+        root = parse_element("<a><b><c><d>x</d></c></b></a>")
+        assert root.depth() == 4
+        assert root.find("b").find("c").find("d").immediate_text() == "x"
+
+    def test_paper_figure3_listing(self):
+        text = """
+        <house-listing>
+          <location>Seattle, WA</location>
+          <price> $70,000</price>
+          <contact><name>Kate Richardson</name>
+            <phone>(206) 523 4719</phone>
+          </contact>
+        </house-listing>
+        """
+        root = parse_element(text)
+        assert root.tag == "house-listing"
+        contact = root.find("contact")
+        assert contact.find("phone").immediate_text() == "(206) 523 4719"
+        assert "Kate Richardson" in root.text_content()
+
+    def test_attributes(self):
+        root = parse_element('<listing id="42" status="for sale"/>')
+        assert root.attributes == {"id": "42", "status": "for sale"}
+
+    def test_single_quoted_attributes(self):
+        root = parse_element("<a x='1'/>")
+        assert root.attributes["x"] == "1"
+
+    def test_whitespace_between_elements_dropped(self):
+        root = parse_element("<a>\n  <b>x</b>\n  <c>y</c>\n</a>")
+        assert all(isinstance(c, Element) for c in root.children)
+
+    def test_keep_whitespace_mode(self):
+        root = parse_element("<a> <b>x</b> </a>", keep_whitespace=True)
+        assert any(isinstance(c, Text) for c in root.children)
+
+    def test_mixed_content_preserved(self):
+        root = parse_element("<d>Call <b>now</b> please</d>")
+        kinds = [type(c).__name__ for c in root.children]
+        assert kinds == ["Text", "Element", "Text"]
+        assert root.text_content() == "Call now please"
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        root = parse_element("<t>a &lt; b &amp;&amp; c &gt; d</t>")
+        assert root.immediate_text() == "a < b && c > d"
+
+    def test_numeric_entities(self):
+        root = parse_element("<t>&#65;&#x42;</t>")
+        assert root.immediate_text() == "AB"
+
+    def test_entity_in_attribute(self):
+        root = parse_element('<t name="a&amp;b"/>')
+        assert root.attributes["name"] == "a&b"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_element("<t>&nosuch;</t>")
+
+    def test_cdata_section(self):
+        root = parse_element("<t><![CDATA[<not> & parsed]]></t>")
+        assert root.immediate_text() == "<not> & parsed"
+
+    def test_comments_skipped(self):
+        root = parse_element("<a><!-- hidden --><b>x</b></a>")
+        assert [c.tag for c in root.element_children] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        root = parse_element("<a><?php echo ?><b>x</b></a>")
+        assert [c.tag for c in root.element_children] == ["b"]
+
+
+class TestProlog:
+    def test_xml_declaration(self):
+        doc = parse_document('<?xml version="1.1" encoding="utf-8"?><r/>')
+        assert doc.version == "1.1"
+        assert doc.encoding == "utf-8"
+
+    def test_doctype_name(self):
+        doc = parse_document("<!DOCTYPE listing><listing/>")
+        assert doc.doctype_name == "listing"
+
+    def test_doctype_internal_subset_captured(self):
+        doc = parse_document(
+            "<!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>")
+        assert "<!ELEMENT r" in doc.internal_subset
+
+    def test_doctype_system_identifier(self):
+        doc = parse_document('<!DOCTYPE r SYSTEM "r.dtd"><r/>')
+        assert doc.doctype_name == "r"
+
+    def test_leading_comment(self):
+        doc = parse_document("<!-- hello --><r/>")
+        assert doc.root.tag == "r"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "<a>",                      # unterminated
+        "<a></b>",                  # mismatched end tag
+        "<a><b></a></b>",           # crossed nesting
+        "text only",                # no element
+        "<a/><b/>",                 # two roots in document mode
+        "<a x=1/>",                 # unquoted attribute
+        '<a x="1" x="2"/>',         # duplicate attribute
+        "<a><!-- -- --></a>",       # double hyphen in comment
+        "<1a/>",                    # bad name start
+        "< a/>",                    # space after <
+    ])
+    def test_malformed_documents_raise(self, bad):
+        with pytest.raises(XMLSyntaxError):
+            parse_document(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_document("<a>\n<b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestFragments:
+    def test_multiple_top_level_elements(self):
+        roots = parse_fragments("<l>one</l><l>two</l><l>three</l>")
+        assert [r.immediate_text() for r in roots] == ["one", "two", "three"]
+
+    def test_fragments_with_prolog(self):
+        roots = parse_fragments('<?xml version="1.0"?><a/><b/>')
+        assert [r.tag for r in roots] == ["a", "b"]
+
+    def test_empty_input_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_fragments("   ")
+
+
+class TestTreeModel:
+    def test_path(self):
+        root = parse_element("<a><b><c>x</c></b></a>")
+        leaf = root.find("b").find("c")
+        assert leaf.path() == "a/b/c"
+
+    def test_iter_by_tag(self):
+        root = parse_element("<a><b>1</b><c><b>2</b></c></a>")
+        assert [b.immediate_text() for b in root.iter("b")] == ["1", "2"]
+
+    def test_findall(self):
+        root = parse_element("<a><b>1</b><b>2</b><c/></a>")
+        assert len(root.findall("b")) == 2
+
+    def test_text_content_includes_attributes(self):
+        root = parse_element('<a note="attr text"><b>body</b></a>')
+        content = root.text_content()
+        assert "attr text" in content and "body" in content
+
+    def test_copy_is_deep(self):
+        root = parse_element("<a><b>x</b></a>")
+        clone = root.copy()
+        clone.find("b").children[0].value = "changed"
+        assert root.find("b").immediate_text() == "x"
+
+    def test_ancestors(self):
+        root = parse_element("<a><b><c/></b></a>")
+        c = root.find("b").find("c")
+        assert [n.tag for n in c.ancestors()] == ["b", "a"]
+
+    def test_parent_pointers(self):
+        root = parse_element("<a><b/></a>")
+        assert root.find("b").parent is root

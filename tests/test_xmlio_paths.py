@@ -1,0 +1,94 @@
+"""Tests for the path-query language over XML trees."""
+
+import pytest
+
+from repro.xmlio import (PathSyntaxError, parse_element, select,
+                         select_one, select_text)
+
+DOC = parse_element("""
+<listing id="1">
+  <contact kind="agent">
+    <name>Ann</name>
+    <phone type="work">111</phone>
+    <phone type="cell">222</phone>
+  </contact>
+  <contact kind="office">
+    <name>MAX Realty</name>
+    <phone type="work">333</phone>
+  </contact>
+  <price>250000</price>
+  <details><area><sqft>1800</sqft></area></details>
+</listing>
+""")
+
+
+class TestChildSteps:
+    def test_single_step(self):
+        assert [e.tag for e in select(DOC, "price")] == ["price"]
+
+    def test_two_steps(self):
+        assert select_text(DOC, "contact/name") == ["Ann", "MAX Realty"]
+
+    def test_three_steps(self):
+        assert select_text(DOC, "details/area/sqft") == ["1800"]
+
+    def test_no_match(self):
+        assert select(DOC, "nothing/here") == []
+
+    def test_wildcard(self):
+        names = [e.tag for e in select(DOC, "contact/*")]
+        assert names == ["name", "phone", "phone", "name", "phone"]
+
+
+class TestDescendantSteps:
+    def test_leading_double_slash(self):
+        assert select_text(DOC, "//phone") == ["111", "222", "333"]
+
+    def test_mid_path_double_slash(self):
+        assert select_text(DOC, "details//sqft") == ["1800"]
+
+    def test_descendant_then_child(self):
+        assert select_text(DOC, "//area/sqft") == ["1800"]
+
+    def test_document_order_no_duplicates(self):
+        tags = [e.tag for e in select(DOC, "//*")]
+        assert tags.count("phone") == 3
+        assert tags[0] == "contact"
+
+
+class TestPredicates:
+    def test_positional(self):
+        assert select_text(DOC, "contact[2]/name") == ["MAX Realty"]
+
+    def test_positional_out_of_range(self):
+        assert select(DOC, "contact[9]") == []
+
+    def test_attribute_presence(self):
+        assert len(select(DOC, "contact[@kind]")) == 2
+
+    def test_attribute_equality(self):
+        assert select_text(DOC, "//phone[@type='cell']") == ["222"]
+
+    def test_attribute_equality_double_quotes(self):
+        assert select_text(DOC, '//phone[@type="work"]') == ["111",
+                                                             "333"]
+
+    def test_select_one(self):
+        assert select_one(DOC, "//phone").immediate_text() == "111"
+        assert select_one(DOC, "zzz") is None
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "/absolute",
+        "a/",
+        "a//",
+        "a[b=c]",
+        "a[0]",
+        "a[?]",
+        "1tag",
+    ])
+    def test_bad_paths_raise(self, bad):
+        with pytest.raises(PathSyntaxError):
+            select(DOC, bad)

@@ -1,0 +1,161 @@
+"""Unit tests for DTD validation of parsed documents."""
+
+import pytest
+
+from repro.xmlio import (ValidationError, is_valid, parse_dtd,
+                         parse_element, validate)
+
+DTD_TEXT = """
+<!ELEMENT house-listing (location?, price, contact)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT contact (name, phone+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd(DTD_TEXT)
+
+
+def listing(body: str) -> str:
+    return f"<house-listing>{body}</house-listing>"
+
+
+CONTACT = "<contact><name>Kate</name><phone>555</phone></contact>"
+
+
+class TestValid:
+    def test_full_listing(self, dtd):
+        doc = parse_element(listing(
+            "<location>Seattle</location><price>$70,000</price>" + CONTACT))
+        validate(doc, dtd)
+
+    def test_optional_element_omitted(self, dtd):
+        doc = parse_element(listing("<price>$1</price>" + CONTACT))
+        validate(doc, dtd)
+
+    def test_repeated_plus_element(self, dtd):
+        doc = parse_element(listing(
+            "<price>$1</price><contact><name>K</name>"
+            "<phone>1</phone><phone>2</phone></contact>"))
+        validate(doc, dtd)
+
+    def test_is_valid_true(self, dtd):
+        doc = parse_element(listing("<price>$1</price>" + CONTACT))
+        assert is_valid(doc, dtd)
+
+
+class TestInvalid:
+    def test_wrong_root(self, dtd):
+        with pytest.raises(ValidationError):
+            validate(parse_element("<listing/>"), dtd)
+
+    def test_missing_required_child(self, dtd):
+        doc = parse_element(listing("<location>Seattle</location>" + CONTACT))
+        with pytest.raises(ValidationError):
+            validate(doc, dtd)
+
+    def test_wrong_order(self, dtd):
+        doc = parse_element(listing(
+            CONTACT + "<price>$1</price>"))
+        with pytest.raises(ValidationError):
+            validate(doc, dtd)
+
+    def test_undeclared_element(self, dtd):
+        doc = parse_element(listing(
+            "<price>$1</price>" + CONTACT + "<extra>x</extra>"))
+        with pytest.raises(ValidationError):
+            validate(doc, dtd)
+
+    def test_text_in_element_only_content(self, dtd):
+        doc = parse_element(listing(
+            "stray text<price>$1</price>" + CONTACT))
+        with pytest.raises(ValidationError):
+            validate(doc, dtd)
+
+    def test_zero_phones_violates_plus(self, dtd):
+        doc = parse_element(listing(
+            "<price>$1</price><contact><name>K</name></contact>"))
+        with pytest.raises(ValidationError):
+            validate(doc, dtd)
+
+    def test_error_reports_path(self, dtd):
+        doc = parse_element(listing(
+            "<price>$1</price><contact><name>K</name></contact>"))
+        with pytest.raises(ValidationError) as excinfo:
+            validate(doc, dtd)
+        assert "contact" in str(excinfo.value)
+
+
+class TestContentModels:
+    def test_choice(self):
+        dtd = parse_dtd("<!ELEMENT x (a | b)><!ELEMENT a EMPTY>"
+                        "<!ELEMENT b EMPTY>")
+        assert is_valid(parse_element("<x><a/></x>"), dtd)
+        assert is_valid(parse_element("<x><b/></x>"), dtd)
+        assert not is_valid(parse_element("<x><a/><b/></x>"), dtd)
+        assert not is_valid(parse_element("<x/>"), dtd)
+
+    def test_star_group(self):
+        dtd = parse_dtd("<!ELEMENT x (a, b)*><!ELEMENT a EMPTY>"
+                        "<!ELEMENT b EMPTY>")
+        assert is_valid(parse_element("<x/>"), dtd)
+        assert is_valid(parse_element("<x><a/><b/><a/><b/></x>"), dtd)
+        assert not is_valid(parse_element("<x><a/></x>"), dtd)
+
+    def test_nested_choice_in_sequence(self):
+        dtd = parse_dtd("<!ELEMENT x (a, (b | c), d)><!ELEMENT a EMPTY>"
+                        "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+                        "<!ELEMENT d EMPTY>")
+        assert is_valid(parse_element("<x><a/><c/><d/></x>"), dtd)
+        assert not is_valid(parse_element("<x><a/><d/></x>"), dtd)
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT d (#PCDATA | em)*><!ELEMENT em (#PCDATA)>")
+        assert is_valid(parse_element("<d>hello <em>world</em>!</d>"), dtd)
+        dtd2 = parse_dtd("<!ELEMENT d (#PCDATA | em)*>"
+                         "<!ELEMENT em (#PCDATA)><!ELEMENT b (#PCDATA)>")
+        assert not is_valid(parse_element("<d><b>no</b></d>"), dtd2)
+
+    def test_empty_model_rejects_content(self):
+        dtd = parse_dtd("<!ELEMENT x EMPTY>")
+        assert is_valid(parse_element("<x/>"), dtd)
+        assert not is_valid(parse_element("<x>text</x>"), dtd)
+
+    def test_any_model_accepts_everything(self):
+        dtd = parse_dtd("<!ELEMENT x ANY><!ELEMENT y (#PCDATA)>")
+        assert is_valid(parse_element("<x>text<y>more</y></x>"), dtd)
+
+    def test_pcdata_rejects_children(self):
+        dtd = parse_dtd("<!ELEMENT x (#PCDATA)><!ELEMENT y (#PCDATA)>")
+        assert not is_valid(parse_element("<x><y>z</y></x>"), dtd)
+
+    def test_ambiguous_model_handled(self):
+        # (a?, a) requires one or two a's — nondeterministic matching.
+        dtd = parse_dtd("<!ELEMENT x (a?, a)><!ELEMENT a EMPTY>")
+        assert is_valid(parse_element("<x><a/></x>"), dtd)
+        assert is_valid(parse_element("<x><a/><a/></x>"), dtd)
+        assert not is_valid(parse_element("<x/>"), dtd)
+        assert not is_valid(parse_element("<x><a/><a/><a/></x>"), dtd)
+
+
+class TestAttributes:
+    def test_required_attribute(self):
+        dtd = parse_dtd('<!ELEMENT x EMPTY>'
+                        '<!ATTLIST x id CDATA #REQUIRED>')
+        assert is_valid(parse_element('<x id="1"/>'), dtd)
+        assert not is_valid(parse_element("<x/>"), dtd)
+
+    def test_enumerated_attribute(self):
+        dtd = parse_dtd('<!ELEMENT x EMPTY>'
+                        '<!ATTLIST x s (open|sold) "open">')
+        assert is_valid(parse_element('<x s="sold"/>'), dtd)
+        assert not is_valid(parse_element('<x s="bogus"/>'), dtd)
+
+    def test_implied_attribute_optional(self):
+        dtd = parse_dtd('<!ELEMENT x EMPTY>'
+                        '<!ATTLIST x note CDATA #IMPLIED>')
+        assert is_valid(parse_element("<x/>"), dtd)
