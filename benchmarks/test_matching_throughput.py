@@ -1,0 +1,216 @@
+"""Matching-engine throughput: the PR's engine vs the pre-PR pipeline.
+
+Measures end-to-end matching (train once, then match every held-out
+source of Real Estate I in one process) under four configurations:
+
+``seed``
+    A faithful re-implementation of the pre-PR pipeline: dense WHIRL
+    scoring (``todense`` + dense top-k + dense log-sums), no featurize
+    memoisation, no duplicate-row collapsing, and structure passes that
+    re-predict every instance.
+``cache_off``
+    The new engine with memoisation switched off (still sparse scoring).
+``serial``
+    The new engine at ``--workers 1``.
+``par4``
+    The new engine at ``--workers 4``.
+
+Configurations are interleaved round-robin and each reports its best
+round, so machine-load drift hits all of them equally. The benchmark
+asserts that every new-engine configuration produces *byte-identical*
+``tag_scores`` and that cache+parallelism beats the seed pipeline by at
+least 2x, then writes ``BENCH_matching.json`` at the repo root.
+
+The seed emulation is compared on time only: its outputs differ from the
+new engine exactly where this PR fixed the WHIRL top-k tie bug (the seed
+kept every neighbour tied at the k-th similarity).
+
+Environment knobs::
+
+    LSD_BENCH_THROUGHPUT_LISTINGS   listings per source (default 100)
+    LSD_BENCH_THROUGHPUT_ROUNDS     timing rounds       (default 3)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import featurize
+from repro.core.matching import match_source
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+from repro.learners.whirl import WhirlIndex
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_matching.json"
+N_LISTINGS = int(os.environ.get("LSD_BENCH_THROUGHPUT_LISTINGS", "100"))
+ROUNDS = int(os.environ.get("LSD_BENCH_THROUGHPUT_ROUNDS", "3"))
+MIN_SPEEDUP = 2.0
+
+
+# ---------------------------------------------------------------------------
+# the pre-PR pipeline, reproduced for timing
+# ---------------------------------------------------------------------------
+
+def _seed_whirl_scores(self, queries):
+    """The seed ``WhirlIndex.scores``: dense end to end, no dedup, and
+    the pre-fix top-k that keeps every neighbour tied at the k-th
+    similarity."""
+    if self._space is None or self._label_matrix is None \
+            or self._labels is None:
+        raise RuntimeError("WhirlIndex is not fitted")
+    if not queries:
+        return np.zeros((0, len(self._labels)))
+    sims = self._space.similarities(list(queries))
+    sims = np.clip(sims, 0.0, 1.0 - 1e-9)
+    if self.min_similarity > 0.0:
+        sims[sims < self.min_similarity] = 0.0
+    k = self.max_neighbors
+    if k is not None and sims.shape[1] > k:
+        thresholds = np.partition(sims, -k, axis=1)[:, -k][:, None]
+        sims = np.where(sims >= thresholds, sims, 0.0)
+    log_miss = np.log1p(-sims)
+    grouped = log_miss @ self._label_matrix
+    raw = 1.0 - np.exp(grouped)
+    totals = raw.sum(axis=1, keepdims=True)
+    uniform = np.full_like(raw, 1.0 / raw.shape[1])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0.0, raw / totals, uniform)
+
+
+@contextmanager
+def _seed_pipeline():
+    """Run matching the way the repo did before this PR."""
+    original = WhirlIndex.scores
+    WhirlIndex.scores = _seed_whirl_scores
+    try:
+        with featurize.cache_disabled():
+            yield
+    finally:
+        WhirlIndex.scores = original
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def _build_trained_system():
+    domain = load_domain("real_estate_1", seed=0)
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=N_LISTINGS)
+    for source in domain.sources[:3]:
+        system.add_training_source(
+            source.schema, source.listings(N_LISTINGS), source.mapping)
+    system.train()
+    targets = [(source.schema, source.listings(N_LISTINGS))
+               for source in domain.sources[3:]]
+    return system, targets
+
+
+def _run_engine(system, targets, workers, cached):
+    """One engine run: match every held-out source in one process.
+
+    The text memo starts cold (a fresh match process) and stays warm
+    across the sources — the cached engine's legitimate advantage.
+    """
+    featurize.clear_text_cache()
+    system.workers = workers
+    if cached:
+        return [system.match(schema, listings)
+                for schema, listings in targets]
+    with featurize.cache_disabled():
+        return [system.match(schema, listings)
+                for schema, listings in targets]
+
+
+def _run_seed(system, targets):
+    """One pre-PR run: dense scoring, full structure re-prediction."""
+    score_filter = system.pruner.prune_scores if system.pruner else None
+    with _seed_pipeline():
+        return [
+            match_source(schema, listings, system.learners, system.meta,
+                         system.converter, system.handler, system.space,
+                         max_instances_per_tag=system.max_instances_per_tag,
+                         score_filter=score_filter,
+                         incremental_structure=False)
+            for schema, listings in targets
+        ]
+
+
+def test_matching_throughput():
+    system, targets = _build_trained_system()
+
+    configs = {
+        "seed": lambda: _run_seed(system, targets),
+        "cache_off": lambda: _run_engine(system, targets, 1, False),
+        "serial": lambda: _run_engine(system, targets, 1, True),
+        "par4": lambda: _run_engine(system, targets, 4, True),
+    }
+
+    for run in configs.values():  # warm-up: imports, allocator, memo
+        run()
+
+    best = {name: float("inf") for name in configs}
+    results = {}
+    for _ in range(ROUNDS):
+        for name, run in configs.items():
+            start = time.perf_counter()
+            results[name] = run()
+            best[name] = min(best[name],
+                             time.perf_counter() - start)
+
+    # Determinism: every new-engine configuration is byte-identical.
+    reference = results["serial"]
+    for name in ("cache_off", "par4"):
+        for ref, res in zip(reference, results[name]):
+            assert set(ref.tag_scores) == set(res.tag_scores)
+            for tag in ref.tag_scores:
+                assert np.array_equal(ref.tag_scores[tag],
+                                      res.tag_scores[tag]), \
+                    f"{name} diverged from serial on {tag!r}"
+            assert dict(ref.mapping.items()) == dict(res.mapping.items())
+
+    hits = sum(r.profile.counters.get("cache_hits", 0)
+               for r in reference)
+    misses = sum(r.profile.counters.get("cache_misses", 0)
+                 for r in reference)
+    instances = sum(r.profile.counters.get("instances", 0)
+                    for r in reference)
+
+    speedups = {
+        "serial_vs_seed": best["seed"] / best["serial"],
+        "par4_vs_seed": best["seed"] / best["par4"],
+        "cache_on_vs_off": best["cache_off"] / best["serial"],
+    }
+    report = {
+        "workload": {
+            "domain": "real_estate_1",
+            "train_sources": 3,
+            "match_sources": len(targets),
+            "listings_per_source": N_LISTINGS,
+            "instances_matched": instances,
+            "rounds": ROUNDS,
+        },
+        "best_ms": {name: round(seconds * 1000.0, 2)
+                    for name, seconds in best.items()},
+        "speedup": {name: round(value, 2)
+                    for name, value in speedups.items()},
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+        },
+        "determinism": {"tag_scores_identical": True},
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + json.dumps(report, indent=2))
+
+    assert speedups["serial_vs_seed"] >= MIN_SPEEDUP
+    assert speedups["par4_vs_seed"] >= MIN_SPEEDUP

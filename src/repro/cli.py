@@ -14,9 +14,12 @@ Four subcommands::
         schema.dtd, listings.xml, mapping.txt) and save the model.
 
     python -m repro match --model model.lsd --schema s.dtd \\
-        --listings l.xml [--feedback tag=LABEL ...] [--out mapping.txt]
+        --listings l.xml [--feedback tag=LABEL ...] [--out mapping.txt] \\
+        [--workers N] [--profile]
         Propose 1-1 mappings for a new source; feedback constraints pin
-        or re-run exactly as in §4.3.
+        or re-run exactly as in §4.3. ``--workers`` fans learner
+        prediction out over N threads (identical results at any count);
+        ``--profile`` prints the per-stage timing table.
 
     python -m repro evaluate --domain real_estate_1 --experiment ladder
         Run one of the paper's experiments and print its table.
@@ -88,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="where to save the trained model")
     train.add_argument("--max-instances", type=int, default=100,
                        help="instance cap per tag (default 100)")
+    train.add_argument("--workers", type=int, default=1,
+                       help="worker threads for cross-validation fan-out "
+                            "(default 1 = serial; results are identical "
+                            "at any worker count)")
     train.set_defaults(handler=_cmd_train)
 
     match = commands.add_parser(
@@ -102,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="candidates to display per tag (default 3)")
     match.add_argument("--out", type=Path,
                        help="write the mapping to this file")
+    match.add_argument("--workers", type=int, default=1,
+                       help="worker threads for learner prediction "
+                            "(default 1 = serial; results are identical "
+                            "at any worker count)")
+    match.add_argument("--profile", action="store_true",
+                       help="print the per-stage timing/counter table "
+                            "after matching")
     match.set_defaults(handler=_cmd_match)
 
     evaluate = commands.add_parser(
@@ -171,7 +185,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         constraints = parse_constraints(_read_text(args.constraints))
     system = LSDSystem(mediated, default_learners(),
                        constraints=constraints,
-                       max_instances_per_tag=args.max_instances)
+                       max_instances_per_tag=args.max_instances,
+                       workers=args.workers)
     for source_dir in args.train:
         schema, listings, mapping = _read_source_dir(source_dir)
         system.add_training_source(schema, listings, mapping)
@@ -190,6 +205,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_match(args: argparse.Namespace) -> int:
     system = load_system(args.model)
+    system.workers = args.workers
     schema = SourceSchema(_read_dtd(args.schema))
     listings = _read_listings(args.listings)
     feedback = [
@@ -207,6 +223,9 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.out:
         args.out.write_text(_render_mapping(result.mapping))
         print(f"mapping written to {args.out}")
+    if args.profile:
+        print(f"\nstage profile (workers={args.workers}):")
+        print(result.profile.table())
     return 0
 
 

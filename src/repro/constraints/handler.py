@@ -237,10 +237,19 @@ class ConstraintHandler:
 
     def mapping_cost(self, mapping: Mapping,
                      scores: dict[str, np.ndarray], space: LabelSpace,
-                     ctx: MatchContext) -> float:
+                     ctx: MatchContext,
+                     extra_constraints: Sequence[Constraint] = ()
+                     ) -> float:
         """The paper's cost(m) of a complete mapping (inf on hard
-        violations)."""
-        hard, soft = split_constraints(self.constraints)
+        violations).
+
+        ``extra_constraints`` carries per-source user feedback, exactly
+        as in :meth:`find_mapping` and :meth:`violations` — so the cost
+        reported after feedback agrees with what the search minimised
+        and with ``violations()`` on the same mapping.
+        """
+        hard, soft = split_constraints(
+            [*self.constraints, *extra_constraints])
         assignment = {tag: mapping.label_of(tag) for tag in mapping}
         if any(c.check_complete(assignment, ctx) for c in hard):
             return float("inf")

@@ -7,6 +7,7 @@ the model layer — so those names are resolved lazily to keep the import
 graph acyclic.
 """
 
+from . import featurize
 from .composite import CompositeMapping, find_composite_mappings
 from .converter import PredictionConverter
 from .hierarchy import LabelHierarchy, generalize_prediction
@@ -14,6 +15,7 @@ from .instance import (ElementInstance, InstanceColumn, extract_columns,
                        fill_child_labels)
 from .labels import OTHER, LabelSpace
 from .mapping import Mapping
+from .parallel import ParallelExecutor
 from .prediction import Prediction, normalize_matrix, normalize_scores
 from .pruning import TypeProfile, TypePruner
 from .schema import MediatedSchema, SourceSchema
@@ -22,9 +24,11 @@ __all__ = [
     "CompositeMapping", "ElementInstance", "FeedbackSession",
     "InstanceColumn", "LSDSystem", "find_composite_mappings",
     "LabelHierarchy", "LabelSpace", "Mapping", "MatchResult",
-    "MediatedSchema", "OTHER", "Prediction", "PredictionConverter",
+    "MediatedSchema", "OTHER", "ParallelExecutor", "Prediction",
+    "PredictionConverter",
     "SourceSchema", "TrainingSource", "TypeProfile", "TypePruner",
-    "build_training_set", "extract_columns", "fill_child_labels",
+    "build_training_set", "extract_columns", "featurize",
+    "fill_child_labels",
     "generalize_prediction", "match_source", "normalize_matrix",
     "normalize_scores", "train_base_learners", "train_meta_learner",
 ]

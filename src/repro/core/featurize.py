@@ -1,0 +1,184 @@
+"""Shared token/feature cache (the throughput tentpole).
+
+Before this module existed, every text learner re-derived the same
+features from the same data: Naive Bayes, the content matcher and the
+XML learner each ran ``tokenize`` / ``remove_stopwords`` /
+``stem_tokens`` over identical text, so one matching run tokenized every
+instance three-plus times (and again on every structure pass). The XML
+Matchers survey (Agreste et al.) calls scalability the dominant open
+problem for instance-level matchers; per-column featurization cost is
+exactly where that time goes.
+
+Two cache layers make featurization happen once:
+
+* a **text-level memo**: :func:`pipeline_tokens` memoises the full
+  tokenize→stopword→stem pipeline keyed by the raw text. Real columns
+  are duplicate-heavy (the same city, agent or yes/no value repeats in
+  hundreds of listings), so this collapses work both across learners
+  *and* across instances sharing a value;
+* an **instance-level slot**: :func:`content_tokens` pins the token bag
+  of an instance's full text content on
+  ``ElementInstance.feature_cache``, which also avoids re-walking the
+  element subtree to rebuild the text string.
+
+:func:`node_words` serves the XML learner's per-node word lookups
+through the same layers, reusing the instance's content tokens for the
+common leaf-element case.
+
+Cached token lists are shared — callers must treat them as immutable.
+
+Plugin learners that need different features simply keep calling their
+own tokenizers: the cache is opt-in by calling these functions, and
+:func:`cache_disabled` turns memoisation off globally (the benchmark
+harness uses it to measure the uncached baseline).
+
+Thread-safety: concurrent callers may race to fill the same slot, but
+both compute identical values from immutable inputs, so last-write-wins
+is correct. Hit/miss counts are plain integer adds and therefore
+approximate under threads; they are instrumentation, not logic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..text import remove_stopwords, stem_tokens, tokenize
+from ..xmlio import Element
+from .instance import ElementInstance
+
+#: feature_cache key of the content-token bag.
+_CONTENT = "content_tokens"
+
+#: Module switch consulted on every lookup; see :func:`cache_disabled`.
+_enabled = True
+
+#: Text-level memo: raw text -> token list. Cleared wholesale when it
+#: outgrows the cap — the working set of one matching run (distinct
+#: values of one source) is far below it, so eviction is a non-event in
+#: practice while still bounding long-lived processes.
+_TEXT_CACHE_MAX = 65536
+_text_cache: dict[str, list[str]] = {}
+
+
+class CacheStats:
+    """Process-wide hit/miss counters for the featurize cache."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
+
+
+#: The process-wide counters (reset with ``stats.reset()``).
+stats = CacheStats()
+
+
+def _pipeline(text: str) -> list[str]:
+    return stem_tokens(remove_stopwords(tokenize(text)))
+
+
+def pipeline_tokens(text: str) -> list[str]:
+    """The canonical pipeline (tokenize, drop stopwords, stem), memoised
+    by the raw text. The returned list is shared — do not mutate it."""
+    if not _enabled:
+        return _pipeline(text)
+    tokens = _text_cache.get(text)
+    if tokens is None:
+        stats.misses += 1
+        if len(_text_cache) >= _TEXT_CACHE_MAX:
+            _text_cache.clear()
+        tokens = _pipeline(text)
+        _text_cache[text] = tokens
+    else:
+        stats.hits += 1
+    return tokens
+
+
+def content_tokens(instance: ElementInstance) -> list[str]:
+    """Token bag of the instance's full text content, computed once.
+
+    This is the shared feature the default Naive Bayes tokenizer and the
+    content matcher both consume. The instance-level slot also skips
+    rebuilding ``instance.text`` (a subtree walk) on repeat lookups.
+    """
+    if not _enabled:
+        return _pipeline(instance.text)
+    cache = instance.feature_cache
+    tokens = cache.get(_CONTENT)
+    if tokens is None:
+        tokens = pipeline_tokens(instance.text)
+        cache[_CONTENT] = tokens
+    else:
+        stats.hits += 1
+    return tokens
+
+
+def node_words(instance: ElementInstance, node: Element) -> list[str]:
+    """Word tokens of one node's *immediate* text (the XML learner's
+    per-node lookup), served through the shared cache layers.
+
+    For the common case — the instance's own element, a leaf with no
+    attributes — the immediate text tokenizes identically to the full
+    text content (whitespace differences do not survive tokenization),
+    so the instance's content tokens are reused outright.
+    """
+    if not _enabled:
+        return _pipeline(node.immediate_text())
+    if node is instance.element and not node.attributes and node.is_leaf:
+        return content_tokens(instance)
+    return pipeline_tokens(node.immediate_text())
+
+
+def warm(instances: Sequence[ElementInstance]) -> None:
+    """Pre-fill the content-token cache for a batch of instances."""
+    for instance in instances:
+        content_tokens(instance)
+
+
+def invalidate(instance: ElementInstance) -> None:
+    """Drop an instance's cached features (after mutating its element)."""
+    instance.feature_cache.clear()
+
+
+def clear_text_cache() -> None:
+    """Empty the process-wide text-level memo (tests, memory pressure)."""
+    _text_cache.clear()
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily bypass memoisation (benchmark baseline; not
+    thread-safe — flip it only from the orchestrating thread)."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def is_enabled() -> bool:
+    """Whether memoisation is currently active."""
+    return _enabled

@@ -30,6 +30,12 @@ class ElementInstance:
     #: Index of the listing this instance came from; lets column
     #: constraints (functional dependencies) re-align values row-wise.
     listing_index: int = -1
+    #: Lazily filled by :mod:`repro.core.featurize` — tokenized/stemmed
+    #: views of the instance text, computed at most once per instance.
+    #: Excluded from equality: two instances with the same content are
+    #: equal whether or not either has been featurized yet.
+    feature_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     @property
     def text(self) -> str:

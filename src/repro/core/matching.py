@@ -10,11 +10,27 @@ Pipeline for a target source:
    XML learner as child labels, and re-run the learners that use them;
 4. hand the per-tag predictions to the constraint handler, which returns
    the least-cost 1-1 mapping (or argmax when no handler is configured).
+
+Throughput engineering (the high-traffic ROADMAP goal):
+
+* base-learner prediction fans out across a :class:`ParallelExecutor`
+  (order-preserving, so any worker count is byte-identical to serial);
+* instances are featurized once via :mod:`repro.core.featurize` and the
+  learners share the cache;
+* structure passes are *incremental*: only learners with
+  ``uses_child_labels`` re-predict, and only for the instances whose
+  ``child_labels`` actually changed since the previous pass — a pass
+  that changes nothing is skipped entirely (fixed point). This relies on
+  the :class:`~repro.learners.base.BaseLearner` contract that
+  ``predict_scores`` rows depend only on their own instance;
+* every stage reports into a :class:`StageProfile`
+  (``MatchResult.profile``), with per-learner timings and cache/instance
+  counters; ``MatchResult.timings`` keeps the flat
+  extract/predict/constraints view for backward compatibility.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -24,12 +40,15 @@ from ..constraints.base import Constraint, MatchContext
 from ..constraints.handler import ConstraintHandler
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
+from ..observability import StageProfile
 from ..xmlio import Element
+from . import featurize
 from .converter import PredictionConverter
 from .instance import (ElementInstance, InstanceColumn, extract_columns,
                        fill_child_labels)
 from .labels import LabelSpace
 from .mapping import Mapping
+from .parallel import ParallelExecutor, resolve
 from .prediction import Prediction
 from .schema import SourceSchema
 
@@ -44,6 +63,10 @@ class MatchResult:
     columns: dict[str, InstanceColumn]
     context: MatchContext
     timings: dict[str, float] = field(default_factory=dict)
+    #: Per-stage instrumentation: nested timers (dotted paths) plus
+    #: instance and cache-hit counters. ``timings`` above is the flat
+    #: legacy view of the same run.
+    profile: StageProfile = field(default_factory=StageProfile)
 
     def prediction_for(self, tag: str) -> Prediction:
         """The converter's prediction for one source tag."""
@@ -68,19 +91,27 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                  extra_constraints: Sequence[Constraint] = (),
                  max_instances_per_tag: int | None = None,
                  structure_passes: int = 1,
-                 score_filter=None) -> MatchResult:
+                 score_filter=None,
+                 executor: ParallelExecutor | None = None,
+                 incremental_structure: bool = True) -> MatchResult:
     """Run the full matching pipeline; see module docstring.
 
     ``score_filter(tag_scores, columns) -> tag_scores`` runs between the
     prediction converter and the constraint handler — the hook the §7
     type-compatibility pruner uses.
-    """
-    timings: dict[str, float] = {}
 
-    start = time.perf_counter()
-    columns = extract_columns(schema, list(listings),
-                              max_instances_per_tag)
-    timings["extract"] = time.perf_counter() - start
+    ``executor`` fans learner prediction out across workers (serial by
+    default). ``incremental_structure=False`` forces every structure
+    pass to re-predict all instances — the pre-cache behaviour, kept so
+    the benchmark harness can measure the baseline.
+    """
+    executor = resolve(executor)
+    profile = StageProfile()
+    cache_before = (featurize.stats.hits, featurize.stats.misses)
+
+    with profile.stage("extract"):
+        columns = extract_columns(schema, list(listings),
+                                  max_instances_per_tag)
 
     # Flatten instances so each learner predicts one batch.
     tags = list(columns)
@@ -90,59 +121,103 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
         begin = len(flat)
         flat.extend(columns[tag].instances)
         slices[tag] = slice(begin, len(flat))
+    profile.count("instances", len(flat))
+    profile.count("tags", len(tags))
 
-    start = time.perf_counter()
-    tag_scores = _predict_tags(flat, slices, columns, learners, meta,
-                               converter, space, structure_passes)
-    if score_filter is not None:
-        tag_scores = score_filter(tag_scores, columns)
-    timings["predict"] = time.perf_counter() - start
+    with profile.stage("predict"):
+        tag_scores = _predict_tags(flat, slices, columns, learners, meta,
+                                   converter, space, structure_passes,
+                                   executor, profile,
+                                   incremental_structure)
+        if score_filter is not None:
+            with profile.stage("predict.score_filter"):
+                tag_scores = score_filter(tag_scores, columns)
 
     ctx = MatchContext(schema, columns)
-    start = time.perf_counter()
-    if handler is None:
-        mapping = Mapping({
-            tag: space.label_at(int(np.argmax(row)))
-            for tag, row in tag_scores.items()})
-    else:
-        mapping = handler.find_mapping(tag_scores, space, ctx,
-                                       extra_constraints)
-    timings["constraints"] = time.perf_counter() - start
+    with profile.stage("constrain"):
+        if handler is None:
+            mapping = Mapping({
+                tag: space.label_at(int(np.argmax(row)))
+                for tag, row in tag_scores.items()})
+        else:
+            mapping = handler.find_mapping(tag_scores, space, ctx,
+                                           extra_constraints)
 
-    return MatchResult(mapping, tag_scores, space, columns, ctx, timings)
+    profile.count("cache_hits", featurize.stats.hits - cache_before[0])
+    profile.count("cache_misses",
+                  featurize.stats.misses - cache_before[1])
+    timings = {
+        "extract": profile.seconds("extract"),
+        "predict": profile.seconds("predict"),
+        "constraints": profile.seconds("constrain"),
+    }
+    return MatchResult(mapping, tag_scores, space, columns, ctx, timings,
+                       profile)
 
 
 def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                   columns: dict[str, InstanceColumn],
                   learners: list[BaseLearner], meta: StackingMetaLearner,
                   converter: PredictionConverter, space: LabelSpace,
-                  structure_passes: int) -> dict[str, np.ndarray]:
+                  structure_passes: int, executor: ParallelExecutor,
+                  profile: StageProfile,
+                  incremental: bool) -> dict[str, np.ndarray]:
     """Per-tag converted scores, with optional structure re-passes."""
+
+    def predict_with(learner: BaseLearner,
+                     batch: list[ElementInstance]) -> np.ndarray:
+        with profile.stage(f"predict.learner.{learner.name}"):
+            return learner.predict_scores(batch)
+
+    rows = executor.map(lambda lrn: predict_with(lrn, flat), learners)
     scores_by_learner = {
-        learner.name: learner.predict_scores(flat) for learner in learners}
+        learner.name: scores for learner, scores in zip(learners, rows)}
     tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                          space)
+                          space, profile)
 
     structural = [lrn for lrn in learners if lrn.uses_child_labels]
+    applied: dict[str, str] | None = None  # labels last written into
+    # the instances' child_labels; None = nothing applied yet.
     for _ in range(structure_passes if structural else 0):
         preliminary = {
             tag: space.label_at(int(np.argmax(row)))
             for tag, row in tag_scores.items()}
-        fill_child_labels(columns, preliminary)
-        for learner in structural:
-            scores_by_learner[learner.name] = learner.predict_scores(flat)
+        if preliminary == applied:
+            break  # fixed point: re-filling would change no feature
+        with profile.stage("predict.structure_pass"):
+            previous_labels = [dict(inst.child_labels) for inst in flat]
+            fill_child_labels(columns, preliminary)
+            applied = preliminary
+            if incremental:
+                changed = [i for i, inst in enumerate(flat)
+                           if inst.child_labels != previous_labels[i]]
+            else:
+                changed = list(range(len(flat)))
+            if not changed:
+                break  # no instance saw a new child label
+            profile.count("structure_passes")
+            profile.count("structure_repredicted", len(changed))
+            batch = [flat[i] for i in changed]
+            updates = executor.map(
+                lambda lrn: predict_with(lrn, batch), structural)
+            for learner, new_rows in zip(structural, updates):
+                # Rows are per-instance by the BaseLearner contract, so
+                # scattering a subset equals re-predicting the batch.
+                scores_by_learner[learner.name][changed] = new_rows
         tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                              space)
+                              space, profile)
     return tag_scores
 
 
 def _convert(scores_by_learner: dict[str, np.ndarray],
              slices: dict[str, slice], meta: StackingMetaLearner,
-             converter: PredictionConverter,
-             space: LabelSpace) -> dict[str, np.ndarray]:
-    combined = meta.combine(scores_by_learner) if scores_by_learner else \
-        np.zeros((0, len(space)))
-    return {
-        tag: converter.convert(combined[piece])
-        for tag, piece in slices.items()
-    }
+             converter: PredictionConverter, space: LabelSpace,
+             profile: StageProfile) -> dict[str, np.ndarray]:
+    with profile.stage("predict.combine"):
+        combined = meta.combine(scores_by_learner) if scores_by_learner \
+            else np.zeros((0, len(space)))
+    with profile.stage("predict.convert"):
+        return {
+            tag: converter.convert(combined[piece])
+            for tag, piece in slices.items()
+        }

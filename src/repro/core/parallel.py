@@ -1,0 +1,75 @@
+"""Deterministic fan-out for learner prediction and cross-validation.
+
+:class:`ParallelExecutor` is the one concurrency primitive the pipelines
+use: an order-preserving ``map`` over a thread pool, with a serial
+fallback when ``workers <= 1`` (or when there is nothing to fan out).
+Results always come back in submission order, so a pipeline wired
+through an executor produces byte-identical output at any worker count —
+the determinism tests pin this.
+
+Threads, not processes, on purpose:
+
+* the learners share the per-instance feature cache
+  (:mod:`repro.core.featurize`); worker processes would pickle every
+  instance per call and forfeit the sharing that makes matching fast;
+* the hot kernels (scipy sparse products, dense solves) release the GIL,
+  and the pure-Python featurization work is done once up front;
+* learners hold closures and live object graphs that are awkward to
+  ship across process boundaries.
+
+The pool is created per ``map`` call: the workloads here are chunky
+(one task trains or predicts a whole learner), so pool start-up cost is
+noise, and no idle threads linger between pipeline phases.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelExecutor:
+    """Order-preserving parallel ``map`` with a serial fallback."""
+
+    def __init__(self, workers: int = 1) -> None:
+        """``workers <= 1`` selects the deterministic serial path."""
+        self.workers = max(1, int(workers))
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        Exceptions propagate exactly as in the serial path: the first
+        failing item (in submission order) raises.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., R],
+                argument_tuples: Iterable[Sequence]) -> list[R]:
+        """``map`` over argument tuples (``fn(*args)`` per item)."""
+        return self.map(lambda args: fn(*args), argument_tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "parallel" if self.is_parallel else "serial"
+        return f"<ParallelExecutor {mode} workers={self.workers}>"
+
+
+#: The shared serial executor — the default everywhere an executor is
+#: optional, so existing call sites keep their exact behaviour.
+SERIAL = ParallelExecutor(1)
+
+
+def resolve(executor: ParallelExecutor | None) -> ParallelExecutor:
+    """``executor`` or the serial default."""
+    return executor if executor is not None else SERIAL

@@ -19,6 +19,7 @@ from .converter import PredictionConverter
 from .labels import LabelSpace
 from .mapping import Mapping
 from .matching import MatchResult, match_source
+from .parallel import ParallelExecutor
 from .pruning import TypePruner
 from .schema import MediatedSchema, SourceSchema
 from .training import (TrainingSource, build_training_set,
@@ -37,7 +38,8 @@ class LSDSystem:
                  handler: ConstraintHandler | None = None,
                  folds: int = 5, seed: int = 0,
                  max_instances_per_tag: int | None = None,
-                 prune_types: bool = False) -> None:
+                 prune_types: bool = False,
+                 workers: int = 1) -> None:
         """
         Parameters
         ----------
@@ -64,6 +66,11 @@ class LSDSystem:
             constraints: candidate labels whose training data type is
             grossly incompatible with a column are zeroed before the
             constraint handler runs.
+        workers:
+            Worker-thread count for learner prediction and
+            cross-validation fan-out (1 = serial). Any value produces
+            byte-identical results; more workers only change wall-clock
+            time. Mutable after construction (``system.workers = 4``).
         """
         if isinstance(mediated_schema, str):
             mediated_schema = MediatedSchema(mediated_schema)
@@ -84,9 +91,19 @@ class LSDSystem:
         self.folds = folds
         self.seed = seed
         self.max_instances_per_tag = max_instances_per_tag
+        self.workers = workers
         self.training_sources: list[TrainingSource] = []
         self.meta: StackingMetaLearner | None = None
         self.pruner = TypePruner() if prune_types else None
+
+    @property
+    def executor(self) -> ParallelExecutor:
+        """The executor for the configured worker count.
+
+        Built on access (it only wraps an int) so models pickled before
+        the ``workers`` option existed load and run serially.
+        """
+        return ParallelExecutor(getattr(self, "workers", 1))
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -130,7 +147,8 @@ class LSDSystem:
         self.meta = train_meta_learner(
             self.learners, instances, labels, self.space,
             folds=self.folds, seed=self.seed,
-            uniform=not self.use_meta_learner)
+            uniform=not self.use_meta_learner,
+            executor=self.executor)
 
     @property
     def is_trained(self) -> bool:
@@ -152,7 +170,8 @@ class LSDSystem:
         return match_source(
             schema, listings, self.learners, self.meta, self.converter,
             self.handler, self.space, extra_constraints,
-            self.max_instances_per_tag, score_filter=score_filter)
+            self.max_instances_per_tag, score_filter=score_filter,
+            executor=self.executor)
 
     def confirm_and_learn(self, schema: SourceSchema | str,
                           listings: Sequence[Element],

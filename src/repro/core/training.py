@@ -24,6 +24,7 @@ from ..xmlio import Element
 from .instance import (ElementInstance, extract_columns, fill_child_labels)
 from .labels import OTHER, LabelSpace
 from .mapping import Mapping
+from .parallel import ParallelExecutor, resolve
 from .schema import SourceSchema
 
 
@@ -91,18 +92,29 @@ def train_meta_learner(learners: list[BaseLearner],
                        instances: list[ElementInstance],
                        labels: list[str], space: LabelSpace,
                        folds: int = 5, seed: int = 0,
-                       uniform: bool = False) -> StackingMetaLearner:
+                       uniform: bool = False,
+                       executor: ParallelExecutor | None = None
+                       ) -> StackingMetaLearner:
     """§3.1 step 5: cross-validate the base learners and fit the stacking
     weights. ``uniform=True`` skips stacking (the meta-learner ablation)
-    and averages learners instead."""
+    and averages learners instead.
+
+    Cross-validation fans out across ``executor`` — one task per base
+    learner — with results gathered in learner order, so parallel
+    training is deterministic.
+    """
     meta = StackingMetaLearner(folds=folds, seed=seed)
     if uniform:
         meta.fit_uniform([learner.name for learner in learners], space)
         return meta
+    executor = resolve(executor)
+    per_learner = executor.map(
+        lambda learner: cross_validate(learner, instances, labels, space,
+                                       folds=folds, seed=seed),
+        learners)
     cv_scores = {
-        learner.name: cross_validate(learner, instances, labels, space,
-                                     folds=folds, seed=seed)
-        for learner in learners
+        learner.name: scores
+        for learner, scores in zip(learners, per_learner)
     }
     meta.fit(cv_scores, labels, space)
     return meta

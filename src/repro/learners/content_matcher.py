@@ -12,9 +12,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
-from ..text import remove_stopwords, stem_tokens, tokenize
 from .base import BaseLearner
 from .whirl import WhirlIndex
 
@@ -41,7 +41,9 @@ class ContentMatcher(BaseLearner):
     # ------------------------------------------------------------------
     @staticmethod
     def _document(instance: ElementInstance) -> list[str]:
-        return stem_tokens(remove_stopwords(tokenize(instance.text)))
+        # Shared with the Naive Bayes tokenizer via the featurize cache:
+        # both learners read the same token bag, computed once.
+        return featurize.content_tokens(instance)
 
     def fit(self, instances: Sequence[ElementInstance],
             labels: Sequence[str], space: LabelSpace) -> None:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
+from ..core.parallel import ParallelExecutor, resolve
 from ..core.prediction import normalize_matrix
 from .base import BaseLearner
 
@@ -28,29 +29,51 @@ from .base import BaseLearner
 def cross_validate(learner: BaseLearner,
                    instances: Sequence[ElementInstance],
                    labels: Sequence[str], space: LabelSpace,
-                   folds: int = 5, seed: int = 0) -> np.ndarray:
+                   folds: int = 5, seed: int = 0,
+                   executor: ParallelExecutor | None = None) -> np.ndarray:
     """Out-of-fold predictions of ``learner`` on its own training data.
 
     The examples are shuffled into ``folds`` equal parts; each part is
     predicted by a clone trained on the remaining parts, preventing the
     bias the paper warns about ("when applied to any example t, it has
     already been trained on t").
+
+    ``folds`` is capped at ``n`` so every training split keeps at least
+    one example (with ``n == 1`` no split can train at all and the
+    single example gets uniform scores). A split whose clone cannot be
+    trained — e.g. a WHIRL learner handed zero usable documents — also
+    falls back to uniform out-of-fold scores instead of crashing the
+    whole training phase.
+
+    Folds fan out across ``executor`` (serial by default); each fold
+    writes a disjoint row block, so any worker count is deterministic.
     """
     n = len(instances)
     if n == 0:
         return np.zeros((0, len(space)))
-    folds = max(2, min(folds, n))
+    folds = min(folds, n)
+    if folds < 2:
+        # A single example cannot be held out of its own training set.
+        return np.full((n, len(space)), 1.0 / len(space))
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)
     scores = np.zeros((n, len(space)))
-    boundaries = np.array_split(order, folds)
-    for held_out in boundaries:
+
+    def run_fold(held_out: np.ndarray) -> np.ndarray:
         train_idx = np.setdiff1d(order, held_out, assume_unique=False)
-        clone = learner.clone()
-        clone.fit([instances[i] for i in train_idx],
-                  [labels[i] for i in train_idx], space)
         held_instances = [instances[i] for i in held_out]
-        scores[held_out] = clone.predict_scores(held_instances)
+        clone = learner.clone()
+        try:
+            clone.fit([instances[i] for i in train_idx],
+                      [labels[i] for i in train_idx], space)
+            return clone.predict_scores(held_instances)
+        except (ValueError, RuntimeError):
+            return np.full((len(held_out), len(space)), 1.0 / len(space))
+
+    boundaries = np.array_split(order, folds)
+    fold_scores = resolve(executor).map(run_fold, boundaries)
+    for held_out, block in zip(boundaries, fold_scores):
+        scores[held_out] = block
     return scores
 
 

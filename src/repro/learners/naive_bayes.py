@@ -18,15 +18,22 @@ from typing import Callable, Sequence
 import numpy as np
 from scipy import sparse
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
-from ..text import remove_stopwords, stem_tokens, tokenize
 from .base import BaseLearner
 
 
 def default_tokenizer(instance: ElementInstance) -> list[str]:
-    """Parse + stem the words and symbols of the instance content."""
-    return stem_tokens(remove_stopwords(tokenize(instance.text)))
+    """Parse + stem the words and symbols of the instance content.
+
+    Reads through the shared per-instance cache
+    (:func:`repro.core.featurize.content_tokens`), so the work happens
+    once no matter how many learners consume the same instance. Plugin
+    learners that pass their own ``tokenizer`` bypass the cache
+    entirely. The returned list is shared — do not mutate it.
+    """
+    return featurize.content_tokens(instance)
 
 
 class NaiveBayesLearner(BaseLearner):
@@ -87,6 +94,26 @@ class NaiveBayesLearner(BaseLearner):
         if not instances:
             return np.zeros((0, len(space)))
         documents = [self.tokenizer(instance) for instance in instances]
+        # Score each distinct token bag once and broadcast: NB scores are
+        # row-wise, so this is numerically identical to scoring all rows,
+        # and duplicate-heavy columns collapse to a few distinct bags.
+        # Rides the featurize switch so the benchmark baseline can
+        # measure the naive path.
+        if featurize.is_enabled():
+            distinct: dict[tuple[str, ...], int] = {}
+            unique: list[list[str]] = []
+            keys = [tuple(doc) for doc in documents]
+            for key, doc in zip(keys, documents):
+                if key not in distinct:
+                    distinct[key] = len(unique)
+                    unique.append(doc)
+            if len(unique) < len(documents):
+                per_doc = self._score_documents(unique)
+                rows = np.array([distinct[key] for key in keys])
+                return per_doc[rows]
+        return self._score_documents(documents)
+
+    def _score_documents(self, documents: list[list[str]]) -> np.ndarray:
         matrix = self._document_matrix(documents)
         log_scores = matrix @ self._log_likelihood.T + self._log_prior
         return _row_softmax(log_scores)

@@ -23,8 +23,8 @@ Table 2 of the paper).
 
 from __future__ import annotations
 
+from ..core import featurize
 from ..core.instance import ElementInstance
-from ..text import remove_stopwords, stem_tokens, tokenize
 from .naive_bayes import NaiveBayesLearner
 
 #: Label given to descendant tags for which no label is known (yet).
@@ -44,7 +44,10 @@ def structure_tokens(instance: ElementInstance,
         return labels.get(tag, UNKNOWN_NODE)
 
     def words_of(node) -> list[str]:
-        return stem_tokens(remove_stopwords(tokenize(node.immediate_text())))
+        # The label-derived node/edge tokens change between structure
+        # passes, but a node's text words never do — cache those via the
+        # shared featurize layer so re-passes only rebuild the cheap part.
+        return featurize.node_words(instance, node)
 
     def walk(node, node_name: str) -> None:
         for word in words_of(node):

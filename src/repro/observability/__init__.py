@@ -1,0 +1,12 @@
+"""Observability: per-stage timers and counters for the pipelines.
+
+The matching phase is the hot path of the system; the ROADMAP's
+production goal means its cost structure must stay visible as the code
+grows. :class:`StageProfile` is the one instrumentation primitive every
+pipeline shares: wall-clock per named stage (nested stages use dotted
+paths) plus monotonic counters (instances seen, cache hits, ...).
+"""
+
+from .timers import StageProfile, format_profile_table
+
+__all__ = ["StageProfile", "format_profile_table"]

@@ -1,0 +1,153 @@
+"""Per-stage wall-clock timers and counters for the pipelines.
+
+A :class:`StageProfile` accumulates named timings and counters for one
+pipeline run. Stage names are dotted paths — ``predict.learner.whirl``
+nests under ``predict`` — so nesting is explicit in the name rather than
+kept on an implicit stack. That keeps the profile correct when stages
+run concurrently on worker threads: each ``stage()`` context manager
+only touches its own path, and all writes go through one lock.
+
+Timings for the same path accumulate (a stage entered five times reports
+the total), which is what a per-learner breakdown across structure
+passes wants.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class StageProfile:
+    """Thread-safe per-stage wall-times and counters for one run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._timings: dict[str, float] = {}
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, path: str) -> Iterator[None]:
+        """Time a ``with`` block under ``path`` (dotted = nested)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(path, time.perf_counter() - start)
+
+    def add_time(self, path: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall time under ``path``."""
+        with self._lock:
+            self._timings[path] = self._timings.get(path, 0.0) + seconds
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def timings(self) -> dict[str, float]:
+        """Snapshot of path -> accumulated seconds."""
+        with self._lock:
+            return dict(self._timings)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Snapshot of name -> count."""
+        with self._lock:
+            return dict(self._counters)
+
+    def seconds(self, path: str) -> float:
+        """Accumulated seconds under ``path`` (0.0 if never entered)."""
+        with self._lock:
+            return self._timings.get(path, 0.0)
+
+    def top_level_total(self) -> float:
+        """Sum of the undotted (top-level) stage timings."""
+        with self._lock:
+            return sum(seconds for path, seconds in self._timings.items()
+                       if "." not in path)
+
+    def as_dict(self) -> dict:
+        """JSON-ready ``{"timings": ..., "counters": ...}`` snapshot."""
+        return {"timings": self.timings, "counters": self.counters}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def table(self) -> str:
+        """Human-readable stage table (see :func:`format_profile_table`)."""
+        return format_profile_table(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"<StageProfile {len(self._timings)} stages, "
+                    f"{len(self._counters)} counters>")
+
+
+def format_profile_table(profile: StageProfile) -> str:
+    """Render a profile as an indented stage table with shares.
+
+    Sub-stages are indented under their parent; the share column is the
+    fraction of the top-level total, so parents and their children both
+    read against the same denominator. Grouping paths that were never
+    timed themselves (``predict.learner`` when only
+    ``predict.learner.whirl`` exists) appear as implicit rows showing
+    the sum of their children.
+    """
+    timings = profile.timings
+    counters = profile.counters
+    total = profile.top_level_total()
+
+    # Fill in implicit parents bottom-up so every row has an ancestor
+    # chain; an implicit parent reports the sum of its children.
+    full: dict[str, float] = dict(timings)
+    for path in sorted(timings, key=lambda p: -p.count(".")):
+        parts = path.split(".")
+        for depth in range(len(parts) - 1, 0, -1):
+            parent = ".".join(parts[:depth])
+            if parent not in full:
+                full[parent] = sum(
+                    seconds for child, seconds in timings.items()
+                    if child.startswith(parent + ".")
+                    and child.count(".") == depth)
+
+    def sort_key(path: str) -> tuple:
+        # Keep children right after their parent, slowest parents first.
+        parts = path.split(".")
+        prefix_times = tuple(
+            -full.get(".".join(parts[:i + 1]), 0.0)
+            for i in range(len(parts)))
+        return (prefix_times, parts)
+
+    rows: list[tuple[str, str, str]] = []
+    for path in sorted(full, key=sort_key):
+        depth = path.count(".")
+        name = "  " * depth + path.split(".")[-1]
+        seconds = full[path]
+        share = f"{seconds / total * 100:5.1f}%" if total > 0 else "    -"
+        rows.append((name, f"{seconds:9.4f}s", share))
+
+    width = max((len(name) for name, _, _ in rows), default=5)
+    width = max(width, len("stage"))
+    lines = [f"{'stage':<{width}}  {'time':>10}  {'share':>6}"]
+    lines.append("-" * (width + 21))
+    lines.extend(f"{name:<{width}}  {seconds:>10}  {share:>6}"
+                 for name, seconds, share in rows)
+    if counters:
+        lines.append("")
+        cwidth = max(max(len(k) for k in counters), len("counter"))
+        lines.append(f"{'counter':<{cwidth}}  {'value':>10}")
+        lines.append("-" * (cwidth + 12))
+        lines.extend(f"{name:<{cwidth}}  {counters[name]:>10}"
+                     for name in sorted(counters))
+    return "\n".join(lines)

@@ -83,9 +83,21 @@ class TfidfVectorSpace:
         Returns an ``(n_queries, n_documents)`` dense array with entries in
         ``[0, 1]``.
         """
+        return np.asarray(self.sparse_similarities(queries).todense())
+
+    def sparse_similarities(self,
+                            queries: list[list[str]]) -> sparse.csr_matrix:
+        """Cosine similarities as a CSR matrix with sorted column indices.
+
+        Query/document similarity matrices are overwhelmingly zero (a
+        short query only shares terms with a few stored documents), so
+        bulk consumers like WHIRL score the nonzero entries directly
+        instead of materialising the dense array.
+        """
         query_matrix = self.transform(queries)
-        sims = query_matrix @ self.matrix.T
-        return np.asarray(sims.todense())
+        sims = (query_matrix @ self.matrix.T).tocsr()
+        sims.sort_indices()
+        return sims
 
 
 def _l2_normalize(matrix: sparse.csr_matrix) -> sparse.csr_matrix:

@@ -93,6 +93,22 @@ class TestTrainAndMatch:
         printed = capsys.readouterr().out
         assert "city                 => OTHER" in printed
 
+    def test_match_with_workers_and_profile(self, generated, model,
+                                            capsys):
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--workers", "4", "--profile",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "=>" in printed
+        # The profile table lists the pipeline stages and counters.
+        assert "predict" in printed
+        assert "instances" in printed
+
     def test_bad_feedback_syntax(self, generated, model, capsys):
         code = main([
             "match", "--model", str(model),

@@ -253,3 +253,68 @@ class TestHandlerDiagnostics:
         handler = ConstraintHandler()
         order = handler._tag_order(["price", "contact", "name"], ctx)
         assert order[0] == "contact"
+
+    def test_mapping_cost_honours_extra_constraints(self, ctx):
+        """Regression: mapping_cost used to evaluate only the handler's
+        own constraints, so a mapping that violated user feedback (an
+        extra constraint) was costed as if it were fine."""
+        from repro.core.mapping import Mapping
+        handler = ConstraintHandler()
+        scores = {"price": row(PRICE=0.9), "area": row(ADDRESS=0.9)}
+        mapping = Mapping({"price": "PRICE", "area": "ADDRESS"})
+        pinned = [AssignmentConstraint("area", "OTHER")]
+        assert handler.mapping_cost(mapping, scores, SPACE, ctx) < \
+            float("inf")
+        assert handler.mapping_cost(mapping, scores, SPACE, ctx,
+                                    extra_constraints=pinned) == \
+            float("inf")
+
+    def test_mapping_cost_extra_soft_constraints_add_cost(self, ctx):
+        from repro.core.mapping import Mapping
+        handler = ConstraintHandler(soft_weights={"binary": 10.0})
+        scores = {"price": row(PRICE=0.9), "area": row(PRICE=0.8)}
+        mapping = Mapping({"price": "PRICE", "area": "PRICE"})
+        plain = handler.mapping_cost(mapping, scores, SPACE, ctx)
+        softened = handler.mapping_cost(
+            mapping, scores, SPACE, ctx,
+            extra_constraints=[MaxCountSoftConstraint("PRICE", 1)])
+        assert softened > plain
+        assert softened < float("inf")
+
+
+class TestHandlerAnytime:
+    def _scores(self):
+        return {
+            "price": row(PRICE=0.9),
+            "area": row(ADDRESS=0.9),
+            "contact": row(AGENT_INFO=0.9),
+            "name": row(AGENT_NAME=0.9),
+        }
+
+    def test_exhausted_budget_still_returns_complete_mapping(self, ctx):
+        """The search is anytime: even with no expansion budget it must
+        return the greedy-seeded best-so-far mapping covering every
+        tag, not an empty or partial result."""
+        handler = ConstraintHandler(max_expansions=0)
+        mapping = handler.find_mapping(self._scores(), SPACE, ctx)
+        assert set(dict(mapping.items())) == \
+            {"price", "area", "contact", "name"}
+
+    def test_tiny_budget_respects_feasible_greedy_seed(self, ctx):
+        handler = ConstraintHandler(
+            [FrequencyConstraint.at_most_one("PRICE")], max_expansions=1)
+        mapping = handler.find_mapping(self._scores(), SPACE, ctx)
+        assert mapping["price"] == "PRICE"
+        assert mapping["name"] == "AGENT-NAME"
+
+    def test_budget_never_worse_than_greedy(self, ctx):
+        """More search can only improve (or match) the greedy cost."""
+        scores = self._scores()
+        greedy_cost = ConstraintHandler().mapping_cost(
+            ConstraintHandler().greedy_mapping(scores, SPACE), scores,
+            SPACE, ctx)
+        for budget in (0, 1, 10, 100_000):
+            handler = ConstraintHandler(max_expansions=budget)
+            mapping = handler.find_mapping(scores, SPACE, ctx)
+            assert handler.mapping_cost(mapping, scores, SPACE, ctx) <= \
+                greedy_cost

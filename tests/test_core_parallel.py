@@ -1,0 +1,68 @@
+"""Tests for the deterministic parallel executor."""
+
+import pytest
+
+from repro.core.parallel import SERIAL, ParallelExecutor, resolve
+
+
+class TestMap:
+    def test_serial_preserves_order(self):
+        executor = ParallelExecutor(1)
+        assert executor.map(lambda x: x * 2, range(10)) == \
+            [x * 2 for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        executor = ParallelExecutor(4)
+        items = list(range(200))
+        assert executor.map(lambda x: x * x, items) == \
+            [x * x for x in items]
+
+    def test_parallel_matches_serial_exactly(self):
+        items = [[i, i + 1] for i in range(50)]
+        fn = lambda pair: sum(pair) / 7.0  # noqa: E731
+        assert ParallelExecutor(4).map(fn, items) == \
+            ParallelExecutor(1).map(fn, items)
+
+    def test_single_item_skips_pool(self):
+        # len(items) <= 1 takes the serial path even when parallel.
+        assert ParallelExecutor(8).map(lambda x: x + 1, [41]) == [42]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(4).map(lambda x: x, []) == []
+
+    def test_exception_propagates_serial(self):
+        def boom(x):
+            raise ValueError(f"bad item {x}")
+        with pytest.raises(ValueError, match="bad item 0"):
+            ParallelExecutor(1).map(boom, [0, 1])
+
+    def test_exception_propagates_parallel(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("bad item 3")
+            return x
+        with pytest.raises(ValueError, match="bad item 3"):
+            ParallelExecutor(4).map(boom, range(8))
+
+
+class TestStarmap:
+    def test_unpacks_argument_tuples(self):
+        executor = ParallelExecutor(2)
+        assert executor.starmap(lambda a, b: a + b,
+                                [(1, 2), (3, 4)]) == [3, 7]
+
+
+class TestConstruction:
+    def test_workers_floor_is_one(self):
+        assert ParallelExecutor(0).workers == 1
+        assert ParallelExecutor(-3).workers == 1
+
+    def test_is_parallel(self):
+        assert not ParallelExecutor(1).is_parallel
+        assert ParallelExecutor(2).is_parallel
+
+    def test_resolve_defaults_to_serial(self):
+        assert resolve(None) is SERIAL
+        custom = ParallelExecutor(3)
+        assert resolve(custom) is custom
+        assert not SERIAL.is_parallel

@@ -236,6 +236,49 @@ class TestConfigurations:
         assert "A" in system.space
 
 
+class TestThroughputEngine:
+    def test_parallel_match_is_byte_identical_to_serial(self, result):
+        """--workers 4 must change wall-clock only: every tag's score
+        row and the final mapping are byte-identical to the serial run."""
+        parallel = trained_system(workers=4).match(GREATHOMES_SCHEMA,
+                                                   GREATHOMES_LISTINGS)
+        assert set(parallel.tag_scores) == set(result.tag_scores)
+        for tag, scores in result.tag_scores.items():
+            assert np.array_equal(parallel.tag_scores[tag], scores)
+        assert dict(parallel.mapping.items()) == \
+            dict(result.mapping.items())
+
+    def test_incremental_structure_matches_full_reprediction(
+            self, system, result):
+        from repro.core.matching import match_source
+        full = match_source(
+            GREATHOMES_SCHEMA, GREATHOMES_LISTINGS, system.learners,
+            system.meta, system.converter, system.handler, system.space,
+            max_instances_per_tag=system.max_instances_per_tag,
+            score_filter=system.pruner.prune_scores if system.pruner
+            else None,
+            incremental_structure=False)
+        for tag, scores in result.tag_scores.items():
+            assert np.array_equal(full.tag_scores[tag], scores)
+        assert dict(full.mapping.items()) == dict(result.mapping.items())
+
+    def test_profile_records_stages_and_counters(self, result):
+        profile = result.profile
+        for stage in ("extract", "predict", "constrain"):
+            assert profile.seconds(stage) > 0.0
+        for learner in ("name_matcher", "naive_bayes"):
+            assert profile.seconds(f"predict.learner.{learner}") > 0.0
+        counters = profile.counters
+        assert counters["instances"] > 0
+        assert counters["tags"] == len(GREATHOMES_SCHEMA.tags)
+        assert counters["structure_passes"] >= 1
+
+    def test_profile_table_renders(self, result):
+        table = result.profile.table()
+        assert "predict" in table
+        assert "instances" in table
+
+
 class TestFeedbackSession:
     def test_session_reaches_perfect_matching(self, system):
         session = FeedbackSession(system, GREATHOMES_SCHEMA,

@@ -66,6 +66,49 @@ class TestCrossValidate:
         scores = cross_validate(NaiveBayesLearner(), [], [], SPACE)
         assert scores.shape == (0, len(SPACE))
 
+    def test_single_example_gets_uniform_scores(self):
+        """Regression: with n=1 the old code still ran 2 folds, handing
+        WHIRL an empty training split and crashing the training phase.
+        A single example cannot be held out of its own training set, so
+        it gets uniform scores instead."""
+        instances, labels = training_set(TRAINING[:1])
+        scores = cross_validate(NameMatcher(), instances, labels, SPACE,
+                                folds=5)
+        assert scores.shape == (1, len(SPACE))
+        assert np.allclose(scores, 1.0 / len(SPACE))
+
+    def test_two_examples_cap_folds_without_empty_splits(self):
+        """n=2 with folds=5 must cap to 2 folds (train on one, predict
+        the other) rather than produce empty splits."""
+        instances, labels = training_set(TRAINING[:2])
+        scores = cross_validate(NameMatcher(), instances, labels, SPACE,
+                                folds=5)
+        assert scores.shape == (2, len(SPACE))
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_untrainable_fold_falls_back_to_uniform(self):
+        """A clone that cannot fit on some split (here: WHIRL on empty
+        token lists) yields uniform scores for that fold instead of
+        aborting cross-validation."""
+        instances, labels = training_set([
+            (make_instance("a", ""), "ADDRESS"),
+            (make_instance("b", ""), "DESCRIPTION"),
+        ])
+        scores = cross_validate(NaiveBayesLearner(), instances, labels,
+                                SPACE, folds=2)
+        assert scores.shape == (2, len(SPACE))
+        assert np.all(np.isfinite(scores))
+
+    def test_parallel_executor_matches_serial(self):
+        from repro.core.parallel import ParallelExecutor
+        instances, labels = training_set(TRAINING)
+        serial = cross_validate(NaiveBayesLearner(), instances, labels,
+                                SPACE, folds=5, seed=0)
+        parallel = cross_validate(NaiveBayesLearner(), instances, labels,
+                                  SPACE, folds=5, seed=0,
+                                  executor=ParallelExecutor(4))
+        assert np.array_equal(serial, parallel)
+
 
 class TestStackingMetaLearner:
     def _cv_scores(self):

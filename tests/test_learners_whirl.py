@@ -98,6 +98,41 @@ class TestConfiguration:
         with pytest.raises(RuntimeError):
             WhirlIndex().scores([["x"]])
 
+    def test_top_k_ties_keep_exactly_k(self, space):
+        """Regression: a pure >=-threshold test kept *every* neighbour
+        tied at the k-th similarity, so k=2 here used to keep four
+        entries. Ties break by stored index: the first 0.5 survives."""
+        index = WhirlIndex(max_neighbors=2)
+        sims = np.array([[0.5, 0.9, 0.5, 0.5, 0.2]])
+        kept = index._keep_top_k(sims)
+        assert np.count_nonzero(kept) == 2
+        assert kept[0, 1] == 0.9
+        assert kept[0, 0] == 0.5
+        assert kept[0, 2] == 0.0 and kept[0, 3] == 0.0
+
+    def test_tied_duplicates_cannot_inflate_their_label(self, space):
+        """End to end: two identical stored docs tie for the single
+        neighbour slot. Only one may vote, so its label cannot collect
+        a doubled score."""
+        index = WhirlIndex(max_neighbors=1, deduplicate=False)
+        index.fit([["x"], ["x"]], ["ADDRESS", "DESCRIPTION"], space)
+        scores = index.scores([["x"]])
+        # The index-0 document wins the tie; only ADDRESS gets the vote.
+        assert scores[0, space.index_of("ADDRESS")] > \
+            scores[0, space.index_of("DESCRIPTION")]
+
+    def test_query_dedup_matches_naive_scoring(self, fitted):
+        """Collapsing duplicate query rows is an implementation detail:
+        scores must equal the uncached row-by-row pipeline."""
+        from repro.core import featurize
+        queries = [["phone"], ["location"], ["phone"], ["phone"],
+                   ["comments"], ["location"]]
+        cached = fitted.scores(queries)
+        with featurize.cache_disabled():
+            naive = fitted.scores(queries)
+        assert np.array_equal(cached, naive)
+        assert np.array_equal(cached[0], cached[2])
+
     def test_length_mismatch_raises(self, space):
         with pytest.raises(ValueError):
             WhirlIndex().fit([["a"]], ["X", "Y"], space)

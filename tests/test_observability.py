@@ -1,0 +1,94 @@
+"""Tests for the per-stage timers and counters."""
+
+import json
+
+from repro.observability import StageProfile, format_profile_table
+
+
+class TestStageProfile:
+    def test_stage_records_elapsed_time(self):
+        profile = StageProfile()
+        with profile.stage("extract"):
+            sum(range(1000))
+        assert profile.seconds("extract") > 0.0
+
+    def test_timings_accumulate_per_path(self):
+        profile = StageProfile()
+        profile.add_time("predict", 0.25)
+        profile.add_time("predict", 0.5)
+        assert profile.seconds("predict") == 0.75
+
+    def test_unknown_path_is_zero(self):
+        assert StageProfile().seconds("nope") == 0.0
+
+    def test_counters(self):
+        profile = StageProfile()
+        profile.count("instances", 10)
+        profile.count("instances", 5)
+        profile.count("passes")
+        assert profile.counters == {"instances": 15, "passes": 1}
+
+    def test_top_level_total_ignores_nested_paths(self):
+        profile = StageProfile()
+        profile.add_time("predict", 2.0)
+        profile.add_time("predict.learner.whirl", 1.5)
+        profile.add_time("extract", 1.0)
+        assert profile.top_level_total() == 3.0
+
+    def test_snapshots_are_copies(self):
+        profile = StageProfile()
+        profile.add_time("a", 1.0)
+        snapshot = profile.timings
+        snapshot["a"] = 99.0
+        assert profile.seconds("a") == 1.0
+
+    def test_as_dict_and_json(self):
+        profile = StageProfile()
+        profile.add_time("extract", 0.5)
+        profile.count("tags", 3)
+        data = json.loads(profile.to_json())
+        assert data["timings"]["extract"] == 0.5
+        assert data["counters"]["tags"] == 3
+
+
+class TestProfileTable:
+    def _profile(self) -> StageProfile:
+        profile = StageProfile()
+        profile.add_time("predict", 2.0)
+        profile.add_time("predict.learner.whirl", 1.2)
+        profile.add_time("predict.learner.bayes", 0.4)
+        profile.add_time("extract", 0.5)
+        profile.count("instances", 100)
+        return profile
+
+    def test_contains_all_stages_and_counters(self):
+        table = format_profile_table(self._profile())
+        for fragment in ("predict", "whirl", "bayes", "extract",
+                         "instances", "100"):
+            assert fragment in table
+
+    def test_children_indented_under_parent(self):
+        lines = format_profile_table(self._profile()).splitlines()
+        names = [line.split()[0] for line in lines[2:] if line.strip()]
+        # predict first (slowest top-level), its children right after.
+        assert names[0] == "predict"
+        assert set(names[1:3]) == {"learner", "whirl"} or \
+            "learner" in names[1]
+
+    def test_implicit_parent_sums_children(self):
+        table = format_profile_table(self._profile())
+        # 'predict.learner' was never timed itself; its implicit row
+        # shows the children's sum (1.2 + 0.4).
+        learner_line = next(line for line in table.splitlines()
+                            if line.strip().startswith("learner"))
+        assert "1.6000s" in learner_line
+
+    def test_share_column_sums_against_top_level(self):
+        table = format_profile_table(self._profile())
+        extract_line = next(line for line in table.splitlines()
+                            if line.strip().startswith("extract"))
+        assert "20.0%" in extract_line  # 0.5 of 2.5 top-level seconds
+
+    def test_empty_profile_renders(self):
+        table = format_profile_table(StageProfile())
+        assert "stage" in table
