@@ -15,10 +15,12 @@ Four subcommands::
 
     python -m repro match --model model.lsd --schema s.dtd \\
         --listings l.xml [--feedback tag=LABEL ...] [--out mapping.txt] \\
-        [--workers N] [--profile]
+        [--workers N] [--search bnb|astar] [--profile]
         Propose 1-1 mappings for a new source; feedback constraints pin
         or re-run exactly as in §4.3. ``--workers`` fans learner
-        prediction out over N threads (identical results at any count);
+        prediction and the constraint search's root-split out over N
+        threads (identical results at any count); ``--search`` picks the
+        constraint strategy (incremental branch-and-bound by default);
         ``--profile`` prints the per-stage timing table.
 
     python -m repro evaluate --domain real_estate_1 --experiment ladder
@@ -113,6 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads for learner prediction "
                             "(default 1 = serial; results are identical "
                             "at any worker count)")
+    match.add_argument("--search", choices=["bnb", "astar"],
+                       default="bnb",
+                       help="constraint-handler strategy: incremental "
+                            "branch-and-bound (default) or best-first A*")
     match.add_argument("--profile", action="store_true",
                        help="print the per-stage timing/counter table "
                             "after matching")
@@ -206,6 +212,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_match(args: argparse.Namespace) -> int:
     system = load_system(args.model)
     system.workers = args.workers
+    if system.handler is not None:
+        system.handler.search = args.search
     schema = SourceSchema(_read_dtd(args.schema))
     listings = _read_listings(args.listings)
     feedback = [

@@ -1,11 +1,17 @@
-"""Domain constraints and the A* constraint handler (§4 of the paper)."""
+"""Domain constraints and the constraint handler (§4 of the paper).
 
-from .base import (Constraint, HardConstraint, MatchContext, SoftConstraint,
-                   split_constraints, tags_with_label)
+The handler searches with incremental branch-and-bound by default; A*
+remains selectable via ``ConstraintHandler(search="astar")``.
+"""
+
+from .base import (Constraint, HardConstraint, HardEvaluator, MatchContext,
+                   SoftConstraint, SoftEvaluator, split_constraints,
+                   tags_with_label)
 from .column_constraints import (FunctionalDependencyConstraint,
                                  KeyConstraint)
 from .feedback import AssignmentConstraint, ExclusionConstraint
-from .handler import DEFAULT_SOFT_WEIGHTS, ConstraintHandler
+from .handler import (DEFAULT_SOFT_WEIGHTS, SEARCH_STRATEGIES,
+                      ConstraintHandler)
 from .parser import ConstraintSyntaxError, parse_constraints
 from .schema_constraints import (ContiguityConstraint,
                                  ExclusivityConstraint, FrequencyConstraint,
@@ -19,8 +25,9 @@ __all__ = [
     "ConstraintHandler", "ConstraintSyntaxError", "ContiguityConstraint",
     "DEFAULT_SOFT_WEIGHTS", "ExclusionConstraint", "ExclusivityConstraint",
     "FrequencyConstraint", "FunctionalDependencyConstraint",
-    "HardConstraint", "KeyConstraint", "MatchContext",
+    "HardConstraint", "HardEvaluator", "KeyConstraint", "MatchContext",
     "MaxCountSoftConstraint", "NestingConstraint", "NumericSoftConstraint",
-    "ProximityConstraint", "SearchResult", "SoftConstraint", "astar",
-    "parse_constraints", "split_constraints", "tags_with_label",
+    "ProximityConstraint", "SEARCH_STRATEGIES", "SearchResult",
+    "SoftConstraint", "SoftEvaluator", "astar", "parse_constraints",
+    "split_constraints", "tags_with_label",
 ]

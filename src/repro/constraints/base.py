@@ -8,10 +8,38 @@ any candidate mapping of a concrete source.
 Two families:
 
 * **Hard constraints** must hold; a candidate mapping violating one has
-  infinite cost. During A* search partial assignments are pruned as soon
+  infinite cost. During search partial assignments are pruned as soon
   as a violation is *definite* (``check_partial``).
 * **Soft constraints** contribute a finite violation cost, evaluated on
   complete assignments.
+
+Incremental protocol
+--------------------
+
+The branch-and-bound search assigns and unassigns one (tag, label) pair
+per step, so re-running ``check_partial`` — which scans the whole
+partial assignment — at every node makes node cost grow with depth.
+Each constraint therefore supplies a per-search *evaluator*
+(:meth:`Constraint.evaluator`): a small mutable object holding whatever
+per-label counters or watched-tag state the constraint needs to answer
+"does this one new assignment definitely violate?" in O(delta) time.
+
+Evaluators obey a strict stack discipline driven by the search:
+
+* ``push(tag, label, assignment, ctx)`` is called *after* the pair is
+  placed into ``assignment``; it updates internal state and reports the
+  violation status of the new partial assignment;
+* ``pop(tag, label, assignment, ctx)`` is called with the pair still in
+  ``assignment`` (the search removes it afterwards) and must restore the
+  exact state prior to the matching ``push`` — push/pop symmetry is
+  pinned by tests for every constraint type;
+* a push that reports a violation is popped immediately, so evaluator
+  state never describes a violated assignment between search steps.
+
+The default evaluators fall back to the full-scan ``check_partial`` /
+``cost`` methods, so third-party constraints keep working unchanged —
+they just don't get the O(delta) speedup until they override
+:meth:`Constraint.evaluator`.
 """
 
 from __future__ import annotations
@@ -79,13 +107,100 @@ class HardConstraint(Constraint):
         """Convenience: True when a complete assignment satisfies this."""
         return not self.check_complete(assignment, ctx)
 
+    def evaluator(self, ctx: MatchContext) -> "HardEvaluator":
+        """A fresh per-search incremental evaluator (see module docs).
+
+        The default re-runs :meth:`check_partial` on every push — always
+        correct, O(assignment) per step. Built-in constraints override
+        this with O(delta) counter/watched-tag evaluators.
+        """
+        return HardEvaluator(self)
+
 
 class SoftConstraint(Constraint):
-    """A constraint with a finite, possibly graded, violation cost."""
+    """A constraint with a finite, possibly graded, violation cost.
+
+    Costs must be non-negative; the search relies on that to treat the
+    incremental lower bound 0 as admissible.
+    """
 
     @abstractmethod
     def cost(self, assignment: dict[str, str], ctx: MatchContext) -> float:
         """Violation cost of a complete assignment (0 when satisfied)."""
+
+    def evaluator(self, ctx: MatchContext) -> "SoftEvaluator":
+        """A fresh per-search incremental evaluator (see module docs).
+
+        The default keeps a constant lower bound of 0 (admissible for
+        any non-negative cost) and evaluates :meth:`cost` only on
+        complete assignments — exactly the pre-incremental behaviour.
+        """
+        return SoftEvaluator(self)
+
+
+class HardEvaluator:
+    """Per-search incremental checker for one hard constraint.
+
+    The base implementation is the full-scan fallback; subclasses keep
+    counters/watched state so ``push`` costs O(delta). See the module
+    docstring for the push/pop contract.
+    """
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: HardConstraint) -> None:
+        self.constraint = constraint
+
+    def push(self, tag: str, label: str, assignment: dict[str, str],
+             ctx: MatchContext) -> bool:
+        """Record ``tag -> label`` (already in ``assignment``); True iff
+        the partial assignment now definitely violates the constraint."""
+        return self.constraint.check_partial(assignment, ctx)
+
+    def pop(self, tag: str, label: str, assignment: dict[str, str],
+            ctx: MatchContext) -> None:
+        """Undo the matching :meth:`push` (pair still in ``assignment``)."""
+
+    def complete_violation(self, assignment: dict[str, str],
+                           ctx: MatchContext) -> bool:
+        """True iff the complete assignment violates the constraint.
+
+        Called at search leaves whose every prefix passed ``push``;
+        evaluators whose partial check is already complete-exact can
+        answer in O(1) from their state.
+        """
+        return self.constraint.check_complete(assignment, ctx)
+
+
+class SoftEvaluator:
+    """Per-search incremental cost tracker for one soft constraint.
+
+    ``bound`` is an *admissible lower bound* on the constraint's final
+    cost for any completion of the current partial assignment: the
+    search adds it to the branch-and-bound heuristic, so overestimating
+    would prune optimal subtrees. The base implementation keeps
+    ``bound == 0`` (always admissible) and defers to
+    :meth:`SoftConstraint.cost` at leaves.
+    """
+
+    __slots__ = ("constraint", "bound")
+
+    def __init__(self, constraint: SoftConstraint) -> None:
+        self.constraint = constraint
+        self.bound = 0.0
+
+    def push(self, tag: str, label: str, assignment: dict[str, str],
+             ctx: MatchContext) -> None:
+        """Record ``tag -> label``; may raise :attr:`bound`."""
+
+    def pop(self, tag: str, label: str, assignment: dict[str, str],
+            ctx: MatchContext) -> None:
+        """Undo the matching :meth:`push` (pair still in ``assignment``)."""
+
+    def complete_cost(self, assignment: dict[str, str],
+                      ctx: MatchContext) -> float:
+        """Exact (unweighted) cost of the complete assignment."""
+        return self.constraint.cost(assignment, ctx)
 
 
 def split_constraints(constraints) -> tuple[list[HardConstraint],

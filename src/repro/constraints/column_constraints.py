@@ -12,7 +12,8 @@ be its determinant/dependent.
 from __future__ import annotations
 
 from ..core.instance import InstanceColumn
-from .base import HardConstraint, MatchContext, tags_with_label
+from .base import HardConstraint, HardEvaluator, MatchContext, \
+    tags_with_label
 
 
 class KeyConstraint(HardConstraint):
@@ -46,6 +47,37 @@ class KeyConstraint(HardConstraint):
     # Duplicates in an already-assigned column are definite.
     check_partial = _violated
     check_complete = _violated
+
+    def evaluator(self, ctx: MatchContext) -> "_KeyEvaluator":
+        return _KeyEvaluator(self)
+
+
+class _KeyEvaluator(HardEvaluator):
+    """O(1) key checks: whether a tag's column has duplicates is a fixed
+    property of the extracted data, memoised on first use."""
+
+    __slots__ = ("_non_key",)
+
+    def __init__(self, constraint: KeyConstraint) -> None:
+        super().__init__(constraint)
+        self._non_key: dict[str, bool] = {}
+
+    def _cannot_be_key(self, tag: str, ctx: MatchContext) -> bool:
+        cached = self._non_key.get(tag)
+        if cached is None:
+            column = ctx.column(tag)
+            cached = column is not None and len(column) > 1 \
+                and column.has_duplicates()
+            self._non_key[tag] = cached
+        return cached
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        return label == self.constraint.label \
+            and self._cannot_be_key(tag, ctx)
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # Definite on partials: every pushed (tag, label) was checked.
+        return False
 
 
 class FunctionalDependencyConstraint(HardConstraint):
@@ -87,6 +119,9 @@ class FunctionalDependencyConstraint(HardConstraint):
     check_partial = _violated
     check_complete = _violated
 
+    def evaluator(self, ctx: MatchContext) -> "_FDEvaluator":
+        return _FDEvaluator(self)
+
     def _refuted(self, determinant_tags: list[str], dependent_tag: str,
                  ctx: MatchContext) -> bool:
         columns = [ctx.column(tag) for tag in determinant_tags]
@@ -100,6 +135,71 @@ class FunctionalDependencyConstraint(HardConstraint):
             if key in seen and seen[key] != rhs:
                 return True
             seen[key] = rhs
+        return False
+
+
+class _FDEvaluator(HardEvaluator):
+    """Incremental FD checks.
+
+    Mirrors the full scan exactly: only the *first-assigned* tag per
+    determinant label is used, so under the search's LIFO push/pop the
+    determinant vector is stable and a refutation needs recomputing only
+    when a determinant label gains its first tag (check every dependent)
+    or a new dependent tag arrives (check it alone). Data refutations
+    are memoised — the extracted columns never change mid-search.
+    """
+
+    __slots__ = ("_det", "_deps", "_memo")
+
+    def __init__(self, constraint: FunctionalDependencyConstraint) -> None:
+        super().__init__(constraint)
+        self._det: dict[str, list[str]] = {
+            label: [] for label in constraint.determinants}
+        self._deps: list[str] = []
+        self._memo: dict[tuple[tuple[str, ...], str], bool] = {}
+
+    def _refuted(self, firsts: tuple[str, ...], dependent_tag: str,
+                 ctx: MatchContext) -> bool:
+        key = (firsts, dependent_tag)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self.constraint._refuted(list(firsts), dependent_tag,
+                                              ctx)
+            self._memo[key] = cached
+        return cached
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        became_first = False
+        det_list = self._det.get(label)
+        if det_list is not None:
+            det_list.append(tag)
+            became_first = len(det_list) == 1
+        if label == c.dependent:
+            self._deps.append(tag)
+        if any(not self._det[d] for d in c.determinants):
+            return False  # some determinant unassigned: no check yet
+        firsts = tuple(self._det[d][0] for d in c.determinants)
+        if became_first:
+            # The determinant vector just became complete (or changed):
+            # every known dependent tag must be re-examined.
+            return any(self._refuted(firsts, dep, ctx)
+                       for dep in self._deps)
+        if label == c.dependent:
+            return self._refuted(firsts, tag, ctx)
+        return False
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        c = self.constraint
+        if label == c.dependent:
+            self._deps.pop()
+        det_list = self._det.get(label)
+        if det_list is not None:
+            det_list.pop()
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # Refutations are definite on partials and every (determinant
+        # vector, dependent) combination was checked when it formed.
         return False
 
 

@@ -9,7 +9,7 @@ constraints scoped to the current source.
 
 from __future__ import annotations
 
-from .base import HardConstraint, MatchContext
+from .base import HardConstraint, HardEvaluator, MatchContext
 
 
 class AssignmentConstraint(HardConstraint):
@@ -33,6 +33,35 @@ class AssignmentConstraint(HardConstraint):
                        ctx: MatchContext) -> bool:
         return assignment.get(self.tag) != self.label
 
+    def evaluator(self, ctx: MatchContext) -> "_AssignmentEvaluator":
+        return _AssignmentEvaluator(self)
+
+
+class _AssignmentEvaluator(HardEvaluator):
+    """O(1) pin tracking: remembers what the watched tag was given."""
+
+    __slots__ = ("seen",)
+
+    def __init__(self, constraint: AssignmentConstraint) -> None:
+        super().__init__(constraint)
+        self.seen: str | None = None
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        if tag != c.tag:
+            return False
+        self.seen = label
+        return label != c.label
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        if tag == self.constraint.tag:
+            self.seen = None
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # A never-assigned pinned tag (absent from the source's score
+        # rows) still violates the pin on a complete assignment.
+        return self.seen != self.constraint.label
+
 
 class ExclusionConstraint(HardConstraint):
     """Forbids one tag-label pair (user says: tag does NOT match label)."""
@@ -46,9 +75,29 @@ class ExclusionConstraint(HardConstraint):
     def describe(self) -> str:
         return f"{self.tag} does not match {self.label}"
 
+    def relevant_labels(self) -> set[str]:
+        return {self.label}
+
     def _violated(self, assignment: dict[str, str],
                   ctx: MatchContext) -> bool:
         return assignment.get(self.tag) == self.label
 
     check_partial = _violated
     check_complete = _violated
+
+    def evaluator(self, ctx: MatchContext) -> "_ExclusionEvaluator":
+        return _ExclusionEvaluator(self)
+
+
+class _ExclusionEvaluator(HardEvaluator):
+    """O(1): violated exactly when the watched pair is pushed."""
+
+    __slots__ = ()
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        return tag == c.tag and label == c.label
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # Definite on partials: the watched pair never survives a push.
+        return False

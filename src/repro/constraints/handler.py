@@ -1,4 +1,4 @@
-"""The constraint handler: A* search for the least-cost mapping (§4.2).
+"""The constraint handler: search for the least-cost mapping (§4.2).
 
 Given per-tag label score distributions (from the prediction converter)
 and the domain constraints, the handler searches the space of complete
@@ -9,34 +9,368 @@ label assignments for the candidate mapping ``m`` minimising
 where ``prob(m)`` is the product of the per-tag confidence scores
 (independence approximation, as in the paper) and ``cost(m, T_i)`` the
 violation costs per constraint type. Hard constraint violations make the
-cost infinite and prune the search; soft costs are added when an
-assignment completes.
+cost infinite and prune the search; soft costs are tracked incrementally
+during the descent and settled exactly at complete assignments.
 
 Search details (mirroring §6.3): tags are assigned in decreasing order of
 their structure score (number of distinct tags nestable within them), the
-A* heuristic is the sum of each unassigned tag's best achievable score
-cost (admissible: constraint costs are non-negative), and branching is
-limited to each tag's top-k candidate labels plus OTHER plus any label a
-constraint could *require*.
+admissible heuristic is the sum of each unassigned tag's best achievable
+score cost plus the soft constraints' incremental lower bounds, and
+branching is limited to each tag's top-k candidate labels plus OTHER plus
+any label a constraint could *require*.
+
+Engine (the incremental rebuild):
+
+* **O(delta) node cost** — each constraint supplies a push/pop evaluator
+  (:mod:`repro.constraints.base`) holding per-label counters or watched
+  tags, so assigning one tag never re-scans the partial assignment;
+* **soft-cost-aware pruning** — soft evaluators maintain admissible
+  lower bounds that fold into the branch-and-bound heuristic, so
+  subtrees whose soft violations alone exceed the incumbent are cut
+  mid-descent instead of surviving to the leaves;
+* **parallel root-split** — the first-level candidate labels are
+  partitioned round-robin across :class:`~repro.core.parallel.
+  ParallelExecutor` workers sharing one incumbent bound. The incumbent
+  orders complete assignments by ``(cost, path)`` where ``path`` is the
+  per-level candidate-index tuple, and pruning spares equal-cost
+  subtrees that could still win that tie-break, so the returned mapping
+  is the *lexicographically first minimum-cost* assignment — byte-
+  identical for any worker count (provided the expansion budget is not
+  exhausted; with threads racing a shared budget the anytime cut-off
+  point is scheduling-dependent);
+* **instrumentation** — nodes expanded and prunes by reason (score
+  bound / hard violation / soft bound) accumulate into
+  ``handler.last_stats`` and, when a profile is passed, into
+  ``constraint_*`` counters shown by ``--profile``.
+
+Two strategies are selectable via ``ConstraintHandler(search=...)``:
+``"bnb"`` (default) is the depth-first branch-and-bound above, seeded
+with a constrained-greedy upper bound so the search is anytime;
+``"astar"`` drives :func:`repro.constraints.search.astar` over the same
+space with the same admissible heuristic — memory-hungrier (the paper
+reports handler runtimes "up to 20 minutes" for its A* formulation) but
+kept as a selectable baseline; the benchmark compares both.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from ..core.labels import OTHER, LabelSpace
 from ..core.mapping import Mapping
-from .base import (Constraint, HardConstraint, MatchContext, SoftConstraint,
-                   split_constraints)
-from .feedback import AssignmentConstraint
+from ..core.parallel import ParallelExecutor, resolve, split_round_robin
+from ..observability import StageProfile
+from .base import (Constraint, HardConstraint, HardEvaluator, MatchContext,
+                   SoftConstraint, SoftEvaluator, split_constraints)
+from .feedback import AssignmentConstraint, ExclusionConstraint
 from .schema_constraints import FrequencyConstraint
+from .search import astar
 
 #: Default trade-off coefficients per soft-constraint kind (the paper's
 #: alpha_i scaling coefficients).
 DEFAULT_SOFT_WEIGHTS = {"binary": 1.0, "numeric": 0.5}
+
+#: Selectable search strategies.
+SEARCH_STRATEGIES = ("bnb", "astar")
+
+_STAT_NAMES = ("nodes_expanded", "prune_bound", "prune_hard",
+               "prune_soft_bound", "leaf_hard_rejects")
+
+
+def _zero_stats() -> dict:
+    return {name: 0 for name in _STAT_NAMES}
+
+
+@dataclass
+class _Problem:
+    """Read-only search description, shared by every worker."""
+
+    tags: list[str]
+    cands: dict[str, list[str]]          # cheapest-first per tag
+    log_cost: dict[str, dict[str, float]]
+    suffix_best: list[float]
+    hard: list[HardConstraint]
+    soft: list[SoftConstraint]
+    soft_weights: list[float]            # aligned with ``soft``
+    ctx: MatchContext
+
+
+class _Incumbent:
+    """The best complete assignment so far, shared across workers.
+
+    Assignments are ordered by ``(cost, path)``: equal-cost solutions
+    are tie-broken by the candidate-index path, which makes the final
+    winner independent of exploration order — the determinism contract.
+    ``best`` is swapped as one tuple so readers get a consistent
+    snapshot without taking the lock.
+    """
+
+    __slots__ = ("best", "_lock")
+
+    def __init__(self) -> None:
+        self.best: tuple[float, tuple[int, ...], dict[str, str] | None] = \
+            (math.inf, (), None)
+        self._lock = threading.Lock()
+
+    def offer(self, cost: float, path: tuple[int, ...],
+              assignment: dict[str, str]) -> None:
+        with self._lock:
+            held_cost, held_path, _ = self.best
+            if (cost, path) < (held_cost, held_path):
+                self.best = (cost, path, dict(assignment))
+
+
+class _Budget:
+    """Shared expansion budget. Increments race benignly across worker
+    threads (a lock per node would cost more than the occasional lost
+    count); at one worker the count is exact."""
+
+    __slots__ = ("limit", "spent")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+class _DfsEngine:
+    """One worker's incremental depth-first branch-and-bound.
+
+    Owns private evaluator instances (constraints themselves stay
+    immutable and shared), a mutable assignment dict, and the candidate
+    index path. Hard evaluators are indexed by ``relevant_labels`` so a
+    push touches only the constraints the new label can trip.
+    """
+
+    def __init__(self, problem: _Problem, incumbent: _Incumbent,
+                 budget: _Budget) -> None:
+        self.p = problem
+        self.ctx = problem.ctx
+        self.incumbent = incumbent
+        self.budget = budget
+        self.assignment: dict[str, str] = {}
+        self.path: list[int] = []
+        self.stats = _zero_stats()
+        self._nodes = 0
+        self._prunes_bound = 0
+        self._prunes_hard = 0
+        self._prunes_soft = 0
+        self._leaf_rejects = 0
+
+        by_label: dict[str, list[HardEvaluator]] = {}
+        always: list[HardEvaluator] = []
+        self.hard_evaluators: list[HardEvaluator] = []
+        for constraint in problem.hard:
+            ev = constraint.evaluator(problem.ctx)
+            self.hard_evaluators.append(ev)
+            labels = constraint.relevant_labels()
+            if labels is None:
+                always.append(ev)
+            else:
+                for label in labels:
+                    by_label.setdefault(label, []).append(ev)
+        self._by_label = by_label
+        self._always = tuple(always)
+
+        # All soft evaluators settle exact costs at leaves; only the
+        # *stateful* ones (push or pop overridden) need to see pushes,
+        # and of those only when the label concerns them.
+        self.soft_evaluators: list[tuple[float, SoftEvaluator]] = []
+        soft_by_label: dict[str, list[tuple[float, SoftEvaluator]]] = {}
+        soft_always: list[tuple[float, SoftEvaluator]] = []
+        for weight, constraint in zip(problem.soft_weights,
+                                      problem.soft):
+            ev = constraint.evaluator(problem.ctx)
+            self.soft_evaluators.append((weight, ev))
+            cls = type(ev)
+            if cls.push is SoftEvaluator.push \
+                    and cls.pop is SoftEvaluator.pop:
+                continue  # stateless: bound stays 0 for ever
+            labels = constraint.relevant_labels()
+            if labels is None:
+                soft_always.append((weight, ev))
+            else:
+                for label in labels:
+                    soft_by_label.setdefault(label, []).append(
+                        (weight, ev))
+        self._soft_by_label = soft_by_label
+        self._soft_always = tuple(soft_always)
+        #: Per-label push plan: (hard evaluators, stateful soft
+        #: evaluators) that must see an assignment of this label.
+        self._plan: dict[str, tuple] = {}
+
+        tags = problem.tags
+        self._n = len(tags)
+        self._cand_lists = [problem.cands[tag] for tag in tags]
+        self._cost_lists = [
+            [problem.log_cost[tag][label] for label in problem.cands[tag]]
+            for tag in tags]
+        self._ranges = [range(len(cands)) for cands in self._cand_lists]
+
+    # ------------------------------------------------------------------
+    # push / pop
+    # ------------------------------------------------------------------
+    def _plan_for(self, label: str) -> tuple:
+        plan = self._plan.get(label)
+        if plan is None:
+            plan = ((*self._by_label.get(label, ()), *self._always),
+                    (*self._soft_by_label.get(label, ()),
+                     *self._soft_always))
+            self._plan[label] = plan
+        return plan
+
+    def _try_push(self, tag: str, label: str) -> float | None:
+        """Place ``tag -> label``; the soft-bound delta, or None on a
+        hard violation (state fully rolled back)."""
+        ctx, assignment = self.ctx, self.assignment
+        assignment[tag] = label
+        hard_evs, soft_evs = self._plan_for(label)
+        for i, ev in enumerate(hard_evs):
+            if ev.push(tag, label, assignment, ctx):
+                while i >= 0:
+                    hard_evs[i].pop(tag, label, assignment, ctx)
+                    i -= 1
+                del assignment[tag]
+                return None
+        delta = 0.0
+        for weight, ev in soft_evs:
+            before = ev.bound
+            ev.push(tag, label, assignment, ctx)
+            delta += weight * (ev.bound - before)
+        return delta
+
+    def _pop(self, tag: str, label: str) -> None:
+        ctx, assignment = self.ctx, self.assignment
+        hard_evs, soft_evs = self._plan[label]
+        for weight, ev in reversed(soft_evs):
+            ev.pop(tag, label, assignment, ctx)
+        for ev in reversed(hard_evs):
+            ev.pop(tag, label, assignment, ctx)
+        del assignment[tag]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def run(self, root_indices: Sequence[int]) -> None:
+        """Search the subtrees under the given first-level candidate
+        indices (ascending, so the sorted-cost break stays valid)."""
+        self._expand(0, 0.0, 0.0, root_indices)
+        self._flush_counters()
+
+    def greedy_seed(self) -> None:
+        """Cheapest non-violating candidate per tag, in order; offers
+        the completed assignment to the incumbent (the anytime upper
+        bound). Leaves evaluator state clean."""
+        p = self.p
+        cost = 0.0
+        pushed: list[tuple[str, str]] = []
+        try:
+            for level, tag in enumerate(p.tags):
+                for idx, label in enumerate(self._cand_lists[level]):
+                    if self._try_push(tag, label) is not None:
+                        pushed.append((tag, label))
+                        self.path.append(idx)
+                        cost += self._cost_lists[level][idx]
+                        break
+                else:
+                    return  # stuck: no feasible seed
+            self._offer_leaf(cost)
+        finally:
+            for tag, label in reversed(pushed):
+                self._pop(tag, label)
+            self.path.clear()
+            self._flush_counters()
+
+    def _flush_counters(self) -> None:
+        stats = self.stats
+        stats["nodes_expanded"] += self._nodes
+        stats["prune_bound"] += self._prunes_bound
+        stats["prune_hard"] += self._prunes_hard
+        stats["prune_soft_bound"] += self._prunes_soft
+        stats["leaf_hard_rejects"] += self._leaf_rejects
+        self._nodes = self._prunes_bound = self._prunes_hard = 0
+        self._prunes_soft = self._leaf_rejects = 0
+
+    def _expand(self, level: int, cost_so_far: float, soft_lower: float,
+                indices: Sequence[int]) -> None:
+        """Visit candidate ``indices`` of ``tags[level]`` in order.
+
+        The candidate loop is deliberately flat — prune tests inlined,
+        per-level lists precomputed — because this is the engine's one
+        hot path (millions of iterations on large schemas)."""
+        budget = self.budget
+        if budget.spent >= budget.limit:
+            return
+        budget.spent += 1
+        self._nodes += 1
+        inc = self.incumbent
+        path = self.path
+        tag = self.p.tags[level]
+        cands = self._cand_lists[level]
+        costs = self._cost_lists[level]
+        remaining = self.p.suffix_best[level + 1]
+        next_level = level + 1
+        is_leaf = next_level == self._n
+        for count, idx in enumerate(indices):
+            new_cost = cost_so_far + costs[idx]
+            bound = new_cost + remaining + soft_lower
+            best_cost, best_path, best_assignment = inc.best
+            if bound > best_cost or (
+                    bound == best_cost and best_assignment is not None
+                    and (*path, idx) > best_path[:next_level]):
+                # Candidates are cost-sorted: the rest cost more, so the
+                # whole remaining sibling run is cut in one break.
+                n_cut = len(indices) - count
+                if new_cost + remaining <= best_cost < bound:
+                    self._prunes_soft += n_cut
+                else:
+                    self._prunes_bound += n_cut
+                break
+            label = cands[idx]
+            delta = self._try_push(tag, label)
+            if delta is None:
+                self._prunes_hard += 1
+                continue
+            new_soft = soft_lower + delta
+            if delta > 0.0:
+                bound = new_cost + remaining + new_soft
+                best_cost, best_path, best_assignment = inc.best
+                if bound > best_cost or (
+                        bound == best_cost
+                        and best_assignment is not None
+                        and (*path, idx) > best_path[:next_level]):
+                    self._prunes_soft += 1
+                    self._pop(tag, label)
+                    continue
+            path.append(idx)
+            if is_leaf:
+                # The running soft bound is a lower bound only; the
+                # leaf re-settles soft costs exactly via the evaluators.
+                self._offer_leaf(new_cost)
+            else:
+                self._expand(next_level, new_cost, new_soft,
+                             self._ranges[next_level])
+            path.pop()
+            self._pop(tag, label)
+
+    def _offer_leaf(self, score_cost: float) -> None:
+        """Settle exact soft costs and hard completeness at a leaf."""
+        ctx, assignment = self.ctx, self.assignment
+        for ev in self.hard_evaluators:
+            if ev.complete_violation(assignment, ctx):
+                self._leaf_rejects += 1
+                return
+        total = score_cost
+        for weight, ev in self.soft_evaluators:
+            total += weight * ev.complete_cost(assignment, ctx)
+        self.incumbent.offer(total, tuple(self.path), assignment)
 
 
 class ConstraintHandler:
@@ -47,7 +381,8 @@ class ConstraintHandler:
                  soft_weights: dict[str, float] | None = None,
                  candidates_per_tag: int = 8,
                  max_expansions: int = 100_000,
-                 epsilon: float = 1e-6) -> None:
+                 epsilon: float = 1e-6,
+                 search: str = "bnb") -> None:
         """
         Parameters
         ----------
@@ -61,11 +396,19 @@ class ConstraintHandler:
             Branching limit: only this many top-scoring labels (plus OTHER
             plus constraint-required labels) are considered per tag.
         max_expansions:
-            A* node budget; when exhausted the best complete mapping seen
+            Node budget; when exhausted the best complete mapping seen
             so far (or a greedy completion) is returned.
         epsilon:
             Floor under confidence scores before taking logs.
+        search:
+            ``"bnb"`` (incremental branch-and-bound, the default) or
+            ``"astar"`` (best-first via :func:`~repro.constraints.
+            search.astar`, same cost model and heuristic).
         """
+        if search not in SEARCH_STRATEGIES:
+            raise ValueError(
+                f"unknown search strategy {search!r}; "
+                f"choose from {SEARCH_STRATEGIES}")
         self.constraints = list(constraints)
         self.prob_weight = prob_weight
         self.soft_weights = dict(DEFAULT_SOFT_WEIGHTS)
@@ -74,32 +417,33 @@ class ConstraintHandler:
         self.candidates_per_tag = candidates_per_tag
         self.max_expansions = max_expansions
         self.epsilon = epsilon
+        self.search = search
+        #: Counters from the most recent :meth:`find_mapping` call
+        #: (nodes expanded, prunes by reason, strategy, best cost).
+        self.last_stats: dict = {}
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def find_mapping(self, scores: dict[str, np.ndarray],
                      space: LabelSpace, ctx: MatchContext,
-                     extra_constraints: Sequence[Constraint] = ()
-                     ) -> Mapping:
+                     extra_constraints: Sequence[Constraint] = (),
+                     executor: ParallelExecutor | None = None,
+                     profile: StageProfile | None = None) -> Mapping:
         """The least-cost mapping for the given per-tag score rows.
 
         ``scores[tag]`` is the prediction converter's normalised score
         vector for that tag. ``extra_constraints`` carries user feedback
-        for the current source only (§4.3).
-
-        Implementation note: the paper's A* formulation blows its memory
-        and time budget on large schemas (it reports handler runtimes "up
-        to 20 minutes"); we search the identical space with the identical
-        admissible heuristic using depth-first branch-and-bound instead.
-        A constrained-greedy pass seeds the upper bound, so the search is
-        anytime: exhausting ``max_expansions`` still returns the best
-        complete mapping found so far.
+        for the current source only (§4.3). ``executor`` fans the
+        branch-and-bound root subtrees out across worker threads (the
+        mapping is byte-identical at any worker count); ``profile``
+        receives ``constraint_*`` counters when given.
         """
         hard, soft = split_constraints(
             [*self.constraints, *extra_constraints])
         tags = self._tag_order(list(scores), ctx)
         if not tags:
+            self.last_stats = {**_zero_stats(), "strategy": self.search}
             return Mapping({})
 
         candidate_labels = self._candidates(tags, scores, space, hard)
@@ -119,72 +463,23 @@ class ConstraintHandler:
                         key=lambda label: log_cost[tag][label])
             for tag in tags
         }
-        # Admissible heuristic: best achievable remaining score cost.
-        suffix_best = [0.0] * (len(tags) + 1)
-        for i in range(len(tags) - 1, -1, -1):
-            suffix_best[i] = suffix_best[i + 1] + min(
-                log_cost[tags[i]].values())
+        suffix_best = self._suffix_best(tags, ordered_candidates,
+                                        log_cost, hard)
 
-        # Index hard constraints: which need rechecking when a given
-        # label is assigned, and which on every assignment.
-        by_label: dict[str, list[HardConstraint]] = {}
-        always: list[HardConstraint] = []
-        for constraint in hard:
-            labels = constraint.relevant_labels()
-            if labels is None:
-                always.append(constraint)
-            else:
-                for label in labels:
-                    by_label.setdefault(label, []).append(constraint)
+        problem = _Problem(
+            tags, ordered_candidates, log_cost, suffix_best, hard, soft,
+            [self.soft_weights.get(c.kind, 1.0) for c in soft], ctx)
 
-        assignment: dict[str, str] = {}
-        best_cost = math.inf
-        best: dict[str, str] | None = None
-        expansions = 0
+        if self.search == "astar":
+            best, stats = self._astar_search(problem)
+        else:
+            best, stats = self._branch_and_bound(problem, executor)
+        stats["strategy"] = self.search
+        self.last_stats = stats
+        if profile is not None:
+            for name in _STAT_NAMES:
+                profile.count(f"constraint_{name}", stats[name])
 
-        def extension_ok(tag: str, label: str) -> bool:
-            for constraint in by_label.get(label, ()):
-                if constraint.check_partial(assignment, ctx):
-                    return False
-            for constraint in always:
-                if constraint.check_partial(assignment, ctx):
-                    return False
-            return True
-
-        # Seed the bound with a constrained-greedy assignment.
-        seed = self._constrained_greedy(tags, ordered_candidates,
-                                        extension_ok, assignment)
-        if seed is not None:
-            seed_cost = sum(log_cost[t][l] for t, l in seed.items())
-            if not any(c.check_complete(seed, ctx) for c in hard):
-                best = dict(seed)
-                best_cost = seed_cost + self._soft_cost(seed, ctx, soft)
-
-        def dfs(level: int, cost_so_far: float) -> None:
-            nonlocal best, best_cost, expansions
-            if expansions >= self.max_expansions:
-                return
-            if level == len(tags):
-                total = cost_so_far + self._soft_cost(assignment, ctx,
-                                                      soft)
-                if total < best_cost and not any(
-                        c.check_complete(assignment, ctx) for c in hard):
-                    best_cost = total
-                    best = dict(assignment)
-                return
-            expansions += 1
-            tag = tags[level]
-            remaining = suffix_best[level + 1]
-            for label in ordered_candidates[tag]:
-                new_cost = cost_so_far + log_cost[tag][label]
-                if new_cost + remaining >= best_cost:
-                    break  # candidates are sorted: the rest cost more
-                assignment[tag] = label
-                if extension_ok(tag, label):
-                    dfs(level + 1, new_cost)
-                del assignment[tag]
-
-        dfs(0, 0.0)
         if best is not None:
             return Mapping(best)
         # No complete assignment satisfies the hard constraints within
@@ -192,27 +487,111 @@ class ConstraintHandler:
         # fall back to the unconstrained greedy mapping.
         return self.greedy_mapping(scores, space)
 
-    @staticmethod
-    def _constrained_greedy(tags, ordered_candidates, extension_ok,
-                            assignment: dict[str, str]
-                            ) -> dict[str, str] | None:
-        """Cheapest non-violating label per tag, in order; None if stuck.
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def _branch_and_bound(self, problem: _Problem,
+                          executor: ParallelExecutor | None
+                          ) -> tuple[dict[str, str] | None, dict]:
+        """Incremental DFS branch-and-bound with a parallel root-split."""
+        executor = resolve(executor)
+        incumbent = _Incumbent()
+        budget = _Budget(self.max_expansions)
 
-        Mutates and then clears ``assignment`` (the shared search dict).
+        seed_engine = _DfsEngine(problem, incumbent, budget)
+        seed_engine.greedy_seed()
+
+        root_count = len(problem.cands[problem.tags[0]])
+        partitions = split_round_robin(range(root_count),
+                                       executor.workers)
+
+        def run_partition(indices: list[int]) -> dict:
+            engine = _DfsEngine(problem, incumbent, budget)
+            engine.run(indices)
+            return engine.stats
+
+        worker_stats = executor.map(run_partition, partitions)
+        stats = _zero_stats()
+        for part in (seed_engine.stats, *worker_stats):
+            for name in _STAT_NAMES:
+                stats[name] += part[name]
+        stats["root_partitions"] = len(partitions)
+
+        cost, _, assignment = incumbent.best
+        stats["best_cost"] = cost
+        return assignment, stats
+
+    def _astar_search(self, problem: _Problem
+                      ) -> tuple[dict[str, str] | None, dict]:
+        """Best-first search over the same space and cost model.
+
+        States are tuples of candidate indices, one per assigned tag; a
+        final closing transition adds the exact soft cost (and checks
+        hard completeness), so the goal's ``g`` equals the paper's
+        ``cost(m)`` exactly as branch-and-bound computes it.
         """
-        try:
-            for tag in tags:
-                for label in ordered_candidates[tag]:
-                    assignment[tag] = label
-                    if extension_ok(tag, label):
-                        break
-                    del assignment[tag]
-                else:
-                    return None
-            return dict(assignment)
-        finally:
-            assignment.clear()
+        p = problem
+        n = len(p.tags)
+        cand_lists = [p.cands[tag] for tag in p.tags]
+        cost_lists = [[p.log_cost[tag][label] for label in p.cands[tag]]
+                      for tag in p.tags]
 
+        by_label: dict[str, list[HardConstraint]] = {}
+        always: list[HardConstraint] = []
+        for constraint in p.hard:
+            labels = constraint.relevant_labels()
+            if labels is None:
+                always.append(constraint)
+            else:
+                for label in labels:
+                    by_label.setdefault(label, []).append(constraint)
+
+        def assignment_of(state: tuple[int, ...]) -> dict[str, str]:
+            return {p.tags[i]: cand_lists[i][ci]
+                    for i, ci in enumerate(state)}
+
+        def expand(state: tuple[int, ...]):
+            level = len(state)
+            if level > n:
+                return
+            assignment = assignment_of(state)
+            if level == n:
+                if any(c.check_complete(assignment, p.ctx)
+                       for c in p.hard):
+                    return
+                soft_cost = sum(
+                    weight * c.cost(assignment, p.ctx)
+                    for weight, c in zip(p.soft_weights, p.soft))
+                yield state + (-1,), soft_cost
+                return
+            tag = p.tags[level]
+            for i, label in enumerate(cand_lists[level]):
+                assignment[tag] = label
+                ok = not any(
+                    c.check_partial(assignment, p.ctx)
+                    for c in by_label.get(label, ()))
+                ok = ok and not any(
+                    c.check_partial(assignment, p.ctx) for c in always)
+                if ok:
+                    yield state + (i,), cost_lists[level][i]
+            del assignment[tag]
+
+        def heuristic(state: tuple[int, ...]) -> float:
+            return p.suffix_best[min(len(state), n)]
+
+        result = astar((), expand, lambda s: len(s) == n + 1, heuristic,
+                       max_expansions=self.max_expansions)
+        stats = _zero_stats()
+        stats["nodes_expanded"] = result.expanded
+        stats["best_cost"] = result.cost
+        stats["exhausted_budget"] = int(result.exhausted_budget)
+        if result.state is None:
+            return None, stats
+        return assignment_of(result.state[:-1]), stats
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
     def greedy_mapping(self, scores: dict[str, np.ndarray],
                        space: LabelSpace) -> Mapping:
         """Argmax assignment, ignoring constraints (§3.2 step 3's
@@ -278,6 +657,10 @@ class ConstraintHandler:
         pinned = {
             c.tag: c.label for c in hard
             if isinstance(c, AssignmentConstraint)}
+        excluded: dict[str, set[str]] = {}
+        for c in hard:
+            if isinstance(c, ExclusionConstraint):
+                excluded.setdefault(c.tag, set()).add(c.label)
         candidates: dict[str, list[str]] = {}
         for tag in tags:
             if tag in pinned:
@@ -285,13 +668,71 @@ class ConstraintHandler:
                 continue
             row = scores[tag]
             k = min(self.candidates_per_tag, len(row))
-            top = np.argsort(row)[::-1][:k]
-            labels = [space.label_at(int(i)) for i in top]
-            for extra in (OTHER, *sorted(required)):
-                if extra not in labels:
-                    labels.append(extra)
-            candidates[tag] = labels
+            # Stable sort on -score: ties break by ascending label
+            # index, the documented deterministic candidate order.
+            top = np.argsort(-row, kind="stable")[:k]
+            chosen = list(dict.fromkeys(
+                [*(int(i) for i in top), space.index_of(OTHER),
+                 *(space.index_of(label) for label in sorted(required))]))
+            # Labels excluded by feedback can never be assigned to this
+            # tag; dropping them up front tightens ``suffix_best``.
+            banned = excluded.get(tag)
+            if banned:
+                chosen = [i for i in chosen
+                          if space.label_at(i) not in banned] \
+                    or [space.index_of(OTHER)]
+            # Re-sort so the whole list — appended OTHER / required
+            # labels included — is cost-ascending: the engine's sibling
+            # break on a bound prune relies on that monotonicity.
+            chosen.sort(key=lambda i: (-row[i], i))
+            candidates[tag] = [space.label_at(i) for i in chosen]
         return candidates
+
+    def _suffix_best(self, tags: list[str],
+                     ordered_candidates: dict[str, list[str]],
+                     log_cost: dict[str, dict[str, float]],
+                     hard: list[HardConstraint]) -> list[float]:
+        """Admissible per-level lower bounds on the remaining score cost.
+
+        ``suffix_best[i]`` bounds the cheapest feasible completion of
+        ``tags[i:]`` under *any* prefix. The base term sums each suffix
+        tag's cheapest candidate. On top of that, a regret term covers
+        1-1 labels (``max_count == 1``) claimed as cheapest by several
+        suffix tags: at most one claimant can keep such a label, so
+        every other claimant pays at least the step up to its own
+        second-cheapest candidate. Summing the smallest ``k - 1`` of the
+        ``k`` regrets (total minus the largest) stays a lower bound no
+        matter which claimant wins — this is what lets the search close
+        assignment-collision gaps the plain per-tag minimum cannot see.
+        """
+        one_to_one = {
+            c.label for c in hard
+            if isinstance(c, FrequencyConstraint) and c.max_count == 1}
+        n = len(tags)
+        suffix_best = [0.0] * (n + 1)
+        base = 0.0
+        extra = 0.0
+        # Per claimed label: (sum of finite regrets, largest regret).
+        claims: dict[str, tuple[float, float]] = {}
+        for i in range(n - 1, -1, -1):
+            cands = ordered_candidates[tags[i]]
+            costs = log_cost[tags[i]]
+            cheapest = cands[0]
+            base += costs[cheapest]
+            if cheapest in one_to_one:
+                regret = costs[cands[1]] - costs[cheapest] \
+                    if len(cands) > 1 else math.inf
+                finite_sum, largest = claims.get(cheapest, (0.0, 0.0))
+                old = finite_sum - (largest if largest < math.inf
+                                    else 0.0)
+                if regret < math.inf:
+                    finite_sum += regret
+                largest = max(largest, regret)
+                claims[cheapest] = (finite_sum, largest)
+                extra += finite_sum - (largest if largest < math.inf
+                                       else 0.0) - old
+            suffix_best[i] = base + extra
+        return suffix_best
 
     def _soft_cost(self, assignment: dict[str, str], ctx: MatchContext,
                    soft: list[SoftConstraint]) -> float:

@@ -1,11 +1,18 @@
 """Hard constraints verifiable with the target source's schema alone:
 frequency, nesting, contiguity, and exclusivity (Table 1).
+
+Each constraint also ships an incremental evaluator (see
+:mod:`repro.constraints.base`): per-label counters for frequency and
+exclusivity, watched tag lists for nesting, and a watched-tag reference
+count for contiguity's between-tags clause, so the search pays O(delta)
+per assignment instead of re-scanning the partial mapping.
 """
 
 from __future__ import annotations
 
 from ..core.labels import OTHER
-from .base import HardConstraint, MatchContext, tags_with_label
+from .base import HardConstraint, HardEvaluator, MatchContext, \
+    tags_with_label
 
 
 class FrequencyConstraint(HardConstraint):
@@ -62,6 +69,36 @@ class FrequencyConstraint(HardConstraint):
             return True
         return self.max_count is not None and count > self.max_count
 
+    def evaluator(self, ctx: MatchContext) -> "_FrequencyEvaluator":
+        return _FrequencyEvaluator(self)
+
+
+class _FrequencyEvaluator(HardEvaluator):
+    """O(1) frequency tracking: one counter for the watched label."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, constraint: FrequencyConstraint) -> None:
+        super().__init__(constraint)
+        self.count = 0
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        if label != c.label:
+            return False
+        self.count += 1
+        return c.max_count is not None and self.count > c.max_count
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        if label == self.constraint.label:
+            self.count -= 1
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        c = self.constraint
+        if self.count < c.min_count:
+            return True
+        return c.max_count is not None and self.count > c.max_count
+
 
 class NestingConstraint(HardConstraint):
     """Requires (or forbids) one label's tag to nest inside another's.
@@ -106,6 +143,60 @@ class NestingConstraint(HardConstraint):
     # nests in the schema tree.
     check_partial = _violated
     check_complete = _violated
+
+    def evaluator(self, ctx: MatchContext) -> "_NestingEvaluator":
+        return _NestingEvaluator(self)
+
+
+class _NestingEvaluator(HardEvaluator):
+    """Watched tag lists: a new outer/inner tag is checked only against
+    the tags already holding the opposite label (O(delta) pairs), with
+    the schema's nesting relation memoised per search."""
+
+    __slots__ = ("outers", "inners", "_nested")
+
+    def __init__(self, constraint: NestingConstraint) -> None:
+        super().__init__(constraint)
+        self.outers: list[str] = []
+        self.inners: list[str] = []
+        self._nested: dict[tuple[str, str], bool] = {}
+
+    def _bad_pair(self, outer: str, inner: str, ctx: MatchContext) -> bool:
+        key = (inner, outer)
+        nested = self._nested.get(key)
+        if nested is None:
+            nested = ctx.schema.is_nested_within(inner, outer)
+            self._nested[key] = nested
+        return nested if self.constraint.forbidden else not nested
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        violated = False
+        if label == c.outer_label:
+            violated = any(self._bad_pair(tag, inner, ctx)
+                           for inner in self.inners)
+            self.outers.append(tag)
+        if label == c.inner_label:
+            violated = violated or any(self._bad_pair(outer, tag, ctx)
+                                       for outer in self.outers)
+            if label == c.outer_label:
+                # Degenerate outer == inner: the full scan also pairs
+                # the tag with itself.
+                violated = violated or self._bad_pair(tag, tag, ctx)
+            self.inners.append(tag)
+        return violated
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        c = self.constraint
+        if label == c.outer_label:
+            self.outers.pop()
+        if label == c.inner_label:
+            self.inners.pop()
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # Every pair was checked when its second member was pushed, and
+        # nesting status never changes with further assignments.
+        return False
 
 
 class ContiguityConstraint(HardConstraint):
@@ -156,6 +247,86 @@ class ContiguityConstraint(HardConstraint):
                 return order[i + 1:j]
         return None
 
+    def evaluator(self, ctx: MatchContext) -> "_ContiguityEvaluator":
+        return _ContiguityEvaluator(self)
+
+
+class _ContiguityEvaluator(HardEvaluator):
+    """Incremental contiguity: when an (a, b) pair forms, its between
+    tags gain a "must stay OTHER" reference count, so every later
+    assignment is checked in O(1) instead of re-deriving all pairs.
+    Sibling geometry is memoised per search."""
+
+    __slots__ = ("tags_a", "tags_b", "must_other", "_undo", "_between_memo")
+
+    def __init__(self, constraint: ContiguityConstraint) -> None:
+        super().__init__(constraint)
+        self.tags_a: list[str] = []
+        self.tags_b: list[str] = []
+        self.must_other: dict[str, int] = {}
+        self._undo: list[list[str]] = []
+        self._between_memo: dict[tuple[str, str], list[str] | None] = {}
+
+    def _between(self, tag_a: str, tag_b: str,
+                 ctx: MatchContext) -> list[str] | None:
+        key = (tag_a, tag_b) if tag_a <= tag_b else (tag_b, tag_a)
+        if key not in self._between_memo:
+            self._between_memo[key] = \
+                self.constraint._between(tag_a, tag_b, ctx)
+        return self._between_memo[key]
+
+    def _pair(self, tag_a: str, tag_b: str, assignment, ctx,
+              incremented: list[str]) -> bool:
+        between = self._between(tag_a, tag_b, ctx)
+        if between is None:
+            return True  # not siblings: definite violation
+        violated = False
+        for t in between:
+            lab = assignment.get(t)
+            if lab is not None and lab != OTHER:
+                violated = True
+            self.must_other[t] = self.must_other.get(t, 0) + 1
+            incremented.append(t)
+        return violated
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        violated = False
+        incremented: list[str] = []
+        if label != OTHER and self.must_other.get(tag, 0) > 0:
+            violated = True
+        if label == c.label_a:
+            for other in self.tags_b:
+                if self._pair(tag, other, assignment, ctx, incremented):
+                    violated = True
+        if label == c.label_b:
+            for other in self.tags_a:
+                if self._pair(other, tag, assignment, ctx, incremented):
+                    violated = True
+            if label == c.label_a and \
+                    self._pair(tag, tag, assignment, ctx, incremented):
+                violated = True  # degenerate label_a == label_b self-pair
+        if label == c.label_a:
+            self.tags_a.append(tag)
+        if label == c.label_b:
+            self.tags_b.append(tag)
+        self._undo.append(incremented)
+        return violated
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        c = self.constraint
+        for t in self._undo.pop():
+            self.must_other[t] -= 1
+        if label == c.label_b:
+            self.tags_b.pop()
+        if label == c.label_a:
+            self.tags_a.pop()
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        # Pair geometry and between-tag labels were both checked
+        # incrementally on every push; nothing new appears at the leaf.
+        return False
+
 
 class ExclusivityConstraint(HardConstraint):
     """Two labels cannot both be present in one source.
@@ -183,3 +354,35 @@ class ExclusivityConstraint(HardConstraint):
 
     check_partial = _violated
     check_complete = _violated
+
+    def evaluator(self, ctx: MatchContext) -> "_ExclusivityEvaluator":
+        return _ExclusivityEvaluator(self)
+
+
+class _ExclusivityEvaluator(HardEvaluator):
+    """O(1) exclusivity: one counter per watched label."""
+
+    __slots__ = ("count_a", "count_b")
+
+    def __init__(self, constraint: ExclusivityConstraint) -> None:
+        super().__init__(constraint)
+        self.count_a = 0
+        self.count_b = 0
+
+    def push(self, tag, label, assignment, ctx) -> bool:
+        c = self.constraint
+        if label == c.label_a:
+            self.count_a += 1
+        if label == c.label_b:
+            self.count_b += 1
+        return self.count_a > 0 and self.count_b > 0
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        c = self.constraint
+        if label == c.label_a:
+            self.count_a -= 1
+        if label == c.label_b:
+            self.count_b -= 1
+
+    def complete_violation(self, assignment, ctx) -> bool:
+        return self.count_a > 0 and self.count_b > 0

@@ -1,7 +1,9 @@
-"""Generic A* search used by the constraint handler.
+"""Generic A* search — the constraint handler's alternative strategy.
 
-The handler's state space (one source tag assigned per level) is encoded
-by the caller; this module only provides the best-first machinery with an
+Selected via ``ConstraintHandler(search="astar")`` (the default strategy
+is the incremental branch-and-bound; the benchmark compares both). The
+handler's state space (one source tag assigned per level) is encoded by
+the caller; this module only provides the best-first machinery with an
 expansion budget, because the paper observes that constraint handling can
 take minutes and we prefer a bounded anytime behaviour.
 """

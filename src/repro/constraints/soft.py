@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .base import MatchContext, SoftConstraint, tags_with_label
+from .base import MatchContext, SoftConstraint, SoftEvaluator, \
+    tags_with_label
 
 
 class BinarySoftConstraint(SoftConstraint):
@@ -55,6 +56,46 @@ class MaxCountSoftConstraint(BinarySoftConstraint):
                     ctx: MatchContext) -> bool:
         return len(tags_with_label(assignment, self.label)) > \
             self.max_count
+
+    def relevant_labels(self) -> set[str]:
+        return {self.label}
+
+    def evaluator(self, ctx: MatchContext) -> "_MaxCountSoftEvaluator":
+        return _MaxCountSoftEvaluator(self)
+
+
+class _MaxCountSoftEvaluator(SoftEvaluator):
+    """O(1) incremental max-count cost.
+
+    The count of tags holding the watched label only grows as a partial
+    assignment is extended, so "already over the limit" is a *certain*
+    final violation: the bound is exact once tripped and 0 (admissible)
+    below the limit — this is what lets branch-and-bound prune on soft
+    cost mid-descent instead of discovering it at the leaf.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self, constraint: MaxCountSoftConstraint) -> None:
+        super().__init__(constraint)
+        self.count = 0
+
+    def _rebound(self) -> None:
+        c = self.constraint
+        self.bound = c.violation_cost if self.count > c.max_count else 0.0
+
+    def push(self, tag, label, assignment, ctx) -> None:
+        if label == self.constraint.label:
+            self.count += 1
+            self._rebound()
+
+    def pop(self, tag, label, assignment, ctx) -> None:
+        if label == self.constraint.label:
+            self.count -= 1
+            self._rebound()
+
+    def complete_cost(self, assignment, ctx) -> float:
+        return self.bound  # exact on complete assignments
 
 
 class NumericSoftConstraint(SoftConstraint):

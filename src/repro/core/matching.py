@@ -141,7 +141,9 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                 for tag, row in tag_scores.items()})
         else:
             mapping = handler.find_mapping(tag_scores, space, ctx,
-                                           extra_constraints)
+                                           extra_constraints,
+                                           executor=executor,
+                                           profile=profile)
 
     profile.count("cache_hits", featurize.stats.hits - cache_before[0])
     profile.count("cache_misses",

@@ -65,6 +65,21 @@ class ParallelExecutor:
         return f"<ParallelExecutor {mode} workers={self.workers}>"
 
 
+def split_round_robin(items: Iterable[T], parts: int) -> list[list[T]]:
+    """Deal ``items`` round-robin into at most ``parts`` lists.
+
+    Every list preserves the original relative order (so a cost-sorted
+    input stays cost-sorted within each part), empty lists are dropped,
+    and the result is a function of ``(items, parts)`` only — the
+    constraint handler's root-split leans on both properties for its
+    byte-identical-at-any-worker-count contract.
+    """
+    items = list(items)
+    parts = max(1, min(int(parts), len(items)))
+    dealt = [items[start::parts] for start in range(parts)]
+    return [part for part in dealt if part]
+
+
 #: The shared serial executor — the default everywhere an executor is
 #: optional, so existing call sites keep their exact behaviour.
 SERIAL = ParallelExecutor(1)

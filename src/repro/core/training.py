@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..learners.base import BaseLearner
-from ..learners.meta import StackingMetaLearner, cross_validate
+from ..learners.meta import StackingMetaLearner, cross_validate_many
 from ..xmlio import Element
 from .instance import (ElementInstance, extract_columns, fill_child_labels)
 from .labels import OTHER, LabelSpace
@@ -99,19 +99,18 @@ def train_meta_learner(learners: list[BaseLearner],
     weights. ``uniform=True`` skips stacking (the meta-learner ablation)
     and averages learners instead.
 
-    Cross-validation fans out across ``executor`` — one task per base
-    learner — with results gathered in learner order, so parallel
-    training is deterministic.
+    Cross-validation fans out across ``executor`` at (learner × fold)
+    granularity — with k learners and d folds the pool sees k*d tasks,
+    not k, so workers stay busy even when one learner dominates — and
+    results gather deterministically into learner order.
     """
     meta = StackingMetaLearner(folds=folds, seed=seed)
     if uniform:
         meta.fit_uniform([learner.name for learner in learners], space)
         return meta
-    executor = resolve(executor)
-    per_learner = executor.map(
-        lambda learner: cross_validate(learner, instances, labels, space,
-                                       folds=folds, seed=seed),
-        learners)
+    per_learner = cross_validate_many(learners, instances, labels, space,
+                                      folds=folds, seed=seed,
+                                      executor=resolve(executor))
     cv_scores = {
         learner.name: scores
         for learner, scores in zip(learners, per_learner)

@@ -10,7 +10,7 @@ from .base import BaseLearner, LearnerRegistry, registry
 from .content_matcher import ContentMatcher
 from .edit_distance import EditDistanceNameMatcher
 from .format_learner import FormatLearner, shape_tokens, value_shape
-from .meta import StackingMetaLearner, cross_validate
+from .meta import StackingMetaLearner, cross_validate, cross_validate_many
 from .metadata import MetadataLearner, metadata_document
 from .name_matcher import NameMatcher
 from .naive_bayes import NaiveBayesLearner, default_tokenizer
@@ -26,7 +26,8 @@ __all__ = [
     "GazetteerRecognizer", "LearnerRegistry", "MetadataLearner",
     "NameMatcher", "NaiveBayesLearner", "NumericLearner",
     "RegexRecognizer", "StackingMetaLearner", "StatisticsLearner",
-    "WhirlIndex", "XMLLearner", "cross_validate", "default_tokenizer",
+    "WhirlIndex", "XMLLearner", "cross_validate", "cross_validate_many",
+    "default_tokenizer",
     "metadata_document", "registry", "shape_tokens", "statistics_vector",
     "structure_tokens", "value_shape",
 ]

@@ -26,55 +26,97 @@ from ..core.prediction import normalize_matrix
 from .base import BaseLearner
 
 
+def _fold_splits(n: int, folds: int, seed: int) -> list[np.ndarray]:
+    """The held-out index blocks: a seeded shuffle split into ``folds``
+    near-equal parts. Pure function of ``(n, folds, seed)``, so every
+    caller that shares the seed shares the exact fold membership."""
+    rng = np.random.default_rng(seed)
+    return np.array_split(rng.permutation(n), folds)
+
+
+def _run_fold(learner: BaseLearner,
+              instances: Sequence[ElementInstance],
+              labels: Sequence[str], space: LabelSpace,
+              train_idx: np.ndarray, held_out: np.ndarray) -> np.ndarray:
+    """One (learner, fold) task: train a clone, predict the held-out
+    block; uniform scores when the clone cannot be trained."""
+    clone = learner.clone()
+    try:
+        clone.fit([instances[i] for i in train_idx],
+                  [labels[i] for i in train_idx], space)
+        return clone.predict_scores([instances[i] for i in held_out])
+    except (ValueError, RuntimeError):
+        return np.full((len(held_out), len(space)), 1.0 / len(space))
+
+
+def cross_validate_many(learners: Sequence[BaseLearner],
+                        instances: Sequence[ElementInstance],
+                        labels: Sequence[str], space: LabelSpace,
+                        folds: int = 5, seed: int = 0,
+                        executor: ParallelExecutor | None = None
+                        ) -> list[np.ndarray]:
+    """Out-of-fold predictions for every learner, fanned out at
+    (learner × fold) granularity.
+
+    The examples are shuffled into ``folds`` equal parts; each part is
+    predicted by a clone trained on the remaining parts, preventing the
+    bias the paper warns about ("when applied to any example t, it has
+    already been trained on t"). All learners share the same seeded fold
+    split, exactly as if each were cross-validated alone.
+
+    ``folds`` is capped at ``n`` so every training split keeps at least
+    one example (with ``n == 1`` no split can train at all and every
+    example gets uniform scores). A split whose clone cannot be trained
+    — e.g. a WHIRL learner handed zero usable documents — also falls
+    back to uniform out-of-fold scores instead of crashing the whole
+    training phase.
+
+    The (learner, fold) task grid fans out across ``executor`` (serial
+    by default) — with k learners and d folds that is k*d independent
+    tasks, so a handful of workers stays busy even when one learner
+    dominates the runtime. Results are gathered positionally into
+    per-learner matrices whose fold blocks are disjoint rows, so any
+    worker count is byte-identical to serial.
+    """
+    n = len(instances)
+    n_labels = len(space)
+    if n == 0:
+        return [np.zeros((0, n_labels)) for _ in learners]
+    folds = min(folds, n)
+    if folds < 2:
+        # A single example cannot be held out of its own training set.
+        return [np.full((n, n_labels), 1.0 / n_labels) for _ in learners]
+    boundaries = _fold_splits(n, folds, seed)
+    all_indices = np.arange(n)
+    train_sets = [np.setdiff1d(all_indices, held_out)
+                  for held_out in boundaries]
+    tasks = [(learner, train_idx, held_out)
+             for learner in learners
+             for train_idx, held_out in zip(train_sets, boundaries)]
+    blocks = resolve(executor).map(
+        lambda task: _run_fold(task[0], instances, labels, space,
+                               task[1], task[2]),
+        tasks)
+    matrices: list[np.ndarray] = []
+    for learner_index in range(len(learners)):
+        scores = np.zeros((n, n_labels))
+        for fold_index, held_out in enumerate(boundaries):
+            scores[held_out] = blocks[learner_index * folds + fold_index]
+        matrices.append(scores)
+    return matrices
+
+
 def cross_validate(learner: BaseLearner,
                    instances: Sequence[ElementInstance],
                    labels: Sequence[str], space: LabelSpace,
                    folds: int = 5, seed: int = 0,
                    executor: ParallelExecutor | None = None) -> np.ndarray:
-    """Out-of-fold predictions of ``learner`` on its own training data.
-
-    The examples are shuffled into ``folds`` equal parts; each part is
-    predicted by a clone trained on the remaining parts, preventing the
-    bias the paper warns about ("when applied to any example t, it has
-    already been trained on t").
-
-    ``folds`` is capped at ``n`` so every training split keeps at least
-    one example (with ``n == 1`` no split can train at all and the
-    single example gets uniform scores). A split whose clone cannot be
-    trained — e.g. a WHIRL learner handed zero usable documents — also
-    falls back to uniform out-of-fold scores instead of crashing the
-    whole training phase.
-
-    Folds fan out across ``executor`` (serial by default); each fold
-    writes a disjoint row block, so any worker count is deterministic.
-    """
-    n = len(instances)
-    if n == 0:
-        return np.zeros((0, len(space)))
-    folds = min(folds, n)
-    if folds < 2:
-        # A single example cannot be held out of its own training set.
-        return np.full((n, len(space)), 1.0 / len(space))
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    scores = np.zeros((n, len(space)))
-
-    def run_fold(held_out: np.ndarray) -> np.ndarray:
-        train_idx = np.setdiff1d(order, held_out, assume_unique=False)
-        held_instances = [instances[i] for i in held_out]
-        clone = learner.clone()
-        try:
-            clone.fit([instances[i] for i in train_idx],
-                      [labels[i] for i in train_idx], space)
-            return clone.predict_scores(held_instances)
-        except (ValueError, RuntimeError):
-            return np.full((len(held_out), len(space)), 1.0 / len(space))
-
-    boundaries = np.array_split(order, folds)
-    fold_scores = resolve(executor).map(run_fold, boundaries)
-    for held_out, block in zip(boundaries, fold_scores):
-        scores[held_out] = block
-    return scores
+    """Out-of-fold predictions of one learner — see
+    :func:`cross_validate_many`, whose single-learner case this is.
+    ``executor`` fans the folds out."""
+    return cross_validate_many(
+        [learner], instances, labels, space,
+        folds=folds, seed=seed, executor=executor)[0]
 
 
 class StackingMetaLearner:

@@ -150,7 +150,7 @@ class WhirlIndex:
             kept = sparse.csr_matrix(np.asarray(sims, dtype=float))
             kept.sort_indices()
             self._keep_top_k(kept)
-            return np.asarray(kept.todense())
+            return kept.toarray()
         k = self.max_neighbors
         if k is None or sims.shape[1] <= k:
             return sims

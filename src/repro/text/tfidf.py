@@ -12,8 +12,6 @@ a single sparse matrix product.
 
 from __future__ import annotations
 
-from collections import Counter
-
 import numpy as np
 from scipy import sparse
 
@@ -60,21 +58,22 @@ class TfidfVectorSpace:
         nearest-neighbour matcher treats unseen words: they can't match
         anything stored, so they contribute nothing.
         """
+        vocabulary = self.vocabulary
         rows: list[int] = []
         cols: list[int] = []
-        data: list[float] = []
         for row_index, doc in enumerate(documents):
-            counts = Counter(
-                token for token in doc if token in self.vocabulary)
-            for token, count in counts.items():
-                col = self.vocabulary[token]
-                rows.append(row_index)
-                cols.append(col)
-                data.append((1.0 + np.log(count)) * self.idf[col])
+            known = [vocabulary[token] for token in doc
+                     if token in vocabulary]
+            rows.extend([row_index] * len(known))
+            cols.extend(known)
+        shape = (len(documents), max(len(vocabulary), 1))
+        # COO->CSR sums duplicate (row, col) entries, so ones in, term
+        # frequencies out — the whole weighting is then two vectorised
+        # ops over the nonzeros instead of a Python loop per token.
         matrix = sparse.csr_matrix(
-            (data, (rows, cols)),
-            shape=(len(documents), max(len(self.vocabulary), 1)),
-            dtype=np.float64)
+            (np.ones(len(cols)), (rows, cols)),
+            shape=shape, dtype=np.float64)
+        matrix.data = (1.0 + np.log(matrix.data)) * self.idf[matrix.indices]
         return _l2_normalize(matrix)
 
     def similarities(self, queries: list[list[str]]) -> np.ndarray:
@@ -83,7 +82,7 @@ class TfidfVectorSpace:
         Returns an ``(n_queries, n_documents)`` dense array with entries in
         ``[0, 1]``.
         """
-        return np.asarray(self.sparse_similarities(queries).todense())
+        return self.sparse_similarities(queries).toarray()
 
     def sparse_similarities(self,
                             queries: list[list[str]]) -> sparse.csr_matrix:
@@ -102,7 +101,7 @@ class TfidfVectorSpace:
 
 def _l2_normalize(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
     """Row-normalise a sparse matrix; zero rows stay zero."""
-    norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1))).ravel()
     norms[norms == 0.0] = 1.0
     inverse = sparse.diags(1.0 / norms)
     return (inverse @ matrix).tocsr()

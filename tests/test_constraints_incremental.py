@@ -1,0 +1,232 @@
+"""Push/pop evaluator tests: every constraint type's incremental
+evaluator must agree with its full-scan checks under the search engine's
+discipline.
+
+The engine's contract (see :mod:`repro.constraints.base`): ``push`` is
+called after the pair enters the assignment, only for labels the
+constraint watches (``relevant_labels``); a violating push is popped
+immediately; pops arrive in LIFO order with the pair still assigned.
+Each test drives a long random walk of pushes and pops under exactly
+that discipline and checks, at every step, that
+
+* the evaluator's verdict equals ``check_partial`` on the same
+  assignment (ground truth);
+* a *fresh* evaluator replaying the current stack from scratch gives
+  the same verdict — which fails if any pop left stale state behind
+  (push/pop symmetry);
+* at complete assignments, ``complete_violation`` equals
+  ``check_complete``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (AssignmentConstraint, ContiguityConstraint,
+                               ExclusionConstraint, ExclusivityConstraint,
+                               FrequencyConstraint,
+                               FunctionalDependencyConstraint,
+                               KeyConstraint, MatchContext,
+                               MaxCountSoftConstraint, NestingConstraint)
+from repro.core.instance import extract_columns
+from repro.core.schema import SourceSchema
+from repro.xmlio import parse_fragments
+
+SCHEMA_TEXT = """
+<!ELEMENT listing (house-id, baths, extra, beds, agent-info)>
+<!ELEMENT house-id (#PCDATA)>
+<!ELEMENT baths (#PCDATA)>
+<!ELEMENT extra (#PCDATA)>
+<!ELEMENT beds (#PCDATA)>
+<!ELEMENT agent-info (agent-name, firm-city, firm-name, firm-address)>
+<!ELEMENT agent-name (#PCDATA)>
+<!ELEMENT firm-city (#PCDATA)>
+<!ELEMENT firm-name (#PCDATA)>
+<!ELEMENT firm-address (#PCDATA)>
+"""
+
+LISTINGS_TEXT = """
+<listing><house-id>1</house-id><baths>2</baths><extra>x</extra>
+  <beds>3</beds>
+  <agent-info><agent-name>Ann</agent-name><firm-city>Seattle</firm-city>
+  <firm-name>MAX</firm-name><firm-address>1 Pine St</firm-address>
+  </agent-info></listing>
+<listing><house-id>2</house-id><baths>2</baths><extra>y</extra>
+  <beds>4</beds>
+  <agent-info><agent-name>Bob</agent-name><firm-city>Seattle</firm-city>
+  <firm-name>MAX</firm-name><firm-address>1 Pine St</firm-address>
+  </agent-info></listing>
+<listing><house-id>3</house-id><baths>3</baths><extra>z</extra>
+  <beds>3</beds>
+  <agent-info><agent-name>Cat</agent-name><firm-city>Portland</firm-city>
+  <firm-name>MAX</firm-name><firm-address>9 Oak Ave</firm-address>
+  </agent-info></listing>
+"""
+
+TAGS = ("house-id", "baths", "extra", "beds", "agent-info", "agent-name")
+LABELS = ("HOUSE-ID", "BATHS", "BEDS", "AGENT-INFO", "AGENT-NAME",
+          "FIRM-NAME", "FIRM-ADDRESS", "OTHER")
+
+HARD_CONSTRAINTS = [
+    FrequencyConstraint.at_most_one("BATHS"),
+    FrequencyConstraint.exactly_one("HOUSE-ID"),
+    FrequencyConstraint("BEDS", 1, 2),
+    NestingConstraint("AGENT-INFO", "AGENT-NAME"),
+    NestingConstraint("AGENT-INFO", "BATHS", forbidden=True),
+    NestingConstraint("BATHS", "BATHS"),  # degenerate outer == inner
+    ContiguityConstraint("BATHS", "BEDS"),
+    ContiguityConstraint("BATHS", "BATHS"),  # degenerate label_a == label_b
+    ExclusivityConstraint("BATHS", "AGENT-NAME"),
+    KeyConstraint("HOUSE-ID"),
+    FunctionalDependencyConstraint(["FIRM-NAME"], "FIRM-ADDRESS"),
+    FunctionalDependencyConstraint(["HOUSE-ID", "FIRM-NAME"],
+                                   "FIRM-ADDRESS"),
+    AssignmentConstraint("house-id", "HOUSE-ID"),
+    AssignmentConstraint("unseen-tag", "HOUSE-ID"),  # never-pushed pin
+    ExclusionConstraint("baths", "BATHS"),
+]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    schema = SourceSchema(SCHEMA_TEXT, name="test-source")
+    listings = parse_fragments(LISTINGS_TEXT)
+    return MatchContext(schema, extract_columns(schema, listings))
+
+
+def _watches(constraint, label):
+    labels = constraint.relevant_labels()
+    return labels is None or label in labels
+
+
+def _replay_verdict(constraint, ctx, stack, tag, label):
+    """A fresh evaluator fed the whole stack then the new pair: its final
+    verdict must match the long-lived evaluator's."""
+    ev = constraint.evaluator(ctx)
+    assignment = {}
+    for done_tag, done_label in stack:
+        assignment[done_tag] = done_label
+        if _watches(constraint, done_label):
+            assert not ev.push(done_tag, done_label, assignment, ctx), \
+                "replayed prefix must be violation-free"
+    assignment[tag] = label
+    if not _watches(constraint, label):
+        return False
+    return ev.push(tag, label, assignment, ctx)
+
+
+def _random_walk(constraint, ctx, seed, steps=250):
+    """Drive one evaluator through a random push/pop walk under engine
+    discipline, checking it against the full-scan checks throughout."""
+    rng = np.random.default_rng(seed)
+    evaluator = constraint.evaluator(ctx)
+    assignment: dict[str, str] = {}
+    stack: list[tuple[str, str]] = []
+    unassigned = list(TAGS)
+    completes_seen = 0
+
+    for _ in range(steps):
+        do_pop = stack and (not unassigned or rng.random() < 0.4)
+        if do_pop:
+            tag, label = stack.pop()
+            if _watches(constraint, label):
+                evaluator.pop(tag, label, assignment, ctx)
+            del assignment[tag]
+            unassigned.append(tag)
+            continue
+        tag = unassigned[int(rng.integers(len(unassigned)))]
+        label = LABELS[int(rng.integers(len(LABELS)))]
+        assignment[tag] = label
+        verdict = False
+        if _watches(constraint, label):
+            verdict = evaluator.push(tag, label, assignment, ctx)
+        truth = constraint.check_partial(assignment, ctx)
+        assert verdict == truth, (
+            f"{constraint.describe()}: push({tag}={label}) said "
+            f"{verdict}, check_partial says {truth} on {assignment}")
+        assert verdict == _replay_verdict(constraint, ctx, stack, tag,
+                                          label), (
+            f"{constraint.describe()}: long-lived evaluator diverged "
+            f"from a fresh replay — a pop left stale state behind")
+        if verdict:
+            # Engine discipline: a violating push is popped immediately.
+            evaluator.pop(tag, label, assignment, ctx)
+            del assignment[tag]
+            continue
+        stack.append((tag, label))
+        unassigned.remove(tag)
+        if not unassigned:
+            completes_seen += 1
+            assert evaluator.complete_violation(assignment, ctx) == \
+                constraint.check_complete(assignment, ctx), (
+                    f"{constraint.describe()}: complete_violation "
+                    f"disagrees with check_complete on {assignment}")
+    return completes_seen
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize(
+        "constraint", HARD_CONSTRAINTS,
+        ids=[c.describe() for c in HARD_CONSTRAINTS])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_walk_matches_full_scans(self, constraint, ctx, seed):
+        _random_walk(constraint, ctx, seed)
+
+    @pytest.mark.parametrize(
+        "constraint", HARD_CONSTRAINTS,
+        ids=[c.describe() for c in HARD_CONSTRAINTS])
+    def test_walks_reach_complete_assignments(self, constraint, ctx):
+        # The symmetry checks above are only meaningful if the walks
+        # actually reach complete assignments; guard against a drifting
+        # walk shape silently weakening the suite.
+        total = sum(_random_walk(constraint, ctx, seed)
+                    for seed in range(4))
+        assert total > 0
+
+
+class TestSoftEvaluator:
+    def test_bound_is_admissible_and_complete_cost_exact(self, ctx):
+        constraint = MaxCountSoftConstraint("BATHS", 1,
+                                            violation_cost=2.5)
+        rng = np.random.default_rng(7)
+        evaluator = constraint.evaluator(ctx)
+        assignment: dict[str, str] = {}
+        stack: list[tuple[str, str, float]] = []  # (tag, label, bound)
+        unassigned = list(TAGS)
+        completes_seen = 0
+        for _ in range(300):
+            if stack and (not unassigned or rng.random() < 0.4):
+                tag, label, _ = stack.pop()
+                evaluator.pop(tag, label, assignment, ctx)
+                del assignment[tag]
+                unassigned.append(tag)
+                # The bound must rewind with the pop.
+                expected = stack[-1][2] if stack else 0.0
+                assert evaluator.bound == expected
+                continue
+            tag = unassigned[int(rng.integers(len(unassigned)))]
+            label = LABELS[int(rng.integers(len(LABELS)))]
+            assignment[tag] = label
+            evaluator.push(tag, label, assignment, ctx)
+            stack.append((tag, label, evaluator.bound))
+            unassigned.remove(tag)
+            if not unassigned:
+                completes_seen += 1
+                exact = constraint.cost(assignment, ctx)
+                assert evaluator.complete_cost(assignment, ctx) == exact
+                # Every bound recorded on the path down was a valid
+                # lower bound for this completion.
+                assert all(bound <= exact for _, _, bound in stack)
+        assert completes_seen > 0
+
+    def test_bound_zero_after_full_unwind(self, ctx):
+        constraint = MaxCountSoftConstraint("BATHS", 0)
+        evaluator = constraint.evaluator(ctx)
+        assignment = {}
+        for tag in TAGS:
+            assignment[tag] = "BATHS"
+            evaluator.push(tag, "BATHS", assignment, ctx)
+        assert evaluator.bound == constraint.violation_cost
+        for tag in reversed(TAGS):
+            evaluator.pop(tag, "BATHS", assignment, ctx)
+            del assignment[tag]
+        assert evaluator.bound == 0.0
