@@ -46,6 +46,7 @@ from repro.core.matching import match_source
 from repro.datasets import load_domain
 from repro.evaluation import SystemConfig, build_system
 from repro.learners.whirl import WhirlIndex
+from repro.observability import Observer
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / \
     "BENCH_matching.json"
@@ -129,6 +130,17 @@ def _run_engine(system, targets, workers, cached):
                 for schema, listings in targets]
 
 
+def _collect_histograms(system, targets):
+    """One observed (untimed) serial run: per-instance prediction
+    latency and column-size distributions for the bench report."""
+    featurize.clear_text_cache()
+    system.workers = 1
+    observer = Observer.full()
+    for schema, listings in targets:
+        system.match(schema, listings, observer=observer)
+    return observer.metrics.summary()["histograms"]
+
+
 def _run_seed(system, targets):
     """One pre-PR run: dense scoring, full structure re-prediction."""
     score_filter = system.pruner.prune_scores if system.pruner else None
@@ -206,6 +218,13 @@ def test_matching_throughput():
             "misses": misses,
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses else 0.0,
+        },
+        "histograms": {
+            name: {key: (round(value, 9)
+                         if isinstance(value, float) else value)
+                   for key, value in summary.items()}
+            for name, summary in
+            _collect_histograms(system, targets).items()
         },
         "determinism": {"tag_scores_identical": True},
     }

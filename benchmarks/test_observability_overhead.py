@@ -1,0 +1,127 @@
+"""Disabled-observability overhead: the no-op path must be ~free.
+
+Every pipeline layer now carries observability hooks (spans, counters,
+histograms). With no observer those hooks hit the shared null objects —
+this benchmark pins the cost of that down:
+
+1. An observed matching run counts how many hook invocations one run
+   actually performs (spans recorded + a generous allowance for metric
+   calls).
+2. That many no-op span/counter/histogram invocations are timed
+   directly; their total must stay under 3% of the *fastest* matching
+   run — i.e. the instrumentation's disabled path cannot account for
+   even 3% of end-to-end time.
+3. A sanity check matches with the disabled observer explicitly and
+   asserts outputs identical to the observer-less call.
+
+Writes ``BENCH_observability.json`` at the repo root.
+
+Environment knobs::
+
+    LSD_BENCH_OBS_LISTINGS   listings per source (default 50)
+    LSD_BENCH_OBS_ROUNDS     timing rounds       (default 3)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import featurize
+from repro.datasets import load_domain
+from repro.evaluation import SystemConfig, build_system
+from repro.observability import NO_OP, Observer
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / \
+    "BENCH_observability.json"
+N_LISTINGS = int(os.environ.get("LSD_BENCH_OBS_LISTINGS", "50"))
+ROUNDS = int(os.environ.get("LSD_BENCH_OBS_ROUNDS", "3"))
+MAX_OVERHEAD = 0.03
+
+#: Metric-instrument calls per span, as a deliberate overestimate — the
+#: pipelines make far fewer counter/histogram calls than spans.
+METRIC_CALLS_PER_SPAN = 8
+
+
+def _build():
+    domain = load_domain("real_estate_1", seed=0)
+    system = build_system(domain, SystemConfig("complete"),
+                          max_instances_per_tag=N_LISTINGS)
+    for source in domain.sources[:3]:
+        system.add_training_source(
+            source.schema, source.listings(N_LISTINGS), source.mapping)
+    system.train()
+    target = domain.sources[3]
+    return system, target.schema, target.listings(N_LISTINGS)
+
+
+def _time_noop_hooks(invocations: int) -> float:
+    """Seconds spent driving the null observer ``invocations`` times
+    through one span + one counter inc + one histogram observation."""
+    trace, metrics = NO_OP.trace, NO_OP.metrics
+    start = time.perf_counter()
+    for _ in range(invocations):
+        with trace.span("hook") as span:
+            span.set_attribute("k", 1)
+        metrics.counter("c").inc()
+        metrics.histogram("h").observe(0.001, count=4)
+    return time.perf_counter() - start
+
+
+def test_disabled_observability_overhead():
+    system, schema, listings = _build()
+
+    # Count the hooks one observed run performs.
+    featurize.clear_text_cache()
+    observed = Observer.full()
+    observed_result = system.match(schema, listings, observer=observed)
+    spans = len(observed.trace.spans)
+    hook_invocations = spans * METRIC_CALLS_PER_SPAN
+
+    # Fastest observer-less matching run.
+    best = float("inf")
+    for _ in range(ROUNDS + 1):  # first round doubles as warm-up
+        featurize.clear_text_cache()
+        start = time.perf_counter()
+        baseline_result = system.match(schema, listings)
+        best = min(best, time.perf_counter() - start)
+
+    noop_seconds = min(_time_noop_hooks(hook_invocations)
+                       for _ in range(ROUNDS))
+    overhead = noop_seconds / best
+
+    # Disabled observer changes nothing about the outputs.
+    featurize.clear_text_cache()
+    noop_result = system.match(schema, listings, observer=NO_OP)
+    assert dict(noop_result.mapping.items()) == \
+        dict(baseline_result.mapping.items()) == \
+        dict(observed_result.mapping.items())
+    for tag in baseline_result.tag_scores:
+        assert np.array_equal(noop_result.tag_scores[tag],
+                              baseline_result.tag_scores[tag])
+    assert noop_result.quality == [] and baseline_result.quality == []
+    assert len(observed_result.quality) == len(schema.tags)
+
+    report = {
+        "workload": {
+            "domain": "real_estate_1",
+            "listings_per_source": N_LISTINGS,
+            "rounds": ROUNDS,
+            "spans_per_observed_run": spans,
+            "noop_hook_invocations": hook_invocations,
+        },
+        "match_best_ms": round(best * 1000.0, 3),
+        "noop_hooks_ms": round(noop_seconds * 1000.0, 3),
+        "disabled_overhead": round(overhead, 5),
+        "max_allowed": MAX_OVERHEAD,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + json.dumps(report, indent=2))
+
+    assert overhead < MAX_OVERHEAD, (
+        f"no-op observability hooks cost {overhead:.2%} of a matching "
+        f"run (limit {MAX_OVERHEAD:.0%})")

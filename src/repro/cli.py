@@ -15,13 +15,16 @@ Four subcommands::
 
     python -m repro match --model model.lsd --schema s.dtd \\
         --listings l.xml [--feedback tag=LABEL ...] [--out mapping.txt] \\
-        [--workers N] [--search bnb|astar] [--profile]
+        [--workers N] [--search bnb|astar] [--profile] \\
+        [--trace-out trace.jsonl] [--report-out report.json]
         Propose 1-1 mappings for a new source; feedback constraints pin
         or re-run exactly as in §4.3. ``--workers`` fans learner
         prediction and the constraint search's root-split out over N
         threads (identical results at any count); ``--search`` picks the
         constraint strategy (incremental branch-and-bound by default);
-        ``--profile`` prints the per-stage timing table.
+        ``--profile`` prints the per-stage timing table; ``--trace-out``
+        and ``--report-out`` turn on the observability layer and write
+        the span trace (JSONL) and the run report (JSON).
 
     python -m repro evaluate --domain real_estate_1 --experiment ladder
         Run one of the paper's experiments and print its table.
@@ -41,6 +44,10 @@ from .core import LSDSystem, Mapping, MediatedSchema, SourceSchema
 from .core.persistence import load_system, save_system
 from .datasets import DOMAIN_NAMES, load_domain
 from .learners import default_learners
+from .observability import (Observer, build_match_report,
+                            dataset_fingerprint, resolve_observer,
+                            write_report)
+from .observability.metrics import M_INSTANCES
 from .xmlio import parse_dtd, parse_fragments, write_dtd, write_element
 
 
@@ -97,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads for cross-validation fan-out "
                             "(default 1 = serial; results are identical "
                             "at any worker count)")
+    train.add_argument("--trace-out", type=Path,
+                       help="write the training trace (JSONL, one span "
+                            "per line) to this file")
     train.set_defaults(handler=_cmd_train)
 
     match = commands.add_parser(
@@ -122,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
     match.add_argument("--profile", action="store_true",
                        help="print the per-stage timing/counter table "
                             "after matching")
+    match.add_argument("--trace-out", type=Path,
+                       help="write the run's trace (JSONL, one span per "
+                            "line) to this file")
+    match.add_argument("--report-out", type=Path,
+                       help="write the run report (JSON: config, dataset "
+                            "fingerprint, stage timings, metrics, "
+                            "quality records, mapping) to this file")
     match.set_defaults(handler=_cmd_match)
 
     evaluate = commands.add_parser(
@@ -185,21 +202,27 @@ def _write_domain_constraints(domain, path: Path) -> None:
 # ---------------------------------------------------------------------------
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    mediated = MediatedSchema(_read_dtd(args.mediated))
-    constraints = []
-    if args.constraints:
-        constraints = parse_constraints(_read_text(args.constraints))
-    system = LSDSystem(mediated, default_learners(),
-                       constraints=constraints,
-                       max_instances_per_tag=args.max_instances,
-                       workers=args.workers)
-    for source_dir in args.train:
-        schema, listings, mapping = _read_source_dir(source_dir)
-        system.add_training_source(schema, listings, mapping)
-        print(f"added training source {source_dir} "
-              f"({len(listings)} listings)")
-    system.train()
-    save_system(system, args.model)
+    observer = Observer.full() if args.trace_out else None
+    obs = resolve_observer(observer)
+    with obs.trace.span("run", command="train"):
+        mediated = MediatedSchema(_read_dtd(args.mediated))
+        constraints = []
+        if args.constraints:
+            constraints = parse_constraints(_read_text(args.constraints))
+        system = LSDSystem(mediated, default_learners(),
+                           constraints=constraints,
+                           max_instances_per_tag=args.max_instances,
+                           workers=args.workers)
+        for source_dir in args.train:
+            schema, listings, mapping = _read_source_dir(source_dir)
+            system.add_training_source(schema, listings, mapping)
+            print(f"added training source {source_dir} "
+                  f"({len(listings)} listings)")
+        system.train(observer=observer)
+        save_system(system, args.model)
+    if args.trace_out:
+        obs.trace.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}")
     print(f"trained on {len(args.train)} source(s); model saved to "
           f"{args.model}")
     return 0
@@ -210,17 +233,27 @@ def _cmd_train(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    system = load_system(args.model)
-    system.workers = args.workers
-    if system.handler is not None:
-        system.handler.search = args.search
-    schema = SourceSchema(_read_dtd(args.schema))
-    listings = _read_listings(args.listings)
-    feedback = [
-        AssignmentConstraint(*_parse_feedback(item))
-        for item in args.feedback
-    ]
-    result = system.match(schema, listings, extra_constraints=feedback)
+    observer = Observer.full() if (args.trace_out or args.report_out) \
+        else None
+    obs = resolve_observer(observer)
+    # The root span covers the whole run — model load and input parsing
+    # included — so trace consumers can attribute all wall time.
+    with obs.trace.span("run", command="match"):
+        with obs.trace.span("load_model"):
+            system = load_system(args.model)
+        system.workers = args.workers
+        if system.handler is not None:
+            system.handler.search = args.search
+        with obs.trace.span("parse_inputs"):
+            schema = SourceSchema(_read_dtd(args.schema))
+            listings = _read_listings(args.listings)
+        feedback = [
+            AssignmentConstraint(*_parse_feedback(item))
+            for item in args.feedback
+        ]
+        result = system.match(schema, listings,
+                              extra_constraints=feedback,
+                              observer=observer)
 
     print(f"proposed mappings for {args.schema.name}:")
     for tag in sorted(result.mapping.tags()):
@@ -234,6 +267,29 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.profile:
         print(f"\nstage profile (workers={args.workers}):")
         print(result.profile.table())
+    if args.trace_out:
+        obs.trace.write_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.report_out:
+        report = build_match_report(
+            config={"model": str(args.model),
+                    "schema": str(args.schema),
+                    "listings": str(args.listings),
+                    "workers": args.workers,
+                    "search": args.search,
+                    "top": args.top,
+                    "feedback": len(feedback)},
+            dataset={"fingerprint": dataset_fingerprint(
+                         schema.tags,
+                         [listing.text_content()
+                          for listing in listings]),
+                     "tags": len(schema.tags),
+                     "instances": obs.metrics.counter(
+                         M_INSTANCES).value,
+                     "listings": len(listings)},
+            result=result, observer=observer)
+        write_report(report, args.report_out)
+        print(f"run report written to {args.report_out}")
     return 0
 
 

@@ -64,7 +64,7 @@ import numpy as np
 from ..core.labels import OTHER, LabelSpace
 from ..core.mapping import Mapping
 from ..core.parallel import ParallelExecutor, resolve, split_round_robin
-from ..observability import StageProfile
+from ..observability import Observer, StageProfile, resolve_observer
 from .base import (Constraint, HardConstraint, HardEvaluator, MatchContext,
                    SoftConstraint, SoftEvaluator, split_constraints)
 from .feedback import AssignmentConstraint, ExclusionConstraint
@@ -80,6 +80,15 @@ SEARCH_STRATEGIES = ("bnb", "astar")
 
 _STAT_NAMES = ("nodes_expanded", "prune_bound", "prune_hard",
                "prune_soft_bound", "leaf_hard_rejects")
+
+#: last_stats key -> metric name in the observability catalogue.
+_STAT_METRICS = {
+    "nodes_expanded": "constraint.nodes_expanded",
+    "prune_bound": "constraint.prune_bound",
+    "prune_hard": "constraint.prune_hard",
+    "prune_soft_bound": "constraint.prune_soft_bound",
+    "leaf_hard_rejects": "constraint.leaf_hard_rejects",
+}
 
 
 def _zero_stats() -> dict:
@@ -429,7 +438,8 @@ class ConstraintHandler:
                      space: LabelSpace, ctx: MatchContext,
                      extra_constraints: Sequence[Constraint] = (),
                      executor: ParallelExecutor | None = None,
-                     profile: StageProfile | None = None) -> Mapping:
+                     profile: StageProfile | None = None,
+                     observer: Observer | None = None) -> Mapping:
         """The least-cost mapping for the given per-tag score rows.
 
         ``scores[tag]`` is the prediction converter's normalised score
@@ -437,8 +447,25 @@ class ConstraintHandler:
         for the current source only (§4.3). ``executor`` fans the
         branch-and-bound root subtrees out across worker threads (the
         mapping is byte-identical at any worker count); ``profile``
-        receives ``constraint_*`` counters when given.
+        receives ``constraint_*`` counters when given; ``observer``
+        records a ``search`` span and the ``constraint.*`` metrics.
         """
+        obs = resolve_observer(observer)
+        with obs.trace.span("search", strategy=self.search) as span:
+            mapping = self._find_mapping(scores, space, ctx,
+                                         extra_constraints, executor,
+                                         profile)
+            span.set_attribute(
+                "nodes_expanded", self.last_stats["nodes_expanded"])
+        for stat, metric in _STAT_METRICS.items():
+            obs.metrics.counter(metric).inc(self.last_stats[stat])
+        return mapping
+
+    def _find_mapping(self, scores: dict[str, np.ndarray],
+                      space: LabelSpace, ctx: MatchContext,
+                      extra_constraints: Sequence[Constraint],
+                      executor: ParallelExecutor | None,
+                      profile: StageProfile | None) -> Mapping:
         hard, soft = split_constraints(
             [*self.constraints, *extra_constraints])
         tags = self._tag_order(list(scores), ctx)

@@ -82,6 +82,11 @@ class CacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "hit_rate": round(self.hit_rate, 4)}
 
+    def snapshot(self) -> tuple[int, int]:
+        """``(hits, misses)`` at this moment — subtract two snapshots
+        to attribute cache traffic to one pipeline run."""
+        return (self.hits, self.misses)
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0

@@ -31,6 +31,7 @@ Throughput engineering (the high-traffic ROADMAP goal):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -40,7 +41,14 @@ from ..constraints.base import Constraint, MatchContext
 from ..constraints.handler import ConstraintHandler
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
-from ..observability import StageProfile
+from ..observability import (Observer, QualityRecord, StageProfile,
+                             build_quality_records, resolve_observer)
+from ..observability.metrics import (M_CACHE_HIT_RATIO, M_CACHE_HITS,
+                                     M_CACHE_MISSES, M_COLUMN_SIZE,
+                                     M_INSTANCES, M_PREDICT_LATENCY,
+                                     M_STRUCTURE_PASSES,
+                                     M_STRUCTURE_REPREDICTED, M_TAGS,
+                                     SIZE_BUCKETS)
 from ..xmlio import Element
 from . import featurize
 from .converter import PredictionConverter
@@ -67,6 +75,10 @@ class MatchResult:
     #: instance and cache-hit counters. ``timings`` above is the flat
     #: legacy view of the same run.
     profile: StageProfile = field(default_factory=StageProfile)
+    #: Per-column quality telemetry (one record per source tag), filled
+    #: only when the run's observer collects quality — see
+    #: :mod:`repro.observability.quality`.
+    quality: list[QualityRecord] = field(default_factory=list)
 
     def prediction_for(self, tag: str) -> Prediction:
         """The converter's prediction for one source tag."""
@@ -93,7 +105,8 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                  structure_passes: int = 1,
                  score_filter=None,
                  executor: ParallelExecutor | None = None,
-                 incremental_structure: bool = True) -> MatchResult:
+                 incremental_structure: bool = True,
+                 observer: Observer | None = None) -> MatchResult:
     """Run the full matching pipeline; see module docstring.
 
     ``score_filter(tag_scores, columns) -> tag_scores`` runs between the
@@ -104,57 +117,87 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
     default). ``incremental_structure=False`` forces every structure
     pass to re-predict all instances — the pre-cache behaviour, kept so
     the benchmark harness can measure the baseline.
+
+    ``observer`` receives trace spans, metrics, and (when enabled)
+    per-column quality records; the disabled default costs nothing.
+    The span tree, metric counts, and quality records are a function of
+    the inputs only — identical at any worker count.
     """
     executor = resolve(executor)
+    obs = resolve_observer(observer)
     profile = StageProfile()
-    cache_before = (featurize.stats.hits, featurize.stats.misses)
+    cache_before = featurize.stats.snapshot()
 
-    with profile.stage("extract"):
-        columns = extract_columns(schema, list(listings),
-                                  max_instances_per_tag)
+    with obs.trace.span("match") as match_span:
+        with profile.stage("extract"), obs.trace.span("extract"):
+            columns = extract_columns(schema, list(listings),
+                                      max_instances_per_tag)
 
-    # Flatten instances so each learner predicts one batch.
-    tags = list(columns)
-    flat: list[ElementInstance] = []
-    slices: dict[str, slice] = {}
-    for tag in tags:
-        begin = len(flat)
-        flat.extend(columns[tag].instances)
-        slices[tag] = slice(begin, len(flat))
-    profile.count("instances", len(flat))
-    profile.count("tags", len(tags))
+        # Flatten instances so each learner predicts one batch.
+        tags = list(columns)
+        flat: list[ElementInstance] = []
+        slices: dict[str, slice] = {}
+        column_sizes = obs.metrics.histogram(M_COLUMN_SIZE, SIZE_BUCKETS)
+        for tag in tags:
+            begin = len(flat)
+            flat.extend(columns[tag].instances)
+            slices[tag] = slice(begin, len(flat))
+            column_sizes.observe(len(columns[tag].instances))
+        profile.count("instances", len(flat))
+        profile.count("tags", len(tags))
+        obs.metrics.counter(M_INSTANCES).inc(len(flat))
+        obs.metrics.counter(M_TAGS).inc(len(tags))
+        match_span.set_attribute("tags", len(tags))
+        match_span.set_attribute("instances", len(flat))
 
-    with profile.stage("predict"):
-        tag_scores = _predict_tags(flat, slices, columns, learners, meta,
-                                   converter, space, structure_passes,
-                                   executor, profile,
-                                   incremental_structure)
-        if score_filter is not None:
-            with profile.stage("predict.score_filter"):
-                tag_scores = score_filter(tag_scores, columns)
+        with profile.stage("predict"), obs.trace.span("predict") \
+                as predict_span:
+            scores_by_learner, tag_scores = _predict_tags(
+                flat, slices, columns, learners, meta, converter, space,
+                structure_passes, executor, profile,
+                incremental_structure, obs, predict_span.span_id)
+            converted_scores = tag_scores
+            if score_filter is not None:
+                with profile.stage("predict.score_filter"), \
+                        obs.trace.span("score_filter"):
+                    tag_scores = score_filter(tag_scores, columns)
 
-    ctx = MatchContext(schema, columns)
-    with profile.stage("constrain"):
-        if handler is None:
-            mapping = Mapping({
-                tag: space.label_at(int(np.argmax(row)))
-                for tag, row in tag_scores.items()})
-        else:
-            mapping = handler.find_mapping(tag_scores, space, ctx,
-                                           extra_constraints,
-                                           executor=executor,
-                                           profile=profile)
+        ctx = MatchContext(schema, columns)
+        with profile.stage("constrain"), obs.trace.span("constrain"):
+            if handler is None:
+                mapping = Mapping({
+                    tag: space.label_at(int(np.argmax(row)))
+                    for tag, row in tag_scores.items()})
+            else:
+                mapping = handler.find_mapping(tag_scores, space, ctx,
+                                               extra_constraints,
+                                               executor=executor,
+                                               profile=profile,
+                                               observer=obs)
 
-    profile.count("cache_hits", featurize.stats.hits - cache_before[0])
-    profile.count("cache_misses",
-                  featurize.stats.misses - cache_before[1])
+        quality: list[QualityRecord] = []
+        if obs.collect_quality:
+            with obs.trace.span("quality"):
+                quality = build_quality_records(
+                    tags, slices, scores_by_learner, converter, meta,
+                    space, converted_scores, mapping)
+
+    hits, misses = featurize.stats.snapshot()
+    hits -= cache_before[0]
+    misses -= cache_before[1]
+    profile.count("cache_hits", hits)
+    profile.count("cache_misses", misses)
+    obs.metrics.counter(M_CACHE_HITS).inc(hits)
+    obs.metrics.counter(M_CACHE_MISSES).inc(misses)
+    if hits + misses:
+        obs.metrics.gauge(M_CACHE_HIT_RATIO).set(hits / (hits + misses))
     timings = {
         "extract": profile.seconds("extract"),
         "predict": profile.seconds("predict"),
         "constraints": profile.seconds("constrain"),
     }
     return MatchResult(mapping, tag_scores, space, columns, ctx, timings,
-                       profile)
+                       profile, quality)
 
 
 def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
@@ -162,20 +205,43 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                   learners: list[BaseLearner], meta: StackingMetaLearner,
                   converter: PredictionConverter, space: LabelSpace,
                   structure_passes: int, executor: ParallelExecutor,
-                  profile: StageProfile,
-                  incremental: bool) -> dict[str, np.ndarray]:
-    """Per-tag converted scores, with optional structure re-passes."""
+                  profile: StageProfile, incremental: bool,
+                  obs: Observer, predict_span_id: str | None
+                  ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Per-learner flat score matrices and per-tag converted scores,
+    with optional structure re-passes.
+
+    Worker-side stage timings record into per-task profiles and merge
+    back (``map_profiled``); trace spans opened on worker threads name
+    the predict span as their explicit parent, so the trace tree is the
+    same at any worker count. Each learner batch contributes
+    ``len(batch)`` observations of its mean per-instance latency to the
+    prediction-latency histogram — O(learners) timer reads, not
+    O(instances).
+    """
+    latency = obs.metrics.histogram(M_PREDICT_LATENCY)
 
     def predict_with(learner: BaseLearner,
-                     batch: list[ElementInstance]) -> np.ndarray:
-        with profile.stage(f"predict.learner.{learner.name}"):
-            return learner.predict_scores(batch)
+                     batch: list[ElementInstance],
+                     prof: StageProfile) -> np.ndarray:
+        with prof.stage(f"predict.learner.{learner.name}"), \
+                obs.trace.span(f"learner.{learner.name}",
+                               parent=predict_span_id,
+                               instances=len(batch)):
+            start = time.perf_counter()
+            scores = learner.predict_scores(batch)
+            elapsed = time.perf_counter() - start
+        if batch:
+            latency.observe(elapsed / len(batch), count=len(batch))
+        return scores
 
-    rows = executor.map(lambda lrn: predict_with(lrn, flat), learners)
+    rows = executor.map_profiled(
+        lambda lrn, prof: predict_with(lrn, flat, prof), learners,
+        profile)
     scores_by_learner = {
         learner.name: scores for learner, scores in zip(learners, rows)}
     tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                          space, profile)
+                          space, profile, obs)
 
     structural = [lrn for lrn in learners if lrn.uses_child_labels]
     applied: dict[str, str] | None = None  # labels last written into
@@ -186,7 +252,9 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             for tag, row in tag_scores.items()}
         if preliminary == applied:
             break  # fixed point: re-filling would change no feature
-        with profile.stage("predict.structure_pass"):
+        with profile.stage("predict.structure_pass"), \
+                obs.trace.span("structure_pass",
+                               parent=predict_span_id) as pass_span:
             previous_labels = [dict(inst.child_labels) for inst in flat]
             fill_child_labels(columns, preliminary)
             applied = preliminary
@@ -199,26 +267,32 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                 break  # no instance saw a new child label
             profile.count("structure_passes")
             profile.count("structure_repredicted", len(changed))
+            obs.metrics.counter(M_STRUCTURE_PASSES).inc()
+            obs.metrics.counter(M_STRUCTURE_REPREDICTED).inc(
+                len(changed))
+            pass_span.set_attribute("repredicted", len(changed))
             batch = [flat[i] for i in changed]
-            updates = executor.map(
-                lambda lrn: predict_with(lrn, batch), structural)
+            updates = executor.map_profiled(
+                lambda lrn, prof: predict_with(lrn, batch, prof),
+                structural, profile)
             for learner, new_rows in zip(structural, updates):
                 # Rows are per-instance by the BaseLearner contract, so
                 # scattering a subset equals re-predicting the batch.
                 scores_by_learner[learner.name][changed] = new_rows
         tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                              space, profile)
-    return tag_scores
+                              space, profile, obs)
+    return scores_by_learner, tag_scores
 
 
 def _convert(scores_by_learner: dict[str, np.ndarray],
              slices: dict[str, slice], meta: StackingMetaLearner,
              converter: PredictionConverter, space: LabelSpace,
-             profile: StageProfile) -> dict[str, np.ndarray]:
-    with profile.stage("predict.combine"):
+             profile: StageProfile, obs: Observer
+             ) -> dict[str, np.ndarray]:
+    with profile.stage("predict.combine"), obs.trace.span("combine"):
         combined = meta.combine(scores_by_learner) if scores_by_learner \
             else np.zeros((0, len(space)))
-    with profile.stage("predict.convert"):
+    with profile.stage("predict.convert"), obs.trace.span("convert"):
         return {
             tag: converter.convert(combined[piece])
             for tag, piece in slices.items()

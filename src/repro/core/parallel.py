@@ -27,6 +27,8 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..observability import StageProfile
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -59,6 +61,30 @@ class ParallelExecutor:
                 argument_tuples: Iterable[Sequence]) -> list[R]:
         """``map`` over argument tuples (``fn(*args)`` per item)."""
         return self.map(lambda args: fn(*args), argument_tuples)
+
+    def map_profiled(self, fn: Callable[[T, StageProfile], R],
+                     items: Iterable[T],
+                     profile: StageProfile) -> list[R]:
+        """``map`` where each call records stage timings.
+
+        ``fn(item, profile)`` receives the shared ``profile`` directly
+        on the serial path; on the parallel path each task writes into
+        a private :class:`StageProfile` and the worker profiles are
+        merged into ``profile`` in submission order once every task has
+        finished — so worker-side timings are never dropped and the
+        aggregate is a deterministic function of the per-task numbers.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item, profile) for item in items]
+        partials = [StageProfile() for _ in items]
+        with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(items))) as pool:
+            results = list(pool.map(lambda pair: fn(*pair),
+                                    zip(items, partials)))
+        for partial in partials:
+            profile.merge(partial)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "parallel" if self.is_parallel else "serial"

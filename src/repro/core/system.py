@@ -14,6 +14,7 @@ from ..constraints.handler import ConstraintHandler
 from ..learners import default_learners
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
+from ..observability import Observer, StageProfile, resolve_observer
 from ..xmlio import Element
 from .converter import PredictionConverter
 from .labels import LabelSpace
@@ -95,6 +96,8 @@ class LSDSystem:
         self.training_sources: list[TrainingSource] = []
         self.meta: StackingMetaLearner | None = None
         self.pruner = TypePruner() if prune_types else None
+        #: Per-stage timings of the most recent :meth:`train` call.
+        self.train_profile: StageProfile | None = None
 
     @property
     def executor(self) -> ParallelExecutor:
@@ -133,22 +136,40 @@ class LSDSystem:
             TrainingSource(schema, list(listings), mapping))
         self.meta = None  # new data invalidates previous training
 
-    def train(self) -> None:
-        """Run the full training phase (§3.1 steps 2-5)."""
+    def train(self, observer: Observer | None = None) -> None:
+        """Run the full training phase (§3.1 steps 2-5).
+
+        ``observer`` records ``train`` spans and training metrics; the
+        per-stage timings of the most recent training run are kept on
+        ``self.train_profile`` either way.
+        """
         if not self.training_sources:
             raise RuntimeError("no training sources added")
-        instances, labels = build_training_set(
-            self.training_sources, self.space, self.max_instances_per_tag)
-        if not instances:
-            raise RuntimeError("training sources produced no instances")
-        train_base_learners(self.learners, instances, labels, self.space)
-        if self.pruner is not None:
-            self.pruner.fit(instances, labels, self.space)
-        self.meta = train_meta_learner(
-            self.learners, instances, labels, self.space,
-            folds=self.folds, seed=self.seed,
-            uniform=not self.use_meta_learner,
-            executor=self.executor)
+        obs = resolve_observer(observer)
+        profile = StageProfile()
+        with obs.trace.span("train",
+                            sources=len(self.training_sources)):
+            with profile.stage("build"), obs.trace.span("build"):
+                instances, labels = build_training_set(
+                    self.training_sources, self.space,
+                    self.max_instances_per_tag)
+            if not instances:
+                raise RuntimeError(
+                    "training sources produced no instances")
+            with profile.stage("fit"):
+                train_base_learners(self.learners, instances, labels,
+                                    self.space, profile=profile,
+                                    observer=obs)
+                if self.pruner is not None:
+                    self.pruner.fit(instances, labels, self.space)
+            with profile.stage("cv"):
+                self.meta = train_meta_learner(
+                    self.learners, instances, labels, self.space,
+                    folds=self.folds, seed=self.seed,
+                    uniform=not self.use_meta_learner,
+                    executor=self.executor, profile=profile,
+                    observer=obs)
+        self.train_profile = profile
 
     @property
     def is_trained(self) -> bool:
@@ -159,9 +180,14 @@ class LSDSystem:
     # ------------------------------------------------------------------
     def match(self, schema: SourceSchema | str,
               listings: Sequence[Element],
-              extra_constraints: Sequence[Constraint] = ()
-              ) -> MatchResult:
-        """Propose 1-1 mappings for a new source (§3.2)."""
+              extra_constraints: Sequence[Constraint] = (),
+              observer: Observer | None = None) -> MatchResult:
+        """Propose 1-1 mappings for a new source (§3.2).
+
+        ``observer`` receives the run's trace spans, metrics, and
+        quality records (disabled by default; see
+        :mod:`repro.observability`).
+        """
         if self.meta is None:
             raise RuntimeError("call train() before match()")
         if isinstance(schema, str):
@@ -171,7 +197,7 @@ class LSDSystem:
             schema, listings, self.learners, self.meta, self.converter,
             self.handler, self.space, extra_constraints,
             self.max_instances_per_tag, score_filter=score_filter,
-            executor=self.executor)
+            executor=self.executor, observer=observer)
 
     def confirm_and_learn(self, schema: SourceSchema | str,
                           listings: Sequence[Element],

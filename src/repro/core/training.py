@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner, cross_validate_many
+from ..observability import Observer, StageProfile, resolve_observer
+from ..observability.metrics import M_TRAIN_INSTANCES
 from ..xmlio import Element
 from .instance import (ElementInstance, extract_columns, fill_child_labels)
 from .labels import OTHER, LabelSpace
@@ -79,13 +81,25 @@ def build_training_set(sources: list[TrainingSource],
 
 def train_base_learners(learners: list[BaseLearner],
                         instances: list[ElementInstance],
-                        labels: list[str], space: LabelSpace) -> None:
-    """§3.1 step 4: fit every base learner on the training stream."""
+                        labels: list[str], space: LabelSpace,
+                        profile: StageProfile | None = None,
+                        observer: Observer | None = None) -> None:
+    """§3.1 step 4: fit every base learner on the training stream.
+
+    ``profile``/``observer`` record one ``fit.<learner>`` timing and
+    span per base learner.
+    """
+    obs = resolve_observer(observer)
     names = [learner.name for learner in learners]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate learner names: {names}")
+    profile = profile if profile is not None else StageProfile()
+    obs.metrics.counter(M_TRAIN_INSTANCES).inc(len(instances))
     for learner in learners:
-        learner.fit(instances, labels, space)
+        with profile.stage(f"fit.{learner.name}"), \
+                obs.trace.span(f"fit.{learner.name}",
+                               instances=len(instances)):
+            learner.fit(instances, labels, space)
 
 
 def train_meta_learner(learners: list[BaseLearner],
@@ -93,7 +107,9 @@ def train_meta_learner(learners: list[BaseLearner],
                        labels: list[str], space: LabelSpace,
                        folds: int = 5, seed: int = 0,
                        uniform: bool = False,
-                       executor: ParallelExecutor | None = None
+                       executor: ParallelExecutor | None = None,
+                       profile: StageProfile | None = None,
+                       observer: Observer | None = None
                        ) -> StackingMetaLearner:
     """§3.1 step 5: cross-validate the base learners and fit the stacking
     weights. ``uniform=True`` skips stacking (the meta-learner ablation)
@@ -102,18 +118,23 @@ def train_meta_learner(learners: list[BaseLearner],
     Cross-validation fans out across ``executor`` at (learner × fold)
     granularity — with k learners and d folds the pool sees k*d tasks,
     not k, so workers stay busy even when one learner dominates — and
-    results gather deterministically into learner order.
+    results gather deterministically into learner order. ``profile``
+    and ``observer`` flow into :func:`~repro.learners.meta.
+    cross_validate_many`, so per-fold timings survive the fan-out.
     """
+    obs = resolve_observer(observer)
     meta = StackingMetaLearner(folds=folds, seed=seed)
     if uniform:
         meta.fit_uniform([learner.name for learner in learners], space)
         return meta
     per_learner = cross_validate_many(learners, instances, labels, space,
                                       folds=folds, seed=seed,
-                                      executor=resolve(executor))
+                                      executor=resolve(executor),
+                                      profile=profile, observer=obs)
     cv_scores = {
         learner.name: scores
         for learner, scores in zip(learners, per_learner)
     }
-    meta.fit(cv_scores, labels, space)
+    with obs.trace.span("fit_meta"):
+        meta.fit(cv_scores, labels, space)
     return meta

@@ -23,6 +23,8 @@ from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from ..core.parallel import ParallelExecutor, resolve
 from ..core.prediction import normalize_matrix
+from ..observability import Observer, StageProfile, resolve_observer
+from ..observability.metrics import M_CV_TASKS
 from .base import BaseLearner
 
 
@@ -53,7 +55,9 @@ def cross_validate_many(learners: Sequence[BaseLearner],
                         instances: Sequence[ElementInstance],
                         labels: Sequence[str], space: LabelSpace,
                         folds: int = 5, seed: int = 0,
-                        executor: ParallelExecutor | None = None
+                        executor: ParallelExecutor | None = None,
+                        profile: StageProfile | None = None,
+                        observer: Observer | None = None
                         ) -> list[np.ndarray]:
     """Out-of-fold predictions for every learner, fanned out at
     (learner × fold) granularity.
@@ -77,7 +81,14 @@ def cross_validate_many(learners: Sequence[BaseLearner],
     dominates the runtime. Results are gathered positionally into
     per-learner matrices whose fold blocks are disjoint rows, so any
     worker count is byte-identical to serial.
+
+    ``profile`` accumulates per-learner fold timings
+    (``cv.learner.<name>``) — worker-side timings merge back via
+    :meth:`~repro.core.parallel.ParallelExecutor.map_profiled`, so they
+    are no longer dropped on the parallel path. ``observer`` records a
+    ``cv`` span with one child per (learner, fold) task.
     """
+    obs = resolve_observer(observer)
     n = len(instances)
     n_labels = len(space)
     if n == 0:
@@ -90,13 +101,29 @@ def cross_validate_many(learners: Sequence[BaseLearner],
     all_indices = np.arange(n)
     train_sets = [np.setdiff1d(all_indices, held_out)
                   for held_out in boundaries]
-    tasks = [(learner, train_idx, held_out)
+    tasks = [(learner, fold, train_idx, held_out)
              for learner in learners
-             for train_idx, held_out in zip(train_sets, boundaries)]
-    blocks = resolve(executor).map(
-        lambda task: _run_fold(task[0], instances, labels, space,
-                               task[1], task[2]),
-        tasks)
+             for fold, (train_idx, held_out)
+             in enumerate(zip(train_sets, boundaries))]
+    obs.metrics.counter(M_CV_TASKS).inc(len(tasks))
+    with obs.trace.span("cv", folds=folds,
+                        learners=len(learners)) as cv_span:
+
+        def run_task(task, prof: StageProfile) -> np.ndarray:
+            learner, fold, train_idx, held_out = task
+            with prof.stage(f"cv.learner.{learner.name}"), \
+                    obs.trace.span(f"fold.{learner.name}.{fold}",
+                                   parent=cv_span.span_id,
+                                   held_out=len(held_out)):
+                return _run_fold(learner, instances, labels, space,
+                                 train_idx, held_out)
+
+        pool = resolve(executor)
+        if profile is not None:
+            blocks = pool.map_profiled(run_task, tasks, profile)
+        else:
+            blocks = pool.map(
+                lambda task: run_task(task, StageProfile()), tasks)
     matrices: list[np.ndarray] = []
     for learner_index in range(len(learners)):
         scores = np.zeros((n, n_labels))
@@ -110,13 +137,16 @@ def cross_validate(learner: BaseLearner,
                    instances: Sequence[ElementInstance],
                    labels: Sequence[str], space: LabelSpace,
                    folds: int = 5, seed: int = 0,
-                   executor: ParallelExecutor | None = None) -> np.ndarray:
+                   executor: ParallelExecutor | None = None,
+                   profile: StageProfile | None = None,
+                   observer: Observer | None = None) -> np.ndarray:
     """Out-of-fold predictions of one learner — see
     :func:`cross_validate_many`, whose single-learner case this is.
     ``executor`` fans the folds out."""
     return cross_validate_many(
         [learner], instances, labels, space,
-        folds=folds, seed=seed, executor=executor)[0]
+        folds=folds, seed=seed, executor=executor, profile=profile,
+        observer=observer)[0]
 
 
 class StackingMetaLearner:

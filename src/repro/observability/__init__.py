@@ -1,12 +1,48 @@
-"""Observability: per-stage timers and counters for the pipelines.
+"""Observability: tracing, metrics, quality telemetry, and run reports.
 
 The matching phase is the hot path of the system; the ROADMAP's
-production goal means its cost structure must stay visible as the code
-grows. :class:`StageProfile` is the one instrumentation primitive every
-pipeline shares: wall-clock per named stage (nested stages use dotted
-paths) plus monotonic counters (instances seen, cache hits, ...).
+production goal means its cost structure — and the *reasons* behind
+each proposed mapping — must stay visible as the code grows. Four
+primitives cover it:
+
+* :class:`StageProfile` (``timers``) — nested wall-clock timings plus
+  monotonic counters; the compatibility facade behind ``--profile``;
+* :class:`TraceCollector` (``trace``) — hierarchical spans with
+  deterministic ids, merged across worker threads, exported as JSONL
+  via ``--trace-out``;
+* :class:`MetricsRegistry` (``metrics``) — named counters, gauges and
+  fixed-bucket histograms with p50/p90/p99 summaries and worker-side
+  ``merge()``;
+* :class:`QualityRecord` (``quality``) + run reports (``report``) —
+  per-column triage data and the one-JSON-per-run artifact written by
+  ``--report-out``.
+
+:class:`Observer` bundles the sinks into the single optional handle the
+pipelines accept; the disabled default (:data:`NO_OP`) costs nothing.
 """
 
+from .metrics import (CATALOGUE, LATENCY_BUCKETS, NULL_METRICS,
+                      SIZE_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, NullMetricsRegistry,
+                      exponential_buckets)
+from .observer import NO_OP, Observer
+from .observer import resolve as resolve_observer
+from .quality import QualityRecord, build_quality_records
+from .report import (build_match_report, dataset_fingerprint,
+                     load_report, load_schema, render_text,
+                     validate_file, validate_report, write_report)
 from .timers import StageProfile, format_profile_table
+from .trace import (NULL_TRACE, NullTraceCollector, Span,
+                    TraceCollector, iter_tree, read_jsonl)
 
-__all__ = ["StageProfile", "format_profile_table"]
+__all__ = [
+    "CATALOGUE", "LATENCY_BUCKETS", "NULL_METRICS", "NULL_TRACE",
+    "NO_OP", "SIZE_BUCKETS", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "NullMetricsRegistry", "NullTraceCollector",
+    "Observer", "QualityRecord", "Span", "StageProfile",
+    "TraceCollector", "build_match_report", "build_quality_records",
+    "dataset_fingerprint", "exponential_buckets",
+    "format_profile_table", "iter_tree", "load_report", "load_schema",
+    "read_jsonl", "render_text", "resolve_observer", "validate_file",
+    "validate_report", "write_report",
+]

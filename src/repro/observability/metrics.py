@@ -1,0 +1,396 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+The registry replaces the pipelines' ad-hoc counter dicts with named,
+typed instruments:
+
+* :class:`Counter` — monotonically increasing integer (events, items);
+* :class:`Gauge` — a point-in-time float (a ratio, a size);
+* :class:`Histogram` — fixed upper-bound buckets with a total sum and
+  observed min/max, summarised as p50/p90/p99 via linear interpolation
+  inside the bucket holding the target rank (clamped to the observed
+  min/max, so a histogram fed one repeated value reports that value
+  exactly at every percentile).
+
+Instruments are get-or-created by name, every mutation is lock-guarded,
+and :meth:`MetricsRegistry.merge` folds a worker's registry into the
+main one (bucket-by-bucket for histograms), which is how per-worker
+measurements aggregate deterministically after a
+:class:`~repro.core.parallel.ParallelExecutor` fan-out.
+
+The metric name catalogue used by the pipelines is declared here
+(``M_*`` constants + :data:`CATALOGUE`) so reports, docs and dashboards
+share one vocabulary.
+
+:data:`NULL_METRICS` is the disabled registry: it hands out shared
+no-op instruments, so instrumented code costs one attribute call when
+metrics are off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+# ---------------------------------------------------------------------------
+# metric name catalogue
+# ---------------------------------------------------------------------------
+
+M_INSTANCES = "match.instances"
+M_TAGS = "match.tags"
+M_COLUMN_SIZE = "match.column_size"
+M_PREDICT_LATENCY = "predict.instance_latency_seconds"
+M_STRUCTURE_PASSES = "predict.structure_passes"
+M_STRUCTURE_REPREDICTED = "predict.structure_repredicted"
+M_CACHE_HITS = "featurize.cache_hits"
+M_CACHE_MISSES = "featurize.cache_misses"
+M_CACHE_HIT_RATIO = "featurize.cache_hit_ratio"
+M_CONSTRAINT_NODES = "constraint.nodes_expanded"
+M_CONSTRAINT_PRUNE_BOUND = "constraint.prune_bound"
+M_CONSTRAINT_PRUNE_HARD = "constraint.prune_hard"
+M_CONSTRAINT_PRUNE_SOFT = "constraint.prune_soft_bound"
+M_CONSTRAINT_LEAF_REJECTS = "constraint.leaf_hard_rejects"
+M_CV_TASKS = "train.cv_tasks"
+M_TRAIN_INSTANCES = "train.instances"
+
+#: name -> (kind, description); the documented metric vocabulary.
+CATALOGUE: dict[str, tuple[str, str]] = {
+    M_INSTANCES: ("counter", "instances extracted for matching"),
+    M_TAGS: ("counter", "source tags matched"),
+    M_COLUMN_SIZE: ("histogram", "instances per extracted column"),
+    M_PREDICT_LATENCY: (
+        "histogram",
+        "per-instance base-learner prediction latency (seconds)"),
+    M_STRUCTURE_PASSES: ("counter", "structure re-prediction passes run"),
+    M_STRUCTURE_REPREDICTED: (
+        "counter", "instances re-predicted by structure passes"),
+    M_CACHE_HITS: ("counter", "featurize cache hits during the run"),
+    M_CACHE_MISSES: ("counter", "featurize cache misses during the run"),
+    M_CACHE_HIT_RATIO: ("gauge", "featurize cache hit ratio of the run"),
+    M_CONSTRAINT_NODES: ("counter", "constraint-search nodes expanded"),
+    M_CONSTRAINT_PRUNE_BOUND: (
+        "counter", "constraint-search subtrees cut by the score bound"),
+    M_CONSTRAINT_PRUNE_HARD: (
+        "counter", "constraint-search pushes rejected by hard constraints"),
+    M_CONSTRAINT_PRUNE_SOFT: (
+        "counter", "constraint-search subtrees cut by the soft bound"),
+    M_CONSTRAINT_LEAF_REJECTS: (
+        "counter", "complete assignments rejected at leaves"),
+    M_CV_TASKS: ("counter", "(learner x fold) cross-validation tasks"),
+    M_TRAIN_INSTANCES: ("counter", "training instances extracted"),
+}
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> tuple[float, ...]:
+    """``count`` geometric upper bounds beginning at ``start``."""
+    if start <= 0.0 or factor <= 1.0 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    bounds = []
+    bound = start
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: 1µs .. ~4s in x4 steps — spans fast numeric learners to slow WHIRL
+#: columns without more than 12 buckets.
+LATENCY_BUCKETS = exponential_buckets(1e-6, 4.0, 12)
+
+#: Column sizes: most sources cap columns at max_instances_per_tag.
+SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                1000.0)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.inc(other.value)
+
+    def as_dict(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time float metric; ``merge`` keeps the merged-in
+    value when the other gauge was ever set (submission-order merges
+    therefore behave like "last writer wins")."""
+
+    __slots__ = ("name", "value", "is_set", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.is_set = False
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+            self.is_set = True
+
+    def merge(self, other: "Gauge") -> None:
+        if other.is_set:
+            self.set(other.value)
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    values above the last bound. ``observe(value, count=n)`` records a
+    value ``n`` times in O(buckets) — the pipelines use it to turn one
+    timed batch into per-instance observations without timing each
+    instance individually.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum",
+                 "min", "max", "_lock")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = LATENCY_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count <= 0:
+            return
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += count
+            self.total += count
+            self.sum += value * count
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100), linearly interpolated inside
+        the bucket holding the target rank and clamped to the observed
+        min/max — so bucket-edge and single-value cases are exact."""
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self.total == 0:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 100.0:
+            return self.max
+        target = q / 100.0 * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else \
+                    self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper < lower:
+                    upper = lower
+                fraction = (target - cumulative) / count
+                return lower + (upper - lower) * fraction
+            cumulative += count
+        return self.max  # pragma: no cover - unreachable (total > 0)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r}: bucket bounds "
+                f"differ")
+        with self._lock:
+            for i, count in enumerate(other.counts):
+                self.counts[i] += count
+            self.total += other.total
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def summary(self) -> dict:
+        """JSON-ready summary with the p50/p90/p99 headline numbers."""
+        with self._lock:
+            empty = self.total == 0
+            return {
+                "count": self.total,
+                "sum": self.sum,
+                "mean": self.sum / self.total if self.total else 0.0,
+                "min": 0.0 if empty else self.min,
+                "max": 0.0 if empty else self.max,
+                "p50": self._percentile_locked(50.0),
+                "p90": self._percentile_locked(90.0),
+                "p99": self._percentile_locked(99.0),
+            }
+
+    def as_dict(self) -> dict:
+        data = self.summary()
+        data["buckets"] = {
+            **{repr(bound): self.counts[i]
+               for i, bound in enumerate(self.bounds)},
+            "+inf": self.counts[-1],
+        }
+        return data
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Named instruments, get-or-created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] | None = None) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds if bounds is not None
+                    else LATENCY_BUCKETS)
+            return instrument
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        for name, counter in other._snapshot("_counters").items():
+            self.counter(name).merge(counter)
+        for name, gauge in other._snapshot("_gauges").items():
+            self.gauge(name).merge(gauge)
+        for name, histogram in other._snapshot("_histograms").items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+
+    def _snapshot(self, attribute: str) -> dict:
+        with self._lock:
+            return dict(getattr(self, attribute))
+
+    def summary(self) -> dict:
+        """JSON-ready ``{"counters": ..., "gauges": ..., "histograms":
+        ...}`` with histogram percentile summaries."""
+        return {
+            "counters": {name: c.value for name, c in
+                         sorted(self._snapshot("_counters").items())},
+            "gauges": {name: g.value for name, g in
+                       sorted(self._snapshot("_gauges").items())},
+            "histograms": {name: h.summary() for name, h in
+                           sorted(self._snapshot("_histograms").items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MetricsRegistry {len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms>")
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    total = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, count: int = 1) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] | None = None
+                  ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def merge(self, other) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The shared disabled registry.
+NULL_METRICS = NullMetricsRegistry()

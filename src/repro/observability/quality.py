@@ -1,0 +1,145 @@
+"""Match-quality telemetry: per-column records for triaging mappings.
+
+When a proposed mapping is wrong, the question is always the same: which
+learner pulled the prediction where, how confident was the ensemble, and
+did the constraint handler override the data's argmax? A
+:class:`QualityRecord` captures exactly that for one source tag:
+
+* each base learner's *column-level* top prediction and score (the
+  learner's per-instance scores collapsed by the same prediction
+  converter the pipeline uses);
+* the meta-learner weights applied to the winning label;
+* the converter's top label/score and the confidence margin
+  (top1 − top2) of the combined distribution;
+* inter-learner agreement (the fraction of base learners whose own top
+  label matches the ensemble's);
+* the label the constraint handler finally assigned and whether that
+  *overrode* the converter's argmax.
+
+Records are pure data (``as_dict``/``from_dict`` round-trip through
+JSON) and are built once per match run, after the constraint search —
+they never touch the hot prediction path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class QualityRecord:
+    """Everything needed to triage one column's mapping."""
+
+    tag: str
+    column_size: int
+    #: learner name -> {"label": top label, "score": its score}, using
+    #: the converter-collapsed column distribution of that learner.
+    learner_top: dict[str, dict] = field(default_factory=dict)
+    #: learner name -> meta-learner weight applied to ``predicted``.
+    meta_weights: dict[str, float] = field(default_factory=dict)
+    predicted: str = ""          # the converter's argmax label
+    predicted_score: float = 0.0
+    margin: float = 0.0          # top1 - top2 of the combined scores
+    agreement: float = 0.0       # share of learners agreeing with top1
+    assigned: str = ""           # the final (constrained) label
+    constraint_override: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "tag": self.tag,
+            "column_size": self.column_size,
+            "learner_top": {
+                name: dict(top) for name, top in
+                sorted(self.learner_top.items())},
+            "meta_weights": {
+                name: weight for name, weight in
+                sorted(self.meta_weights.items())},
+            "predicted": self.predicted,
+            "predicted_score": self.predicted_score,
+            "margin": self.margin,
+            "agreement": self.agreement,
+            "assigned": self.assigned,
+            "constraint_override": self.constraint_override,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QualityRecord":
+        return cls(
+            tag=data["tag"],
+            column_size=data["column_size"],
+            learner_top={name: dict(top) for name, top in
+                         data.get("learner_top", {}).items()},
+            meta_weights=dict(data.get("meta_weights", {})),
+            predicted=data.get("predicted", ""),
+            predicted_score=data.get("predicted_score", 0.0),
+            margin=data.get("margin", 0.0),
+            agreement=data.get("agreement", 0.0),
+            assigned=data.get("assigned", ""),
+            constraint_override=data.get("constraint_override", False),
+        )
+
+
+def _top_and_margin(row: np.ndarray) -> tuple[int, float, float]:
+    """(argmax index, its score, top1 - top2) of one score row."""
+    best = int(np.argmax(row))
+    score = float(row[best])
+    if row.shape[0] < 2:
+        return best, score, score
+    second = float(np.partition(row, -2)[-2])
+    return best, score, score - second
+
+
+def build_quality_records(tags, slices, scores_by_learner, converter,
+                          meta, space, tag_scores,
+                          mapping) -> list["QualityRecord"]:
+    """One :class:`QualityRecord` per source tag, sorted by tag.
+
+    Parameters mirror the matching pipeline's internals:
+    ``scores_by_learner[name]`` is a learner's flat per-instance score
+    matrix, ``slices[tag]`` its rows for one column, ``tag_scores`` the
+    converter's combined per-tag rows, and ``mapping`` the final
+    (constraint-handled) assignment.
+    """
+    learner_names = sorted(scores_by_learner)
+    records: list[QualityRecord] = []
+    for tag in sorted(tags):
+        piece = slices[tag]
+        combined = np.asarray(tag_scores[tag], dtype=np.float64)
+        best, best_score, margin = _top_and_margin(combined)
+        predicted = space.label_at(best)
+
+        learner_top: dict[str, dict] = {}
+        agreeing = 0
+        for name in learner_names:
+            row = converter.convert(scores_by_learner[name][piece])
+            top, top_score, _ = _top_and_margin(row)
+            label = space.label_at(top)
+            learner_top[name] = {"label": label,
+                                 "score": round(float(top_score), 6)}
+            if label == predicted:
+                agreeing += 1
+
+        weights: dict[str, float] = {}
+        if meta is not None and getattr(meta, "is_fitted", False):
+            for name in learner_names:
+                if name in meta.learner_names:
+                    weights[name] = round(
+                        meta.weight_of(predicted, name), 6)
+
+        assigned = mapping[tag] if tag in mapping else predicted
+        records.append(QualityRecord(
+            tag=tag,
+            column_size=piece.stop - piece.start,
+            learner_top=learner_top,
+            meta_weights=weights,
+            predicted=predicted,
+            predicted_score=round(best_score, 6),
+            margin=round(margin, 6),
+            agreement=round(agreeing / len(learner_names), 4)
+            if learner_names else 0.0,
+            assigned=assigned,
+            constraint_override=assigned != predicted,
+        ))
+    return records

@@ -71,11 +71,31 @@ class StageProfile:
         with self._lock:
             return self._timings.get(path, 0.0)
 
-    def top_level_total(self) -> float:
-        """Sum of the undotted (top-level) stage timings."""
+    def merge(self, other: "StageProfile") -> "StageProfile":
+        """Accumulate another profile's timings and counters into this
+        one (same-path entries add). Worker-side profiles from
+        :meth:`~repro.core.parallel.ParallelExecutor.map_profiled` fold
+        back through here, so per-stage numbers survive fan-out."""
+        snapshot = other.as_dict()
         with self._lock:
-            return sum(seconds for path, seconds in self._timings.items()
-                       if "." not in path)
+            for path, seconds in snapshot["timings"].items():
+                self._timings[path] = \
+                    self._timings.get(path, 0.0) + seconds
+            for name, amount in snapshot["counters"].items():
+                self._counters[name] = \
+                    self._counters.get(name, 0) + amount
+        return self
+
+    def top_level_total(self) -> float:
+        """Total seconds across the top-level stages.
+
+        A root that was never timed itself (only dotted descendants
+        exist, e.g. ``predict.learner.whirl`` alone) contributes the
+        roll-up of its children — so the share column renders against a
+        non-zero denominator no matter which granularity was timed."""
+        full = _fill_implicit(self.timings)
+        return sum(seconds for path, seconds in full.items()
+                   if "." not in path)
 
     def as_dict(self) -> dict:
         """JSON-ready ``{"timings": ..., "counters": ...}`` snapshot."""
@@ -93,6 +113,39 @@ class StageProfile:
             return (f"<StageProfile {len(self._timings)} stages, "
                     f"{len(self._counters)} counters>")
 
+    # ------------------------------------------------------------------
+    # pickling (profiles ride along on saved systems; locks cannot
+    # cross the pickle boundary, so a fresh one is made on load)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return self.as_dict()
+
+    def __setstate__(self, state: dict) -> None:
+        self._lock = threading.Lock()
+        self._timings = dict(state["timings"])
+        self._counters = dict(state["counters"])
+
+
+def _fill_implicit(timings: dict[str, float]) -> dict[str, float]:
+    """Timings with implicit parents filled in, deepest-first.
+
+    A grouping path that was never timed itself (``predict.learner``
+    when only ``predict.learner.whirl`` exists) gets the sum of its
+    direct children — including children that are themselves implicit,
+    so a chain like ``a.b.c`` rolls all the way up to ``a``.
+    """
+    full: dict[str, float] = dict(timings)
+    for path in sorted(timings, key=lambda p: -p.count(".")):
+        parts = path.split(".")
+        for depth in range(len(parts) - 1, 0, -1):
+            parent = ".".join(parts[:depth])
+            if parent not in full:
+                full[parent] = sum(
+                    seconds for child, seconds in full.items()
+                    if child.startswith(parent + ".")
+                    and child.count(".") == depth)
+    return full
+
 
 def format_profile_table(profile: StageProfile) -> str:
     """Render a profile as an indented stage table with shares.
@@ -106,20 +159,9 @@ def format_profile_table(profile: StageProfile) -> str:
     """
     timings = profile.timings
     counters = profile.counters
-    total = profile.top_level_total()
-
-    # Fill in implicit parents bottom-up so every row has an ancestor
-    # chain; an implicit parent reports the sum of its children.
-    full: dict[str, float] = dict(timings)
-    for path in sorted(timings, key=lambda p: -p.count(".")):
-        parts = path.split(".")
-        for depth in range(len(parts) - 1, 0, -1):
-            parent = ".".join(parts[:depth])
-            if parent not in full:
-                full[parent] = sum(
-                    seconds for child, seconds in timings.items()
-                    if child.startswith(parent + ".")
-                    and child.count(".") == depth)
+    full = _fill_implicit(timings)
+    total = sum(seconds for path, seconds in full.items()
+                if "." not in path)
 
     def sort_key(path: str) -> tuple:
         # Keep children right after their parent, slowest parents first.

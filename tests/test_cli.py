@@ -121,6 +121,93 @@ class TestTrainAndMatch:
         assert "TAG=LABEL" in capsys.readouterr().err
 
 
+class TestObservabilityOutputs:
+    def _match(self, generated, model, tmp_path, workers, suffix):
+        trace = tmp_path / f"trace{suffix}.jsonl"
+        report = tmp_path / f"report{suffix}.json"
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--workers", str(workers),
+            "--trace-out", str(trace),
+            "--report-out", str(report),
+        ])
+        assert code == 0
+        return trace, report
+
+    def test_trace_tree_and_report(self, generated, model, tmp_path):
+        from repro.observability import read_jsonl, validate_file
+        from repro.observability.metrics import M_PREDICT_LATENCY
+
+        trace_path, report_path = self._match(
+            generated, model, tmp_path, workers=1, suffix="")
+
+        spans = read_jsonl(trace_path)
+        ids = {span.span_id for span in spans}
+        roots = [span for span in spans if span.parent_id is None]
+        assert [root.span_id for root in roots] == ["run"]
+        # Parent links all resolve; learner and constraint-search
+        # children are present under the match subtree.
+        for span in spans:
+            assert span.parent_id is None or span.parent_id in ids
+        assert any(span.name.startswith("learner.") for span in spans)
+        assert "run/match/constrain/search" in ids
+        # The root covers (almost) all of the traced work.
+        children = sum(span.elapsed for span in spans
+                       if span.parent_id == "run")
+        assert children <= roots[0].elapsed * 1.001
+
+        report = validate_file(report_path)
+        schema_tags = 19  # greathomes.com in Real Estate I
+        assert report["dataset"]["tags"] == schema_tags
+        assert len(report["quality"]) == schema_tags
+        assert {record["tag"] for record in report["quality"]} == \
+            set(report["mapping"])
+        latency = report["metrics"]["histograms"][M_PREDICT_LATENCY]
+        assert latency["count"] > 0
+        assert 0 < latency["p50"] <= latency["p90"] <= latency["p99"]
+
+    def test_structure_deterministic_across_workers(self, generated,
+                                                    model, tmp_path):
+        import json
+
+        from repro.observability import read_jsonl
+
+        trace1, report1 = self._match(generated, model, tmp_path,
+                                      workers=1, suffix="1")
+        trace4, report4 = self._match(generated, model, tmp_path,
+                                      workers=4, suffix="4")
+        ids1 = sorted(s.span_id for s in read_jsonl(trace1))
+        ids4 = sorted(s.span_id for s in read_jsonl(trace4))
+        assert ids1 == ids4
+
+        r1 = json.loads(report1.read_text())
+        r4 = json.loads(report4.read_text())
+        assert r1["mapping"] == r4["mapping"]
+        assert r1["quality"] == r4["quality"]
+        assert r1["dataset"] == r4["dataset"]
+
+    def test_train_trace_out(self, generated, tmp_path):
+        from repro.observability import read_jsonl
+
+        trace_path = tmp_path / "train_trace.jsonl"
+        code = main([
+            "train",
+            "--mediated", str(generated / "mediated.dtd"),
+            "--train", str(generated / "homeseekers.com"),
+            "--model", str(tmp_path / "traced.lsd"),
+            "--max-instances", "10",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        names = {span.name for span in read_jsonl(trace_path)}
+        assert {"run", "train", "build", "cv", "fit_meta"} <= names
+        assert any(name.startswith("fit.") for name in names)
+        assert any(name.startswith("fold.") for name in names)
+
+
 class TestErrors:
     def test_missing_source_dir(self, generated, tmp_path, capsys):
         code = main([

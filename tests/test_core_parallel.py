@@ -52,6 +52,41 @@ class TestStarmap:
                                 [(1, 2), (3, 4)]) == [3, 7]
 
 
+class TestMapProfiled:
+    @staticmethod
+    def _timed(x, profile):
+        with profile.stage(f"task.{x % 2}"):
+            profile.count("tasks")
+        return x * 2
+
+    def test_serial_shares_the_profile(self):
+        from repro.observability import StageProfile
+        profile = StageProfile()
+        results = ParallelExecutor(1).map_profiled(
+            self._timed, range(4), profile)
+        assert results == [0, 2, 4, 6]
+        assert profile.counters["tasks"] == 4
+
+    def test_parallel_merges_worker_profiles(self):
+        from repro.observability import StageProfile
+        profile = StageProfile()
+        results = ParallelExecutor(4).map_profiled(
+            self._timed, range(8), profile)
+        assert results == [x * 2 for x in range(8)]
+        assert profile.counters["tasks"] == 8
+        assert set(profile.timings) == {"task.0", "task.1"}
+
+    def test_parallel_matches_serial(self):
+        from repro.observability import StageProfile
+        serial, parallel = StageProfile(), StageProfile()
+        a = ParallelExecutor(1).map_profiled(self._timed, range(10),
+                                             serial)
+        b = ParallelExecutor(4).map_profiled(self._timed, range(10),
+                                             parallel)
+        assert a == b
+        assert serial.counters == parallel.counters
+
+
 class TestConstruction:
     def test_workers_floor_is_one(self):
         assert ParallelExecutor(0).workers == 1

@@ -1,6 +1,7 @@
 """Tests for the per-stage timers and counters."""
 
 import json
+import pickle
 
 from repro.observability import StageProfile, format_profile_table
 
@@ -50,6 +51,40 @@ class TestStageProfile:
         assert data["timings"]["extract"] == 0.5
         assert data["counters"]["tags"] == 3
 
+    def test_merge_accumulates(self):
+        main, worker = StageProfile(), StageProfile()
+        main.add_time("predict", 1.0)
+        main.count("instances", 10)
+        worker.add_time("predict", 0.5)
+        worker.add_time("extract", 0.25)
+        worker.count("instances", 5)
+        assert main.merge(worker) is main
+        assert main.seconds("predict") == 1.5
+        assert main.seconds("extract") == 0.25
+        assert main.counters == {"instances": 15}
+
+    def test_merge_empty_is_noop(self):
+        main = StageProfile()
+        main.add_time("a", 1.0)
+        main.merge(StageProfile())
+        assert main.timings == {"a": 1.0}
+
+    def test_top_level_total_with_only_dotted_paths(self):
+        # A chain timed only at the leaf rolls all the way up.
+        profile = StageProfile()
+        profile.add_time("predict.learner.whirl", 1.0)
+        profile.add_time("predict.learner.bayes", 0.5)
+        assert profile.top_level_total() == 1.5
+
+    def test_pickle_round_trip(self):
+        profile = StageProfile()
+        profile.add_time("extract", 0.5)
+        profile.count("tags", 3)
+        clone = pickle.loads(pickle.dumps(profile))
+        assert clone.as_dict() == profile.as_dict()
+        clone.add_time("extract", 0.5)  # lock survives the round trip
+        assert clone.seconds("extract") == 1.0
+
 
 class TestProfileTable:
     def _profile(self) -> StageProfile:
@@ -92,3 +127,12 @@ class TestProfileTable:
     def test_empty_profile_renders(self):
         table = format_profile_table(StageProfile())
         assert "stage" in table
+
+    def test_shares_render_with_only_dotted_paths(self):
+        # Before the implicit-chain fix, a profile holding only deep
+        # dotted paths produced a zero denominator and dash shares.
+        profile = StageProfile()
+        profile.add_time("predict.learner.whirl", 1.0)
+        table = format_profile_table(profile)
+        assert "100.0%" in table
+        assert "    -" not in table
