@@ -1,0 +1,196 @@
+"""Concurrency rule: shared-state writes inside fanned-out callables.
+
+:class:`~repro.core.parallel.ParallelExecutor` promises byte-identical
+results at any worker count; the one way user code breaks that promise
+is by mutating state shared across tasks from inside the mapped
+callable. This rule finds callables passed to ``map`` / ``starmap`` /
+``map_profiled`` (including one call-hop through module-local helper
+functions, the dominant pattern in this codebase) and flags writes to
+names the callable does not own: assignments through ``global`` /
+``nonlocal``, stores into subscripts/attributes rooted at closure or
+module names, and calls of mutating methods on such names.
+
+The documented benign-race caches (``featurize._text_cache``, the
+per-instance ``feature_cache``, the approximate ``stats`` counters — see
+the thread-safety note in :mod:`repro.core.featurize`) are allowlisted:
+they are last-write-wins idempotent by design and exercised by the
+dynamic sanitizer instead (:mod:`repro.analysis.sanitizer`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .astutil import chain_parts, root_name
+from .engine import Rule, SourceFile, register
+from .findings import Finding
+
+#: ParallelExecutor entry points whose first argument is fanned out.
+EXECUTOR_METHODS = ("map", "starmap", "map_profiled")
+
+#: Method names that mutate their receiver.
+_MUTATORS = {
+    "append", "appendleft", "extend", "insert", "add", "update",
+    "setdefault", "clear", "pop", "popitem", "remove", "discard",
+    "sort", "reverse", "write", "writelines", "inc",
+}
+
+#: Shared state documented as a benign race (idempotent last-write-wins
+#: caches); matched against any component of the written chain.
+BENIGN_SHARED = frozenset({"_text_cache", "feature_cache", "stats"})
+
+
+def _bound_names(target: ast.AST | None) -> Iterator[str]:
+    """Names a binding target actually binds. Subscript/attribute
+    stores (``shared[k] = v``, ``obj.field = v``) bind nothing — they
+    mutate an existing object, which is exactly what the rule exists to
+    catch — so they must not mark their root name as local."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _local_names(fn: ast.AST) -> set[str]:
+    """Names bound inside ``fn`` (params, assignments, loop/with
+    targets, comprehension variables, nested defs) — writes to anything
+    else touch caller-owned state."""
+    names: set[str] = set()
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef,
+                       ast.Lambda)):
+        args = fn.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            names.add(arg.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+    declared: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                               ast.NamedExpr, ast.For, ast.comprehension)
+                       ):
+            targets = getattr(node, "targets", None) or \
+                [getattr(node, "target", None)]
+            for target in targets:
+                names.update(_bound_names(target))
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            names.update(_bound_names(node.optional_vars))
+    return names - declared
+
+
+def _shared_writes(fn: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for every write to non-local state in fn."""
+    local = _local_names(fn)
+
+    def is_shared(target: ast.AST) -> str | None:
+        """The offending name if ``target`` stores outside fn."""
+        root = root_name(target)
+        if root is None or root in local:
+            return None
+        if BENIGN_SHARED.intersection(chain_parts(target)):
+            return None
+        return ".".join(chain_parts(target)) or root
+
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            scope = "global" if isinstance(node, ast.Global) else \
+                "nonlocal"
+            for name in node.names:
+                if name not in BENIGN_SHARED:
+                    yield node, (f"declares {scope} {name!r} (writes "
+                                 f"escape the task)")
+        elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                               ast.AugAssign)):
+            targets = getattr(node, "targets", None) or [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    name = is_shared(target)
+                    if name is not None:
+                        yield node, f"stores into shared {name!r}"
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATORS:
+            name = is_shared(node.func)
+            if name is not None:
+                yield node, (f"calls mutating method "
+                             f"{name}.{node.func.attr}()")
+
+
+def _collect_functions(tree: ast.Module) -> dict[str, ast.AST]:
+    """Every function/method in the module, by (unqualified) name —
+    the one-hop resolution table for mapped callables."""
+    functions: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.setdefault(node.name, node)
+    return functions
+
+
+def _resolve_targets(fn_arg: ast.AST,
+                     functions: dict[str, ast.AST]) -> list[ast.AST]:
+    """The function bodies to scan for a mapped callable: the lambda or
+    named function itself, plus (one hop) any module-local functions it
+    calls — fan-out sites here overwhelmingly wrap a worker helper in a
+    closure (``lambda lrn, prof: predict_with(lrn, flat, prof)``)."""
+    targets: list[ast.AST] = []
+    if isinstance(fn_arg, ast.Lambda):
+        targets.append(fn_arg)
+    elif isinstance(fn_arg, ast.Name) and fn_arg.id in functions:
+        targets.append(functions[fn_arg.id])
+    elif isinstance(fn_arg, ast.Attribute) and \
+            fn_arg.attr in functions:
+        targets.append(functions[fn_arg.attr])
+    hops: list[ast.AST] = []
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Call):
+                callee = None
+                if isinstance(node.func, ast.Name):
+                    callee = functions.get(node.func.id)
+                elif isinstance(node.func, ast.Attribute):
+                    callee = functions.get(node.func.attr)
+                if callee is not None and callee not in targets and \
+                        callee not in hops:
+                    hops.append(callee)
+    return targets + hops
+
+
+@register
+class ExecutorSharedWriteRule(Rule):
+    """Callables handed to a parallel ``map`` must not write shared
+    state — that is how byte-identical-at-any-worker-count dies."""
+
+    id = "executor-shared-write"
+    severity = "error"
+    description = ("mutation of module-level or closure-captured state "
+                   "inside a callable passed to ParallelExecutor.map/"
+                   "starmap/map_profiled")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        functions = _collect_functions(source.tree)
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in EXECUTOR_METHODS
+                    and node.args):
+                continue
+            for target in _resolve_targets(node.args[0], functions):
+                for write, description in _shared_writes(target):
+                    yield self.finding(source,
+                        write, f"task mapped at line {node.lineno} "
+                        f"{description}; shared writes under a "
+                        f"parallel map break determinism (allowlist: "
+                        f"{', '.join(sorted(BENIGN_SHARED))})")

@@ -1,0 +1,165 @@
+"""Determinism rules.
+
+The repo's headline guarantee — byte-identical matching output at any
+``--workers`` count, and reproducible experiments at a fixed seed —
+only holds while no code path consults an unseeded RNG, the wall clock,
+or the iteration order of a set. These rules flag each of those at the
+call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .astutil import dotted, names_imported_from
+from .engine import Rule, SourceFile, register
+from .findings import Finding
+
+#: ``random`` module functions drawing from the *global* (unseeded) RNG.
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate",
+}
+
+#: Wall-clock reads; each maps to the dotted call spelling.
+_WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """No unseeded randomness anywhere: every RNG must take an explicit
+    seed, or two runs of the same command stop agreeing."""
+
+    id = "unseeded-random"
+    severity = "error"
+    description = ("calls to the global random module RNG, or RNG "
+                   "constructors without an explicit seed")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        from_random = names_imported_from(source.tree, "random")
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name is None:
+                continue
+            seeded = bool(node.args or node.keywords)
+            if name.startswith("random."):
+                func = name.split(".", 1)[1]
+                if func in _GLOBAL_RANDOM_FUNCS:
+                    yield self.finding(source,
+                        node, f"{name}() uses the global unseeded RNG; "
+                        f"use random.Random(seed)")
+                elif func == "Random" and not seeded:
+                    yield self.finding(source,
+                        node, "random.Random() without a seed is "
+                        "nondeterministic; pass an explicit seed")
+            elif from_random.get(name) == "Random" and not seeded:
+                yield self.finding(source,
+                    node, f"{name}() without a seed is nondeterministic;"
+                    f" pass an explicit seed")
+            elif from_random.get(name) in _GLOBAL_RANDOM_FUNCS:
+                yield self.finding(source,
+                    node, f"{name}() draws from the global unseeded "
+                    f"RNG; use random.Random(seed)")
+            elif name in ("np.random.default_rng",
+                          "numpy.random.default_rng"):
+                if not seeded:
+                    yield self.finding(source,
+                        node, f"{name}() without a seed is "
+                        f"nondeterministic; pass an explicit seed")
+            elif name.startswith(("np.random.", "numpy.random.")):
+                yield self.finding(source,
+                    node, f"{name}() uses numpy's legacy global RNG; "
+                    f"use np.random.default_rng(seed)")
+
+
+@register
+class WallclockRule(Rule):
+    """Wall-clock reads stay inside the observability layer (which
+    exists to time things) and the benchmarks; anywhere else they leak
+    nondeterminism into pipeline output."""
+
+    id = "wallclock"
+    severity = "warning"
+    description = ("wall-clock reads (time.time/perf_counter/"
+                   "datetime.now) outside observability and benchmarks")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if source.in_package("observability", "benchmarks"):
+            return
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted(node.func)
+            if name in _WALLCLOCK_CALLS:
+                yield self.finding(source,
+                    node, f"{name}() reads the wall clock outside "
+                    f"repro.observability; route timing through the "
+                    f"observability layer")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+#: Wrapping calls that preserve the set's (arbitrary) iteration order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter",
+                             "join"}
+
+#: Order-insensitive consumers — reducing a set with these is fine.
+_ORDER_FREE_WRAPPERS = {"sorted", "len", "sum", "min", "max", "any",
+                        "all", "set", "frozenset"}
+
+
+@register
+class SetIterationRule(Rule):
+    """Iterating a set feeds its arbitrary order into whatever consumes
+    the loop — wrap in ``sorted(...)`` before anything ordered sees it."""
+
+    id = "set-iteration"
+    severity = "warning"
+    description = ("iteration over a set feeding ordered output; "
+                   "wrap the set in sorted(...)")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self.finding(source,
+                    node.iter, "for-loop over a set has arbitrary "
+                    "order; iterate sorted(...) instead")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(source,
+                            comp.iter, "comprehension over a set "
+                            "produces arbitrary order; iterate "
+                            "sorted(...) instead")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, (ast.Name, ast.Attribute)):
+                func = node.func.id if isinstance(node.func, ast.Name) \
+                    else node.func.attr
+                if func in _ORDER_SENSITIVE_WRAPPERS and node.args and \
+                        _is_set_expr(node.args[0]):
+                    yield self.finding(source,
+                        node, f"{func}(set) captures the set's "
+                        f"arbitrary order; use sorted(...)")

@@ -1,0 +1,63 @@
+"""Exception-hygiene rule: no bare or blind ``except``.
+
+A handler that swallows ``Exception`` hides every future bug behind the
+one failure it meant to tolerate (the pre-fix ``persistence.load_system``
+turned *any* error — including programming errors in ``__setstate__``
+hooks — into "not a readable model"). Catch the concrete exception set
+the operation is documented to raise; a blanket handler is acceptable
+only when it visibly re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .astutil import contains_raise, dotted
+from .engine import Rule, SourceFile, register
+from .findings import Finding
+
+_BLIND = {"Exception", "BaseException"}
+
+
+def _blind_names(node: ast.expr | None) -> list[str]:
+    """The blind exception names mentioned by an except clause."""
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        name = dotted(expr)
+        if name and name.rsplit(".", 1)[-1] in _BLIND:
+            names.append(name)
+    return names
+
+
+@register
+class BlindExceptRule(Rule):
+    """Handlers must name the errors they expect (or re-raise)."""
+
+    id = "blind-except"
+    severity = "error"
+    description = ("bare 'except:' or 'except Exception' that does not "
+                   "re-raise; catch the concrete error set instead")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    source, node,
+                    "bare 'except:' swallows every error including "
+                    "KeyboardInterrupt; name the expected exceptions")
+                continue
+            blind = _blind_names(node.type)
+            if blind and not any(contains_raise(stmt)
+                                 for stmt in node.body):
+                yield self.finding(
+                    source, node,
+                    f"'except {', '.join(blind)}' without re-raise "
+                    f"hides unrelated bugs; catch the concrete "
+                    f"exception set")

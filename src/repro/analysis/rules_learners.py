@@ -1,0 +1,194 @@
+"""Learner-contract rule.
+
+The stacking meta-learner's weights (Doan et al., SIGMOD 2001, §3.4)
+are meaningful only if every base learner honours the
+:class:`~repro.learners.base.BaseLearner` contract: implement the
+``fit`` / ``predict_scores`` / ``clone`` surface, carry a stable
+``name``, and leave the training corpus untouched (cross-validation
+refits learners on shared instance lists — a learner that mutates them
+poisons every later fold). This project rule rebuilds the class
+hierarchy across the analyzed files and checks each concrete descendant
+of ``BaseLearner``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .astutil import dotted, root_name
+from .engine import Rule, SourceFile, register
+from .findings import Finding
+
+#: The abstract surface every concrete learner must provide.
+REQUIRED_METHODS = ("fit", "predict_scores", "clone")
+
+#: Mutating method calls that would rewrite a training sequence.
+_SEQUENCE_MUTATORS = {"append", "extend", "insert", "remove", "pop",
+                      "clear", "sort", "reverse"}
+
+
+@dataclass
+class _ClassInfo:
+    source: SourceFile
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    class_attrs: set[str] = field(default_factory=set)
+    is_abstract: bool = False
+
+
+def _decorator_names(node: ast.FunctionDef) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        name = dotted(decorator)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+def _collect_classes(sources: Sequence[SourceFile]
+                     ) -> dict[str, _ClassInfo]:
+    classes: dict[str, _ClassInfo] = {}
+    for source in sources:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = _ClassInfo(source, node)
+            for base in node.bases:
+                name = dotted(base)
+                if name:
+                    info.bases.append(name.rsplit(".", 1)[-1])
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    info.methods[stmt.name] = stmt
+                    if "abstractmethod" in _decorator_names(stmt):
+                        info.is_abstract = True
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            info.class_attrs.add(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    info.class_attrs.add(stmt.target.id)
+            # Last definition wins on duplicate names (rare; fixtures).
+            classes[node.name] = info
+    return classes
+
+
+def _descendants(classes: dict[str, _ClassInfo],
+                 root: str) -> list[str]:
+    """Transitive subclasses of ``root`` among the analyzed classes,
+    in deterministic (name) order."""
+    children: dict[str, list[str]] = {}
+    for name, info in classes.items():
+        for base in info.bases:
+            children.setdefault(base, []).append(name)
+    found: list[str] = []
+    frontier = [root]
+    while frontier:
+        parent = frontier.pop()
+        for child in sorted(children.get(parent, ())):
+            if child not in found:
+                found.append(child)
+                frontier.append(child)
+    return sorted(found)
+
+
+def _chain(classes: dict[str, _ClassInfo], name: str,
+           stop: str) -> list[_ClassInfo]:
+    """``name`` and its ancestors (within the analyzed set) up to but
+    excluding ``stop``."""
+    chain: list[_ClassInfo] = []
+    frontier = [name]
+    seen: set[str] = set()
+    while frontier:
+        current = frontier.pop()
+        if current in seen or current == stop:
+            continue
+        seen.add(current)
+        info = classes.get(current)
+        if info is None:
+            continue
+        chain.append(info)
+        frontier.extend(info.bases)
+    return chain
+
+
+def _corpus_mutations(fit: ast.FunctionDef
+                      ) -> Iterable[tuple[ast.AST, str]]:
+    """Writes through ``fit``'s instances/labels parameters."""
+    args = fit.args
+    params = [arg.arg for arg in (*args.posonlyargs, *args.args)
+              if arg.arg != "self"]
+    corpus = set(params[:2])  # (instances, labels) by contract
+    for node in ast.walk(fit):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SEQUENCE_MUTATORS and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id in corpus:
+            yield node, (f"fit() mutates training corpus "
+                         f"{node.func.value.id!r} via "
+                         f".{node.func.attr}()")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = getattr(node, "targets", None) or [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and \
+                        root_name(target) in corpus:
+                    yield node, (f"fit() assigns into training corpus "
+                                 f"{root_name(target)!r}")
+
+
+@register
+class LearnerContractRule(Rule):
+    """Concrete ``BaseLearner`` subclasses must implement the full
+    contract and leave their training corpus unmutated."""
+
+    id = "learner-contract"
+    severity = "error"
+    description = ("BaseLearner subclasses missing fit/predict_scores/"
+                   "clone or a stable name, or mutating their training "
+                   "corpus in fit()")
+
+    def check_project(self,
+                      sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        classes = _collect_classes(sources)
+        if "BaseLearner" not in classes:
+            return
+        for name in _descendants(classes, "BaseLearner"):
+            info = classes[name]
+            chain = _chain(classes, name, stop="BaseLearner")
+            if any(link.is_abstract for link in chain):
+                continue  # abstract intermediates defer the contract
+            inherited_methods = {method for link in chain
+                                 for method in link.methods}
+            for method in REQUIRED_METHODS:
+                if method not in inherited_methods:
+                    yield self.finding(
+                        info.source, info.node,
+                        f"learner {name!r} does not override "
+                        f"BaseLearner.{method}()")
+            attrs = {attr for link in chain
+                     for attr in link.class_attrs}
+            sets_name_in_init = any(
+                "name" in link.class_attrs or
+                ("__init__" in link.methods and any(
+                    isinstance(child, ast.Attribute) and
+                    child.attr == "name" and
+                    isinstance(child.ctx, ast.Store)
+                    for child in ast.walk(link.methods["__init__"])))
+                for link in chain)
+            if "name" not in attrs and not sets_name_in_init:
+                yield self.finding(
+                    info.source, info.node,
+                    f"learner {name!r} never sets its stable 'name' "
+                    f"identifier")
+            if "fit" in info.methods:
+                for node, message in _corpus_mutations(
+                        info.methods["fit"]):
+                    yield self.finding(
+                        info.source, node, f"learner {name!r} {message}")

@@ -1,6 +1,6 @@
 """Command-line interface for the LSD reproduction.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro generate --domain real_estate_1 --out data/
         Materialise a synthetic evaluation domain on disk: the mediated
@@ -29,6 +29,11 @@ Four subcommands::
     python -m repro evaluate --domain real_estate_1 --experiment ladder
         Run one of the paper's experiments and print its table.
 
+    python -m repro analyze [lint-args ...]
+        Run the project's static checker and sanitizers (the ``lsd-lint``
+        console script) over the given paths; see
+        ``python -m repro analyze --help`` for its options.
+
 Mapping files are plain text: one ``source-tag = LABEL`` per line, ``#``
 comments allowed.
 """
@@ -53,6 +58,11 @@ from .xmlio import parse_dtd, parse_fragments, write_dtd, write_element
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "analyze":
+        # Forwarded verbatim (argparse.REMAINDER cannot pass through
+        # leading option-like arguments such as ``--list-rules``).
+        return _cmd_analyze_argv(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
@@ -152,6 +162,13 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--trials", type=int, default=1)
     evaluate.add_argument("--splits", type=int, default=2)
     evaluate.set_defaults(handler=_cmd_evaluate)
+
+    # ``analyze`` is dispatched in :func:`main` before argparse runs (its
+    # arguments forward verbatim to lsd-lint); it is declared here only
+    # so it shows up in ``repro --help``.
+    commands.add_parser(
+        "analyze", add_help=False,
+        help="run the static checker / sanitizers (lsd-lint)")
 
     return parser
 
@@ -330,6 +347,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         study = run_feedback_study(domain, settings, runs=3)
         print(feedback_table([study]))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# analyze
+# ---------------------------------------------------------------------------
+
+def _cmd_analyze_argv(lint_args: list[str]) -> int:
+    # Lazy import: the analysis package is tooling, not pipeline code,
+    # and the other subcommands should not pay for loading it.
+    from .analysis.cli import main as lint_main
+
+    return lint_main(lint_args)
 
 
 # ---------------------------------------------------------------------------

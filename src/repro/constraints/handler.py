@@ -65,6 +65,11 @@ from ..core.labels import OTHER, LabelSpace
 from ..core.mapping import Mapping
 from ..core.parallel import ParallelExecutor, resolve, split_round_robin
 from ..observability import Observer, StageProfile, resolve_observer
+from ..observability.metrics import (M_CONSTRAINT_LEAF_REJECTS,
+                                     M_CONSTRAINT_NODES,
+                                     M_CONSTRAINT_PRUNE_BOUND,
+                                     M_CONSTRAINT_PRUNE_HARD,
+                                     M_CONSTRAINT_PRUNE_SOFT)
 from .base import (Constraint, HardConstraint, HardEvaluator, MatchContext,
                    SoftConstraint, SoftEvaluator, split_constraints)
 from .feedback import AssignmentConstraint, ExclusionConstraint
@@ -83,11 +88,11 @@ _STAT_NAMES = ("nodes_expanded", "prune_bound", "prune_hard",
 
 #: last_stats key -> metric name in the observability catalogue.
 _STAT_METRICS = {
-    "nodes_expanded": "constraint.nodes_expanded",
-    "prune_bound": "constraint.prune_bound",
-    "prune_hard": "constraint.prune_hard",
-    "prune_soft_bound": "constraint.prune_soft_bound",
-    "leaf_hard_rejects": "constraint.leaf_hard_rejects",
+    "nodes_expanded": M_CONSTRAINT_NODES,
+    "prune_bound": M_CONSTRAINT_PRUNE_BOUND,
+    "prune_hard": M_CONSTRAINT_PRUNE_HARD,
+    "prune_soft_bound": M_CONSTRAINT_PRUNE_SOFT,
+    "leaf_hard_rejects": M_CONSTRAINT_LEAF_REJECTS,
 }
 
 

@@ -34,12 +34,21 @@ harness uses it to measure the uncached baseline).
 
 Thread-safety: concurrent callers may race to fill the same slot, but
 both compute identical values from immutable inputs, so last-write-wins
-is correct. Hit/miss counts are plain integer adds and therefore
-approximate under threads; they are instrumentation, not logic.
+is correct. The *eviction* path is the one place that needed a real
+guard: clear-on-full and insert run under ``_text_cache_lock`` so a
+concurrent ``clear()`` landing between a reader's miss and its insert
+cannot wipe other threads' mid-flight entries unobserved — eviction is
+an atomic clear-then-insert, and lock-free ``get`` reads stay correct
+because they only ever see a fully-formed list or nothing. Hit/miss
+counts are plain integer adds and therefore approximate under threads;
+they are instrumentation, not logic. The dynamic sanitizer
+(``repro.analysis.sanitizer.shake_caches``) hammers exactly these
+paths.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
@@ -59,6 +68,10 @@ _enabled = True
 #: practice while still bounding long-lived processes.
 _TEXT_CACHE_MAX = 65536
 _text_cache: dict[str, list[str]] = {}
+
+#: Guards the eviction/insert path of ``_text_cache`` (reads are
+#: lock-free; see the thread-safety note in the module docstring).
+_text_cache_lock = threading.Lock()
 
 
 class CacheStats:
@@ -111,10 +124,14 @@ def pipeline_tokens(text: str) -> list[str]:
     tokens = _text_cache.get(text)
     if tokens is None:
         stats.misses += 1
-        if len(_text_cache) >= _TEXT_CACHE_MAX:
-            _text_cache.clear()
         tokens = _pipeline(text)
-        _text_cache[text] = tokens
+        # Atomic clear-then-insert: without the lock, an eviction on
+        # another thread could land between this miss and the insert
+        # and silently drop the entry we are about to publish.
+        with _text_cache_lock:
+            if len(_text_cache) >= _TEXT_CACHE_MAX:
+                _text_cache.clear()
+            _text_cache[text] = tokens
     else:
         stats.hits += 1
     return tokens
@@ -168,7 +185,8 @@ def invalidate(instance: ElementInstance) -> None:
 
 def clear_text_cache() -> None:
     """Empty the process-wide text-level memo (tests, memory pressure)."""
-    _text_cache.clear()
+    with _text_cache_lock:
+        _text_cache.clear()
 
 
 @contextmanager

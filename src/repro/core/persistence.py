@@ -23,6 +23,20 @@ from .system import LSDSystem
 FORMAT_VERSION = 1
 _MAGIC = "repro-lsd"
 
+#: What ``pickle.load`` raises on corrupt or incompatible input:
+#: UnpicklingError for malformed streams, EOFError for truncation,
+#: AttributeError/ImportError for classes that no longer resolve, and
+#: IndexError for garbage opcodes. Anything outside this tuple (say a
+#: MemoryError, or a RuntimeError from a class's ``__setstate__``) is
+#: not a file-format problem and must propagate untranslated.
+_UNPICKLE_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+)
+
 
 class ModelFormatError(RuntimeError):
     """The file is not a compatible saved LSD system."""
@@ -46,7 +60,7 @@ def load_system(path: str | Path) -> LSDSystem:
     with path.open("rb") as handle:
         try:
             payload = pickle.load(handle)
-        except Exception as exc:  # unpickling errors vary widely
+        except _UNPICKLE_ERRORS as exc:
             raise ModelFormatError(
                 f"{path} is not a readable LSD model: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:

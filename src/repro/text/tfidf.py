@@ -39,7 +39,9 @@ class TfidfVectorSpace:
         n_docs = len(documents)
         doc_frequency = np.zeros(max(len(self.vocabulary), 1))
         for doc in documents:
-            for token in set(doc):
+            # Each distinct token bumps its own counter slot, so the
+            # set's arbitrary order cannot reach any output.
+            for token in set(doc):  # lsd: ignore[set-iteration]
                 doc_frequency[self.vocabulary[token]] += 1
         # Smoothed idf keeps every fitted term positive, so a term present
         # in all documents still contributes a little signal.

@@ -1,0 +1,440 @@
+"""Per-rule tests for the static checker: each rule gets a known-good
+snippet (no findings) and injected violations (the findings the lint
+gate must catch)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import SourceFile, analyze_sources, get_rules
+
+
+def lint(code: str, rule: str,
+         display: str = "src/repro/example.py") -> list:
+    """Findings of one rule over one dedented snippet."""
+    source = SourceFile(Path(display), display, textwrap.dedent(code))
+    return analyze_sources([source], rules=get_rules([rule])).findings
+
+
+def lint_project(files: list[tuple[str, str]], rule: str) -> list:
+    """Findings of one rule over several (display, code) snippets."""
+    sources = [SourceFile(Path(display), display, textwrap.dedent(code))
+               for display, code in files]
+    return analyze_sources(sources, rules=get_rules([rule])).findings
+
+
+class TestUnseededRandom:
+    def test_global_rng_flagged(self):
+        findings = lint("""\
+            import random
+            x = random.random()
+            random.shuffle([1, 2])
+            """, "unseeded-random")
+        assert len(findings) == 2
+        assert all(f.rule == "unseeded-random" for f in findings)
+
+    def test_unseeded_constructors_flagged(self):
+        findings = lint("""\
+            import random
+            import numpy as np
+            a = random.Random()
+            b = np.random.default_rng()
+            """, "unseeded-random")
+        assert len(findings) == 2
+
+    def test_from_import_forms_flagged(self):
+        findings = lint("""\
+            from random import Random, shuffle
+            r = Random()
+            shuffle([1, 2])
+            """, "unseeded-random")
+        assert len(findings) == 2
+
+    def test_legacy_numpy_global_rng_flagged(self):
+        findings = lint("""\
+            import numpy as np
+            x = np.random.rand(3)
+            """, "unseeded-random")
+        assert len(findings) == 1
+        assert "legacy" in findings[0].message
+
+    def test_seeded_rngs_clean(self):
+        assert lint("""\
+            import random
+            import numpy as np
+            a = random.Random(7)
+            b = np.random.default_rng(0)
+            c = a.random()
+            """, "unseeded-random") == []
+
+
+class TestWallclock:
+    CODE = """\
+        import time
+        t = time.time()
+        d = time.perf_counter()
+        """
+
+    def test_wallclock_flagged_in_pipeline_code(self):
+        findings = lint(self.CODE, "wallclock",
+                        display="src/repro/core/example.py")
+        assert len(findings) == 2
+        assert findings[0].severity == "warning"
+
+    def test_observability_and_benchmarks_exempt(self):
+        for display in ("src/repro/observability/example.py",
+                        "benchmarks/example.py"):
+            assert lint(self.CODE, "wallclock", display=display) == []
+
+
+class TestSetIteration:
+    def test_for_loop_over_set_flagged(self):
+        findings = lint("""\
+            for x in {1, 2, 3}:
+                print(x)
+            """, "set-iteration")
+        assert len(findings) == 1
+
+    def test_comprehension_over_set_flagged(self):
+        findings = lint("""\
+            def f(xs):
+                return [x + 1 for x in set(xs)]
+            """, "set-iteration")
+        assert len(findings) == 1
+
+    def test_order_capturing_wrapper_flagged(self):
+        findings = lint("""\
+            def f(xs):
+                return list(set(xs)), ", ".join({"a", "b"})
+            """, "set-iteration")
+        assert len(findings) == 2
+
+    def test_sorted_and_reductions_clean(self):
+        assert lint("""\
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+                return sum(set(xs)), len({1, 2}), max(set(xs))
+            """, "set-iteration") == []
+
+
+class TestExecutorSharedWrite:
+    def test_lambda_mutating_closure_list_flagged(self):
+        findings = lint("""\
+            results = []
+
+            def run(pool, items):
+                pool.map(lambda item: results.append(item), items)
+            """, "executor-shared-write")
+        assert len(findings) == 1
+        assert "results.append" in findings[0].message
+
+    def test_one_hop_helper_writing_module_dict_flagged(self):
+        findings = lint("""\
+            cache = {}
+
+            def worker(item):
+                cache[item] = item
+
+            def run(pool, items):
+                pool.map(lambda item: worker(item), items)
+            """, "executor-shared-write")
+        assert len(findings) == 1
+        assert "stores into shared" in findings[0].message
+
+    def test_global_declaration_flagged(self):
+        findings = lint("""\
+            total = 0
+
+            def worker(a, b):
+                global total
+                total += a + b
+
+            def run(pool, pairs):
+                pool.starmap(worker, pairs)
+            """, "executor-shared-write")
+        assert any("global" in f.message for f in findings)
+
+    def test_pure_worker_clean(self):
+        assert lint("""\
+            def worker(item):
+                out = []
+                out.append(item * 2)
+                return out
+
+            def run(pool, items):
+                return pool.map(worker, items)
+            """, "executor-shared-write") == []
+
+    def test_benign_cache_allowlisted(self):
+        assert lint("""\
+            _text_cache = {}
+
+            def worker(text):
+                _text_cache[text] = text.split()
+                stats.hits += 1
+                return _text_cache[text]
+
+            def run(pool, texts):
+                return pool.map(worker, texts)
+            """, "executor-shared-write") == []
+
+
+BASE = """\
+    class BaseLearner:
+        def fit(self, instances, labels):
+            raise NotImplementedError
+
+        def predict_scores(self, instances):
+            raise NotImplementedError
+
+        def clone(self):
+            raise NotImplementedError
+    """
+
+
+class TestLearnerContract:
+    def test_complete_learner_clean(self):
+        assert lint_project([
+            ("src/repro/learners/base.py", BASE),
+            ("src/repro/learners/good.py", """\
+                class Good(BaseLearner):
+                    name = "good"
+
+                    def fit(self, instances, labels):
+                        return self
+
+                    def predict_scores(self, instances):
+                        return []
+
+                    def clone(self):
+                        return Good()
+                """),
+        ], "learner-contract") == []
+
+    def test_missing_methods_and_name_flagged(self):
+        findings = lint_project([
+            ("src/repro/learners/base.py", BASE),
+            ("src/repro/learners/bad.py", """\
+                class Bad(BaseLearner):
+                    def fit(self, instances, labels):
+                        return self
+                """),
+        ], "learner-contract")
+        messages = " ".join(f.message for f in findings)
+        assert "predict_scores" in messages
+        assert "clone" in messages
+        assert "'name'" in messages
+
+    def test_corpus_mutation_flagged(self):
+        findings = lint_project([
+            ("src/repro/learners/base.py", BASE),
+            ("src/repro/learners/mutator.py", """\
+                class Mutator(BaseLearner):
+                    name = "mutator"
+
+                    def fit(self, instances, labels):
+                        instances.sort()
+                        labels[0] = None
+                        return self
+
+                    def predict_scores(self, instances):
+                        return []
+
+                    def clone(self):
+                        return Mutator()
+                """),
+        ], "learner-contract")
+        assert len(findings) == 2
+        assert all("training corpus" in f.message for f in findings)
+
+    def test_abstract_intermediate_exempt(self):
+        assert lint_project([
+            ("src/repro/learners/base.py", BASE),
+            ("src/repro/learners/middle.py", """\
+                import abc
+
+                class Middle(BaseLearner):
+                    @abc.abstractmethod
+                    def extra(self):
+                        ...
+                """),
+        ], "learner-contract") == []
+
+    def test_contract_inherited_through_chain(self):
+        """A subclass of a concrete learner inherits the contract."""
+        assert lint_project([
+            ("src/repro/learners/base.py", BASE),
+            ("src/repro/learners/tower.py", """\
+                class Complete(BaseLearner):
+                    name = "complete"
+
+                    def fit(self, instances, labels):
+                        return self
+
+                    def predict_scores(self, instances):
+                        return []
+
+                    def clone(self):
+                        return Complete()
+
+                class Derived(Complete):
+                    name = "derived"
+                """),
+        ], "learner-contract") == []
+
+
+METRICS = """\
+    M_GOOD = "lsd.good"
+    M_UNUSED = "lsd.unused"
+
+    CATALOGUE = {
+        M_GOOD: ("counter", "a used metric"),
+        M_UNUSED: ("gauge", "declared but never emitted"),
+    }
+    """
+
+
+class TestMetricCatalogue:
+    def test_clean_when_vocabulary_agrees(self):
+        findings = lint_project([
+            ("src/repro/observability/metrics.py", """\
+                M_GOOD = "lsd.good"
+
+                CATALOGUE = {
+                    M_GOOD: ("counter", "a used metric"),
+                }
+                """),
+            ("src/repro/core/emit.py", """\
+                from ..observability.metrics import M_GOOD
+
+                def work(obs):
+                    obs.metrics.counter(M_GOOD).inc()
+                """),
+        ], "metric-catalogue")
+        assert findings == []
+
+    def test_undeclared_and_never_emitted_flagged(self):
+        findings = lint_project([
+            ("src/repro/observability/metrics.py", METRICS),
+            ("src/repro/core/emit.py", """\
+                from ..observability.metrics import M_GOOD
+
+                def work(obs):
+                    obs.metrics.counter(M_GOOD).inc()
+                    obs.metrics.counter("lsd.rogue").inc()
+                """),
+        ], "metric-catalogue")
+        messages = {f.message for f in findings}
+        assert any("lsd.rogue" in m and "not declared" in m
+                   for m in messages)
+        assert any("lsd.unused" in m and "never emitted" in m
+                   for m in messages)
+        assert len(findings) == 2
+
+    def test_kind_mismatch_flagged(self):
+        findings = lint_project([
+            ("src/repro/observability/metrics.py", """\
+                M_GOOD = "lsd.good"
+
+                CATALOGUE = {
+                    M_GOOD: ("counter", "a used metric"),
+                }
+                """),
+            ("src/repro/core/emit.py", """\
+                from ..observability.metrics import M_GOOD
+
+                def work(obs):
+                    obs.metrics.gauge(M_GOOD).set(1)
+                """),
+        ], "metric-catalogue")
+        assert len(findings) == 1
+        assert "catalogued as a counter" in findings[0].message
+
+    def test_scratch_names_in_tests_exempt(self):
+        """Registry unit tests emit throwaway names; only the
+        never-emitted direction may still fire, not undeclared."""
+        findings = lint_project([
+            ("src/repro/observability/metrics.py", """\
+                M_GOOD = "lsd.good"
+
+                CATALOGUE = {
+                    M_GOOD: ("counter", "a used metric"),
+                }
+                """),
+            ("tests/test_registry.py", """\
+                def test_counter(registry):
+                    registry.counter("scratch").inc()
+                """),
+            ("src/repro/core/emit.py", """\
+                from ..observability.metrics import M_GOOD
+
+                def work(obs):
+                    obs.metrics.counter(M_GOOD).inc()
+                """),
+        ], "metric-catalogue")
+        assert findings == []
+
+
+class TestSpanUnclosed:
+    def test_bare_span_call_flagged(self):
+        findings = lint("""\
+            def work(trace):
+                span = trace.span("match")
+                span.set_attribute("x", 1)
+            """, "span-unclosed")
+        assert len(findings) == 1
+
+    def test_with_statement_clean(self):
+        assert lint("""\
+            def work(trace):
+                with trace.span("match") as outer:
+                    with trace.span("predict", parent=outer.span_id):
+                        pass
+                with trace.span("a"), trace.span("b"):
+                    pass
+            """, "span-unclosed") == []
+
+
+class TestBlindExcept:
+    def test_bare_except_flagged(self):
+        findings = lint("""\
+            try:
+                risky()
+            except:
+                pass
+            """, "blind-except")
+        assert len(findings) == 1
+        assert "bare" in findings[0].message
+
+    def test_blind_exception_without_reraise_flagged(self):
+        findings = lint("""\
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    print(exc)
+            """, "blind-except")
+        assert len(findings) == 1
+
+    def test_blind_name_inside_tuple_flagged(self):
+        findings = lint("""\
+            try:
+                risky()
+            except (RuntimeError, Exception):
+                pass
+            """, "blind-except")
+        assert len(findings) == 1
+
+    def test_concrete_and_reraising_handlers_clean(self):
+        assert lint("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+                try:
+                    risky()
+                except Exception:
+                    cleanup()
+                    raise
+            """, "blind-except") == []

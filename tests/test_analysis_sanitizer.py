@@ -1,0 +1,65 @@
+"""Tests for the dynamic sanitizers (small configurations so the suite
+stays fast; CI runs the full 50-iteration acceptance configuration)."""
+
+from repro.analysis.sanitizer import (SanitizerReport, diff_determinism,
+                                      shake_caches)
+from repro.core import featurize
+
+
+class TestSanitizerReport:
+    def test_ok_and_render(self):
+        report = SanitizerReport("cache-race", iterations=5)
+        assert report.ok
+        assert "ok (5 iterations)" in report.render()
+
+    def test_failures_flip_ok_and_render(self):
+        report = SanitizerReport("determinism", iterations=2,
+                                 failures=["mapping differs on ['a']"])
+        assert not report.ok
+        rendered = report.render()
+        assert "FAILED" in rendered and "mapping differs" in rendered
+
+    def test_render_truncates_long_failure_lists(self):
+        report = SanitizerReport("x", failures=[f"f{i}"
+                                                for i in range(25)])
+        assert "... and 5 more" in report.render()
+
+
+class TestCacheShaker:
+    def test_shaker_passes_on_the_real_cache(self):
+        report = shake_caches(iterations=3, threads=4, cache_capacity=4)
+        assert report.ok, report.render()
+        assert report.iterations == 3
+        assert report.details["cache_capacity"] == 4
+
+    def test_shaker_restores_cache_capacity(self):
+        before = featurize._TEXT_CACHE_MAX
+        shake_caches(iterations=1, threads=2, cache_capacity=2)
+        assert featurize._TEXT_CACHE_MAX == before
+        assert len(featurize._text_cache) == 0
+
+    def test_shaker_detects_divergence(self, monkeypatch):
+        """A corrupted lookup must be reported, proving the harness
+        actually compares against the reference pipeline."""
+        real = featurize.pipeline_tokens
+
+        def corrupted(text):
+            tokens = list(real(text))
+            if "Miami" in text:
+                tokens.append("corrupted")
+            return tokens
+
+        monkeypatch.setattr(featurize, "pipeline_tokens", corrupted)
+        report = shake_caches(iterations=1, threads=2,
+                              cache_capacity=4)
+        assert not report.ok
+        assert any("corrupted" in failure
+                   for failure in report.failures)
+
+
+class TestDeterminismDiffer:
+    def test_workers_1_vs_4_identical(self):
+        report = diff_determinism(workers=4, repeats=1, n_listings=10)
+        assert report.ok, report.render()
+        assert report.details["tags"] > 0
+        assert report.details["spans"] > 0

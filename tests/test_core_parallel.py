@@ -44,6 +44,31 @@ class TestMap:
         with pytest.raises(ValueError, match="bad item 3"):
             ParallelExecutor(4).map(boom, range(8))
 
+    def test_first_failure_in_submission_order_wins(self):
+        """When several items fail, the earliest *submitted* failure
+        raises — even if a later item fails first on the wall clock.
+        Item 0 sleeps before failing while item 5 fails immediately;
+        the serial path trivially raises item 0's error, and the
+        parallel path must match it exactly."""
+        import threading
+
+        item5_failed = threading.Event()
+
+        def boom(x):
+            if x == 0:
+                # Don't fail until the later item already has.
+                item5_failed.wait(timeout=5)
+                raise KeyError("submitted first")
+            if x == 5:
+                try:
+                    raise IndexError("finished failing first")
+                finally:
+                    item5_failed.set()
+            return x
+
+        with pytest.raises(KeyError, match="submitted first"):
+            ParallelExecutor(8).map(boom, range(8))
+
 
 class TestStarmap:
     def test_unpacks_argument_tuples(self):

@@ -93,3 +93,39 @@ class TestFormatGuards:
                          "system": "not a system"}, handle)
         with pytest.raises(ModelFormatError):
             load_system(path)
+
+    def test_truncated_file(self, trained, tmp_path):
+        domain, system = trained
+        whole = tmp_path / "whole.lsd"
+        save_system(system, whole)
+        path = tmp_path / "cut.lsd"
+        path.write_bytes(whole.read_bytes()[:100])
+        with pytest.raises(ModelFormatError):
+            load_system(path)
+
+    def test_non_format_errors_propagate(self, tmp_path):
+        """Only documented unpickling failures become ModelFormatError;
+        an error raised by a class's own __setstate__ is a bug in that
+        class and must surface as itself, not as a corrupt-file
+        report."""
+        path = tmp_path / "explosive.lsd"
+        with path.open("wb") as handle:
+            pickle.dump({"magic": "repro-lsd",
+                         "version": FORMAT_VERSION,
+                         "system": _Explosive()}, handle)
+        with pytest.raises(RuntimeError, match="__setstate__ bug") \
+                as excinfo:
+            load_system(path)
+        # ModelFormatError subclasses RuntimeError, so pin the exact
+        # type: the error must arrive unwrapped.
+        assert type(excinfo.value) is RuntimeError
+
+
+class _Explosive:
+    """Pickles fine; detonates a non-format error while unpickling."""
+
+    def __getstate__(self):
+        return {"armed": True}
+
+    def __setstate__(self, state):
+        raise RuntimeError("__setstate__ bug")
