@@ -152,7 +152,7 @@ def _load_rule_modules() -> None:
     """Import the rule modules (registration happens on import)."""
     from . import (rules_concurrency, rules_determinism,  # noqa: F401
                    rules_exceptions, rules_learners,
-                   rules_observability)
+                   rules_observability, rules_resilience)
 
 
 # ---------------------------------------------------------------------------

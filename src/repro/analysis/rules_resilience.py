@@ -1,0 +1,149 @@
+"""Resilience-hygiene rules.
+
+**fault-site-catalogue** — the named fault sites of
+``repro.resilience.sites`` and the code must agree, both ways, exactly
+like the metric catalogue:
+
+* every ``SITE_*`` constant declared in the sites module must be a key
+  of ``SITE_CATALOGUE`` (the operator-facing site vocabulary that fault
+  plans validate against);
+* every catalogued site must actually be armed somewhere — referenced
+  via its ``SITE_*`` constant outside the sites module itself. A site
+  that exists only in the catalogue is a fault boundary the chaos suite
+  believes it can hit but the pipeline never visits;
+* a ``fire``/``corrupt``/``targets_site`` call with a string-literal
+  site must name a catalogued site — anything else would raise at run
+  time (``FaultSpec`` validates) or silently never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from .engine import Rule, SourceFile, register
+from .findings import Finding
+
+#: The file (path suffix) declaring the site catalogue.
+_SITES_MODULE = "resilience/sites.py"
+
+#: FaultPlan / ResiliencePolicy methods whose first argument is a site.
+_SITE_METHODS = ("fire", "corrupt", "targets_site")
+
+
+def _parse_sites(source: SourceFile
+                 ) -> tuple[dict[str, str], dict[str, int], set[str], int]:
+    """``(SITE_* name -> site string, site -> declaration line,
+    catalogued sites, SITE_CATALOGUE line)`` from the sites module."""
+    assert source.tree is not None
+    constants: dict[str, str] = {}
+    decl_lines: dict[str, int] = {}
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                node.targets[0].id.startswith("SITE_") and \
+                node.targets[0].id != "SITE_CATALOGUE" and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            constants[node.targets[0].id] = node.value.value
+            decl_lines[node.value.value] = node.lineno
+
+    catalogued: set[str] = set()
+    catalogue_line = 0
+    for node in source.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = getattr(node, "targets", None) or [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "SITE_CATALOGUE"
+                   for t in targets):
+            continue
+        catalogue_line = node.lineno
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            break
+        for key in value.keys:
+            if isinstance(key, ast.Name) and key.id in constants:
+                catalogued.add(constants[key.id])
+                decl_lines[constants[key.id]] = key.lineno
+            elif isinstance(key, ast.Constant) and \
+                    isinstance(key.value, str):
+                catalogued.add(key.value)
+                decl_lines[key.value] = key.lineno
+    return constants, decl_lines, catalogued, catalogue_line
+
+
+def _referenced_sites(source: SourceFile,
+                      constants: dict[str, str]) -> set[str]:
+    """Sites whose ``SITE_*`` constant is referenced in the file."""
+    assert source.tree is not None
+    referenced: set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Name) and node.id in constants:
+            referenced.add(constants[node.id])
+        elif isinstance(node, ast.Attribute) and node.attr in constants:
+            referenced.add(constants[node.attr])
+    return referenced
+
+
+def _literal_site_calls(source: SourceFile
+                        ) -> Iterable[tuple[ast.Call, str]]:
+    """``(call, site string)`` for every ``.fire("...")``-style call
+    whose site argument is a string literal."""
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _SITE_METHODS and node.args and \
+                isinstance(node.args[0], ast.Constant) and \
+                isinstance(node.args[0].value, str):
+            yield node, node.args[0].value
+
+
+@register
+class FaultSiteCatalogueRule(Rule):
+    """The fault-site vocabulary and the code must agree, both ways."""
+
+    id = "fault-site-catalogue"
+    severity = "error"
+    description = ("fault site missing from SITE_CATALOGUE, catalogued "
+                   "site never armed in code, or a literal site name "
+                   "that no catalogue entry matches")
+
+    def check_project(self,
+                      sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        sites_module = next(
+            (source for source in sources
+             if source.display.endswith(_SITES_MODULE)), None)
+        if sites_module is None:
+            return  # site catalogue not part of this run's file set
+        constants, decl_lines, catalogued, catalogue_line = \
+            _parse_sites(sites_module)
+
+        for name, site in sorted(constants.items()):
+            if site not in catalogued:
+                yield self.finding(
+                    sites_module, decl_lines.get(site, catalogue_line),
+                    f"fault site {name} = {site!r} is declared but "
+                    f"missing from SITE_CATALOGUE")
+
+        used: set[str] = set()
+        for source in sources:
+            if source is sites_module:
+                continue
+            used.update(_referenced_sites(source, constants))
+            # Chaos tests may address sites by literal string; that
+            # counts as usage, but an unknown literal is only an error
+            # in pipeline code (tests exercise the validation paths).
+            in_tests = source.in_package("tests", "benchmarks")
+            for call, site in _literal_site_calls(source):
+                used.add(site)
+                if site not in catalogued and not in_tests:
+                    yield self.finding(
+                        source, call,
+                        f"fault site {site!r} is not declared in "
+                        f"SITE_CATALOGUE; FaultSpec would reject it")
+        for site in sorted(catalogued.difference(used)):
+            yield self.finding(
+                sites_module, decl_lines.get(site, catalogue_line),
+                f"fault site {site!r} is catalogued but never armed "
+                f"in the analyzed files")

@@ -17,7 +17,15 @@ claimed correct. That claim is dynamic, so it gets a dynamic check:
   score row, the trace's span-id structure, and the per-column quality
   records.
 
-Both return plain-data reports (``ok`` + human-readable ``failures``)
+* :func:`diff_chaos_determinism` repeats the same diff under a fixed
+  :class:`~repro.resilience.FaultPlan` — a learner crashing
+  mid-predict, one task raising once (retried), the predict pool dying
+  — and asserts the *degraded* mapping, quality records and the
+  degradation report itself are still byte-identical at any worker
+  count. This is the determinism contract the resilience layer adds on
+  top of the healthy-path one.
+
+All return plain-data reports (``ok`` + human-readable ``failures``)
 so the CLI, tests and CI can share one harness.
 """
 
@@ -247,10 +255,143 @@ def diff_determinism(workers: int = 4, repeats: int = 3,
     return report
 
 
+# ---------------------------------------------------------------------------
+# chaos determinism differ (same diff, under a fixed fault plan)
+# ---------------------------------------------------------------------------
+
+#: The fixed chaos plan the sanitizer replays per run: one learner
+#: crashes mid-predict (quarantine + weight renormalization), the
+#: predict pool dies (serial fallback), and the first executor task
+#: fails once (recovered by the 1-retry budget). All raise-style —
+#: no delays, no deadlines — so the degraded output is a pure
+#: function of the plan, never of timing.
+_CHAOS_PLAN = {
+    "seed": 13,
+    "faults": [
+        {"site": "learner.predict", "key": "name_matcher",
+         "action": "raise", "message": "chaos: learner crash"},
+        {"site": "executor.pool", "key": "predict", "action": "raise"},
+        {"site": "executor.task", "key": "0", "action": "raise",
+         "count": 1},
+    ],
+}
+
+
+def _chaos_policy():
+    from ..resilience import FaultPlan, ResiliencePolicy
+
+    # Hit counters and the degradation report are stateful: every run
+    # must get a fresh plan + policy or the second run sees spent specs.
+    return ResiliencePolicy(retries=1, backoff=0.0,
+                            fault_plan=FaultPlan.from_dict(_CHAOS_PLAN))
+
+
+def diff_chaos_determinism(workers: int = 4, repeats: int = 2,
+                           domain_name: str = "real_estate_1",
+                           n_listings: int = 20) -> SanitizerReport:
+    """:func:`diff_determinism` under fire: match the same source at
+    ``--workers 1`` and ``--workers N`` with the fixed
+    :data:`_CHAOS_PLAN` armed, and diff the *degraded* mapping, tag
+    score rows, quality records and the degradation report itself.
+
+    Also asserts the plan actually bit — a chaos run whose degradation
+    report is empty means a fault site silently stopped firing, which
+    would turn this whole check into a vacuous pass.
+    """
+    report = SanitizerReport("chaos-determinism", iterations=repeats)
+    system, domain = _build_trained_system(domain_name, n_listings,
+                                           workers=1)
+
+    def run(worker_count: int):
+        system.workers = worker_count
+        system.policy = _chaos_policy()
+        try:
+            result, _ = _run_match(system, domain, n_listings)
+        finally:
+            system.policy = None
+            system.workers = 1
+        return result
+
+    serial = run(1)
+    serial_mapping = dict(serial.mapping.items())
+    serial_quality = [record.as_dict() for record in serial.quality]
+    degradation = serial.degradation
+    serial_degradation = degradation.as_dict() \
+        if degradation is not None else {}
+
+    if degradation is None or not degradation.degraded:
+        report.failures.append(
+            "chaos plan fired no faults — degradation report is empty")
+    else:
+        if "name_matcher" not in degradation.quarantined_learners:
+            report.failures.append(
+                "learner.predict fault did not quarantine "
+                "'name_matcher'")
+        if "predict" not in degradation.pool_failures:
+            report.failures.append(
+                "executor.pool fault did not force the serial "
+                "fallback for stage 'predict'")
+        if not any(entry["recovered"] for entry in degradation.retries):
+            report.failures.append(
+                "executor.task fault was not recovered by the retry "
+                "budget")
+
+    for repeat in range(repeats):
+        parallel = run(workers)
+        prefix = f"repeat {repeat} (workers {workers} vs 1)"
+
+        parallel_mapping = dict(parallel.mapping.items())
+        if parallel_mapping != serial_mapping:
+            changed = sorted(
+                tag for tag in set(serial_mapping)
+                | set(parallel_mapping)
+                if serial_mapping.get(tag) != parallel_mapping.get(tag))
+            report.failures.append(
+                f"{prefix}: degraded mapping differs on tags {changed}")
+
+        for tag in sorted(serial.tag_scores):
+            serial_row = serial.tag_scores[tag]
+            parallel_row = parallel.tag_scores.get(tag)
+            if parallel_row is None or not np.array_equal(serial_row,
+                                                          parallel_row):
+                report.failures.append(
+                    f"{prefix}: degraded score row for tag {tag!r} "
+                    f"differs")
+
+        parallel_quality = [record.as_dict()
+                            for record in parallel.quality]
+        if parallel_quality != serial_quality:
+            report.failures.append(
+                f"{prefix}: degraded quality records differ")
+
+        parallel_degradation = parallel.degradation.as_dict() \
+            if parallel.degradation is not None else {}
+        if parallel_degradation != serial_degradation:
+            diverging = sorted(
+                key for key in set(serial_degradation)
+                | set(parallel_degradation)
+                if serial_degradation.get(key)
+                != parallel_degradation.get(key))
+            report.failures.append(
+                f"{prefix}: degradation report differs in sections "
+                f"{diverging}")
+
+    report.details["domain"] = domain_name
+    report.details["n_listings"] = n_listings
+    report.details["workers"] = workers
+    report.details["quarantined"] = degradation.quarantined_learners \
+        if degradation is not None else []
+    report.details["fired_faults"] = len(serial_degradation.get(
+        "fired_faults", []))
+    return report
+
+
 def run_all(shake_iterations: int = 50, workers: int = 4,
             repeats: int = 3) -> list[SanitizerReport]:
     """The full sanitizer suite, as run by ``lsd-lint --sanitize``."""
     return [
         shake_caches(iterations=shake_iterations),
         diff_determinism(workers=workers, repeats=repeats),
+        diff_chaos_determinism(workers=workers,
+                               repeats=min(repeats, 2)),
     ]

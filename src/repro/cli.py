@@ -46,14 +46,16 @@ from pathlib import Path
 
 from .constraints import AssignmentConstraint, parse_constraints
 from .core import LSDSystem, Mapping, MediatedSchema, SourceSchema
-from .core.persistence import load_system, save_system
+from .core.persistence import ModelFormatError, load_system, save_system
 from .datasets import DOMAIN_NAMES, load_domain
 from .learners import default_learners
 from .observability import (Observer, build_match_report,
                             dataset_fingerprint, resolve_observer,
                             write_report)
 from .observability.metrics import M_INSTANCES
-from .xmlio import parse_dtd, parse_fragments, write_dtd, write_element
+from .resilience import FaultPlan, ResiliencePolicy, ingest_fragments
+from .xmlio import (INGEST_MODES, parse_dtd, parse_fragments, write_dtd,
+                    write_element)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trace-out", type=Path,
                        help="write the training trace (JSONL, one span "
                             "per line) to this file")
+    _add_resilience_flags(train)
     train.set_defaults(handler=_cmd_train)
 
     match = commands.add_parser(
@@ -149,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the run report (JSON: config, dataset "
                             "fingerprint, stage timings, metrics, "
                             "quality records, mapping) to this file")
+    _add_resilience_flags(match)
     match.set_defaults(handler=_cmd_match)
 
     evaluate = commands.add_parser(
@@ -171,6 +175,70 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the static checker / sanitizers (lsd-lint)")
 
     return parser
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "resilience",
+        "fault tolerance and graceful degradation (all off by default; "
+        "degraded runs are reported in the run report's 'degradation' "
+        "section)")
+    group.add_argument("--input-mode", choices=list(INGEST_MODES),
+                       default="strict",
+                       help="how to ingest listings XML: 'strict' "
+                            "rejects malformed input (default), "
+                            "'lenient' repairs what it can, 'salvage' "
+                            "keeps only well-formed listings")
+    group.add_argument("--fault-plan", type=Path,
+                       help="JSON fault-injection plan for chaos "
+                            "testing (see repro.resilience)")
+    group.add_argument("--retries", type=int, default=0,
+                       help="retry budget per parallel task (default 0)")
+    group.add_argument("--backoff", type=float, default=0.05,
+                       help="base seconds for seeded exponential retry "
+                            "backoff (default 0.05)")
+    group.add_argument("--deadline", type=float,
+                       help="overall seconds budget; the constraint "
+                            "search returns its best-so-far mapping "
+                            "when it expires")
+    group.add_argument("--learner-timeout", type=float,
+                       help="per-call seconds cap on base-learner "
+                            "fit/predict; a learner that exceeds it is "
+                            "quarantined for the run")
+
+
+def _build_policy(args: argparse.Namespace) -> ResiliencePolicy:
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.from_json(_read_text(args.fault_plan))
+        except ValueError as exc:
+            raise CliError(f"{args.fault_plan}: {exc}") from exc
+    if args.retries < 0:
+        raise CliError("--retries must be >= 0")
+    return ResiliencePolicy(
+        input_mode=args.input_mode,
+        retries=args.retries,
+        backoff=args.backoff,
+        deadline=args.deadline,
+        learner_timeout=args.learner_timeout,
+        fault_plan=plan)
+
+
+def _load_model(path: Path) -> LSDSystem:
+    try:
+        return load_system(path)
+    except ModelFormatError as exc:
+        raise CliError(str(exc)) from exc
+    except OSError as exc:
+        raise CliError(f"cannot read model {path}: {exc}") from exc
+
+
+def _save_model(system: LSDSystem, path: Path) -> None:
+    try:
+        save_system(system, path)
+    except OSError as exc:
+        raise CliError(f"cannot write model {path}: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +289,7 @@ def _write_domain_constraints(domain, path: Path) -> None:
 def _cmd_train(args: argparse.Namespace) -> int:
     observer = Observer.full() if args.trace_out else None
     obs = resolve_observer(observer)
+    policy = _build_policy(args)
     with obs.trace.span("run", command="train"):
         mediated = MediatedSchema(_read_dtd(args.mediated))
         constraints = []
@@ -229,17 +298,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
         system = LSDSystem(mediated, default_learners(),
                            constraints=constraints,
                            max_instances_per_tag=args.max_instances,
-                           workers=args.workers)
+                           workers=args.workers,
+                           policy=policy)
         for source_dir in args.train:
-            schema, listings, mapping = _read_source_dir(source_dir)
+            schema, listings, mapping = _read_source_dir(source_dir,
+                                                         policy)
             system.add_training_source(schema, listings, mapping)
             print(f"added training source {source_dir} "
                   f"({len(listings)} listings)")
         system.train(observer=observer)
-        save_system(system, args.model)
+        _save_model(system, args.model)
     if args.trace_out:
         obs.trace.write_jsonl(args.trace_out)
         print(f"trace written to {args.trace_out}")
+    quarantined = policy.report.quarantined_learners
+    if quarantined:
+        print("WARNING: quarantined learners (training continued "
+              "without them): " + ", ".join(quarantined))
     print(f"trained on {len(args.train)} source(s); model saved to "
           f"{args.model}")
     return 0
@@ -253,17 +328,19 @@ def _cmd_match(args: argparse.Namespace) -> int:
     observer = Observer.full() if (args.trace_out or args.report_out) \
         else None
     obs = resolve_observer(observer)
+    policy = _build_policy(args)
     # The root span covers the whole run — model load and input parsing
     # included — so trace consumers can attribute all wall time.
     with obs.trace.span("run", command="match"):
         with obs.trace.span("load_model"):
-            system = load_system(args.model)
+            system = _load_model(args.model)
         system.workers = args.workers
+        system.policy = policy
         if system.handler is not None:
             system.handler.search = args.search
         with obs.trace.span("parse_inputs"):
             schema = SourceSchema(_read_dtd(args.schema))
-            listings = _read_listings(args.listings)
+            listings = _read_listings(args.listings, policy)
         feedback = [
             AssignmentConstraint(*_parse_feedback(item))
             for item in args.feedback
@@ -272,6 +349,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
                               extra_constraints=feedback,
                               observer=observer)
 
+    degradation = result.degradation
+    if degradation is not None and degradation.degraded:
+        print("DEGRADED RUN: " + _degradation_summary(degradation),
+              file=sys.stderr)
     print(f"proposed mappings for {args.schema.name}:")
     for tag in sorted(result.mapping.tags()):
         candidates = ", ".join(
@@ -288,14 +369,27 @@ def _cmd_match(args: argparse.Namespace) -> int:
         obs.trace.write_jsonl(args.trace_out)
         print(f"trace written to {args.trace_out}")
     if args.report_out:
+        config = {"model": str(args.model),
+                  "schema": str(args.schema),
+                  "listings": str(args.listings),
+                  "workers": args.workers,
+                  "search": args.search,
+                  "top": args.top,
+                  "feedback": len(feedback)}
+        # Non-default resilience settings only: a plain strict run's
+        # report stays byte-identical to builds without these flags.
+        if args.input_mode != "strict":
+            config["input_mode"] = args.input_mode
+        if args.fault_plan:
+            config["fault_plan"] = str(args.fault_plan)
+        if args.retries:
+            config["retries"] = args.retries
+        if args.deadline is not None:
+            config["deadline"] = args.deadline
+        if args.learner_timeout is not None:
+            config["learner_timeout"] = args.learner_timeout
         report = build_match_report(
-            config={"model": str(args.model),
-                    "schema": str(args.schema),
-                    "listings": str(args.listings),
-                    "workers": args.workers,
-                    "search": args.search,
-                    "top": args.top,
-                    "feedback": len(feedback)},
+            config=config,
             dataset={"fingerprint": dataset_fingerprint(
                          schema.tags,
                          [listing.text_content()
@@ -308,6 +402,28 @@ def _cmd_match(args: argparse.Namespace) -> int:
         write_report(report, args.report_out)
         print(f"run report written to {args.report_out}")
     return 0
+
+
+def _degradation_summary(degradation) -> str:
+    """One terminal line naming everything the run absorbed."""
+    parts: list[str] = []
+    quarantined = degradation.quarantined_learners
+    if quarantined:
+        parts.append("quarantined learners: " + ", ".join(quarantined))
+    recovery = degradation.recovery
+    if recovery is not None and not recovery.ok:
+        parts.append(f"listings recovered={len(recovery.recovered)} "
+                     f"dropped={len(recovery.dropped)}")
+    if degradation.retries:
+        parts.append(f"task retries: {len(degradation.retries)}")
+    if degradation.pool_failures:
+        parts.append("pool fell back to serial: "
+                     + ", ".join(sorted(set(degradation.pool_failures))))
+    if degradation.anytime:
+        parts.append("anytime search exit")
+    if degradation.fired_faults:
+        parts.append(f"injected faults: {len(degradation.fired_faults)}")
+    return "; ".join(parts) if parts else "degraded"
 
 
 def _parse_feedback(item: str) -> tuple[str, str]:
@@ -381,22 +497,41 @@ def _read_dtd(path: Path):
         raise CliError(f"{path}: {exc}") from exc
 
 
-def _read_listings(path: Path):
+def _read_listings(path: Path, policy: ResiliencePolicy | None = None):
+    from .resilience import FaultInjected
     from .xmlio import XMLSyntaxError
 
+    text = _read_text(path)
+    if policy is None:
+        try:
+            return parse_fragments(text)
+        except XMLSyntaxError as exc:
+            raise CliError(f"{path}: {exc}") from exc
     try:
-        return parse_fragments(_read_text(path))
-    except XMLSyntaxError as exc:
-        raise CliError(f"{path}: {exc}") from exc
+        listings, log = ingest_fragments(text, mode=policy.input_mode,
+                                         plan=policy.fault_plan)
+    except (XMLSyntaxError, FaultInjected) as exc:
+        raise CliError(
+            f"{path}: {exc} (rerun with --input-mode lenient to "
+            f"repair, or salvage to keep only well-formed listings)"
+            ) from exc
+    if not log.ok:
+        policy.report.attach_recovery(log)
+    if not listings:
+        raise CliError(
+            f"{path}: no listings survived {policy.input_mode} "
+            f"ingestion")
+    return listings
 
 
-def _read_source_dir(source_dir: Path):
+def _read_source_dir(source_dir: Path,
+                     policy: ResiliencePolicy | None = None):
     source_dir = Path(source_dir)
     if not source_dir.is_dir():
         raise CliError(f"{source_dir} is not a directory")
     schema = SourceSchema(_read_dtd(source_dir / "schema.dtd"),
                           name=source_dir.name)
-    listings = _read_listings(source_dir / "listings.xml")
+    listings = _read_listings(source_dir / "listings.xml", policy)
     mapping = _parse_mapping(_read_text(source_dir / "mapping.txt"),
                              source_dir / "mapping.txt")
     return schema, listings, mapping

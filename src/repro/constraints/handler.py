@@ -140,18 +140,37 @@ class _Incumbent:
 
 
 class _Budget:
-    """Shared expansion budget. Increments race benignly across worker
-    threads (a lock per node would cost more than the occasional lost
-    count); at one worker the count is exact."""
+    """Shared expansion budget, optionally deadline-capped.
 
-    __slots__ = ("limit", "spent")
+    Increments race benignly across worker threads (a lock per node
+    would cost more than the occasional lost count); at one worker the
+    count is exact. The deadline, when armed, is polled amortized —
+    every 256 expansions — so the hot path normally pays two attribute
+    reads. ``stopped`` latches once any expansion is refused, which is
+    exactly the "search was cut short, result is best-so-far" signal
+    the anytime flag reports.
+    """
 
-    def __init__(self, limit: int) -> None:
+    __slots__ = ("limit", "spent", "deadline", "stopped")
+
+    def __init__(self, limit: int, deadline=None) -> None:
         self.limit = limit
         self.spent = 0
+        self.deadline = deadline \
+            if deadline is not None and deadline.active else None
+        self.stopped = False
 
     def exhausted(self) -> bool:
-        return self.spent >= self.limit
+        if self.stopped:
+            return True
+        if self.spent >= self.limit:
+            self.stopped = True
+            return True
+        if self.deadline is not None and not (self.spent & 0xFF) \
+                and self.deadline.expired():
+            self.stopped = True
+            return True
+        return False
 
 
 class _DfsEngine:
@@ -320,7 +339,7 @@ class _DfsEngine:
         per-level lists precomputed — because this is the engine's one
         hot path (millions of iterations on large schemas)."""
         budget = self.budget
-        if budget.spent >= budget.limit:
+        if budget.exhausted():
             return
         budget.spent += 1
         self._nodes += 1
@@ -444,7 +463,8 @@ class ConstraintHandler:
                      extra_constraints: Sequence[Constraint] = (),
                      executor: ParallelExecutor | None = None,
                      profile: StageProfile | None = None,
-                     observer: Observer | None = None) -> Mapping:
+                     observer: Observer | None = None,
+                     deadline=None, report=None) -> Mapping:
         """The least-cost mapping for the given per-tag score rows.
 
         ``scores[tag]`` is the prediction converter's normalised score
@@ -454,23 +474,32 @@ class ConstraintHandler:
         mapping is byte-identical at any worker count); ``profile``
         receives ``constraint_*`` counters when given; ``observer``
         records a ``search`` span and the ``constraint.*`` metrics.
+
+        ``deadline`` (a :class:`repro.resilience.Deadline`) caps the
+        search by wall clock on top of the expansion budget; when either
+        cuts the search short the best complete mapping found so far is
+        returned and ``report`` (a :class:`~repro.resilience.
+        DegradationReport`), when given, is flagged *anytime*.
         """
         obs = resolve_observer(observer)
         with obs.trace.span("search", strategy=self.search) as span:
             mapping = self._find_mapping(scores, space, ctx,
                                          extra_constraints, executor,
-                                         profile)
+                                         profile, deadline)
             span.set_attribute(
                 "nodes_expanded", self.last_stats["nodes_expanded"])
         for stat, metric in _STAT_METRICS.items():
             obs.metrics.counter(metric).inc(self.last_stats[stat])
+        if report is not None and self.last_stats.get("anytime"):
+            report.mark_anytime()
         return mapping
 
     def _find_mapping(self, scores: dict[str, np.ndarray],
                       space: LabelSpace, ctx: MatchContext,
                       extra_constraints: Sequence[Constraint],
                       executor: ParallelExecutor | None,
-                      profile: StageProfile | None) -> Mapping:
+                      profile: StageProfile | None,
+                      deadline=None) -> Mapping:
         hard, soft = split_constraints(
             [*self.constraints, *extra_constraints])
         tags = self._tag_order(list(scores), ctx)
@@ -503,9 +532,10 @@ class ConstraintHandler:
             [self.soft_weights.get(c.kind, 1.0) for c in soft], ctx)
 
         if self.search == "astar":
-            best, stats = self._astar_search(problem)
+            best, stats = self._astar_search(problem, deadline)
         else:
-            best, stats = self._branch_and_bound(problem, executor)
+            best, stats = self._branch_and_bound(problem, executor,
+                                                 deadline)
         stats["strategy"] = self.search
         self.last_stats = stats
         if profile is not None:
@@ -523,12 +553,13 @@ class ConstraintHandler:
     # strategies
     # ------------------------------------------------------------------
     def _branch_and_bound(self, problem: _Problem,
-                          executor: ParallelExecutor | None
+                          executor: ParallelExecutor | None,
+                          deadline=None
                           ) -> tuple[dict[str, str] | None, dict]:
         """Incremental DFS branch-and-bound with a parallel root-split."""
         executor = resolve(executor)
         incumbent = _Incumbent()
-        budget = _Budget(self.max_expansions)
+        budget = _Budget(self.max_expansions, deadline)
 
         seed_engine = _DfsEngine(problem, incumbent, budget)
         seed_engine.greedy_seed()
@@ -548,21 +579,26 @@ class ConstraintHandler:
             for name in _STAT_NAMES:
                 stats[name] += part[name]
         stats["root_partitions"] = len(partitions)
+        stats["anytime"] = int(budget.stopped)
 
         cost, _, assignment = incumbent.best
         stats["best_cost"] = cost
         return assignment, stats
 
-    def _astar_search(self, problem: _Problem
+    def _astar_search(self, problem: _Problem, deadline=None
                       ) -> tuple[dict[str, str] | None, dict]:
         """Best-first search over the same space and cost model.
 
         States are tuples of candidate indices, one per assigned tag; a
         final closing transition adds the exact soft cost (and checks
         hard completeness), so the goal's ``g`` equals the paper's
-        ``cost(m)`` exactly as branch-and-bound computes it.
+        ``cost(m)`` exactly as branch-and-bound computes it. An armed
+        ``deadline`` is polled every 256 expansions; on expiry the
+        expander yields nothing more, the frontier drains, and the best
+        goal seen so far is returned (flagged anytime).
         """
         p = problem
+        clock = _Budget(self.max_expansions, deadline)
         n = len(p.tags)
         cand_lists = [p.cands[tag] for tag in p.tags]
         cost_lists = [[p.log_cost[tag][label] for label in p.cands[tag]]
@@ -586,6 +622,11 @@ class ConstraintHandler:
             level = len(state)
             if level > n:
                 return
+            if clock.exhausted():
+                # Deadline hit: yield nothing so the frontier drains and
+                # astar returns the best goal recorded so far.
+                return
+            clock.spent += 1
             assignment = assignment_of(state)
             if level == n:
                 if any(c.check_complete(assignment, p.ctx)
@@ -617,6 +658,7 @@ class ConstraintHandler:
         stats["nodes_expanded"] = result.expanded
         stats["best_cost"] = result.cost
         stats["exhausted_budget"] = int(result.exhausted_budget)
+        stats["anytime"] = int(result.exhausted_budget or clock.stopped)
         if result.state is None:
             return None, stats
         return assignment_of(result.state[:-1]), stats

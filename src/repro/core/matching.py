@@ -43,12 +43,20 @@ from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
 from ..observability import (Observer, QualityRecord, StageProfile,
                              build_quality_records, resolve_observer)
-from ..observability.metrics import (M_CACHE_HIT_RATIO, M_CACHE_HITS,
-                                     M_CACHE_MISSES, M_COLUMN_SIZE,
-                                     M_INSTANCES, M_PREDICT_LATENCY,
+from ..observability.metrics import (M_ANYTIME_EXITS, M_CACHE_HIT_RATIO,
+                                     M_CACHE_HITS, M_CACHE_MISSES,
+                                     M_COLUMN_SIZE, M_FAULTS_FIRED,
+                                     M_INSTANCES, M_LEARNERS_QUARANTINED,
+                                     M_LISTINGS_DROPPED,
+                                     M_LISTINGS_RECOVERED,
+                                     M_POOL_FAILURES, M_PREDICT_LATENCY,
                                      M_STRUCTURE_PASSES,
                                      M_STRUCTURE_REPREDICTED, M_TAGS,
-                                     SIZE_BUCKETS)
+                                     M_TASK_RETRIES, SIZE_BUCKETS)
+from ..resilience.faults import FaultInjected
+from ..resilience.policy import (Deadline, DegradationReport,
+                                 ResiliencePolicy, call_with_timeout)
+from ..resilience.sites import SITE_LEARNER_PREDICT, SITE_SEARCH_ROOT
 from ..xmlio import Element
 from . import featurize
 from .converter import PredictionConverter
@@ -79,6 +87,13 @@ class MatchResult:
     #: only when the run's observer collects quality — see
     #: :mod:`repro.observability.quality`.
     quality: list[QualityRecord] = field(default_factory=list)
+    #: The run's degradation account (quarantines, retries, salvage…)
+    #: when a :class:`~repro.resilience.ResiliencePolicy` was active;
+    #: ``None`` on the legacy policy-free path.
+    degradation: DegradationReport | None = None
+    #: True when the constraint search hit its deadline and returned
+    #: the best mapping found so far rather than a proven optimum.
+    anytime: bool = False
 
     def prediction_for(self, tag: str) -> Prediction:
         """The converter's prediction for one source tag."""
@@ -106,7 +121,8 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                  score_filter=None,
                  executor: ParallelExecutor | None = None,
                  incremental_structure: bool = True,
-                 observer: Observer | None = None) -> MatchResult:
+                 observer: Observer | None = None,
+                 policy: ResiliencePolicy | None = None) -> MatchResult:
     """Run the full matching pipeline; see module docstring.
 
     ``score_filter(tag_scores, columns) -> tag_scores`` runs between the
@@ -122,11 +138,19 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
     per-column quality records; the disabled default costs nothing.
     The span tree, metric counts, and quality records are a function of
     the inputs only — identical at any worker count.
+
+    ``policy`` arms fault tolerance: a base learner whose prediction
+    raises (or times out) is quarantined instead of crashing the run,
+    the meta weights renormalize over the survivors, and the constraint
+    search honours the policy's deadline (returning a best-so-far
+    mapping flagged ``anytime``). Without a policy, errors propagate
+    exactly as before.
     """
     executor = resolve(executor)
     obs = resolve_observer(observer)
     profile = StageProfile()
     cache_before = featurize.stats.snapshot()
+    deadline = policy.start_deadline() if policy is not None else None
 
     with obs.trace.span("match") as match_span:
         with profile.stage("extract"), obs.trace.span("extract"):
@@ -155,7 +179,8 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
             scores_by_learner, tag_scores = _predict_tags(
                 flat, slices, columns, learners, meta, converter, space,
                 structure_passes, executor, profile,
-                incremental_structure, obs, predict_span.span_id)
+                incremental_structure, obs, predict_span.span_id,
+                policy)
             converted_scores = tag_scores
             if score_filter is not None:
                 with profile.stage("predict.score_filter"), \
@@ -163,17 +188,25 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                     tag_scores = score_filter(tag_scores, columns)
 
         ctx = MatchContext(schema, columns)
+        if policy is not None:
+            try:
+                policy.fire(SITE_SEARCH_ROOT, "search")
+            except FaultInjected:
+                # The documented semantics of this site: force the
+                # search onto its anytime best-so-far path.
+                deadline = Deadline(0.0)
         with profile.stage("constrain"), obs.trace.span("constrain"):
             if handler is None:
                 mapping = Mapping({
                     tag: space.label_at(int(np.argmax(row)))
                     for tag, row in tag_scores.items()})
             else:
-                mapping = handler.find_mapping(tag_scores, space, ctx,
-                                               extra_constraints,
-                                               executor=executor,
-                                               profile=profile,
-                                               observer=obs)
+                mapping = handler.find_mapping(
+                    tag_scores, space, ctx, extra_constraints,
+                    executor=executor, profile=profile, observer=obs,
+                    deadline=deadline,
+                    report=policy.report if policy is not None
+                    else None)
 
         quality: list[QualityRecord] = []
         if obs.collect_quality:
@@ -196,8 +229,58 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
         "predict": profile.seconds("predict"),
         "constraints": profile.seconds("constrain"),
     }
+    degradation = policy.finalize() if policy is not None else None
+    if degradation is not None:
+        # Emitted only when non-zero, so a clean run's metric set (and
+        # therefore its report) is byte-identical to a policy-free run.
+        _emit_degradation_metrics(degradation, obs)
     return MatchResult(mapping, tag_scores, space, columns, ctx, timings,
-                       profile, quality)
+                       profile, quality,
+                       degradation=degradation,
+                       anytime=degradation.anytime
+                       if degradation is not None else False)
+
+
+def _emit_degradation_metrics(degradation: DegradationReport,
+                              obs: Observer) -> None:
+    """Fold a run's degradation account into the metrics registry."""
+    metrics = obs.metrics
+    if degradation.quarantines:
+        metrics.counter(M_LEARNERS_QUARANTINED).inc(
+            len(degradation.quarantined_learners))
+    if degradation.retries:
+        metrics.counter(M_TASK_RETRIES).inc(len(degradation.retries))
+    if degradation.pool_failures:
+        metrics.counter(M_POOL_FAILURES).inc(
+            len(degradation.pool_failures))
+    if degradation.anytime:
+        metrics.counter(M_ANYTIME_EXITS).inc()
+    if degradation.fired_faults:
+        metrics.counter(M_FAULTS_FIRED).inc(
+            len(degradation.fired_faults))
+    recovery = degradation.recovery
+    if recovery is not None:
+        if recovery.recovered:
+            metrics.counter(M_LISTINGS_RECOVERED).inc(
+                len(recovery.recovered))
+        if recovery.dropped:
+            metrics.counter(M_LISTINGS_DROPPED).inc(
+                len(recovery.dropped))
+
+
+class _LearnerFailure:
+    """Sentinel carried back through the executor when a learner's
+    prediction raised under an active resilience policy.
+
+    Catching inside the task (rather than letting the exception race
+    out of the pool) keeps the map deterministic: every healthy
+    learner still returns its scores, and quarantines are recorded by
+    the main thread in learner-submission order."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
 
 
 def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
@@ -206,7 +289,8 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                   converter: PredictionConverter, space: LabelSpace,
                   structure_passes: int, executor: ParallelExecutor,
                   profile: StageProfile, incremental: bool,
-                  obs: Observer, predict_span_id: str | None
+                  obs: Observer, predict_span_id: str | None,
+                  policy: ResiliencePolicy | None = None
                   ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
     """Per-learner flat score matrices and per-tag converted scores,
     with optional structure re-passes.
@@ -218,12 +302,17 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     ``len(batch)`` observations of its mean per-instance latency to the
     prediction-latency histogram — O(learners) timer reads, not
     O(instances).
+
+    With an active ``policy``, a learner whose prediction raises or
+    times out comes back as a :class:`_LearnerFailure` and is
+    quarantined for the rest of the run; the meta-learner renormalizes
+    over the survivors (uniform scores if none survive).
     """
     latency = obs.metrics.histogram(M_PREDICT_LATENCY)
 
     def predict_with(learner: BaseLearner,
                      batch: list[ElementInstance],
-                     prof: StageProfile) -> np.ndarray:
+                     prof: StageProfile):
         with prof.stage(f"predict.learner.{learner.name}"), \
                 obs.trace.span(f"learner.{learner.name}",
                                parent=predict_span_id,
@@ -231,24 +320,56 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             # Observability instrumentation: the timer feeds the
             # prediction-latency histogram, never pipeline output.
             start = time.perf_counter()  # lsd: ignore[wallclock]
-            scores = learner.predict_scores(batch)
+            if policy is None:
+                scores = learner.predict_scores(batch)
+            else:
+                try:
+                    policy.fire(SITE_LEARNER_PREDICT, learner.name)
+                    scores = call_with_timeout(
+                        learner.predict_scores, (batch,),
+                        policy.learner_timeout)
+                except Exception as exc:  # lsd: ignore[blind-except]
+                    # Quarantine boundary: any learner failure becomes
+                    # a sentinel the main thread records in submission
+                    # order — degradation, not a crash.
+                    return _LearnerFailure(exc)
             elapsed = time.perf_counter() - start  # lsd: ignore[wallclock]
         if batch:
             latency.observe(elapsed / len(batch), count=len(batch))
         return scores
 
+    def quarantine(learner: BaseLearner, failure: _LearnerFailure) \
+            -> None:
+        assert policy is not None
+        policy.report.quarantine(
+            learner.name, "predict",
+            str(failure.error) or type(failure.error).__name__,
+            type(failure.error).__name__)
+        scores_by_learner.pop(learner.name, None)
+
     rows = executor.map_profiled(
         lambda lrn, prof: predict_with(lrn, flat, prof), learners,
-        profile)
-    scores_by_learner = {
-        learner.name: scores for learner, scores in zip(learners, rows)}
+        profile, label="predict")
+    scores_by_learner: dict[str, np.ndarray] = {
+        learner.name: scores
+        for learner, scores in zip(learners, rows)
+        if not isinstance(scores, _LearnerFailure)}
+    for learner, scores in zip(learners, rows):
+        if isinstance(scores, _LearnerFailure):
+            quarantine(learner, scores)
     tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                          space, profile, obs)
+                          space, profile, obs, len(flat))
 
-    structural = [lrn for lrn in learners if lrn.uses_child_labels]
     applied: dict[str, str] | None = None  # labels last written into
     # the instances' child_labels; None = nothing applied yet.
-    for _ in range(structure_passes if structural else 0):
+    has_structural = any(lrn.uses_child_labels for lrn in learners)
+    for _ in range(structure_passes if has_structural else 0):
+        # Quarantined learners drop out of the structural set too.
+        structural = [lrn for lrn in learners
+                      if lrn.uses_child_labels
+                      and lrn.name in scores_by_learner]
+        if not structural:
+            break
         preliminary = {
             tag: space.label_at(int(np.argmax(row)))
             for tag, row in tag_scores.items()}
@@ -276,24 +397,34 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             batch = [flat[i] for i in changed]
             updates = executor.map_profiled(
                 lambda lrn, prof: predict_with(lrn, batch, prof),
-                structural, profile)
+                structural, profile, label="structure")
             for learner, new_rows in zip(structural, updates):
+                if isinstance(new_rows, _LearnerFailure):
+                    quarantine(learner, new_rows)
+                    continue
                 # Rows are per-instance by the BaseLearner contract, so
                 # scattering a subset equals re-predicting the batch.
                 scores_by_learner[learner.name][changed] = new_rows
         tag_scores = _convert(scores_by_learner, slices, meta, converter,
-                              space, profile, obs)
+                              space, profile, obs, len(flat))
     return scores_by_learner, tag_scores
 
 
 def _convert(scores_by_learner: dict[str, np.ndarray],
              slices: dict[str, slice], meta: StackingMetaLearner,
              converter: PredictionConverter, space: LabelSpace,
-             profile: StageProfile, obs: Observer
+             profile: StageProfile, obs: Observer, n_rows: int = 0
              ) -> dict[str, np.ndarray]:
     with profile.stage("predict.combine"), obs.trace.span("combine"):
-        combined = meta.combine(scores_by_learner) if scores_by_learner \
-            else np.zeros((0, len(space)))
+        if scores_by_learner:
+            combined = meta.combine(scores_by_learner, missing_ok=True)
+        elif n_rows:
+            # Every learner quarantined: no evidence left, so every
+            # instance gets the uniform distribution and the mapping
+            # falls to the constraint handler's structural preferences.
+            combined = np.full((n_rows, len(space)), 1.0 / len(space))
+        else:
+            combined = np.zeros((0, len(space)))
     with profile.stage("predict.convert"), obs.trace.span("convert"):
         return {
             tag: converter.convert(combined[piece])

@@ -20,51 +20,84 @@ Threads, not processes, on purpose:
 The pool is created per ``map`` call: the workloads here are chunky
 (one task trains or predicts a whole learner), so pool start-up cost is
 noise, and no idle threads linger between pipeline phases.
+
+Resilience: an executor built with a :class:`~repro.resilience.policy.
+ResiliencePolicy` retries failing tasks with seeded exponential backoff,
+falls back to serial execution when the worker pool cannot be used, and
+hits the ``executor.task`` / ``executor.pool`` fault sites so the chaos
+suite can exercise both paths deterministically. The default (no
+policy) executor behaves exactly as before.
 """
 
 from __future__ import annotations
 
+import random
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..observability import StageProfile
+from ..resilience.faults import FaultInjected
+from ..resilience.sites import SITE_EXECUTOR_POOL, SITE_EXECUTOR_TASK
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Ceiling on a single backoff sleep, seconds.
+_MAX_BACKOFF = 5.0
 
 
 class ParallelExecutor:
     """Order-preserving parallel ``map`` with a serial fallback."""
 
-    def __init__(self, workers: int = 1) -> None:
-        """``workers <= 1`` selects the deterministic serial path."""
+    def __init__(self, workers: int = 1, policy=None) -> None:
+        """``workers <= 1`` selects the deterministic serial path.
+
+        ``policy`` (a :class:`repro.resilience.ResiliencePolicy`) arms
+        per-task retries and the executor fault sites; ``None`` keeps
+        the executor inert.
+        """
         self.workers = max(1, int(workers))
+        self.policy = policy
 
     @property
     def is_parallel(self) -> bool:
         return self.workers > 1
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def map(self, fn: Callable[[T], R], items: Iterable[T],
+            label: str = "map") -> list[R]:
         """Apply ``fn`` to every item; results in submission order.
 
         Exceptions propagate exactly as in the serial path: the first
-        failing item (in submission order) raises.
+        failing item (in submission order) raises — after the policy's
+        retry budget (if any) is exhausted for that item.
         """
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        with ThreadPoolExecutor(
-                max_workers=min(self.workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+        task = self._task_runner(lambda index, item: fn(item), label)
+        if self._force_serial(label) or self.workers <= 1 \
+                or len(items) <= 1:
+            return [task(index, item)
+                    for index, item in enumerate(items)]
+        submitted = self._submit(task, items, label)
+        if submitted is None:
+            return [task(index, item)
+                    for index, item in enumerate(items)]
+        pool, futures = submitted
+        try:
+            return [future.result() for future in futures]
+        finally:
+            pool.shutdown(wait=True)
 
     def starmap(self, fn: Callable[..., R],
-                argument_tuples: Iterable[Sequence]) -> list[R]:
+                argument_tuples: Iterable[Sequence],
+                label: str = "map") -> list[R]:
         """``map`` over argument tuples (``fn(*args)`` per item)."""
-        return self.map(lambda args: fn(*args), argument_tuples)
+        return self.map(lambda args: fn(*args), argument_tuples, label)
 
     def map_profiled(self, fn: Callable[[T, StageProfile], R],
                      items: Iterable[T],
-                     profile: StageProfile) -> list[R]:
+                     profile: StageProfile,
+                     label: str = "map") -> list[R]:
         """``map`` where each call records stage timings.
 
         ``fn(item, profile)`` receives the shared ``profile`` directly
@@ -75,16 +108,118 @@ class ParallelExecutor:
         aggregate is a deterministic function of the per-task numbers.
         """
         items = list(items)
-        if self.workers <= 1 or len(items) <= 1:
-            return [fn(item, profile) for item in items]
+        if self._force_serial(label) or self.workers <= 1 \
+                or len(items) <= 1:
+            task = self._task_runner(
+                lambda index, item: fn(item, profile), label)
+            return [task(index, item)
+                    for index, item in enumerate(items)]
         partials = [StageProfile() for _ in items]
-        with ThreadPoolExecutor(
-                max_workers=min(self.workers, len(items))) as pool:
-            results = list(pool.map(lambda pair: fn(*pair),
-                                    zip(items, partials)))
+        task = self._task_runner(
+            lambda index, item: fn(item, partials[index]), label)
+        submitted = self._submit(task, items, label)
+        if submitted is None:
+            serial_task = self._task_runner(
+                lambda index, item: fn(item, profile), label)
+            return [serial_task(index, item)
+                    for index, item in enumerate(items)]
+        pool, futures = submitted
+        try:
+            results = [future.result() for future in futures]
+        finally:
+            pool.shutdown(wait=True)
         for partial in partials:
             profile.merge(partial)
         return results
+
+    # ------------------------------------------------------------------
+    # resilience plumbing
+    # ------------------------------------------------------------------
+    def _submit(self, task, items: list, label: str):
+        """Start a pool and submit every task.
+
+        Returns ``(pool, futures)``, or ``None`` when the pool itself
+        fails — submission-time ``RuntimeError`` means the pool (not a
+        task) is broken, so the caller reruns the whole map serially.
+        Task-level exceptions surface later through ``future.result()``
+        and are never mistaken for pool death.
+        """
+        pool = None
+        try:
+            pool = ThreadPoolExecutor(
+                max_workers=min(self.workers, len(items)))
+            futures = [pool.submit(task, index, item)
+                       for index, item in enumerate(items)]
+        except RuntimeError:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            self._note_pool_failure(label)
+            return None
+        return pool, futures
+
+    def _force_serial(self, label: str) -> bool:
+        """Hit the pool fault site; True = run this call serially.
+
+        Fired before the workers/size shortcut so the hit count — and
+        therefore the recorded degradation — is identical at any
+        ``--workers`` setting.
+        """
+        policy = self.policy
+        if policy is None or policy.fault_plan is None:
+            return False
+        try:
+            policy.fault_plan.fire(SITE_EXECUTOR_POOL, label)
+        except FaultInjected:
+            self._note_pool_failure(label)
+            return True
+        return False
+
+    def _note_pool_failure(self, label: str) -> None:
+        if self.policy is not None:
+            self.policy.report.pool_failed(label)
+
+    def _task_runner(self, call, label: str):
+        """Wrap ``call(index, item)`` with fault-site hits and retries."""
+        policy = self.policy
+        if policy is None:
+            return call
+        plan = policy.fault_plan
+        retries = policy.retries
+        if plan is None and retries == 0:
+            return call
+
+        def task(index: int, item):
+            for attempt in range(retries + 1):
+                try:
+                    if plan is not None:
+                        plan.fire(SITE_EXECUTOR_TASK, str(index))
+                    result = call(index, item)
+                except Exception:
+                    if attempt >= retries:
+                        if retries:
+                            policy.report.retried(
+                                label, index, attempt + 1, False)
+                        raise
+                    self._backoff(label, index, attempt)
+                    continue
+                if attempt:
+                    policy.report.retried(label, index, attempt + 1,
+                                          True)
+                return result
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        return task
+
+    def _backoff(self, label: str, index: int, attempt: int) -> None:
+        """Sleep before a retry: seeded exponential backoff with jitter."""
+        policy = self.policy
+        base = 0.0 if policy is None else policy.backoff
+        if base <= 0:
+            return
+        rng = random.Random(
+            f"{policy.backoff_seed}|{label}|{index}|{attempt}")
+        time.sleep(min(base * (2 ** attempt) * (0.5 + rng.random()),
+                       _MAX_BACKOFF))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "parallel" if self.is_parallel else "serial"

@@ -15,6 +15,7 @@ from ..learners import default_learners
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
 from ..observability import Observer, StageProfile, resolve_observer
+from ..resilience.policy import ResiliencePolicy
 from ..xmlio import Element
 from .converter import PredictionConverter
 from .labels import LabelSpace
@@ -40,7 +41,8 @@ class LSDSystem:
                  folds: int = 5, seed: int = 0,
                  max_instances_per_tag: int | None = None,
                  prune_types: bool = False,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 policy: ResiliencePolicy | None = None) -> None:
         """
         Parameters
         ----------
@@ -72,6 +74,14 @@ class LSDSystem:
             cross-validation fan-out (1 = serial). Any value produces
             byte-identical results; more workers only change wall-clock
             time. Mutable after construction (``system.workers = 4``).
+        policy:
+            A :class:`repro.resilience.ResiliencePolicy` arming fault
+            tolerance for this system's runs: learners whose fit or
+            prediction fails are quarantined instead of crashing,
+            executor tasks gain retry/serial-fallback behaviour, and
+            the constraint search honours the policy deadline. ``None``
+            (the default) keeps the legacy fail-fast behaviour. The
+            policy is runtime state — never pickled with the model.
         """
         if isinstance(mediated_schema, str):
             mediated_schema = MediatedSchema(mediated_schema)
@@ -93,8 +103,12 @@ class LSDSystem:
         self.seed = seed
         self.max_instances_per_tag = max_instances_per_tag
         self.workers = workers
+        self.policy = policy
         self.training_sources: list[TrainingSource] = []
         self.meta: StackingMetaLearner | None = None
+        #: The learners that survived the most recent :meth:`train`
+        #: (== ``self.learners`` unless a policy quarantined some).
+        self.active_learners: list[BaseLearner] | None = None
         self.pruner = TypePruner() if prune_types else None
         #: Per-stage timings of the most recent :meth:`train` call.
         self.train_profile: StageProfile | None = None
@@ -103,10 +117,19 @@ class LSDSystem:
     def executor(self) -> ParallelExecutor:
         """The executor for the configured worker count.
 
-        Built on access (it only wraps an int) so models pickled before
-        the ``workers`` option existed load and run serially.
+        Built on access (it only wraps an int and the policy) so models
+        pickled before the ``workers`` option existed load and run
+        serially.
         """
-        return ParallelExecutor(getattr(self, "workers", 1))
+        return ParallelExecutor(getattr(self, "workers", 1),
+                                getattr(self, "policy", None))
+
+    def __getstate__(self) -> dict:
+        # The policy holds run state (locks, fault counters) and is a
+        # per-process concern: models persist without one.
+        state = dict(self.__dict__)
+        state["policy"] = None
+        return state
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -157,18 +180,23 @@ class LSDSystem:
                 raise RuntimeError(
                     "training sources produced no instances")
             with profile.stage("fit"):
-                train_base_learners(self.learners, instances, labels,
-                                    self.space, profile=profile,
-                                    observer=obs)
+                survivors = train_base_learners(
+                    self.learners, instances, labels, self.space,
+                    profile=profile, observer=obs,
+                    policy=getattr(self, "policy", None))
+                if not survivors:
+                    raise RuntimeError(
+                        "every base learner failed to train")
                 if self.pruner is not None:
                     self.pruner.fit(instances, labels, self.space)
             with profile.stage("cv"):
                 self.meta = train_meta_learner(
-                    self.learners, instances, labels, self.space,
+                    survivors, instances, labels, self.space,
                     folds=self.folds, seed=self.seed,
                     uniform=not self.use_meta_learner,
                     executor=self.executor, profile=profile,
                     observer=obs)
+        self.active_learners = survivors
         self.train_profile = profile
 
     @property
@@ -193,11 +221,15 @@ class LSDSystem:
         if isinstance(schema, str):
             schema = SourceSchema(schema)
         score_filter = self.pruner.prune_scores if self.pruner else None
+        # Quarantined-at-fit learners stay out of the matching ensemble
+        # (getattr: models pickled before active_learners existed).
+        learners = getattr(self, "active_learners", None) or self.learners
         return match_source(
-            schema, listings, self.learners, self.meta, self.converter,
+            schema, listings, learners, self.meta, self.converter,
             self.handler, self.space, extra_constraints,
             self.max_instances_per_tag, score_filter=score_filter,
-            executor=self.executor, observer=observer)
+            executor=self.executor, observer=observer,
+            policy=getattr(self, "policy", None))
 
     def confirm_and_learn(self, schema: SourceSchema | str,
                           listings: Sequence[Element],

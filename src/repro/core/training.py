@@ -22,6 +22,8 @@ from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner, cross_validate_many
 from ..observability import Observer, StageProfile, resolve_observer
 from ..observability.metrics import M_TRAIN_INSTANCES
+from ..resilience.policy import call_with_timeout
+from ..resilience.sites import SITE_LEARNER_FIT
 from ..xmlio import Element
 from .instance import (ElementInstance, extract_columns, fill_child_labels)
 from .labels import OTHER, LabelSpace
@@ -83,8 +85,17 @@ def train_base_learners(learners: list[BaseLearner],
                         instances: list[ElementInstance],
                         labels: list[str], space: LabelSpace,
                         profile: StageProfile | None = None,
-                        observer: Observer | None = None) -> None:
+                        observer: Observer | None = None,
+                        policy=None) -> list[BaseLearner]:
     """§3.1 step 4: fit every base learner on the training stream.
+
+    Returns the learners that trained successfully. Without a
+    ``policy`` that is all of them — any fit error propagates, as it
+    always has. With a :class:`repro.resilience.ResiliencePolicy`, a
+    learner whose ``fit`` raises (or exceeds the policy's per-call
+    timeout) is *quarantined*: dropped from the ensemble and recorded
+    in the policy's degradation report, so one broken learner cannot
+    take down the training run.
 
     ``profile``/``observer`` record one ``fit.<learner>`` timing and
     span per base learner.
@@ -95,11 +106,30 @@ def train_base_learners(learners: list[BaseLearner],
         raise ValueError(f"duplicate learner names: {names}")
     profile = profile if profile is not None else StageProfile()
     obs.metrics.counter(M_TRAIN_INSTANCES).inc(len(instances))
+    survivors: list[BaseLearner] = []
     for learner in learners:
         with profile.stage(f"fit.{learner.name}"), \
                 obs.trace.span(f"fit.{learner.name}",
                                instances=len(instances)):
-            learner.fit(instances, labels, space)
+            if policy is None:
+                learner.fit(instances, labels, space)
+                survivors.append(learner)
+                continue
+            try:
+                policy.fire(SITE_LEARNER_FIT, learner.name)
+                call_with_timeout(learner.fit,
+                                  (instances, labels, space),
+                                  policy.learner_timeout)
+            except Exception as exc:  # lsd: ignore[blind-except]
+                # Quarantine boundary: *any* learner failure — bugs in
+                # plugin learners included — must degrade, not crash.
+                policy.report.quarantine(
+                    learner.name, "fit",
+                    str(exc) or type(exc).__name__,
+                    type(exc).__name__)
+            else:
+                survivors.append(learner)
+    return survivors
 
 
 def train_meta_learner(learners: list[BaseLearner],

@@ -218,22 +218,53 @@ class StackingMetaLearner:
                                1.0 / len(self.learner_names))
 
     # ------------------------------------------------------------------
-    def combine(self, scores_by_learner: dict[str, np.ndarray]
-                ) -> np.ndarray:
+    def combine(self, scores_by_learner: dict[str, np.ndarray],
+                missing_ok: bool = False) -> np.ndarray:
         """Weighted combination of base-learner score matrices.
 
         Returns a normalised ``(n, n_labels)`` matrix.
+
+        ``missing_ok=True`` tolerates learners absent from
+        ``scores_by_learner`` (e.g. quarantined mid-run): each label's
+        weight row is renormalized over the survivors so the row keeps
+        its original mass. A label whose surviving weights are all zero
+        falls back to uniform weighting over the survivors. With every
+        fitted learner present the weights are used untouched, so the
+        healthy path is byte-identical either way.
         """
         if self.weights is None or self.space is None:
             raise RuntimeError("meta-learner is not fitted")
         missing = set(self.learner_names) - set(scores_by_learner)
-        if missing:
+        if missing and not missing_ok:
             raise ValueError(f"missing scores for learners: {missing}")
-        first = scores_by_learner[self.learner_names[0]]
+        names = [name for name in self.learner_names
+                 if name in scores_by_learner]
+        if not names:
+            raise ValueError("no surviving learners to combine")
+        weights = self.weights if not missing \
+            else self._renormalized_weights(names)
+        first = scores_by_learner[names[0]]
         combined = np.zeros_like(first, dtype=np.float64)
-        for j, name in enumerate(self.learner_names):
-            combined += scores_by_learner[name] * self.weights[:, j]
+        for j, name in enumerate(names):
+            combined += scores_by_learner[name] * weights[:, j]
         return normalize_matrix(combined)
+
+    def _renormalized_weights(self, names: Sequence[str]) -> np.ndarray:
+        """Per-label weight rows restricted to ``names``, rescaled so
+        each row keeps the mass it had over the full ensemble."""
+        assert self.weights is not None
+        columns = [self.learner_names.index(name) for name in names]
+        sub = self.weights[:, columns].copy()
+        full_sums = self.weights.sum(axis=1)
+        sub_sums = sub.sum(axis=1)
+        live = sub_sums > 0
+        scale = np.where(live, full_sums / np.where(live, sub_sums, 1.0),
+                         0.0)
+        sub *= scale[:, None]
+        dead = (~live) & (full_sums > 0)
+        if dead.any():
+            sub[dead] = full_sums[dead, None] / len(names)
+        return sub
 
     def weight_of(self, label: str, learner_name: str) -> float:
         """The learned weight ``W[label, learner]``."""

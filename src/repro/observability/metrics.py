@@ -51,6 +51,13 @@ M_CONSTRAINT_PRUNE_SOFT = "constraint.prune_soft_bound"
 M_CONSTRAINT_LEAF_REJECTS = "constraint.leaf_hard_rejects"
 M_CV_TASKS = "train.cv_tasks"
 M_TRAIN_INSTANCES = "train.instances"
+M_LEARNERS_QUARANTINED = "resilience.learners_quarantined"
+M_LISTINGS_RECOVERED = "resilience.listings_recovered"
+M_LISTINGS_DROPPED = "resilience.listings_dropped"
+M_TASK_RETRIES = "resilience.task_retries"
+M_POOL_FAILURES = "resilience.pool_failures"
+M_ANYTIME_EXITS = "resilience.anytime_exits"
+M_FAULTS_FIRED = "resilience.faults_fired"
 
 #: name -> (kind, description); the documented metric vocabulary.
 CATALOGUE: dict[str, tuple[str, str]] = {
@@ -77,6 +84,20 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "counter", "complete assignments rejected at leaves"),
     M_CV_TASKS: ("counter", "(learner x fold) cross-validation tasks"),
     M_TRAIN_INSTANCES: ("counter", "training instances extracted"),
+    M_LEARNERS_QUARANTINED: (
+        "counter", "base learners quarantined during the run"),
+    M_LISTINGS_RECOVERED: (
+        "counter", "malformed listings repaired by lenient ingestion"),
+    M_LISTINGS_DROPPED: (
+        "counter", "listings dropped by salvage/lenient ingestion"),
+    M_TASK_RETRIES: (
+        "counter", "executor tasks that consumed retry attempts"),
+    M_POOL_FAILURES: (
+        "counter", "worker-pool failures that forced serial fallback"),
+    M_ANYTIME_EXITS: (
+        "counter", "constraint searches ended early by the deadline"),
+    M_FAULTS_FIRED: (
+        "counter", "injected faults fired by the active fault plan"),
 }
 
 

@@ -52,14 +52,18 @@ def build_match_report(*, config: dict, dataset: dict, result,
     """Assemble the report dict for one matching run.
 
     ``result`` is a :class:`~repro.core.matching.MatchResult` (only its
-    ``profile``, ``quality`` and ``mapping`` attributes are touched, so
-    tests can pass any stand-in). ``observer`` contributes the metrics
-    summary when it carries an enabled registry.
+    ``profile``, ``quality``, ``mapping`` and ``degradation``
+    attributes are touched, so tests can pass any stand-in).
+    ``observer`` contributes the metrics summary when it carries an
+    enabled registry. A ``degradation`` section appears only when the
+    run actually degraded (quarantines, salvaged listings, retries,
+    anytime exits…), so a clean run's report is byte-identical to one
+    produced without any resilience policy.
     """
     metrics = {"counters": {}, "gauges": {}, "histograms": {}}
     if observer is not None and observer.metrics.enabled:
         metrics = observer.metrics.summary()
-    return {
+    report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "kind": REPORT_KIND,
         "command": "match",
@@ -72,6 +76,10 @@ def build_match_report(*, config: dict, dataset: dict, result,
         "mapping": {tag: label for tag, label in
                     sorted(result.mapping.items())},
     }
+    degradation = getattr(result, "degradation", None)
+    if degradation is not None and degradation.degraded:
+        report["degradation"] = degradation.as_dict()
+    return report
 
 
 def write_report(report: dict, path: str | Path) -> None:
@@ -101,6 +109,31 @@ def render_text(report: dict) -> str:
         rendered = ", ".join(f"{key}={value}" for key, value in
                              sorted(config.items()))
         lines.append(f"config: {rendered}")
+
+    degradation = report.get("degradation")
+    if degradation:
+        parts = []
+        quarantined = degradation.get("quarantined", [])
+        if quarantined:
+            names = sorted({event["learner"] for event in quarantined})
+            parts.append(f"quarantined learners: {', '.join(names)}")
+        ingestion = degradation.get("ingestion")
+        if ingestion:
+            listings = ingestion.get("listings", {})
+            parts.append(
+                f"listings recovered={len(listings.get('recovered', []))}"
+                f" dropped={len(listings.get('dropped', []))}")
+        if degradation.get("retries"):
+            parts.append(f"task retries: {len(degradation['retries'])}")
+        if degradation.get("pool_failures"):
+            parts.append("pool fell back to serial: "
+                         + ", ".join(degradation["pool_failures"]))
+        if degradation.get("anytime"):
+            parts.append("anytime search exit")
+        if degradation.get("fired_faults"):
+            parts.append(
+                f"injected faults: {len(degradation['fired_faults'])}")
+        lines.append("DEGRADED RUN: " + "; ".join(parts))
 
     quality = {record["tag"]: record
                for record in report.get("quality", [])}

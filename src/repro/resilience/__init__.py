@@ -1,0 +1,34 @@
+"""Fault tolerance for the matching pipeline.
+
+This package holds everything the pipeline needs to *degrade gracefully
+instead of dying*: the catalogue of named fault sites
+(:mod:`~repro.resilience.sites`), the seeded deterministic fault
+injector used by the chaos tests (:mod:`~repro.resilience.faults`), the
+run-level policy knobs and degradation accounting
+(:mod:`~repro.resilience.policy`), and fault-aware listing ingestion
+(:mod:`~repro.resilience.ingest`).
+
+Determinism contract: a :class:`FaultPlan` keys every fault site by a
+*logical* identifier (learner name, listing index, task index) rather
+than by arrival order, so the same seed produces the same faults — and
+the same degraded mapping — at any ``--workers`` count.
+"""
+
+from .faults import (CORRUPTION_STYLES, FaultInjected, FaultPlan,
+                     FaultSpec, corrupt_text)
+from .ingest import ingest_fragments
+from .policy import (Deadline, DegradationReport, LearnerTimeout,
+                     QuarantineEvent, ResiliencePolicy, call_with_timeout)
+from .sites import (SITE_CATALOGUE, SITE_EXECUTOR_POOL,
+                    SITE_EXECUTOR_TASK, SITE_INGEST_CHUNK,
+                    SITE_LEARNER_FIT, SITE_LEARNER_PREDICT,
+                    SITE_SEARCH_ROOT)
+
+__all__ = [
+    "CORRUPTION_STYLES", "Deadline", "DegradationReport",
+    "FaultInjected", "FaultPlan", "FaultSpec", "LearnerTimeout",
+    "QuarantineEvent", "ResiliencePolicy", "SITE_CATALOGUE",
+    "SITE_EXECUTOR_POOL", "SITE_EXECUTOR_TASK", "SITE_INGEST_CHUNK",
+    "SITE_LEARNER_FIT", "SITE_LEARNER_PREDICT", "SITE_SEARCH_ROOT",
+    "call_with_timeout", "corrupt_text", "ingest_fragments",
+]

@@ -1,0 +1,73 @@
+"""Fault-aware listing ingestion.
+
+Bridges :mod:`repro.xmlio.recovery` and the fault injector: listings
+are chunked, each chunk passes through the :data:`SITE_INGEST_CHUNK`
+fault site (keyed by its listing index, so corruption is independent
+of read order), and the surviving text is parsed under the policy's
+ingestion mode. Without an armed ingest fault this delegates straight
+to :func:`repro.xmlio.recovery.read_fragments`, keeping the no-plan
+path identical to plain recovery ingestion.
+"""
+
+from __future__ import annotations
+
+from .faults import FaultInjected, FaultPlan
+from .sites import SITE_INGEST_CHUNK
+from ..xmlio.errors import SourceLocation
+from ..xmlio.parser import parse_fragments
+from ..xmlio.recovery import (Fragment, RecoveryLog, parse_chunk,
+                              read_fragments, split_fragments)
+from ..xmlio.tree import Element
+
+
+def ingest_fragments(text: str, mode: str = "strict",
+                     plan: FaultPlan | None = None,
+                     keep_whitespace: bool = False) \
+        -> tuple[list[Element], RecoveryLog]:
+    """Parse sibling listings under ``mode``, injecting ingest faults.
+
+    ``strict`` mode reassembles the (possibly corrupted) chunks and
+    parses them strictly — an injected corruption therefore raises,
+    which is exactly the brittleness the lenient modes exist to fix.
+    """
+    if plan is None or not plan.targets_site(SITE_INGEST_CHUNK):
+        return read_fragments(text, mode, keep_whitespace)
+    log = RecoveryLog()
+    roots: list[Element] = []
+    pieces: list[str] = []
+    for index, fragment in enumerate(split_fragments(text)):
+        location = SourceLocation(fragment.line, fragment.column)
+        chunk_text = fragment.text
+        if fragment.kind == "element":
+            try:
+                chunk_text, style = plan.corrupt(
+                    SITE_INGEST_CHUNK, str(index), chunk_text)
+            except FaultInjected as exc:
+                if mode == "strict":
+                    raise
+                log.record("injected-fault",
+                           f"listing unreadable: {exc}", location, index)
+                log.dropped.append(index)
+                log.record("dropped-listing",
+                           "listing dropped (injected ingest fault)",
+                           location, index)
+                continue
+            if style is not None:
+                log.record("injected-fault",
+                           f"listing corrupted by fault plan "
+                           f"(style: {style})", location, index)
+        if mode == "strict":
+            pieces.append(chunk_text)
+            continue
+        damaged = Fragment(chunk_text, fragment.line, fragment.column,
+                           fragment.kind)
+        roots.extend(parse_chunk(damaged, mode, log, index,
+                                 keep_whitespace=keep_whitespace))
+    if mode == "strict":
+        return parse_fragments("\n".join(pieces),
+                               keep_whitespace=keep_whitespace), log
+    if not roots:
+        log.record("no-elements",
+                   "no listings could be parsed from the input",
+                   SourceLocation(1, 1))
+    return roots, log

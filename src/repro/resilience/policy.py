@@ -1,0 +1,229 @@
+"""Run-level resilience policy and degradation accounting.
+
+:class:`ResiliencePolicy` bundles the operator-facing knobs (ingestion
+mode, retry budget, deadline, learner timeout, fault plan) and owns the
+:class:`DegradationReport` that every layer appends to — ingestion
+salvage counts, learner quarantines, executor retries and pool
+failures, anytime search exits. The report feeds the ``degradation``
+section of the run report, so a degraded run is always *visible*, never
+silent.
+
+The default policy (no retries, no deadline, no plan, strict mode) is
+inert: every hook is a cheap no-op and pipeline output is byte-identical
+to a build without this package.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .faults import FaultPlan
+from ..xmlio.recovery import INGEST_MODES, RecoveryLog
+
+
+class LearnerTimeout(RuntimeError):
+    """A base-learner call exceeded the policy's per-call timeout."""
+
+
+def call_with_timeout(fn, args=(), timeout: float | None = None):
+    """Run ``fn(*args)``, raising :class:`LearnerTimeout` after ``timeout``.
+
+    With ``timeout=None`` the call is direct (zero overhead). Otherwise
+    the call runs on a daemon thread that is *abandoned* on timeout —
+    Python cannot safely kill arbitrary code, so the caller must treat
+    a timeout as grounds for quarantining whatever ``fn`` belongs to.
+    """
+    if timeout is None:
+        return fn(*args)
+    outcome: dict = {}
+
+    def runner() -> None:
+        try:
+            outcome["value"] = fn(*args)
+        except BaseException as exc:  # lsd: ignore[blind-except]
+            # Transported across the thread boundary and re-raised on
+            # the caller's thread below — nothing is swallowed.
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise LearnerTimeout(
+            f"call did not finish within {timeout:g}s")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+class Deadline:
+    """A wall-clock budget shared across pipeline stages.
+
+    ``Deadline(None)`` never expires and costs one attribute read per
+    check. Time is read through ``time.monotonic`` — the deadline is a
+    *robustness* device, so chaos determinism tests only combine it
+    with raise-style faults, never with timing-sensitive assertions.
+    """
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self, seconds: float | None = None) -> None:
+        self.seconds = seconds
+        self._start = None if seconds is None else \
+            time.monotonic()  # lsd: ignore[wallclock]
+
+    @property
+    def active(self) -> bool:
+        return self.seconds is not None
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` for an inert deadline."""
+        if self._start is None:
+            return None
+        elapsed = time.monotonic() - self._start  # lsd: ignore[wallclock]
+        return self.seconds - elapsed
+
+    def expired(self) -> bool:
+        if self._start is None:
+            return False
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One base learner removed from the ensemble mid-run."""
+
+    learner: str
+    stage: str  # "fit" | "predict"
+    cause: str
+    error_type: str
+
+    def as_dict(self) -> dict:
+        return {"learner": self.learner, "stage": self.stage,
+                "cause": self.cause, "error_type": self.error_type}
+
+
+class DegradationReport:
+    """Everything that went wrong — and was absorbed — during a run."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.quarantines: list[QuarantineEvent] = []
+        self.retries: list[dict] = []
+        self.pool_failures: list[str] = []
+        self.anytime = False
+        self.recovery: RecoveryLog | None = None
+        self.fired_faults: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def quarantine(self, learner: str, stage: str, cause: str,
+                   error_type: str) -> None:
+        with self._lock:
+            self.quarantines.append(
+                QuarantineEvent(learner, stage, cause, error_type))
+
+    def retried(self, stage: str, task: int, attempts: int,
+                recovered: bool) -> None:
+        with self._lock:
+            self.retries.append({"stage": stage, "task": task,
+                                 "attempts": attempts,
+                                 "recovered": recovered})
+
+    def pool_failed(self, stage: str) -> None:
+        with self._lock:
+            self.pool_failures.append(stage)
+
+    def mark_anytime(self) -> None:
+        self.anytime = True
+
+    def attach_recovery(self, log: RecoveryLog) -> None:
+        self.recovery = log
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def quarantined_learners(self) -> list[str]:
+        """Names of quarantined learners, deduplicated, first-event order."""
+        seen: list[str] = []
+        for event in self.quarantines:
+            if event.learner not in seen:
+                seen.append(event.learner)
+        return seen
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantines or self.retries
+                    or self.pool_failures or self.anytime
+                    or self.fired_faults
+                    or (self.recovery is not None
+                        and not self.recovery.ok))
+
+    def as_dict(self) -> dict:
+        """JSON form for the run report; only non-empty parts appear."""
+        out: dict = {}
+        if self.quarantines:
+            out["quarantined"] = [event.as_dict()
+                                  for event in self.quarantines]
+        if self.retries:
+            # Worker threads append in scheduling order; sort so the
+            # report is byte-identical at any --workers count.
+            out["retries"] = sorted(
+                self.retries,
+                key=lambda r: (r["stage"], r["task"], r["attempts"]))
+        if self.pool_failures:
+            out["pool_failures"] = sorted(self.pool_failures)
+        if self.anytime:
+            out["anytime"] = True
+        if self.recovery is not None and not self.recovery.ok:
+            out["ingestion"] = self.recovery.as_dict()
+        if self.fired_faults:
+            out["fired_faults"] = list(self.fired_faults)
+        return out
+
+
+@dataclass
+class ResiliencePolicy:
+    """Operator knobs for fault tolerance, plus the run's degradation log.
+
+    The default instance is inert — strict ingestion, no retries, no
+    deadline, no timeouts, no fault plan — and keeps the pipeline
+    byte-identical to a policy-free build.
+    """
+
+    input_mode: str = "strict"
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_seed: int = 0
+    deadline: float | None = None
+    learner_timeout: float | None = None
+    fault_plan: FaultPlan | None = None
+    report: DegradationReport = field(default_factory=DegradationReport)
+
+    def __post_init__(self) -> None:
+        if self.input_mode not in INGEST_MODES:
+            raise ValueError(
+                f"unknown input mode {self.input_mode!r}; expected one "
+                f"of {', '.join(INGEST_MODES)}")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    def start_deadline(self) -> Deadline:
+        """A fresh :class:`Deadline` for one pipeline run."""
+        return Deadline(self.deadline)
+
+    def fire(self, site: str, key: str = "") -> None:
+        """Hit a fault site if a plan is armed; no-op otherwise."""
+        if self.fault_plan is not None:
+            self.fault_plan.fire(site, key)
+
+    def finalize(self) -> DegradationReport:
+        """Fold fired-fault records into the report and return it."""
+        if self.fault_plan is not None:
+            self.report.fired_faults = self.fault_plan.records()
+        return self.report

@@ -9,12 +9,18 @@ Public surface:
 * :func:`validate` / :func:`is_valid` — DTD validation.
 * :func:`write_element` / :func:`write_document` / :func:`write_dtd` —
   serialization.
+* :func:`read_fragments` / :class:`RecoveryLog` — error-recovering
+  ingestion (``strict`` / ``lenient`` / ``salvage`` modes).
 """
 
 from .dtd import (Any, AttributeDecl, Choice, ContentModel, DTD,
                   ElementDecl, Empty, NameRef, PCData, Sequence, parse_dtd)
-from .errors import DTDSyntaxError, ValidationError, XMLError, XMLSyntaxError
+from .errors import (DTDSyntaxError, SourceLocation, UNKNOWN_LOCATION,
+                     ValidationError, XMLError, XMLSyntaxError)
 from .parser import parse_document, parse_element, parse_fragments
+from .recovery import (Fragment, INGEST_MODES, RecoveringParser,
+                       RecoveryEvent, RecoveryLog, read_fragments,
+                       split_fragments)
 from .paths import PathSyntaxError, select, select_one, select_text
 from .tree import Document, Element, Text, element, from_pairs
 from .validator import is_valid, validate
@@ -23,11 +29,14 @@ from .writer import (escape_attribute, escape_text, write_content_model,
 
 __all__ = [
     "Any", "AttributeDecl", "Choice", "ContentModel", "DTD", "Document",
-    "DTDSyntaxError", "Element", "ElementDecl", "Empty", "NameRef",
-    "PCData", "PathSyntaxError", "Sequence", "Text", "ValidationError",
+    "DTDSyntaxError", "Element", "ElementDecl", "Empty", "Fragment",
+    "INGEST_MODES", "NameRef", "PCData", "PathSyntaxError",
+    "RecoveringParser", "RecoveryEvent", "RecoveryLog", "Sequence",
+    "SourceLocation", "Text", "UNKNOWN_LOCATION", "ValidationError",
     "XMLError", "XMLSyntaxError", "element", "escape_attribute",
     "escape_text", "from_pairs", "is_valid", "parse_document",
-    "parse_dtd", "parse_element", "parse_fragments", "select",
-    "select_one", "select_text", "validate", "write_content_model",
-    "write_document", "write_dtd", "write_element",
+    "parse_dtd", "parse_element", "parse_fragments", "read_fragments",
+    "select", "select_one", "select_text", "split_fragments",
+    "validate", "write_content_model", "write_document", "write_dtd",
+    "write_element",
 ]

@@ -249,7 +249,7 @@ class DTD:
             if name not in referenced:
                 return name
         if not self.elements:
-            raise DTDSyntaxError("DTD has no element declarations")
+            raise DTDSyntaxError("DTD has no element declarations", 1, 1)
         return next(iter(self.elements))
 
     def depth(self) -> int:
@@ -319,7 +319,12 @@ def parse_dtd(text: str, name: str | None = None) -> DTD:
     except DTDSyntaxError:
         raise
     except XMLSyntaxError as exc:
-        raise DTDSyntaxError(str(exc)) from exc
+        # Re-wrap scanner-level errors without losing their position:
+        # the structured line/column must survive the class change, not
+        # just the rendered message.
+        raise DTDSyntaxError(
+            str(exc.args[0]).split(" (line ")[0] if exc.args else str(exc),
+            exc.line, exc.column) from exc
 
 
 def _parse_dtd(text: str, name: str | None) -> DTD:

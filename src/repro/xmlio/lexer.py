@@ -44,11 +44,14 @@ class Scanner:
     position bookkeeping can never drift from the cursor.
     """
 
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, line: int = 1, column: int = 1) -> None:
+        """``line``/``column`` seed the position bookkeeping — parsers
+        working on a slice of a larger document pass the slice's start
+        so every reported location is file-absolute."""
         self.text = text
         self.pos = 0
-        self.line = 1
-        self.column = 1
+        self.line = line
+        self.column = column
 
     # ------------------------------------------------------------------
     # primitives
@@ -156,4 +159,6 @@ def decode_entity(name: str, scanner: Scanner | None = None) -> str:
         return PREDEFINED_ENTITIES[name]
     if scanner is not None:
         raise scanner.error(f"unknown entity reference &{name};")
-    raise XMLSyntaxError(f"unknown entity reference &{name};")
+    # No scanner context: still report a (nominal) position so every
+    # XMLSyntaxError carries a usable location.
+    raise XMLSyntaxError(f"unknown entity reference &{name};", 1, 1)

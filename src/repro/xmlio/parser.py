@@ -17,6 +17,7 @@ the behaviour LSD wants when reading data listings.
 
 from __future__ import annotations
 
+from .errors import SourceLocation
 from .lexer import Scanner, decode_entity, is_name_start
 from .tree import Document, Element
 
@@ -46,8 +47,9 @@ def parse_fragments(text: str, keep_whitespace: bool = False) -> list[Element]:
 class _Parser:
     """Internal recursive-descent machinery; use the module functions."""
 
-    def __init__(self, text: str, keep_whitespace: bool = False) -> None:
-        self.scanner = Scanner(text)
+    def __init__(self, text: str, keep_whitespace: bool = False,
+                 start_line: int = 1, start_column: int = 1) -> None:
+        self.scanner = Scanner(text, start_line, start_column)
         self.keep_whitespace = keep_whitespace
         self.doctype_name: str | None = None
         self.internal_subset: str | None = None
@@ -152,14 +154,18 @@ class _Parser:
     # ------------------------------------------------------------------
     def _parse_element(self) -> Element:
         scanner = self.scanner
+        location = SourceLocation(scanner.line, scanner.column)
         scanner.expect("<")
         tag = scanner.read_name()
         attributes = self._parse_attributes()
         if scanner.looking_at("/>"):
             scanner.advance(2)
-            return Element(tag, attributes)
+            node = Element(tag, attributes)
+            node.source_location = location
+            return node
         scanner.expect(">")
         node = Element(tag, attributes)
+        node.source_location = location
         self._parse_content(node)
         scanner.expect("</")
         end_tag = scanner.read_name()

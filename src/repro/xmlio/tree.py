@@ -36,7 +36,8 @@ class Text:
 class Element:
     """An XML element: tag, attributes, ordered children, parent pointer."""
 
-    __slots__ = ("tag", "attributes", "children", "parent")
+    __slots__ = ("tag", "attributes", "children", "parent",
+                 "source_location")
 
     def __init__(self, tag: str,
                  attributes: dict[str, str] | None = None) -> None:
@@ -44,6 +45,16 @@ class Element:
         self.attributes: dict[str, str] = dict(attributes or {})
         self.children: list[Element | Text] = []
         self.parent: Element | None = None
+        #: Where the element's start tag sat in the parsed source
+        #: (:class:`~repro.xmlio.errors.SourceLocation`), or ``None``
+        #: for programmatically built trees. Read through
+        #: :meth:`location` — trees unpickled from models saved before
+        #: this slot existed leave it unset entirely.
+        self.source_location = None
+
+    def location(self):
+        """The element's source position, or ``None`` when unknown."""
+        return getattr(self, "source_location", None)
 
     # ------------------------------------------------------------------
     # construction
@@ -159,6 +170,7 @@ class Element:
     def copy(self) -> "Element":
         """Deep copy of the subtree (parent pointer of the copy is None)."""
         clone = Element(self.tag, self.attributes)
+        clone.source_location = self.location()
         for child in self.children:
             if isinstance(child, Text):
                 clone.children.append(Text(child.value))

@@ -15,6 +15,11 @@ from .errors import ValidationError
 from .tree import Document, Element, Text
 
 
+def _loc(node: Element):
+    """The node's parse-time location (None for built trees)."""
+    return node.location()
+
+
 def validate(document: Document | Element, dtd: DTD) -> None:
     """Raise :class:`ValidationError` if ``document`` violates ``dtd``.
 
@@ -31,7 +36,7 @@ def validate(document: Document | Element, dtd: DTD) -> None:
     if root.tag != expected_root:
         raise ValidationError(
             f"root element is <{root.tag}>, DTD expects <{expected_root}>",
-            root.tag)
+            root.tag, location=_loc(root))
     _validate_element(root, dtd)
 
 
@@ -47,7 +52,7 @@ def is_valid(document: Document | Element, dtd: DTD) -> bool:
 def _validate_element(node: Element, dtd: DTD) -> None:
     if node.tag not in dtd:
         raise ValidationError(f"undeclared element <{node.tag}>",
-                              node.path())
+                              node.path(), location=_loc(node))
     decl = dtd[node.tag]
     model = decl.model
 
@@ -61,7 +66,7 @@ def _validate_element(node: Element, dtd: DTD) -> None:
         if has_text or child_tags:
             raise ValidationError(
                 f"element <{node.tag}> is declared EMPTY but has content",
-                node.path())
+                node.path(), location=_loc(node))
     elif isinstance(model, Any):
         pass
     elif _is_mixed(model) or isinstance(model, PCData):
@@ -70,17 +75,18 @@ def _validate_element(node: Element, dtd: DTD) -> None:
             if tag not in allowed:
                 raise ValidationError(
                     f"element <{tag}> not allowed in mixed content of "
-                    f"<{node.tag}>", node.path())
+                    f"<{node.tag}>", node.path(), location=_loc(node))
     else:
         if has_text:
             raise ValidationError(
                 f"character data not allowed inside <{node.tag}>",
-                node.path())
+                node.path(), location=_loc(node))
         ends = _match(model, child_tags, 0)
         if len(child_tags) not in ends:
             raise ValidationError(
                 f"children of <{node.tag}> ({', '.join(child_tags) or 'none'}) "
-                f"do not match content model {model!r}", node.path())
+                f"do not match content model {model!r}", node.path(),
+                location=_loc(node))
 
     for child in node.element_children:
         _validate_element(child, dtd)
@@ -94,7 +100,7 @@ def _validate_attributes(node: Element, dtd: DTD) -> None:
             if attr_decl.default == "#REQUIRED":
                 raise ValidationError(
                     f"missing required attribute {attr_name!r} on "
-                    f"<{node.tag}>", node.path())
+                    f"<{node.tag}>", node.path(), location=_loc(node))
             continue
         if attr_decl.type.startswith("("):
             allowed = {v.strip() for v in
@@ -103,7 +109,7 @@ def _validate_attributes(node: Element, dtd: DTD) -> None:
                 raise ValidationError(
                     f"attribute {attr_name!r} of <{node.tag}> has value "
                     f"{value!r}, expected one of {sorted(allowed)}",
-                    node.path())
+                    node.path(), location=_loc(node))
 
 
 def _is_mixed(model: ContentModel) -> bool:

@@ -169,7 +169,8 @@ class TestDiscoveryAndParseErrors:
         assert set(rule_ids()) == {
             "unseeded-random", "wallclock", "set-iteration",
             "executor-shared-write", "learner-contract",
-            "metric-catalogue", "span-unclosed", "blind-except"}
+            "metric-catalogue", "span-unclosed", "blind-except",
+            "fault-site-catalogue"}
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):

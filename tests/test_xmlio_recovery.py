@@ -1,0 +1,154 @@
+"""Tests for error-recovering XML ingestion (lenient/salvage modes)."""
+
+import pytest
+
+from repro.xmlio import parse_fragments, write_element
+from repro.xmlio.errors import XMLSyntaxError
+from repro.xmlio.recovery import (INGEST_MODES, RecoveryLog,
+                                  read_fragments, split_fragments)
+
+CLEAN = """
+<listing><price>100000</price><city>Miami</city></listing>
+<listing><price>250000</price><city>Boston</city></listing>
+"""
+
+#: Listing 1 never closes <price>; its siblings are well-formed.
+UNBALANCED = """
+<listing><price>100000</price><city>Miami</city></listing>
+<listing><price>250000<city>Boston</city></listing>
+<listing><price>300000</price><city>Austin</city></listing>
+"""
+
+
+def tags_of(roots):
+    return [[child.tag for child in root.element_children] for root in roots]
+
+
+class TestStrictMode:
+    def test_clean_input_matches_plain_parse(self):
+        strict, log = read_fragments(CLEAN, "strict")
+        plain = parse_fragments(CLEAN)
+        assert log.ok
+        assert [write_element(r) for r in strict] == \
+            [write_element(r) for r in plain]
+
+    def test_malformed_input_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            read_fragments(UNBALANCED, "strict")
+
+    def test_error_carries_line_and_column(self):
+        try:
+            read_fragments("<a>\n  <b>text</c>\n</a>", "strict")
+        except XMLSyntaxError as exc:
+            assert exc.location.line == 2
+            assert exc.location.column > 1
+            assert "line 2" in str(exc)
+        else:
+            pytest.fail("malformed input did not raise")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingestion mode"):
+            read_fragments(CLEAN, "paranoid")
+        assert set(INGEST_MODES) == {"strict", "lenient", "salvage"}
+
+
+class TestLenientMode:
+    def test_clean_input_is_identical_to_strict(self):
+        lenient, log = read_fragments(CLEAN, "lenient")
+        strict = parse_fragments(CLEAN)
+        assert log.ok
+        assert [write_element(r) for r in lenient] == \
+            [write_element(r) for r in strict]
+
+    def test_auto_closes_unbalanced_tag(self):
+        roots, log = read_fragments(UNBALANCED, "lenient")
+        assert len(roots) == 3
+        assert log.recovered == [1]
+        assert log.clean == [0, 2]
+        # The repaired listing keeps both children; <price> was closed
+        # at the mismatched </listing>.
+        assert tags_of(roots)[1] == ["price"]
+        assert roots[1].element_children[0].element_children[0].tag == "city"
+        assert any(event.kind == "auto-closed" for event in log.events)
+
+    def test_undeclared_entity_kept_as_text(self):
+        roots, log = read_fragments(
+            "<a><b>Tom &amp; Jerry &copy; now</b></a>", "lenient")
+        assert roots[0].element_children[0].text_content() == "Tom & Jerry &copy; now"
+        assert any(event.kind == "skipped-entity"
+                   for event in log.events)
+
+    def test_stray_angle_bracket_becomes_character_data(self):
+        roots, log = read_fragments(
+            "<a><b>price < 100</b></a>", "lenient")
+        assert roots[0].element_children[0].text_content() == "price < 100"
+        assert any(event.kind == "stray-markup" for event in log.events)
+
+    def test_unclosed_at_end_of_input(self):
+        roots, log = read_fragments("<a><b>text", "lenient")
+        assert len(roots) == 1
+        assert roots[0].element_children[0].text_content() == "text"
+        auto = [e for e in log.events if e.kind == "auto-closed"]
+        assert len(auto) == 2  # <b> and <a>
+
+    def test_event_locations_are_file_absolute(self):
+        text = ("<listing><price>1</price></listing>\n"
+                "<listing><price>2<city>X</city></listing>\n")
+        _, log = read_fragments(text, "lenient")
+        lines = {event.location.line for event in log.events
+                 if event.kind == "auto-closed"}
+        assert lines == {2}
+        entry = next(event.as_dict() for event in log.events
+                     if event.kind == "auto-closed")
+        assert entry["line"] == 2 and entry["column"] > 1
+        assert entry["listing"] == 1
+
+
+class TestSalvageMode:
+    def test_drops_malformed_keeps_siblings(self):
+        roots, log = read_fragments(UNBALANCED, "salvage")
+        assert len(roots) == 2
+        assert log.dropped == [1]
+        assert log.clean == [0, 2]
+        assert [root.element_children[0].text_content() for root in roots] == \
+            ["100000", "300000"]
+
+    def test_all_malformed_records_no_elements(self):
+        roots, log = read_fragments("<a><b></a>", "salvage")
+        assert roots == []
+        assert any(event.kind == "no-elements" for event in log.events)
+
+
+class TestRecoveryLog:
+    def test_as_dict_shape(self):
+        _, log = read_fragments(UNBALANCED, "lenient")
+        entry = log.as_dict()
+        assert entry["listings"]["clean"] == 2
+        assert entry["listings"]["recovered"] == [1]
+        assert entry["listings"]["dropped"] == []
+        assert entry["counts"]["recovered-listing"] == 1
+        assert all({"kind", "message", "line", "column"}
+                   <= set(event) for event in entry["events"])
+
+    def test_empty_log_is_ok(self):
+        log = RecoveryLog()
+        assert log.ok
+        assert log.counts() == {}
+
+
+class TestSplitFragments:
+    def test_isolates_siblings(self):
+        fragments = split_fragments(UNBALANCED)
+        assert len(fragments) == 3
+        assert all(fragment.kind == "element"
+                   for fragment in fragments)
+        assert fragments[1].line == 3
+
+    def test_comments_and_pis_skipped(self):
+        fragments = split_fragments(
+            "<!-- header --><?pi data?><a>1</a><!-- mid --><b>2</b>")
+        assert [f.text for f in fragments] == ["<a>1</a>", "<b>2</b>"]
+
+    def test_stray_content_is_its_own_fragment(self):
+        fragments = split_fragments("junk <a>1</a>")
+        assert [f.kind for f in fragments] == ["stray", "element"]
