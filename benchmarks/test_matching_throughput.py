@@ -18,8 +18,11 @@ source of Real Estate I in one process) under four configurations:
 Configurations are interleaved round-robin and each reports its best
 round, so machine-load drift hits all of them equally. The benchmark
 asserts that every new-engine configuration produces *byte-identical*
-``tag_scores`` and that cache+parallelism beats the seed pipeline by at
-least 2x, then writes ``BENCH_matching.json`` at the repo root.
+``tag_scores``, that cache+parallelism beats the seed pipeline by at
+least 3x, that ``par4`` stays at parity with ``serial`` (within
+``PAR_TOLERANCE``), and that seed-relative serial throughput has not
+regressed more than 25% against the committed ``BENCH_matching.json``,
+then rewrites that file at the repo root.
 
 The seed emulation is compared on time only: its outputs differ from the
 new engine exactly where this PR fixed the WHIRL top-k tie bug (the seed
@@ -52,7 +55,16 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / \
     "BENCH_matching.json"
 N_LISTINGS = int(os.environ.get("LSD_BENCH_THROUGHPUT_LISTINGS", "100"))
 ROUNDS = int(os.environ.get("LSD_BENCH_THROUGHPUT_ROUNDS", "3"))
-MIN_SPEEDUP = 2.0
+MIN_SPEEDUP = 3.0
+#: ``par4`` may not trail ``serial`` by more than this factor. The hot
+#: kernels hold the GIL (see ``repro.core.parallel``), so threads tie
+#: serial rather than beat it; the committed par4-slower-than-serial
+#: inversion stays within scheduler noise and can never silently grow.
+PAR_TOLERANCE = 1.10
+#: Floor on seed-relative serial throughput vs the committed bench:
+#: comparing the *ratio* (not wall-clock) cancels host-speed drift
+#: between the committing machine and this one.
+REGRESSION_TOLERANCE = 0.75
 
 
 # ---------------------------------------------------------------------------
@@ -169,13 +181,15 @@ def test_matching_throughput():
         run()
 
     best = {name: float("inf") for name in configs}
+    total = {name: 0.0 for name in configs}
     results = {}
     for _ in range(ROUNDS):
         for name, run in configs.items():
             start = time.perf_counter()
             results[name] = run()
-            best[name] = min(best[name],
-                             time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            best[name] = min(best[name], elapsed)
+            total[name] += elapsed
 
     # Determinism: every new-engine configuration is byte-identical.
     reference = results["serial"]
@@ -198,8 +212,14 @@ def test_matching_throughput():
     speedups = {
         "serial_vs_seed": best["seed"] / best["serial"],
         "par4_vs_seed": best["seed"] / best["par4"],
+        "par4_vs_serial": best["serial"] / best["par4"],
         "cache_on_vs_off": best["cache_off"] / best["serial"],
     }
+    committed_ratio = None
+    if BENCH_PATH.exists():
+        committed = json.loads(BENCH_PATH.read_text())
+        committed_ratio = committed.get("speedup", {}) \
+            .get("serial_vs_seed")
     report = {
         "workload": {
             "domain": "real_estate_1",
@@ -233,3 +253,22 @@ def test_matching_throughput():
 
     assert speedups["serial_vs_seed"] >= MIN_SPEEDUP
     assert speedups["par4_vs_seed"] >= MIN_SPEEDUP
+    # Parallel mode must stay at parity with serial (threads cannot
+    # beat it — the kernels hold the GIL — but a real inversion like
+    # the committed par4 < serial regression must fail loudly). Load
+    # spikes hit best-of-rounds and total-of-rounds differently, so
+    # parity on either metric passes; a genuine regression fails both.
+    assert (best["par4"] <= best["serial"] * PAR_TOLERANCE
+            or total["par4"] <= total["serial"] * PAR_TOLERANCE), \
+        f"par4 trails serial beyond {PAR_TOLERANCE}x on both " \
+        f"best ({best['par4']*1000:.1f}ms vs " \
+        f"{best['serial']*1000:.1f}ms) and total " \
+        f"({total['par4']*1000:.1f}ms vs {total['serial']*1000:.1f}ms)"
+    # Throughput floor vs the committed bench, in host-drift-free
+    # seed-relative terms.
+    if committed_ratio:
+        assert speedups["serial_vs_seed"] >= \
+            committed_ratio * REGRESSION_TOLERANCE, \
+            f"serial_vs_seed {speedups['serial_vs_seed']:.2f} fell " \
+            f"below {REGRESSION_TOLERANCE}x of committed " \
+            f"{committed_ratio:.2f}"

@@ -59,6 +59,9 @@ from .instance import ElementInstance
 #: feature_cache key of the content-token bag.
 _CONTENT = "content_tokens"
 
+#: feature_cache key of the concatenated subtree text.
+_TEXT = "text"
+
 #: Module switch consulted on every lookup; see :func:`cache_disabled`.
 _enabled = True
 
@@ -137,6 +140,25 @@ def pipeline_tokens(text: str) -> list[str]:
     return tokens
 
 
+def instance_text(instance: ElementInstance) -> str:
+    """``instance.text`` computed at most once per instance.
+
+    ``ElementInstance.text`` walks the whole element subtree on every
+    access; the vectorized learners read the same text several times per
+    matching run (once per learner, again for distinct-key grouping), so
+    the string is pinned on the instance's feature cache. Hit/miss
+    accounting is left to the token-level caches — this slot only
+    elides tree walks, it derives no features.
+    """
+    if not _enabled:
+        return instance.text
+    cache = instance.feature_cache
+    text = cache.get(_TEXT)
+    if text is None:
+        text = cache[_TEXT] = instance.text
+    return text
+
+
 def content_tokens(instance: ElementInstance) -> list[str]:
     """Token bag of the instance's full text content, computed once.
 
@@ -149,25 +171,30 @@ def content_tokens(instance: ElementInstance) -> list[str]:
     cache = instance.feature_cache
     tokens = cache.get(_CONTENT)
     if tokens is None:
-        tokens = pipeline_tokens(instance.text)
+        tokens = pipeline_tokens(instance_text(instance))
         cache[_CONTENT] = tokens
     else:
         stats.hits += 1
     return tokens
 
 
-def node_words(instance: ElementInstance, node: Element) -> list[str]:
+def node_words(instance: ElementInstance, node: Element,
+               is_leaf: bool | None = None) -> list[str]:
     """Word tokens of one node's *immediate* text (the XML learner's
     per-node lookup), served through the shared cache layers.
 
     For the common case — the instance's own element, a leaf with no
     attributes — the immediate text tokenizes identically to the full
     text content (whitespace differences do not survive tokenization),
-    so the instance's content tokens are reused outright.
+    so the instance's content tokens are reused outright. Callers that
+    already know the node's leaf-ness (a tree walk that just listed the
+    children) pass it via ``is_leaf`` to skip re-deriving it.
     """
     if not _enabled:
         return _pipeline(node.immediate_text())
-    if node is instance.element and not node.attributes and node.is_leaf:
+    if is_leaf is None:
+        is_leaf = node.is_leaf
+    if node is instance.element and not node.attributes and is_leaf:
         return content_tokens(instance)
     return pipeline_tokens(node.immediate_text())
 
@@ -176,6 +203,19 @@ def warm(instances: Sequence[ElementInstance]) -> None:
     """Pre-fill the content-token cache for a batch of instances."""
     for instance in instances:
         content_tokens(instance)
+
+
+def warm_texts(instances: Sequence[ElementInstance]) -> None:
+    """Pre-fill only the subtree-text slot for a batch of instances.
+
+    Every vectorized learner reads :func:`instance_text` to build its
+    distinct-key grouping, so the tree walks are needed for the whole
+    batch regardless — but token bags are only derived for the distinct
+    representatives, so warming *tokens* for the full batch would do
+    work the deduplicated learners never ask for.
+    """
+    for instance in instances:
+        instance_text(instance)
 
 
 def invalidate(instance: ElementInstance) -> None:

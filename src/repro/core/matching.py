@@ -64,7 +64,7 @@ from .instance import (ElementInstance, InstanceColumn, extract_columns,
                        fill_child_labels)
 from .labels import LabelSpace
 from .mapping import Mapping
-from .parallel import ParallelExecutor, resolve
+from .parallel import ParallelExecutor, resolve, shard_bounds
 from .prediction import Prediction
 from .schema import SourceSchema
 
@@ -295,27 +295,41 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     """Per-learner flat score matrices and per-tag converted scores,
     with optional structure re-passes.
 
+    Fan-out is coarse-grained: the flat batch is cut into contiguous
+    shards (:func:`~repro.core.parallel.shard_bounds`, a pure function
+    of the batch size — never the worker count) and the task grid is
+    ``learners × shards``, so one expensive learner no longer serialises
+    the whole predict stage behind a single task. Learner scoring is
+    row-wise by the :class:`~repro.learners.base.BaseLearner` contract,
+    so concatenating per-shard score blocks is byte-identical to one
+    whole-batch call at any worker count.
+
     Worker-side stage timings record into per-task profiles and merge
     back (``map_profiled``); trace spans opened on worker threads name
-    the predict span as their explicit parent, so the trace tree is the
-    same at any worker count. Each learner batch contributes
-    ``len(batch)`` observations of its mean per-instance latency to the
-    prediction-latency histogram — O(learners) timer reads, not
-    O(instances).
+    the predict span as their explicit parent, and shard spans carry
+    their shard index in the name (single-shard batches keep the legacy
+    ``learner.<name>`` span), so the trace tree is the same at any
+    worker count. Each (learner, shard) task contributes ``len(batch)``
+    observations of its mean per-instance latency to the
+    prediction-latency histogram — O(learners × shards) timer reads,
+    not O(instances).
 
     With an active ``policy``, a learner whose prediction raises or
-    times out comes back as a :class:`_LearnerFailure` and is
-    quarantined for the rest of the run; the meta-learner renormalizes
-    over the survivors (uniform scores if none survive).
+    times out in *any* shard comes back as a :class:`_LearnerFailure`
+    and is quarantined for the rest of the run; the meta-learner
+    renormalizes over the survivors (uniform scores if none survive).
+    The ``learner.predict`` fault site fires once per learner per pass
+    (on its first shard), exactly as it did before sharding.
     """
     latency = obs.metrics.histogram(M_PREDICT_LATENCY)
 
     def predict_with(learner: BaseLearner,
                      batch: list[ElementInstance],
-                     prof: StageProfile):
+                     prof: StageProfile, shard: int, n_shards: int):
+        span_name = (f"learner.{learner.name}" if n_shards == 1
+                     else f"learner.{learner.name}.s{shard}")
         with prof.stage(f"predict.learner.{learner.name}"), \
-                obs.trace.span(f"learner.{learner.name}",
-                               parent=predict_span_id,
+                obs.trace.span(span_name, parent=predict_span_id,
                                instances=len(batch)):
             # Observability instrumentation: the timer feeds the
             # prediction-latency histogram, never pipeline output.
@@ -324,7 +338,8 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                 scores = learner.predict_scores(batch)
             else:
                 try:
-                    policy.fire(SITE_LEARNER_PREDICT, learner.name)
+                    if shard == 0:
+                        policy.fire(SITE_LEARNER_PREDICT, learner.name)
                     scores = call_with_timeout(
                         learner.predict_scores, (batch,),
                         policy.learner_timeout)
@@ -338,6 +353,79 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             latency.observe(elapsed / len(batch), count=len(batch))
         return scores
 
+    def duplicate_order(batch: list[ElementInstance]) -> np.ndarray \
+            | None:
+        """Stable permutation clustering duplicate instances together.
+
+        Shards are contiguous ranges, so without this each shard
+        re-scores the distinct values it shares with the others — the
+        learners' distinct-key dedup only sees one shard at a time.
+        Grouping equal ``(tag, path, text)`` instances (a refinement of
+        every learner's dedup key that depends on the text) keeps each
+        distinct value inside one shard. A pure function of the batch
+        content — never the worker count — so the shard plan, trace
+        shape and outputs stay identical at any parallelism. Scores are
+        un-permuted before anything consumes them, and learner scoring
+        is row-wise, so the reordering is output-invisible.
+        """
+        if len(batch) <= 1:
+            return None
+        seen: dict = {}
+        groups = np.empty(len(batch), dtype=np.intp)
+        for position, instance in enumerate(batch):
+            key = (instance.tag, instance.path,
+                   featurize.instance_text(instance))
+            group = seen.get(key)
+            if group is None:
+                group = seen[key] = len(seen)
+            groups[position] = group
+        if len(seen) == len(batch):
+            return None
+        return np.argsort(groups, kind="stable")
+
+    def fan_out(batch: list[ElementInstance],
+                group: list[BaseLearner], label: str) -> list:
+        """Sharded (learner × shard) fan-out over ``batch``.
+
+        Returns one entry per learner of ``group``: the concatenated
+        score matrix (in ``batch`` order), or a
+        :class:`_LearnerFailure` if any of the learner's shards failed.
+        """
+        bounds = shard_bounds(len(batch))
+        n_shards = len(bounds)
+        # A single shard already dedups globally; only a real split
+        # needs duplicates clustered into one shard.
+        order = duplicate_order(batch) \
+            if n_shards > 1 and featurize.is_enabled() else None
+        if order is None:
+            shard_batch = batch
+            inverse = None
+        else:
+            shard_batch = [batch[i] for i in order]
+            inverse = np.empty(len(batch), dtype=np.intp)
+            inverse[order] = np.arange(len(batch))
+        tasks = [(learner, shard, start, stop)
+                 for learner in group
+                 for shard, (start, stop) in enumerate(bounds)]
+        pieces = executor.map_profiled(
+            lambda task, prof: predict_with(
+                task[0], shard_batch[task[2]:task[3]], prof, task[1],
+                n_shards),
+            tasks, profile, label=label)
+        gathered: list = []
+        for index in range(len(group)):
+            blocks = pieces[index * n_shards:(index + 1) * n_shards]
+            failure = next((b for b in blocks
+                            if isinstance(b, _LearnerFailure)), None)
+            if failure is not None:
+                gathered.append(failure)
+                continue
+            scores = (blocks[0] if n_shards == 1
+                      else np.concatenate(blocks, axis=0))
+            gathered.append(scores if inverse is None
+                            else scores[inverse])
+        return gathered
+
     def quarantine(learner: BaseLearner, failure: _LearnerFailure) \
             -> None:
         assert policy is not None
@@ -347,9 +435,15 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             type(failure.error).__name__)
         scores_by_learner.pop(learner.name, None)
 
-    rows = executor.map_profiled(
-        lambda lrn, prof: predict_with(lrn, flat, prof), learners,
-        profile, label="predict")
+    # Pre-fill the shared text cache on the orchestrating thread: every
+    # learner's distinct-key grouping reads the subtree text, so the
+    # pure-Python tree walks happen exactly once per instance instead
+    # of racing to fill the same slots from several worker threads.
+    # Pure warming — outputs are unchanged.
+    if featurize.is_enabled():
+        with profile.stage("predict.featurize_warm"):
+            featurize.warm_texts(flat)
+    rows = fan_out(flat, learners, "predict")
     scores_by_learner: dict[str, np.ndarray] = {
         learner.name: scores
         for learner, scores in zip(learners, rows)
@@ -395,9 +489,7 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                 len(changed))
             pass_span.set_attribute("repredicted", len(changed))
             batch = [flat[i] for i in changed]
-            updates = executor.map_profiled(
-                lambda lrn, prof: predict_with(lrn, batch, prof),
-                structural, profile, label="structure")
+            updates = fan_out(batch, structural, "structure")
             for learner, new_rows in zip(structural, updates):
                 if isinstance(new_rows, _LearnerFailure):
                     quarantine(learner, new_rows)
@@ -426,7 +518,6 @@ def _convert(scores_by_learner: dict[str, np.ndarray],
         else:
             combined = np.zeros((0, len(space)))
     with profile.stage("predict.convert"), obs.trace.span("convert"):
-        return {
-            tag: converter.convert(combined[piece])
-            for tag, piece in slices.items()
-        }
+        # One grouped reduction over every column slice; bitwise equal
+        # to per-tag ``converter.convert(combined[piece])`` calls.
+        return converter.convert_slices(combined, slices)

@@ -1,0 +1,66 @@
+"""Distinct-batch helpers shared by the vectorized learners.
+
+Real instance columns are duplicate-heavy: the same city, agent, price
+or yes/no value repeats across hundreds of listings. Every base learner
+in this package scores an instance as a pure row-wise function of some
+*key* derived from it (its text, its tag name, its token bag), so a
+batch can be collapsed to its distinct keys, scored once per key, and
+broadcast back with one fancy-index gather — numerically identical to
+scoring every row, because no step mixes information across rows.
+
+This module centralises the pattern that :class:`~repro.learners.
+naive_bayes.NaiveBayesLearner` and :class:`~repro.learners.whirl.
+WhirlIndex` pioneered, so the statistics, numeric, recognizer, metadata
+and edit-distance learners all share one implementation.
+
+The collapse rides the :mod:`repro.core.featurize` switch: under
+``featurize.cache_disabled()`` every row is scored naively, which is
+what lets the benchmark harness measure the un-deduplicated baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from ..core import featurize
+
+
+def group_distinct(keys: Sequence[Hashable]
+                   ) -> tuple[list[int], np.ndarray]:
+    """First-occurrence index of each distinct key, plus the inverse map.
+
+    Returns ``(firsts, inverse)`` where ``firsts[d]`` is the position of
+    the first item carrying distinct key ``d`` (in first-seen order) and
+    ``inverse[i]`` is the distinct index of item ``i`` — so a matrix
+    scored per distinct key broadcasts back as ``per_key[inverse]``.
+    """
+    slots: dict[Hashable, int] = {}
+    firsts: list[int] = []
+    inverse = np.empty(len(keys), dtype=np.intp)
+    for position, key in enumerate(keys):
+        slot = slots.get(key)
+        if slot is None:
+            slot = slots[key] = len(firsts)
+            firsts.append(position)
+        inverse[position] = slot
+    return firsts, inverse
+
+
+def score_distinct(keys: Sequence[Hashable],
+                   score: Callable[[list[int]], np.ndarray]
+                   ) -> np.ndarray:
+    """Score once per distinct key and broadcast rows back.
+
+    ``score(firsts)`` receives the first-occurrence positions of the
+    distinct keys and must return one score row per position. When every
+    key is unique (or memoisation is globally disabled) the batch is
+    scored directly with no gather copy.
+    """
+    if not featurize.is_enabled():
+        return score(list(range(len(keys))))
+    firsts, inverse = group_distinct(keys)
+    if len(firsts) == len(keys):
+        return score(firsts)
+    return score(firsts)[inverse]

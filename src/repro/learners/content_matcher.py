@@ -16,6 +16,7 @@ from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from .base import BaseLearner
+from .batching import score_distinct
 from .whirl import WhirlIndex
 
 
@@ -65,5 +66,9 @@ class ContentMatcher(BaseLearner):
         space = self._require_fitted()
         if not instances:
             return np.zeros((0, len(space)))
-        documents = [self._document(instance) for instance in instances]
-        return self._index.scores(documents)
+        # The content document is a pure function of the instance text:
+        # tokenize and score once per distinct text, broadcast the rows.
+        texts = [featurize.instance_text(i) for i in instances]
+        return score_distinct(
+            texts, lambda firsts: self._index.scores(
+                [self._document(instances[i]) for i in firsts]))

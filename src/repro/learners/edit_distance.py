@@ -19,6 +19,7 @@ from ..core.labels import LabelSpace
 from ..text import split_name
 from ..text.similarity import best_token_alignment
 from .base import BaseLearner
+from .batching import group_distinct
 
 
 class EditDistanceNameMatcher(BaseLearner):
@@ -53,14 +54,11 @@ class EditDistanceNameMatcher(BaseLearner):
         space = self._require_fitted()
         if not instances:
             return np.zeros((0, len(space)))
-        # Score each distinct tag once and broadcast.
-        distinct: dict[str, np.ndarray] = {}
-        scores = np.zeros((len(instances), len(space)))
-        for row, instance in enumerate(instances):
-            if instance.tag not in distinct:
-                distinct[instance.tag] = self._score_tag(instance.tag)
-            scores[row] = distinct[instance.tag]
-        return scores
+        # Score each distinct tag once; one gather replaces the row loop.
+        tags = [instance.tag for instance in instances]
+        firsts, inverse = group_distinct(tags)
+        per_tag = np.stack([self._score_tag(tags[i]) for i in firsts])
+        return per_tag[inverse]
 
     def _score_tag(self, tag: str) -> np.ndarray:
         space = self._require_fitted()

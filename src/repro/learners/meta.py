@@ -206,8 +206,15 @@ class StackingMetaLearner:
             target = design.T @ indicator[:, c] + lam * prior
             # Negative weights would let one learner's *low* score argue
             # for a label; clip to keep combination interpretable.
-            self.weights[c] = np.maximum(np.linalg.solve(gram, target),
-                                         0.0)
+            row = np.maximum(np.linalg.solve(gram, target), 0.0)
+            if not row.any():
+                # Clipping an all-negative solution would leave this
+                # label with zero weight everywhere — no learner could
+                # vote for it and its combined column would be
+                # identically zero (and zero out of the quarantine
+                # renormalization too). Fall back to uniform averaging.
+                row = prior.copy()
+            self.weights[c] = row
 
     def fit_uniform(self, learner_names: Sequence[str],
                     space: LabelSpace) -> None:
@@ -243,10 +250,15 @@ class StackingMetaLearner:
             raise ValueError("no surviving learners to combine")
         weights = self.weights if not missing \
             else self._renormalized_weights(names)
-        first = scores_by_learner[names[0]]
-        combined = np.zeros_like(first, dtype=np.float64)
-        for j, name in enumerate(names):
-            combined += scores_by_learner[name] * weights[:, j]
+        stacked = np.stack([np.asarray(scores_by_learner[name],
+                                       dtype=np.float64)
+                            for name in names])
+        # One einsum over the (learner, instance, label) stack. No
+        # ``optimize=True``: the default einsum path accumulates the
+        # learner axis element-wise in index order — deterministic and
+        # row-independent, which keeps batch scoring bitwise equal to
+        # per-instance scoring.
+        combined = np.einsum("lnc,cl->nc", stacked, weights)
         return normalize_matrix(combined)
 
     def _renormalized_weights(self, names: Sequence[str]) -> np.ndarray:

@@ -17,10 +17,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
-from ..text import remove_stopwords, split_name, stem_tokens, tokenize
+from ..text import split_name
 from .base import BaseLearner
+from .batching import score_distinct
 from .whirl import WhirlIndex
 
 _CONTENT_SAMPLE_TOKENS = 12
@@ -32,7 +34,8 @@ def metadata_document(instance: ElementInstance) -> list[str]:
     tokens.extend(split_name(instance.tag))
     for ancestor in instance.path[1:]:
         tokens.extend(split_name(ancestor))
-    content = stem_tokens(remove_stopwords(tokenize(instance.text)))
+    # Same pipeline the content learners run, through the shared cache.
+    content = featurize.content_tokens(instance)
     tokens.extend(content[:_CONTENT_SAMPLE_TOKENS])
     return tokens
 
@@ -73,5 +76,10 @@ class MetadataLearner(BaseLearner):
         space = self._require_fitted()
         if not instances:
             return np.zeros((0, len(space)))
-        documents = [metadata_document(i) for i in instances]
-        return self._index.scores(documents)
+        # The metadata document is a pure function of (tag, path, text):
+        # build and score it once per distinct key, broadcast the rows.
+        keys = [(i.tag, i.path, featurize.instance_text(i))
+                for i in instances]
+        return score_distinct(
+            keys, lambda firsts: self._index.scores(
+                [metadata_document(instances[i]) for i in firsts]))

@@ -22,6 +22,7 @@ from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from .base import BaseLearner
+from .batching import score_distinct
 
 
 def default_tokenizer(instance: ElementInstance) -> list[str]:
@@ -97,21 +98,19 @@ class NaiveBayesLearner(BaseLearner):
         # Score each distinct token bag once and broadcast: NB scores are
         # row-wise, so this is numerically identical to scoring all rows,
         # and duplicate-heavy columns collapse to a few distinct bags.
-        # Rides the featurize switch so the benchmark baseline can
-        # measure the naive path.
-        if featurize.is_enabled():
-            distinct: dict[tuple[str, ...], int] = {}
-            unique: list[list[str]] = []
+        # ``score_distinct`` rides the featurize switch so the benchmark
+        # baseline can measure the naive path. The default tokenizer is
+        # a pure function of the instance text, so the (cheaper-to-hash)
+        # text string is an exact stand-in for the token tuple; custom
+        # tokenizers may consume more than the text and group by the
+        # tokens themselves.
+        if self.tokenizer is default_tokenizer:
+            keys: list = [featurize.instance_text(i) for i in instances]
+        else:
             keys = [tuple(doc) for doc in documents]
-            for key, doc in zip(keys, documents):
-                if key not in distinct:
-                    distinct[key] = len(unique)
-                    unique.append(doc)
-            if len(unique) < len(documents):
-                per_doc = self._score_documents(unique)
-                rows = np.array([distinct[key] for key in keys])
-                return per_doc[rows]
-        return self._score_documents(documents)
+        return score_distinct(
+            keys, lambda firsts: self._score_documents(
+                [documents[i] for i in firsts]))
 
     def _score_documents(self, documents: list[list[str]]) -> np.ndarray:
         matrix = self._document_matrix(documents)
@@ -121,22 +120,24 @@ class NaiveBayesLearner(BaseLearner):
     # ------------------------------------------------------------------
     def _document_matrix(self,
                          documents: list[list[str]]) -> sparse.csr_matrix:
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        for row_index, doc in enumerate(documents):
-            counts: dict[int, int] = {}
-            for token in doc:
-                col = self.vocabulary.get(token)
-                if col is not None:
-                    counts[col] = counts.get(col, 0) + 1
-            for col, count in counts.items():
-                rows.append(row_index)
-                cols.append(col)
-                data.append(float(count))
-        return sparse.csr_matrix(
-            (data, (rows, cols)),
+        # One flat Python pass maps tokens to vocabulary columns (-1 for
+        # out-of-vocabulary); everything after — the row expansion, the
+        # OOV filter, and the duplicate-count/column-sort canonicalisation
+        # in ``tocsr`` — runs in C. Counts are small integers, so the
+        # duplicate summation is exact regardless of order.
+        get = self.vocabulary.get
+        cols = np.fromiter(
+            (get(token, -1) for doc in documents for token in doc),
+            dtype=np.intp)
+        lengths = np.fromiter((len(doc) for doc in documents),
+                              dtype=np.intp, count=len(documents))
+        rows = np.repeat(np.arange(len(documents), dtype=np.intp),
+                         lengths)
+        known = cols >= 0
+        matrix = sparse.coo_matrix(
+            (np.ones(int(known.sum())), (rows[known], cols[known])),
             shape=(len(documents), max(len(self.vocabulary), 1)))
+        return matrix.tocsr()
 
 
 def _row_softmax(log_scores: np.ndarray) -> np.ndarray:

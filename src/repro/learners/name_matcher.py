@@ -17,6 +17,7 @@ from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from ..text import SynonymDictionary, default_synonyms, expand_name
 from .base import BaseLearner
+from .batching import group_distinct
 from .whirl import WhirlIndex
 
 
@@ -57,12 +58,7 @@ class NameMatcher(BaseLearner):
         # Every instance of a tag shares the same name document: score each
         # distinct (tag, path) once and broadcast.
         keys = [(i.tag, i.path) for i in instances]
-        distinct: dict[tuple, int] = {}
-        documents: list[list[str]] = []
-        for key, instance in zip(keys, instances):
-            if key not in distinct:
-                distinct[key] = len(documents)
-                documents.append(self._document(instance))
-        per_key = self._index.scores(documents)
-        rows = np.array([distinct[key] for key in keys])
-        return per_key[rows]
+        firsts, inverse = group_distinct(keys)
+        per_key = self._index.scores(
+            [self._document(instances[i]) for i in firsts])
+        return per_key[inverse]

@@ -20,10 +20,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from ..text import tokenize_numeric
 from .base import BaseLearner
+from .batching import score_distinct
 
 _MIN_STD = 0.25  # floor in log-space: a label seen once is not a spike
 
@@ -48,10 +50,8 @@ class NumericLearner(BaseLearner):
     @staticmethod
     def _value_of(instance: ElementInstance) -> float | None:
         """Representative numeric value of an instance (mean of mentions)."""
-        values = tokenize_numeric(instance.text)
-        if not values:
-            return None
-        return math.log1p(abs(sum(values) / len(values)))
+        value = _text_value(instance.text)
+        return None if math.isnan(value) else value
 
     def fit(self, instances: Sequence[ElementInstance],
             labels: Sequence[str], space: LabelSpace) -> None:
@@ -88,15 +88,40 @@ class NumericLearner(BaseLearner):
         assert self._numeric_rate is not None and self._prior is not None
         if not instances:
             return np.zeros((0, len(space)))
-        scores = np.zeros((len(instances), len(space)))
-        for row, instance in enumerate(instances):
-            value = self._value_of(instance)
-            if value is None:
-                scores[row] = self._prior * (1.0 - self._numeric_rate)
-            else:
-                likelihood = _gaussian_pdf(value, self._means, self._stds)
-                scores[row] = self._prior * self._numeric_rate * likelihood
+        # The score row is a pure function of the instance text; collapse
+        # the batch to its distinct texts, then compute every row with
+        # one broadcast Gaussian evaluation and a masked blend.
+        texts = [featurize.instance_text(i) for i in instances]
+        return score_distinct(
+            texts, lambda firsts: self._score_texts(
+                [texts[i] for i in firsts]))
+
+    def _score_texts(self, texts: list[str]) -> np.ndarray:
+        """One normalised score row per text, fully vectorized."""
+        values = np.array([_text_value(text) for text in texts])
+        numeric = ~np.isnan(values)
+        non_numeric_row = self._prior * (1.0 - self._numeric_rate)
+        # Gaussian likelihoods for every (text, label) pair; NaN rows
+        # (non-numeric texts) are computed harmlessly and masked out.
+        with np.errstate(invalid="ignore"):
+            likelihood = _gaussian_pdf(values[:, None], self._means,
+                                       self._stds)
+        numeric_rows = self._prior * self._numeric_rate * likelihood
+        scores = np.where(numeric[:, None], numeric_rows,
+                          non_numeric_row)
         return self._normalize(scores)
+
+
+def _text_value(text: str) -> float:
+    """Representative numeric value of a text, ``nan`` when non-numeric.
+
+    The NaN sentinel is safe: ``tokenize_numeric`` extracts values with a
+    digit regex, so a parsed mention can never itself be NaN.
+    """
+    values = tokenize_numeric(text)
+    if not values:
+        return math.nan
+    return math.log1p(abs(sum(values) / len(values)))
 
 
 def _gaussian_pdf(x: float, means: np.ndarray,

@@ -19,9 +19,40 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from .base import BaseLearner
+from .batching import group_distinct
+
+
+def _recognition_scores(space_size: int, col: int, mask: np.ndarray,
+                        match_confidence: float) -> np.ndarray:
+    """Score matrix from a per-row recognition mask.
+
+    Recognised rows put ``match_confidence`` on the bound label and
+    spread the remainder; unrecognised rows abstain with the uniform
+    row. Two masked writes replace the per-row Python loop.
+    """
+    uniform = 1.0 / space_size
+    spread = (1.0 - match_confidence) / max(space_size - 1, 1)
+    scores = np.full((mask.size, space_size), uniform)
+    scores[mask] = spread
+    scores[mask, col] = match_confidence
+    return scores
+
+
+def _recognize_batch(instances: Sequence[ElementInstance],
+                     recognizes) -> np.ndarray:
+    """Per-row recognition mask, evaluated once per distinct text."""
+    texts = [featurize.instance_text(i) for i in instances]
+    if not featurize.is_enabled():
+        return np.fromiter((recognizes(text) for text in texts),
+                           dtype=bool, count=len(texts))
+    firsts, inverse = group_distinct(texts)
+    per_key = np.fromiter((recognizes(texts[i]) for i in firsts),
+                          dtype=bool, count=len(firsts))
+    return per_key[inverse]
 
 
 class GazetteerRecognizer(BaseLearner):
@@ -55,17 +86,16 @@ class GazetteerRecognizer(BaseLearner):
     def predict_scores(self,
                        instances: Sequence[ElementInstance]) -> np.ndarray:
         space = self._require_fitted()
-        scores = self._uniform(len(instances))
         if self.label not in space:
-            return scores  # label not in this domain: always abstain
-        col = space.index_of(self.label)
-        others = 1.0 - self.match_confidence
-        spread = others / max(len(space) - 1, 1)
-        for row, instance in enumerate(instances):
-            if self._recognizes(instance):
-                scores[row, :] = spread
-                scores[row, col] = self.match_confidence
-        return scores
+            # Label not in this domain: always abstain.
+            return self._uniform(len(instances))
+        if not instances:
+            return np.zeros((0, len(space)))
+        mask = _recognize_batch(
+            instances, lambda text: text.strip().lower() in self.values)
+        return _recognition_scores(len(space),
+                                   space.index_of(self.label), mask,
+                                   self.match_confidence)
 
 
 class RegexRecognizer(BaseLearner):
@@ -95,14 +125,13 @@ class RegexRecognizer(BaseLearner):
     def predict_scores(self,
                        instances: Sequence[ElementInstance]) -> np.ndarray:
         space = self._require_fitted()
-        scores = self._uniform(len(instances))
         if self.label not in space:
-            return scores
-        col = space.index_of(self.label)
-        others = 1.0 - self.match_confidence
-        spread = others / max(len(space) - 1, 1)
-        for row, instance in enumerate(instances):
-            if self._compiled.fullmatch(instance.text.strip()):
-                scores[row, :] = spread
-                scores[row, col] = self.match_confidence
-        return scores
+            return self._uniform(len(instances))
+        if not instances:
+            return np.zeros((0, len(space)))
+        fullmatch = self._compiled.fullmatch
+        mask = _recognize_batch(
+            instances, lambda text: fullmatch(text.strip()) is not None)
+        return _recognition_scores(len(space),
+                                   space.index_of(self.label), mask,
+                                   self.match_confidence)

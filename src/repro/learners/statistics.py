@@ -21,10 +21,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core import featurize
 from ..core.instance import ElementInstance
 from ..core.labels import LabelSpace
 from ..text import tokenize, tokenize_numeric
 from .base import BaseLearner
+from .batching import score_distinct
 
 #: Number of features in the statistics vector.
 N_FEATURES = 8
@@ -97,7 +99,23 @@ class StatisticsLearner(BaseLearner):
             raise RuntimeError("learner is not fitted")
         if not instances:
             return np.zeros((0, len(space)))
-        vectors = np.stack([statistics_vector(i.text) for i in instances])
+        if not self._seen.any():
+            # Fitted on zero examples: every centroid column would be
+            # masked to -inf and the max-shift would turn the whole row
+            # into NaN (-inf - -inf). No training evidence means the
+            # learner abstains with the uniform row instead.
+            return self._uniform(len(instances))
+        # Distances are a pure function of the instance text, so the
+        # batch collapses to its distinct texts before the matrix math.
+        texts = [featurize.instance_text(i) for i in instances]
+        return score_distinct(
+            texts, lambda firsts: self._score_texts(
+                [texts[i] for i in firsts]))
+
+    def _score_texts(self, texts: list[str]) -> np.ndarray:
+        """Softmax over negative centroid distances, one row per text."""
+        assert self._centroids is not None and self._seen is not None
+        vectors = np.stack([statistics_vector(text) for text in texts])
         # (n, labels) squared distances to each centroid.
         deltas = vectors[:, None, :] - self._centroids[None, :, :]
         distances = np.sqrt((deltas ** 2).sum(axis=2))

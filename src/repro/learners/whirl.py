@@ -18,9 +18,9 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
-from ..core import featurize
 from ..core.labels import LabelSpace
 from ..text import TfidfVectorSpace
+from .batching import score_distinct
 
 
 class WhirlIndex:
@@ -97,20 +97,10 @@ class WhirlIndex:
             raise RuntimeError("WhirlIndex is not fitted")
         if not queries:
             return np.zeros((0, len(self._labels)))
-        if not featurize.is_enabled():
-            return self._score_rows(list(queries))
         keys = [tuple(query) for query in queries]
-        distinct: dict[tuple[str, ...], int] = {}
-        unique: list[list[str]] = []
-        for key, query in zip(keys, queries):
-            if key not in distinct:
-                distinct[key] = len(unique)
-                unique.append(list(query))
-        per_query = self._score_rows(unique)
-        if len(unique) == len(queries):
-            return per_query
-        rows = np.array([distinct[key] for key in keys])
-        return per_query[rows]
+        return score_distinct(
+            keys, lambda firsts: self._score_rows(
+                [list(queries[i]) for i in firsts]))
 
     def _score_rows(self, queries: list[list[str]]) -> np.ndarray:
         # The similarity matrix is overwhelmingly zero (a short query
@@ -155,19 +145,65 @@ class WhirlIndex:
         if k is None or sims.shape[1] <= k:
             return sims
         data, indptr = sims.data, sims.indptr
-        for row in range(sims.shape[0]):
-            seg = data[indptr[row]:indptr[row + 1]]
-            if seg.size <= k:
-                continue
-            threshold = np.partition(seg, seg.size - k)[seg.size - k]
-            if threshold <= 0.0:
-                # Fewer than k positive entries: ties at the threshold
-                # are zeros and contribute nothing either way.
-                continue
-            keep = seg > threshold
-            quota = k - int(keep.sum())
-            if quota:
-                ties = np.flatnonzero(seg == threshold)
-                keep[ties[:quota]] = True
-            seg[~keep] = 0.0
+        counts = np.diff(indptr)
+        rows_over = np.flatnonzero(counts > k)
+        if rows_over.size == 0:
+            return sims
+        # Per-row k-th-largest thresholds via a few batched partitions:
+        # rows are bucketed by power-of-two entry count and each bucket
+        # is right-padded with -inf to a rectangle (the padding sorts
+        # below every real value, so position ``width - k`` is exactly
+        # the k-th largest). Bucketing bounds the padding overhead at
+        # 2x; padding every row to the global maximum width costs far
+        # more than the partitions themselves on skewed rows.
+        seg_counts = counts[rows_over]
+        ends = np.cumsum(seg_counts)
+        local = np.arange(int(ends[-1])) - np.repeat(ends - seg_counts,
+                                                     seg_counts)
+        flat = np.repeat(indptr[rows_over], seg_counts) + local
+        thresholds = np.empty(rows_over.size)
+        buckets = np.ceil(np.log2(seg_counts)).astype(np.intp)
+        row_starts = ends - seg_counts
+        values = data[flat]
+        for bucket in np.unique(buckets):
+            members = np.flatnonzero(buckets == bucket)
+            member_counts = seg_counts[members]
+            width = int(member_counts.max())
+            member_ends = np.cumsum(member_counts)
+            member_local = np.arange(int(member_ends[-1])) - \
+                np.repeat(member_ends - member_counts, member_counts)
+            gather = np.repeat(row_starts[members],
+                               member_counts) + member_local
+            padded = np.full((members.size, width), -np.inf)
+            # Boolean assignment fills row-major, matching storage order.
+            padded[np.arange(width) < member_counts[:, None]] = \
+                values[gather]
+            thresholds[members] = np.partition(
+                padded, width - k, axis=1)[:, width - k]
+        # Rows whose threshold is not positive keep everything: fewer
+        # than k positive entries, and zeroed entries contribute
+        # ``log1p(-0) = 0`` either way.
+        active = thresholds > 0.0
+        if not active.any():
+            return sims
+        if not active.all():
+            flat = flat[np.repeat(active, seg_counts)]
+            seg_counts = seg_counts[active]
+        seg = data[flat]
+        row_ids = np.repeat(np.arange(seg_counts.size), seg_counts)
+        per_entry = thresholds[active][row_ids]
+        keep = seg > per_entry
+        # Quota per row: k minus the strictly-greater entries; the
+        # first ``quota`` ties in storage order survive (lowest stored
+        # index wins, as the docstring promises).
+        tie = seg == per_entry
+        greater = np.bincount(row_ids, weights=keep,
+                              minlength=seg_counts.size)
+        tie_before = np.concatenate(
+            ([0.0], np.cumsum(np.bincount(row_ids, weights=tie,
+                                          minlength=seg_counts.size))
+             [:-1]))
+        tie_rank = np.cumsum(tie) - tie - tie_before[row_ids]
+        keep |= tie & (tie_rank < (k - greater)[row_ids])
+        data[flat[~keep]] = 0.0
         return sims

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from ..core import featurize
 from ..core.instance import ElementInstance
+from ..xmlio import Element
+from .batching import score_distinct
 from .naive_bayes import NaiveBayesLearner
 
 #: Label given to descendant tags for which no label is known (yet).
@@ -32,36 +34,81 @@ UNKNOWN_NODE = "?"
 #: The generic root node of every instance tree (paper's ``d``).
 ROOT_NODE = "d"
 
+#: feature_cache key of the cached (words, children) skeleton.
+_SKELETON = "structure_skeleton"
+
+#: feature_cache key of the skeleton's hashable canonical form.
+_SKELETON_KEY = "structure_skeleton_key"
+
+
+def _build_skeleton(instance: ElementInstance, node) -> tuple:
+    """``(words, [(child_tag, child_skeleton), ...])`` for one subtree.
+
+    The skeleton is everything about the instance tree that does *not*
+    depend on the current child labels: per-node word tokens (through the
+    shared featurize layer) and the child-tag shape. Structure re-passes
+    only relabel; they never change the tree, so this is computed once
+    per instance and pinned on its feature cache.
+    """
+    children = [child for child in node.children
+                if isinstance(child, Element)]
+    return (featurize.node_words(instance, node, is_leaf=not children),
+            [(child.tag, _build_skeleton(instance, child))
+             for child in children])
+
+
+def _skeleton_of(instance: ElementInstance) -> tuple:
+    if not featurize.is_enabled():
+        return _build_skeleton(instance, instance.element)
+    cache = instance.feature_cache
+    skeleton = cache.get(_SKELETON)
+    if skeleton is None:
+        skeleton = cache[_SKELETON] = _build_skeleton(
+            instance, instance.element)
+    return skeleton
+
+
+def _canonical_key(skeleton: tuple) -> tuple:
+    words, children = skeleton
+    return (tuple(words),
+            tuple((tag, _canonical_key(child)) for tag, child in children))
+
+
+def skeleton_key(instance: ElementInstance) -> tuple:
+    """A hashable canonical form of the instance's structure skeleton.
+
+    Two instances with equal keys produce identical
+    :func:`structure_tokens` under equal ``child_labels`` — the token
+    walk is a pure function of (skeleton, labels). Cached per instance
+    so duplicate-heavy columns can be deduplicated *before* walking.
+    """
+    cache = instance.feature_cache
+    key = cache.get(_SKELETON_KEY)
+    if key is None:
+        key = cache[_SKELETON_KEY] = _canonical_key(_skeleton_of(instance))
+    return key
+
 
 def structure_tokens(instance: ElementInstance,
                      include_structure: bool = True) -> list[str]:
     """The XML learner's bag of text + node + edge tokens."""
     tokens: list[str] = []
-    element = instance.element
     labels = instance.child_labels
 
-    def label_of(tag: str) -> str:
-        return labels.get(tag, UNKNOWN_NODE)
-
-    def words_of(node) -> list[str]:
-        # The label-derived node/edge tokens change between structure
-        # passes, but a node's text words never do — cache those via the
-        # shared featurize layer so re-passes only rebuild the cheap part.
-        return featurize.node_words(instance, node)
-
-    def walk(node, node_name: str) -> None:
-        for word in words_of(node):
+    def walk(skeleton: tuple, node_name: str) -> None:
+        words, children = skeleton
+        for word in words:
             tokens.append(word)
             if include_structure:
                 tokens.append(f"{node_name}->{word}")
-        for child in node.element_children:
-            child_label = label_of(child.tag)
+        for child_tag, child_skeleton in children:
+            child_label = labels.get(child_tag, UNKNOWN_NODE)
             if include_structure:
                 tokens.append(f"node:{child_label}")
                 tokens.append(f"{node_name}->{child_label}")
-            walk(child, child_label)
+            walk(child_skeleton, child_label)
 
-    walk(element, ROOT_NODE)
+    walk(_skeleton_of(instance), ROOT_NODE)
     return tokens
 
 
@@ -79,6 +126,27 @@ class XMLLearner(NaiveBayesLearner):
     def _structure_tokenizer(self,
                              instance: ElementInstance) -> list[str]:
         return structure_tokens(instance, self.include_structure)
+
+    def predict_scores(self, instances):
+        """Dedup on (skeleton key, child labels) *before* tokenizing.
+
+        The generic Naive Bayes path tokenizes every instance and then
+        groups equal token bags; the structure walk is the expensive
+        part here, so duplicates skip it entirely. Exact because
+        :func:`structure_tokens` is a pure function of the skeleton and
+        the child-label map. Falls back to the generic path when the
+        cache layer is off (the key lives on the feature cache).
+        """
+        if not featurize.is_enabled() or not instances:
+            return super().predict_scores(instances)
+        space = self._require_fitted()
+        if self._log_prior is None or self._log_likelihood is None:
+            raise RuntimeError("learner is not fitted")
+        keys = [(skeleton_key(i), tuple(sorted(i.child_labels.items())))
+                for i in instances]
+        return score_distinct(
+            keys, lambda firsts: self._score_documents(
+                [self.tokenizer(instances[i]) for i in firsts]))
 
     def clone(self) -> "XMLLearner":
         return XMLLearner(self.alpha, self.include_structure)

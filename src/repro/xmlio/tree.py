@@ -152,14 +152,20 @@ class Element:
         Attribute values are included as well because LSD treats attributes
         like sub-elements.
         """
-        parts: list[str] = list(self.attributes.values())
+        parts: list[str] = []
+        self._collect_text(parts)
+        # Collapse runs of whitespace so the join never doubles spaces.
+        # One collapse over the flat fragment list produces the same
+        # word sequence as collapsing at every recursion level.
+        return " ".join(" ".join(parts).split())
+
+    def _collect_text(self, parts: list[str]) -> None:
+        parts.extend(self.attributes.values())
         for child in self.children:
             if isinstance(child, Text):
                 parts.append(child.value)
             else:
-                parts.append(child.text_content())
-        # Collapse runs of whitespace so the join never doubles spaces.
-        return " ".join(" ".join(parts).split())
+                child._collect_text(parts)
 
     def immediate_text(self) -> str:
         """Character data directly inside this element (not descendants)."""
