@@ -13,16 +13,26 @@ source of Real Estate I in one process) under four configurations:
 ``serial``
     The new engine at ``--workers 1``.
 ``par4``
-    The new engine at ``--workers 4``.
+    The new engine at ``--workers 4`` on the thread backend.
+``proc4``
+    The new engine at ``--workers 4`` on the process backend (a
+    persistent worker pool sharing the model through shared memory; the
+    pool is built during warm-up, so rounds time steady-state dispatch,
+    not pool construction).
 
 Configurations are interleaved round-robin and each reports its best
 round, so machine-load drift hits all of them equally. The benchmark
 asserts that every new-engine configuration produces *byte-identical*
 ``tag_scores``, that cache+parallelism beats the seed pipeline by at
 least 3x, that ``par4`` stays at parity with ``serial`` (within
-``PAR_TOLERANCE``), and that seed-relative serial throughput has not
-regressed more than 25% against the committed ``BENCH_matching.json``,
-then rewrites that file at the repo root.
+``PAR_TOLERANCE``), that ``proc4`` beats serial by ``MIN_PROC_SPEEDUP``
+when the host actually has 4 cores (below that the GIL was never the
+bottleneck and ``proc4`` only needs to stay within ``PROC_TOLERANCE``
+of serial), and that seed-relative serial throughput has not regressed
+more than 25% against the committed ``BENCH_matching.json``, then
+rewrites that file at the repo root. The report records the backend and
+``cpu_count`` per configuration so a committed ``proc4`` number is
+never read without the core count that produced it.
 
 The seed emulation is compared on time only: its outputs differ from the
 new engine exactly where this PR fixed the WHIRL top-k tie bug (the seed
@@ -65,6 +75,17 @@ PAR_TOLERANCE = 1.10
 #: comparing the *ratio* (not wall-clock) cancels host-speed drift
 #: between the committing machine and this one.
 REGRESSION_TOLERANCE = 0.75
+#: What ``proc4`` must deliver over serial on a host with >= 4 cores —
+#: the scaling the process backend exists for (ISSUE 7 acceptance).
+MIN_PROC_SPEEDUP = 1.5
+#: On hosts with fewer than 4 cores there is no parallelism to win;
+#: ``proc4`` then only has to keep its IPC overhead bounded: no worse
+#: than this factor over serial (best-of-rounds or total-of-rounds,
+#: same dual-metric rule as ``PAR_TOLERANCE``).
+PROC_TOLERANCE = 2.0
+#: Cores this run actually has; gates which ``proc4`` assertion
+#: applies and is recorded in the report.
+CPU_COUNT = os.cpu_count() or 1
 
 
 # ---------------------------------------------------------------------------
@@ -126,20 +147,28 @@ def _build_trained_system():
     return system, targets
 
 
-def _run_engine(system, targets, workers, cached):
+def _run_engine(system, targets, workers, cached, backend="thread"):
     """One engine run: match every held-out source in one process.
 
     The text memo starts cold (a fresh match process) and stays warm
-    across the sources — the cached engine's legitimate advantage.
+    across the sources — the cached engine's legitimate advantage. The
+    process backend's worker pool likewise persists across rounds
+    (``system.close_pool()`` is never called here): its construction is
+    a once-per-trained-model cost, so steady-state rounds time batch
+    shipping and dispatch, which is what serving would pay.
     """
     featurize.clear_text_cache()
     system.workers = workers
-    if cached:
-        return [system.match(schema, listings)
-                for schema, listings in targets]
-    with featurize.cache_disabled():
-        return [system.match(schema, listings)
-                for schema, listings in targets]
+    system.backend = backend
+    try:
+        if cached:
+            return [system.match(schema, listings)
+                    for schema, listings in targets]
+        with featurize.cache_disabled():
+            return [system.match(schema, listings)
+                    for schema, listings in targets]
+    finally:
+        system.backend = "thread"
 
 
 def _collect_histograms(system, targets):
@@ -175,25 +204,30 @@ def test_matching_throughput():
         "cache_off": lambda: _run_engine(system, targets, 1, False),
         "serial": lambda: _run_engine(system, targets, 1, True),
         "par4": lambda: _run_engine(system, targets, 4, True),
+        "proc4": lambda: _run_engine(system, targets, 4, True,
+                                     backend="process"),
     }
 
-    for run in configs.values():  # warm-up: imports, allocator, memo
-        run()
+    try:
+        for run in configs.values():  # warm-up: imports, allocator,
+            run()                     # memo, and the proc4 worker pool
 
-    best = {name: float("inf") for name in configs}
-    total = {name: 0.0 for name in configs}
-    results = {}
-    for _ in range(ROUNDS):
-        for name, run in configs.items():
-            start = time.perf_counter()
-            results[name] = run()
-            elapsed = time.perf_counter() - start
-            best[name] = min(best[name], elapsed)
-            total[name] += elapsed
+        best = {name: float("inf") for name in configs}
+        total = {name: 0.0 for name in configs}
+        results = {}
+        for _ in range(ROUNDS):
+            for name, run in configs.items():
+                start = time.perf_counter()
+                results[name] = run()
+                elapsed = time.perf_counter() - start
+                best[name] = min(best[name], elapsed)
+                total[name] += elapsed
+    finally:
+        system.close_pool()
 
     # Determinism: every new-engine configuration is byte-identical.
     reference = results["serial"]
-    for name in ("cache_off", "par4"):
+    for name in ("cache_off", "par4", "proc4"):
         for ref, res in zip(reference, results[name]):
             assert set(ref.tag_scores) == set(res.tag_scores)
             for tag in ref.tag_scores:
@@ -213,6 +247,8 @@ def test_matching_throughput():
         "serial_vs_seed": best["seed"] / best["serial"],
         "par4_vs_seed": best["seed"] / best["par4"],
         "par4_vs_serial": best["serial"] / best["par4"],
+        "proc4_vs_seed": best["seed"] / best["proc4"],
+        "proc4_vs_serial": best["serial"] / best["proc4"],
         "cache_on_vs_off": best["cache_off"] / best["serial"],
     }
     committed_ratio = None
@@ -228,6 +264,16 @@ def test_matching_throughput():
             "listings_per_source": N_LISTINGS,
             "instances_matched": instances,
             "rounds": ROUNDS,
+        },
+        "environment": {
+            "cpu_count": CPU_COUNT,
+        },
+        "configs": {
+            "seed": {"workers": 1, "backend": "seed-pipeline"},
+            "cache_off": {"workers": 1, "backend": "serial"},
+            "serial": {"workers": 1, "backend": "serial"},
+            "par4": {"workers": 4, "backend": "thread"},
+            "proc4": {"workers": 4, "backend": "process"},
         },
         "best_ms": {name: round(seconds * 1000.0, 2)
                     for name, seconds in best.items()},
@@ -264,6 +310,21 @@ def test_matching_throughput():
         f"best ({best['par4']*1000:.1f}ms vs " \
         f"{best['serial']*1000:.1f}ms) and total " \
         f"({total['par4']*1000:.1f}ms vs {total['serial']*1000:.1f}ms)"
+    # The process backend is the one path the GIL cannot serialise: on a
+    # real 4-core host it must actually scale. Anywhere narrower, the
+    # win is physically unavailable and the requirement degrades to
+    # bounded IPC overhead.
+    if CPU_COUNT >= 4:
+        assert speedups["proc4_vs_serial"] >= MIN_PROC_SPEEDUP, \
+            f"proc4_vs_serial {speedups['proc4_vs_serial']:.2f} below " \
+            f"{MIN_PROC_SPEEDUP} on a {CPU_COUNT}-core host"
+    else:
+        assert (best["proc4"] <= best["serial"] * PROC_TOLERANCE
+                or total["proc4"] <= total["serial"] * PROC_TOLERANCE), \
+            f"proc4 overhead beyond {PROC_TOLERANCE}x serial on a " \
+            f"{CPU_COUNT}-core host: best {best['proc4']*1000:.1f}ms " \
+            f"vs {best['serial']*1000:.1f}ms, total " \
+            f"{total['proc4']*1000:.1f}ms vs {total['serial']*1000:.1f}ms"
     # Throughput floor vs the committed bench, in host-drift-free
     # seed-relative terms.
     if committed_ratio:

@@ -15,6 +15,15 @@ per-instance ``feature_cache``, the approximate ``stats`` counters — see
 the thread-safety note in :mod:`repro.core.featurize`) are allowlisted:
 they are last-write-wins idempotent by design and exercised by the
 dynamic sanitizer instead (:mod:`repro.analysis.sanitizer`).
+
+The process backend gets the mirror-image rule: a worker-side task
+handler (:func:`repro.core.procpool.task_handler`) runs in a *forked
+process*, so a write to module-level or closure state is not a race —
+it is a silent no-op from the parent's point of view. The copy-on-write
+page the worker dirties never travels back, the parent keeps its stale
+value, and (worse) which worker dirtied it varies run to run. The
+``process-unsafe-state`` rule flags the same write shapes inside
+``@task_handler(...)`` functions and their one-hop helpers.
 """
 
 from __future__ import annotations
@@ -193,4 +202,70 @@ class ExecutorSharedWriteRule(Rule):
                         write, f"task mapped at line {node.lineno} "
                         f"{description}; shared writes under a "
                         f"parallel map break determinism (allowlist: "
+                        f"{', '.join(sorted(BENIGN_SHARED))})")
+
+
+def _is_task_handler_decorator(decorator: ast.AST) -> bool:
+    """``@task_handler("kind")`` in any spelling — bare name, module
+    attribute (``procpool.task_handler``), with or without arguments."""
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    if isinstance(decorator, ast.Name):
+        return decorator.id == "task_handler"
+    if isinstance(decorator, ast.Attribute):
+        return decorator.attr == "task_handler"
+    return False
+
+
+def _handler_hops(handler: ast.AST,
+                  functions: dict[str, ast.AST]) -> list[ast.AST]:
+    """The handler plus (one hop) module-local functions its *body*
+    calls — the same resolution depth :func:`_resolve_targets` gives
+    mapped callables. Only the body: the decorator expression itself
+    (``@task_handler("predict")``) runs at import time in every
+    process, so its registry write is not worker-side state."""
+    targets: list[ast.AST] = [handler]
+    body_calls = (node for statement in getattr(handler, "body", ())
+                  for node in ast.walk(statement)
+                  if isinstance(node, ast.Call))
+    for node in body_calls:
+        callee = None
+        if isinstance(node.func, ast.Name):
+            callee = functions.get(node.func.id)
+        elif isinstance(node.func, ast.Attribute):
+            callee = functions.get(node.func.attr)
+        if callee is not None and callee not in targets:
+            targets.append(callee)
+    return targets
+
+
+@register
+class ProcessUnsafeStateRule(Rule):
+    """Worker-process task handlers must not write module or closure
+    state — post-fork writes land in the worker's copy-on-write pages
+    and silently never reach the parent."""
+
+    id = "process-unsafe-state"
+    severity = "error"
+    description = ("mutation of module-level or closure-captured state "
+                   "inside a @task_handler worker function; the write "
+                   "stays in the forked worker and never reaches the "
+                   "parent process")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        functions = _collect_functions(source.tree)
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef))
+                    and any(_is_task_handler_decorator(dec)
+                            for dec in node.decorator_list)):
+                continue
+            for target in _handler_hops(node, functions):
+                for write, description in _shared_writes(target):
+                    yield self.finding(source,
+                        write, f"task handler {node.name!r} "
+                        f"{description}; a worker process mutates its "
+                        f"own fork — the parent never sees the write "
+                        f"(allowlist: "
                         f"{', '.join(sorted(BENIGN_SHARED))})")

@@ -14,6 +14,13 @@ per-tag :meth:`~PredictionConverter.convert` routes through the same
 kernel, so the two entry points are bitwise interchangeable — reduceat
 sums a segment sequentially no matter how segments are grouped, whereas
 mixing it with ``np.mean`` (pairwise summation) would not be.
+
+The converter itself is stateless (one strategy string) and never
+writes its inputs: both reductions allocate fresh output arrays, so a
+read-only score matrix — e.g. combined scores built over zero-copy
+shared model state (:mod:`repro.core.shared_arrays`) — flows through
+untouched. ``np.asarray`` on such input returns it as-is rather than
+copying, which is exactly what the shared-view contract wants.
 """
 
 from __future__ import annotations

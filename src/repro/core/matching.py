@@ -66,6 +66,7 @@ from .labels import LabelSpace
 from .mapping import Mapping
 from .parallel import ParallelExecutor, resolve, shard_bounds
 from .prediction import Prediction
+from .procpool import ProcessTask, TaskFailure
 from .schema import SourceSchema
 
 
@@ -268,19 +269,13 @@ def _emit_degradation_metrics(degradation: DegradationReport,
                 len(recovery.dropped))
 
 
-class _LearnerFailure:
-    """Sentinel carried back through the executor when a learner's
-    prediction raised under an active resilience policy.
-
-    Catching inside the task (rather than letting the exception race
-    out of the pool) keeps the map deterministic: every healthy
-    learner still returns its scores, and quarantines are recorded by
-    the main thread in learner-submission order."""
-
-    __slots__ = ("error",)
-
-    def __init__(self, error: Exception) -> None:
-        self.error = error
+# A learner whose prediction raises under an active resilience policy
+# comes back through the executor as a TaskFailure value rather than an
+# exception — every healthy learner still returns its scores, and
+# quarantines are recorded by the main thread in learner-submission
+# order. TaskFailure (repro.core.procpool) carries only the two strings
+# the quarantine record needs, so thread-side and process-side failures
+# produce byte-identical degradation reports.
 
 
 def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
@@ -295,13 +290,15 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     """Per-learner flat score matrices and per-tag converted scores,
     with optional structure re-passes.
 
-    Fan-out is coarse-grained: the flat batch is cut into contiguous
-    shards (:func:`~repro.core.parallel.shard_bounds`, a pure function
-    of the batch size — never the worker count) and the task grid is
-    ``learners × shards``, so one expensive learner no longer serialises
-    the whole predict stage behind a single task. Learner scoring is
-    row-wise by the :class:`~repro.learners.base.BaseLearner` contract,
-    so concatenating per-shard score blocks is byte-identical to one
+    Fan-out cuts the flat batch into contiguous shards
+    (:func:`~repro.core.parallel.shard_bounds`, a pure function of the
+    batch size — never the worker count) at each learner's declared
+    grain (:attr:`~repro.learners.base.BaseLearner.shard_rows`), and
+    the task grid is the union of the per-learner ``learner × shards``
+    rows, so one expensive learner no longer serialises the whole
+    predict stage behind a single task. Learner scoring is row-wise by
+    the :class:`~repro.learners.base.BaseLearner` contract, so
+    concatenating per-shard score blocks is byte-identical to one
     whole-batch call at any worker count.
 
     Worker-side stage timings record into per-task profiles and merge
@@ -315,7 +312,7 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     not O(instances).
 
     With an active ``policy``, a learner whose prediction raises or
-    times out in *any* shard comes back as a :class:`_LearnerFailure`
+    times out in *any* shard comes back as a :class:`TaskFailure`
     and is quarantined for the rest of the run; the meta-learner
     renormalizes over the survivors (uniform scores if none survive).
     The ``learner.predict`` fault site fires once per learner per pass
@@ -347,7 +344,7 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                     # Quarantine boundary: any learner failure becomes
                     # a sentinel the main thread records in submission
                     # order — degradation, not a crash.
-                    return _LearnerFailure(exc)
+                    return TaskFailure.from_exception(exc)
             elapsed = time.perf_counter() - start  # lsd: ignore[wallclock]
         if batch:
             latency.observe(elapsed / len(batch), count=len(batch))
@@ -383,20 +380,73 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             return None
         return np.argsort(groups, kind="stable")
 
+    def observe_latency(elapsed: float, n_rows: int) -> None:
+        latency.observe(elapsed / n_rows, count=n_rows)
+
+    def build_process_tasks(shard_batch: list[ElementInstance],
+                            group: list[BaseLearner],
+                            plans: list[list[tuple[int, int]]]) -> list:
+        """The (learner × shard) grid as :class:`ProcessTask`
+        descriptors for the process backend — same shape, same span
+        names, same fault gates as the closure grid below; each task's
+        ``fallback`` is exactly the thread-path call, which is what
+        keeps serial reruns and pool-death recovery byte-identical."""
+        tasks = []
+        for learner, bounds in zip(group, plans):
+            n_shards = len(bounds)
+            for shard, (start, stop) in enumerate(bounds):
+                span_name = (f"learner.{learner.name}" if n_shards == 1
+                             else f"learner.{learner.name}.s{shard}")
+                tasks.append(ProcessTask(
+                    payload={
+                        "kind": "predict",
+                        "learner": learner.name,
+                        "start": start, "stop": stop,
+                        "catch": policy is not None,
+                        "timeout": policy.learner_timeout
+                        if policy is not None else None,
+                    },
+                    batch=shard_batch,
+                    fallback=(lambda prof, learner=learner,
+                              start=start, stop=stop, shard=shard,
+                              n_shards=n_shards:
+                              predict_with(learner,
+                                           shard_batch[start:stop],
+                                           prof, shard, n_shards)),
+                    span_name=span_name,
+                    span_parent=predict_span_id,
+                    rows=stop - start,
+                    fire=((SITE_LEARNER_PREDICT, learner.name)
+                          if policy is not None and shard == 0
+                          else None),
+                    on_done=observe_latency if stop > start else None,
+                ))
+        return tasks
+
     def fan_out(batch: list[ElementInstance],
                 group: list[BaseLearner], label: str) -> list:
         """Sharded (learner × shard) fan-out over ``batch``.
 
         Returns one entry per learner of ``group``: the concatenated
         score matrix (in ``batch`` order), or a
-        :class:`_LearnerFailure` if any of the learner's shards failed.
+        :class:`TaskFailure` if any of the learner's shards failed.
+
+        Each learner gets its own shard plan at the grain it declares
+        (:attr:`~repro.learners.base.BaseLearner.shard_rows`): learners
+        with per-call amortized costs stay coarse while per-row
+        learners split finely, so a parallel map balances its makespan
+        without taxing the serial path. Every plan is a pure function
+        of the batch size, never of the worker count or backend.
         """
-        bounds = shard_bounds(len(batch))
-        n_shards = len(bounds)
+        plans = [shard_bounds(len(batch), target=learner.shard_rows)
+                 if getattr(learner, "shard_rows", None)
+                 else shard_bounds(len(batch))
+                 for learner in group]
         # A single shard already dedups globally; only a real split
         # needs duplicates clustered into one shard.
         order = duplicate_order(batch) \
-            if n_shards > 1 and featurize.is_enabled() else None
+            if any(len(plan) > 1 for plan in plans) \
+            and featurize.is_enabled() else None
         if order is None:
             shard_batch = batch
             inverse = None
@@ -404,35 +454,41 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             shard_batch = [batch[i] for i in order]
             inverse = np.empty(len(batch), dtype=np.intp)
             inverse[order] = np.arange(len(batch))
-        tasks = [(learner, shard, start, stop)
-                 for learner in group
-                 for shard, (start, stop) in enumerate(bounds)]
-        pieces = executor.map_profiled(
-            lambda task, prof: predict_with(
-                task[0], shard_batch[task[2]:task[3]], prof, task[1],
-                n_shards),
-            tasks, profile, label=label)
+        if executor.wants_process_tasks:
+            tasks = build_process_tasks(shard_batch, group, plans)
+            pieces = executor.map_profiled(
+                lambda task, prof: task.fallback(prof),
+                tasks, profile, label=label, observer=obs)
+        else:
+            tasks = [(learner, shard, start, stop, len(bounds))
+                     for learner, bounds in zip(group, plans)
+                     for shard, (start, stop) in enumerate(bounds)]
+            pieces = executor.map_profiled(
+                lambda task, prof: predict_with(
+                    task[0], shard_batch[task[2]:task[3]], prof,
+                    task[1], task[4]),
+                tasks, profile, label=label)
         gathered: list = []
-        for index in range(len(group)):
-            blocks = pieces[index * n_shards:(index + 1) * n_shards]
+        offset = 0
+        for bounds in plans:
+            blocks = pieces[offset:offset + len(bounds)]
+            offset += len(bounds)
             failure = next((b for b in blocks
-                            if isinstance(b, _LearnerFailure)), None)
+                            if isinstance(b, TaskFailure)), None)
             if failure is not None:
                 gathered.append(failure)
                 continue
-            scores = (blocks[0] if n_shards == 1
+            scores = (blocks[0] if len(blocks) == 1
                       else np.concatenate(blocks, axis=0))
             gathered.append(scores if inverse is None
                             else scores[inverse])
         return gathered
 
-    def quarantine(learner: BaseLearner, failure: _LearnerFailure) \
-            -> None:
+    def quarantine(learner: BaseLearner, failure: TaskFailure) -> None:
         assert policy is not None
         policy.report.quarantine(
-            learner.name, "predict",
-            str(failure.error) or type(failure.error).__name__,
-            type(failure.error).__name__)
+            learner.name, "predict", failure.cause,
+            failure.error_type)
         scores_by_learner.pop(learner.name, None)
 
     # Pre-fill the shared text cache on the orchestrating thread: every
@@ -447,9 +503,9 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     scores_by_learner: dict[str, np.ndarray] = {
         learner.name: scores
         for learner, scores in zip(learners, rows)
-        if not isinstance(scores, _LearnerFailure)}
+        if not isinstance(scores, TaskFailure)}
     for learner, scores in zip(learners, rows):
-        if isinstance(scores, _LearnerFailure):
+        if isinstance(scores, TaskFailure):
             quarantine(learner, scores)
     tag_scores = _convert(scores_by_learner, slices, meta, converter,
                           space, profile, obs, len(flat))
@@ -491,7 +547,7 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             batch = [flat[i] for i in changed]
             updates = fan_out(batch, structural, "structure")
             for learner, new_rows in zip(structural, updates):
-                if isinstance(new_rows, _LearnerFailure):
+                if isinstance(new_rows, TaskFailure):
                     quarantine(learner, new_rows)
                     continue
                 # Rows are per-instance by the BaseLearner contract, so

@@ -1,36 +1,47 @@
 """Deterministic fan-out for learner prediction and cross-validation.
 
 :class:`ParallelExecutor` is the one concurrency primitive the pipelines
-use: an order-preserving ``map`` over a thread pool, with a serial
-fallback when ``workers <= 1`` (or when there is nothing to fan out).
-Results always come back in submission order, so a pipeline wired
-through an executor produces byte-identical output at any worker count —
+use: an order-preserving ``map`` with a serial fallback when
+``workers <= 1`` (or when there is nothing to fan out). Results always
+come back in submission order, so a pipeline wired through an executor
+produces byte-identical output at any worker count *and any backend* —
 the determinism tests pin this.
 
-Threads, not processes, on purpose:
+Three backends behind one seam:
 
-* the learners share the per-instance feature cache
-  (:mod:`repro.core.featurize`); worker processes would pickle every
-  instance per call and forfeit the sharing that makes matching fast;
-* measured on this workload, the hot kernels (scipy sparse products,
-  ``np.partition``) do *not* release the GIL — four threads running
-  identical sparse matmuls scale at ~0.9x — so threads cannot beat
-  serial on CPU-bound matching, and processes would pay pickling that
-  dwarfs the work; the thread pool's value is bounded overhead, shared
-  caches, and the deadline/quarantine machinery, not raw speedup;
-* learners hold closures and live object graphs that are awkward to
-  ship across process boundaries.
+* ``serial`` — in-process, in-order; the reference semantics.
+* ``thread`` (default) — a per-map ``ThreadPoolExecutor``. Measured on
+  this workload the hot kernels (scipy sparse products,
+  ``np.partition``) do **not** release the GIL, so threads top out at
+  ~0.9x serial on CPU-bound matching; their value is bounded overhead,
+  shared feature caches, and the deadline/quarantine machinery. Thread
+  tasks are plain closures — nothing needs to be picklable — which is
+  why cross-validation folds and constraint root-splits stay here.
+* ``process`` — a persistent :class:`~repro.core.procpool.WorkerPool`
+  whose workers hold the trained model reconstructed once around a
+  shared-memory segment (:mod:`repro.core.shared_arrays`), the only
+  backend the GIL cannot serialise. It accepts
+  :class:`~repro.core.procpool.ProcessTask` descriptors through
+  :meth:`ParallelExecutor.map_profiled`; any other map on a
+  process-backend executor (generic closures, ``map``/``starmap``)
+  transparently rides the thread path, and so does every map once the
+  pool has died. Each descriptor carries a local ``fallback`` closure
+  running the identical computation, which is how one code path serves
+  serial execution, pool-death recovery, and the thread backend.
 
-The pool is created per ``map`` call: the workloads here are chunky
-(one task trains or predicts a whole learner), so pool start-up cost is
-noise, and no idle threads linger between pipeline phases.
+Thread pools are created per ``map`` call: the workloads are chunky
+(one task trains or predicts a whole learner shard), so pool start-up
+is noise and no idle threads linger between phases. The process pool is
+the opposite trade — expensive to build, cheap to keep — so it lives on
+the system (see ``LSDSystem.close_pool``) and is merely borrowed here.
 
 Resilience: an executor built with a :class:`~repro.resilience.policy.
 ResiliencePolicy` retries failing tasks with seeded exponential backoff,
 falls back to serial execution when the worker pool cannot be used, and
-hits the ``executor.task`` / ``executor.pool`` fault sites so the chaos
-suite can exercise both paths deterministically. The default (no
-policy) executor behaves exactly as before.
+hits the ``executor.task`` / ``executor.pool`` fault sites (plus
+``worker.process`` on the process backend) so the chaos suite can
+exercise every path deterministically. The default (no policy) executor
+behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from ..observability import StageProfile
 from ..resilience.faults import FaultInjected
 from ..resilience.sites import SITE_EXECUTOR_POOL, SITE_EXECUTOR_TASK
+from .procpool import ProcessTask, run_process_map
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -50,23 +62,45 @@ R = TypeVar("R")
 #: Ceiling on a single backoff sleep, seconds.
 _MAX_BACKOFF = 5.0
 
+#: The legal ``backend=`` values.
+BACKENDS = ("serial", "thread", "process")
+
 
 class ParallelExecutor:
     """Order-preserving parallel ``map`` with a serial fallback."""
 
-    def __init__(self, workers: int = 1, policy=None) -> None:
+    def __init__(self, workers: int = 1, policy=None,
+                 backend: str = "thread", pool=None) -> None:
         """``workers <= 1`` selects the deterministic serial path.
 
         ``policy`` (a :class:`repro.resilience.ResiliencePolicy`) arms
         per-task retries and the executor fault sites; ``None`` keeps
-        the executor inert.
+        the executor inert. ``backend`` picks the execution substrate
+        (see the module docstring); ``backend="process"`` additionally
+        needs a live :class:`~repro.core.procpool.WorkerPool` passed as
+        ``pool`` — without one (or once it breaks) process-backend maps
+        degrade to the thread path.
         """
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{', '.join(BACKENDS)}")
         self.workers = max(1, int(workers))
         self.policy = policy
+        self.backend = backend
+        self.pool = pool
 
     @property
     def is_parallel(self) -> bool:
-        return self.workers > 1
+        return self.workers > 1 and self.backend != "serial"
+
+    @property
+    def wants_process_tasks(self) -> bool:
+        """True when a map should be expressed as
+        :class:`~repro.core.procpool.ProcessTask` descriptors — the
+        process backend is selected and its pool is usable."""
+        return (self.backend == "process" and self.is_parallel
+                and self.pool is not None and self.pool.alive)
 
     def map(self, fn: Callable[[T], R], items: Iterable[T],
             label: str = "map") -> list[R]:
@@ -78,7 +112,7 @@ class ParallelExecutor:
         """
         items = list(items)
         task = self._task_runner(lambda index, item: fn(item), label)
-        if self._force_serial(label) or self.workers <= 1 \
+        if self._force_serial(label) or not self.is_parallel \
                 or len(items) <= 1:
             return [task(index, item)
                     for index, item in enumerate(items)]
@@ -101,7 +135,7 @@ class ParallelExecutor:
     def map_profiled(self, fn: Callable[[T, StageProfile], R],
                      items: Iterable[T],
                      profile: StageProfile,
-                     label: str = "map") -> list[R]:
+                     label: str = "map", observer=None) -> list[R]:
         """``map`` where each call records stage timings.
 
         ``fn(item, profile)`` receives the shared ``profile`` directly
@@ -110,9 +144,21 @@ class ParallelExecutor:
         merged into ``profile`` in submission order once every task has
         finished — so worker-side timings are never dropped and the
         aggregate is a deterministic function of the per-task numbers.
+
+        When the process backend is live and every item is a
+        :class:`~repro.core.procpool.ProcessTask`, the map runs on the
+        worker pool instead (``fn`` is bypassed; each task's payload is
+        dispatched and its ``fallback`` serves any serial rerun).
+        ``observer`` carries the run's trace collector so worker-side
+        spans replay into the same tree; thread and serial paths open
+        their spans inline and ignore it.
         """
         items = list(items)
-        if self._force_serial(label) or self.workers <= 1 \
+        if self.wants_process_tasks and len(items) > 1 and all(
+                isinstance(item, ProcessTask) for item in items):
+            return run_process_map(self, items, profile, label,
+                                   observer)
+        if self._force_serial(label) or not self.is_parallel \
                 or len(items) <= 1:
             task = self._task_runner(
                 lambda index, item: fn(item, profile), label)
@@ -230,9 +276,14 @@ class ParallelExecutor:
         return f"<ParallelExecutor {mode} workers={self.workers}>"
 
 
-#: Target rows per prediction shard; see :func:`shard_bounds`. Sized so
-#: small batches stay single-shard — per-shard spans/profiles and the
-#: split's dedup bookkeeping only amortize on genuinely large columns.
+#: Default target rows per prediction shard; see :func:`shard_bounds`.
+#: Sized so small batches stay single-shard — per-shard spans/profiles
+#: and the split's dedup bookkeeping only amortize on genuinely large
+#: columns. Learners whose prediction cost is per-row (no per-call
+#: amortized work) override
+#: :attr:`repro.learners.base.BaseLearner.shard_rows` with a finer
+#: grain so a parallel map can split them instead of letting one
+#: whole-batch task bound the makespan.
 SHARD_TARGET_ROWS = 2048
 #: Ceiling on prediction shards per batch.
 MAX_SHARDS = 8

@@ -1,0 +1,735 @@
+"""Process execution backend: persistent workers over a shared model.
+
+PR 6 measured the honest thread ceiling: the hot score kernels (scipy
+sparse products, ``np.partition``) hold the GIL, so thread fan-out can
+only tie serial. This module is the fix ROADMAP item 2 names — worker
+*processes*, which the GIL cannot serialise — built so the rest of the
+pipeline does not notice the boundary:
+
+* a :class:`WorkerPool` spawns its workers **once** and keeps them for
+  the system's lifetime; each worker reconstructs the trained learners
+  a single time from a :class:`~repro.core.shared_arrays.
+  SharedArrayStore` segment (the TF-IDF CSR triplets, label matrices
+  and friends are mapped, not copied — see :mod:`~repro.core.
+  shared_arrays`) and keeps its own featurize caches warm across tasks;
+* per fan-out, the featurized shard batch is pickled **once** and
+  broadcast to every worker; the per-task messages then carry only a
+  batch token plus ``[start, stop)`` row bounds, so IPC stays
+  sub-dominant no matter how many (learner × shard) tasks a map holds;
+* :func:`run_process_map` — the engine behind
+  ``ParallelExecutor(backend="process")`` — preserves every contract
+  the thread path established: results in submission order, worker
+  :class:`~repro.observability.StageProfile` timings merged back in
+  submission order, worker-measured spans replayed through
+  :meth:`~repro.observability.trace.TraceCollector.emit` so the trace
+  tree is structurally byte-identical at any worker count, the
+  ``executor.task`` / ``executor.pool`` / ``learner.predict`` fault
+  sites fired with the same logical hit counts (parent-side, where the
+  plan lives), per-task retries with the same seeded backoff, and a
+  serial fallback when the pool is broken.
+
+Division of labour: only base-learner scoring crosses the process
+boundary — that is where the GIL-bound kernels live. The meta-learner
+combination (one einsum) and the prediction converter (one grouped
+reduceat) stay parent-side: they are cheap, and keeping them out of the
+workers means quarantine renormalization and score conversion behave
+identically across backends. Generic closures handed to
+``ParallelExecutor.map`` (cross-validation folds, constraint
+root-splits) likewise stay on threads — they capture live object
+graphs that have no business being pickled per call.
+
+Worker-side failure semantics mirror the thread path exactly: with an
+armed policy a learner exception becomes a :class:`TaskFailure` carried
+back as a *value* (quarantine, not crash); without one the original
+exception object is shipped home when picklable (re-raised verbatim)
+and summarised as a :class:`RemoteTaskError` when not.
+
+Chaos: the ``worker.process`` fault site hard-kills one worker
+(``os._exit``, skipping every ``finally``) before a map dispatches —
+the genuine crash path. The pool marks itself broken, the interrupted
+map falls back to serial, the owner releases the shared segment, and
+subsequent maps ride the thread path until the system rebuilds the
+pool on its next access.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Callable
+import weakref
+
+from ..observability import StageProfile
+from ..resilience.faults import FaultInjected
+from ..resilience.policy import call_with_timeout
+from ..resilience.sites import SITE_EXECUTOR_TASK, SITE_WORKER_PROCESS
+from .shared_arrays import SharedArrayStore, extract_arrays, restore
+
+#: Batches a worker keeps resident. Every map ships its batches
+#: immediately before its tasks, and maps never interleave on one pool,
+#: so a small window is always enough; the bound keeps a long match
+#: session's memory flat.
+_BATCH_WINDOW = 4
+
+
+class PoolBrokenError(RuntimeError):
+    """A worker process died (or its pipe broke) mid-conversation."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker-side exception whose original object could not be
+    pickled home; carries the type name and message instead."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}" if message
+                         else error_type)
+        self.error_type = error_type
+
+
+class TaskFailure:
+    """A caught learner failure carried back through the map as a value.
+
+    The process-boundary twin of the thread path's caught-exception
+    sentinel: only the two strings the quarantine record needs cross
+    the pipe, so the parent writes byte-identical
+    :class:`~repro.resilience.policy.QuarantineEvent` entries no matter
+    which backend (or which side of a fork) the failure happened on.
+    """
+
+    __slots__ = ("error_type", "message")
+
+    def __init__(self, error_type: str, message: str) -> None:
+        self.error_type = error_type
+        self.message = message
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "TaskFailure":
+        return cls(type(error).__name__, str(error))
+
+    @property
+    def cause(self) -> str:
+        """The quarantine-record cause string (message, else type)."""
+        return self.message or self.error_type
+
+
+@dataclass
+class ProcessTask:
+    """One unit of a process-backend map: a picklable task descriptor
+    plus the parent-side context the executor needs around it.
+
+    ``fallback(profile)`` runs the identical computation locally — the
+    serial path, the pool-death path, and the thread backend all use
+    it, which is what keeps every backend byte-identical.
+    """
+
+    #: Picklable message for the worker's task-handler registry; must
+    #: carry ``kind`` and row bounds, never model state.
+    payload: dict
+    #: The shard batch this task slices; shipped to workers once per
+    #: map (shared by identity across the map's tasks).
+    batch: list
+    #: Local re-execution under the caller's profile (serial fallback).
+    fallback: Callable[[StageProfile], object]
+    #: Replayed trace span for the worker-side execution.
+    span_name: str = ""
+    span_parent: str | None = None
+    #: Rows this task scores (the span's ``instances`` attribute).
+    rows: int = 0
+    #: Optional ``(site, key)`` fault gate fired parent-side before
+    #: dispatch — the process twin of the thread path's in-task fire.
+    fire: tuple[str, str] | None = None
+    #: Called in submission order with ``(elapsed, rows)`` after a
+    #: successful task — the latency-histogram hook.
+    on_done: Callable[[float, int], None] | None = None
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: ``kind -> handler(state, task, profile)``. Handlers run inside
+#: worker processes: module-level writes there never reach the parent,
+#: which the ``process-unsafe-state`` lint rule enforces statically.
+_TASK_HANDLERS: dict[str, Callable] = {}
+
+
+def task_handler(kind: str):
+    """Register a worker-side handler for one task ``kind``.
+
+    A handler returns ``(outcome, hot_elapsed)`` where ``outcome`` is
+    ``("value", result)`` or — under an armed policy — ``("failure",
+    error_type, message)`` for a caught learner exception, and
+    ``hot_elapsed`` is the measured hot-call time feeding the latency
+    histogram (0.0 on failure, which the thread path never observes
+    either).
+    """
+    def decorate(fn: Callable) -> Callable:
+        _TASK_HANDLERS[kind] = fn
+        return fn
+    return decorate
+
+
+@dataclass
+class _WorkerState:
+    """Everything one worker keeps alive between tasks."""
+
+    learners: dict[str, object]
+    #: token -> shipped batch, newest last (bounded by _BATCH_WINDOW).
+    batches: dict[int, list] = field(default_factory=dict)
+
+
+@task_handler("predict")
+def _predict_task(state: _WorkerState, task: dict,
+                  profile: StageProfile):
+    """Score one ``[start, stop)`` shard with one learner.
+
+    Mirrors the thread path's ``predict_with`` body: the profiled stage
+    wraps the call, an armed policy (``task["catch"]``) turns any
+    exception into a failure outcome, and the hot-call timer covers
+    exactly the prediction.
+    """
+    batch = state.batches[task["batch"]][task["start"]:task["stop"]]
+    learner = state.learners[task["learner"]]
+    with profile.stage(f"predict.learner.{learner.name}"):
+        # Latency telemetry, never pipeline output (same contract as
+        # the thread path's timer).
+        start = time.perf_counter()  # lsd: ignore[wallclock]
+        if not task.get("catch"):
+            scores = learner.predict_scores(batch)
+        else:
+            try:
+                scores = call_with_timeout(
+                    learner.predict_scores, (batch,),
+                    task.get("timeout"))
+            except Exception as exc:  # lsd: ignore[blind-except]
+                # Quarantine boundary — identical to the thread path:
+                # the failure travels as a value, never an exception.
+                return (("failure", type(exc).__name__, str(exc)), 0.0)
+        elapsed = time.perf_counter() - start  # lsd: ignore[wallclock]
+    return (("value", scores), elapsed)
+
+
+def _run_task(state: _WorkerState, task_id: int, task: dict) -> tuple:
+    """Execute one task message; always answers, never raises.
+
+    Replies (all carrying the task's private profile and a
+    ``(start, elapsed, hot_elapsed)`` timing triple for span replay):
+
+    * ``("ok", id, value, profile, timing)``
+    * ``("failure", id, error_type, message, profile, timing)`` —
+      caught learner failure under an armed policy;
+    * ``("error", id, exc_or_None, error_type, message, profile,
+      timing)`` — anything uncaught; the original exception object
+      rides along when picklable so the parent re-raises it verbatim.
+    """
+    profile = StageProfile()
+    start = time.time()  # lsd: ignore[wallclock]
+    t0 = time.perf_counter()  # lsd: ignore[wallclock]
+    try:
+        handler = _TASK_HANDLERS[task["kind"]]
+        outcome, hot_elapsed = handler(state, task, profile)
+    except Exception as exc:  # lsd: ignore[blind-except]
+        # The catch-all that keeps the worker loop alive: the parent
+        # decides (retry budget, submission-order raise) — a worker
+        # only reports.
+        timing = (start, time.perf_counter() - t0, 0.0)  # lsd: ignore[wallclock]
+        try:
+            pickle.dumps(exc)
+            shipped: BaseException | None = exc
+        except Exception:  # lsd: ignore[blind-except]
+            shipped = None
+        return ("error", task_id, shipped, type(exc).__name__,
+                str(exc), profile, timing)
+    timing = (start, time.perf_counter() - t0, hot_elapsed)  # lsd: ignore[wallclock]
+    if outcome[0] == "failure":
+        return ("failure", task_id, outcome[1], outcome[2], profile,
+                timing)
+    return ("ok", task_id, outcome[1], profile, timing)
+
+
+def _worker_main(conn, store_handle: tuple, payload: bytes) -> None:
+    """One worker process: attach, reconstruct, serve until told to stop.
+
+    The expensive part happens exactly once — attaching the shared
+    segment and re-inflating the learners around its read-only views.
+    After that the loop is: receive a broadcast batch or a task, answer
+    on the same pipe. ``die`` hard-exits without cleanup (the chaos
+    crash path); a vanished parent (EOF on the pipe) ends the loop too,
+    so orphaned workers never linger.
+    """
+    store = SharedArrayStore.attach(store_handle)
+    try:
+        learners = restore(payload, store.views())
+        state = _WorkerState(
+            learners={learner.name: learner for learner in learners})
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "die":
+                os._exit(1)  # chaos: crash without any cleanup
+            if kind == "batch":
+                _token, blob = message[1], message[2]
+                state.batches[_token] = pickle.loads(blob)
+                while len(state.batches) > _BATCH_WINDOW:
+                    state.batches.pop(next(iter(state.batches)))
+                continue
+            try:
+                conn.send(_run_task(state, message[1], message[2]))
+            except OSError:
+                break
+    finally:
+        # Attacher obligation only: close, never unlink (the owner
+        # frees the name; see shared_arrays' lifecycle contract).
+        store.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# parent side: the pool
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+def _release(workers: dict, store: SharedArrayStore) -> None:
+    """Idempotent pool teardown (also the ``weakref.finalize`` target):
+    stop or terminate every worker, close the pipes, release the shared
+    segment. Safe against workers that already crashed."""
+    for handle in workers.values():
+        if handle.process.is_alive():
+            try:
+                handle.conn.send(("stop",))
+            except OSError:
+                pass
+    for handle in workers.values():
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+    store.release()
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap start, inherited imports),
+    ``spawn`` otherwise — everything shipped to workers is picklable,
+    so both behave identically apart from start-up latency."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class WorkerPool:
+    """A persistent pool of worker processes sharing one trained model.
+
+    Construction is the expensive step — export the learners' arrays
+    into a shared segment, spawn the workers, let each attach and
+    reconstruct — and happens once per trained system; every map after
+    that only moves batches and row bounds. The pool owns the segment:
+    :meth:`shutdown` (or the garbage-collection finalizer) releases it,
+    and the no-leak tests pin that nothing survives normal exit, worker
+    crashes, or chaos runs.
+    """
+
+    def __init__(self, learners, workers: int,
+                 start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.size = int(workers)
+        payload, arrays = extract_arrays(list(learners))
+        self._store = SharedArrayStore.create(arrays)
+        self._workers: dict[int, _WorkerHandle] = {}
+        self.broken = False
+        self._batch_tokens = itertools.count()
+        #: blob digest -> shipped token; the parent-side mirror of the
+        #: workers' batch windows (see :meth:`ship_batch`).
+        self._shipped: dict[bytes, int] = {}
+        try:
+            ctx = multiprocessing.get_context(
+                start_method or default_start_method())
+            for worker_id in range(self.size):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._store.handle, payload),
+                    name=f"lsd-worker-{worker_id}", daemon=True)
+                process.start()
+                child_conn.close()
+                self._workers[worker_id] = _WorkerHandle(process,
+                                                         parent_conn)
+        except BaseException:
+            _release(self._workers, self._store)
+            raise
+        # Safety net for abandoned pools: runs at GC or interpreter
+        # exit if nobody called shutdown(). Captures the workers dict
+        # and store, never self.
+        self._finalizer = weakref.finalize(
+            self, _release, dict(self._workers), self._store)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Usable for dispatch: unbroken and every worker breathing."""
+        return (not self.broken and bool(self._workers)
+                and all(handle.process.is_alive()
+                        for handle in self._workers.values()))
+
+    @property
+    def segment_name(self) -> str:
+        """The shared segment's name (for the leak tests)."""
+        return self._store.name
+
+    def worker_ids(self) -> list[int]:
+        return [worker_id
+                for worker_id, handle in self._workers.items()
+                if handle.process.is_alive()]
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def ship_batch(self, batch: list) -> int:
+        """Broadcast one batch to every worker; returns its token.
+
+        The pickle happens once here, not once per worker and never
+        per task — the amortisation that keeps IPC sub-dominant. Ships
+        are also content-addressed: re-matching a source re-extracts
+        instances that pickle to the same bytes, so a digest hit
+        returns the token already resident in every worker and skips
+        the broadcast (and each worker's re-unpickling) entirely. The
+        parent mirrors the workers' FIFO eviction window exactly —
+        same insertion order, same bound — so a hit can never name an
+        evicted batch.
+        """
+        blob = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.blake2b(blob, digest_size=16).digest()
+        cached = self._shipped.get(digest)
+        if cached is not None:
+            return cached
+        token = next(self._batch_tokens)
+        try:
+            for handle in self._workers.values():
+                handle.conn.send(("batch", token, blob))
+        except OSError as exc:
+            self.broken = True
+            raise PoolBrokenError(f"batch broadcast failed: {exc}") \
+                from exc
+        self._shipped[digest] = token
+        while len(self._shipped) > _BATCH_WINDOW:
+            self._shipped.pop(next(iter(self._shipped)))
+        return token
+
+    def submit(self, worker_id: int, task_id: int,
+               payload: dict) -> None:
+        try:
+            self._workers[worker_id].conn.send(
+                ("task", task_id, payload))
+        except OSError as exc:
+            self.broken = True
+            raise PoolBrokenError(f"task dispatch failed: {exc}") \
+                from exc
+
+    def wait(self) -> list[tuple]:
+        """Block until something happens; one event per entry.
+
+        ``("result", worker_id, reply)`` for an answered task,
+        ``("died", worker_id, None)`` for a worker whose process exited
+        or whose pipe broke. Waits on the pipes *and* the process
+        sentinels so a crashed worker (which answers nothing, ever)
+        still wakes the parent immediately.
+        """
+        channels: dict = {}
+        for worker_id, handle in self._workers.items():
+            channels[handle.conn] = ("conn", worker_id)
+            channels[handle.process.sentinel] = ("sentinel", worker_id)
+        ready = connection.wait(list(channels))
+        events: list[tuple] = []
+        answered: set[int] = set()
+        dead: set[int] = set()
+        for obj in ready:
+            kind, worker_id = channels[obj]
+            if kind != "conn":
+                continue
+            try:
+                reply = self._workers[worker_id].conn.recv()
+            except (EOFError, OSError):
+                dead.add(worker_id)
+            else:
+                events.append(("result", worker_id, reply))
+                answered.add(worker_id)
+        for obj in ready:
+            kind, worker_id = channels[obj]
+            if (kind == "sentinel" and worker_id not in answered
+                    and worker_id not in dead):
+                dead.add(worker_id)
+        events.extend(("died", worker_id, None)
+                      for worker_id in sorted(dead))
+        return events
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def crash_worker(self, worker_id: int) -> None:
+        """Chaos hook: hard-kill one worker (``os._exit`` child-side,
+        skipping its cleanup) and mark the pool broken."""
+        handle = self._workers.get(worker_id)
+        if handle is None:
+            return
+        if handle.process.is_alive():
+            try:
+                handle.conn.send(("die",))
+            except OSError:
+                pass
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        self.broken = True
+
+    def retire(self) -> None:
+        """Break-and-release: the mid-map crash response. Segment
+        hygiene does not wait for anyone to remember ``shutdown``."""
+        self.broken = True
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the workers and release the segment (idempotent)."""
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "broken" if self.broken else "alive"
+        return f"<WorkerPool {state} size={self.size}>"
+
+
+# ---------------------------------------------------------------------------
+# parent side: the map engine
+# ---------------------------------------------------------------------------
+
+def run_process_map(executor, tasks: list[ProcessTask],
+                    profile: StageProfile, label: str,
+                    observer=None) -> list:
+    """Order-preserving map of :class:`ProcessTask` items over a pool.
+
+    Called by ``ParallelExecutor.map_profiled`` when the process
+    backend is live. Replicates the thread path's observable behaviour
+    point for point — see the module docstring for the full contract —
+    and self-schedules: each worker gets one task up front and the next
+    one the moment it answers, so an expensive learner cannot strand
+    the other workers idle behind a static partition.
+    """
+    pool = executor.pool
+    policy = executor.policy
+    plan = policy.fault_plan if policy is not None else None
+    retries = policy.retries if policy is not None else 0
+    trace = observer.trace if observer is not None else None
+
+    def run_serial(skip_done=None) -> list:
+        """The local path: same task runner the thread backend uses,
+        writing into the shared profile, opening spans inline."""
+        runner = executor._task_runner(
+            lambda index, item: item.fallback(profile), label)
+        out = skip_done if skip_done is not None else [None] * len(tasks)
+        for index, item in enumerate(tasks):
+            if skip_done is None or not finished[index]:
+                out[index] = runner(index, item)
+        return out
+
+    # Fired first, exactly like the thread path, so the pool site's
+    # logical hit count is identical across backends and worker counts.
+    if executor._force_serial(label):
+        finished = [False] * len(tasks)
+        return run_serial()
+
+    # Chaos: hard-kill a worker before anything is dispatched. Nothing
+    # is in flight yet, so the whole map runs serially — byte-identical
+    # at any worker count by construction.
+    if plan is not None and not pool.broken:
+        try:
+            plan.fire(SITE_WORKER_PROCESS, label)
+        except FaultInjected:
+            pool.crash_worker(0)
+
+    n = len(tasks)
+    finished = [False] * n
+    results: list = [None] * n
+    failures = [0] * n
+    errors: dict[int, BaseException] = {}
+    item_profiles: dict[int, StageProfile] = {}
+    span_events: list[tuple] = []   # (index, attempt_seq, timing, err)
+    latencies: dict[int, tuple[float, int]] = {}
+
+    if not pool.alive:
+        executor._note_pool_failure(label)
+        return run_serial()
+
+    def note_failure(index: int, error: BaseException) -> bool:
+        """Retry bookkeeping for one failed attempt; True = try again."""
+        failures[index] += 1
+        if failures[index] > retries:
+            if policy is not None and retries:
+                policy.report.retried(label, index, failures[index],
+                                      False)
+            errors[index] = error
+            finished[index] = True
+            return False
+        executor._backoff(label, index, failures[index] - 1)
+        return True
+
+    def complete(index: int, value) -> None:
+        results[index] = value
+        finished[index] = True
+        if policy is not None and failures[index]:
+            policy.report.retried(label, index, failures[index] + 1,
+                                  True)
+
+    def gate(index: int) -> bool:
+        """Parent-side fault gates for one attempt, in the thread
+        path's order: the task site first (retryable), then the task's
+        own fire (a caught failure value). True = dispatch."""
+        while True:
+            if plan is not None:
+                try:
+                    plan.fire(SITE_EXECUTOR_TASK, str(index))
+                except FaultInjected as exc:
+                    if note_failure(index, exc):
+                        continue
+                    return False
+            task = tasks[index]
+            if task.fire is not None and plan is not None:
+                try:
+                    plan.fire(*task.fire)
+                except FaultInjected as exc:
+                    span_events.append(
+                        (index, failures[index], None, None))
+                    complete(index, TaskFailure.from_exception(exc))
+                    return False
+            return True
+
+    # Dispatch wide tasks first (stable on ties): a whole-batch learner
+    # handed out last would run alone after every narrow shard drained,
+    # stretching the makespan. Scheduling order is free to vary —
+    # results, span replay and profile merges are all keyed by
+    # submission index, never by completion order.
+    pending = deque(sorted(range(n), key=lambda i: -tasks[i].rows))
+    outstanding: dict[int, int] = {}
+
+    def feed(worker_id: int) -> None:
+        while pending:
+            index = pending.popleft()
+            if not gate(index):
+                continue
+            payload = dict(tasks[index].payload)
+            payload["batch"] = batch_tokens[id(tasks[index].batch)]
+            pool.submit(worker_id, index, payload)
+            outstanding[worker_id] = index
+            return
+
+    def absorb(index: int, shipped_profile, timing, error_type) -> None:
+        if shipped_profile is not None:
+            held = item_profiles.get(index)
+            if held is None:
+                item_profiles[index] = shipped_profile
+            else:
+                held.merge(shipped_profile)
+        span_events.append((index, failures[index], timing, error_type))
+
+    try:
+        # One pickle per distinct batch, broadcast before any dispatch.
+        batch_tokens: dict[int, int] = {}
+        for task in tasks:
+            key = id(task.batch)
+            if key not in batch_tokens:
+                batch_tokens[key] = pool.ship_batch(task.batch)
+
+        for worker_id in pool.worker_ids():
+            feed(worker_id)
+        while outstanding:
+            for event in pool.wait():
+                if event[0] == "died":
+                    raise PoolBrokenError(
+                        f"worker {event[1]} died during {label!r}")
+                worker_id, reply = event[1], event[2]
+                index = outstanding.pop(worker_id)
+                kind = reply[0]
+                if kind == "ok":
+                    _, _tid, value, prof, timing = reply
+                    absorb(index, prof, timing, None)
+                    if tasks[index].rows:
+                        latencies[index] = (timing[2],
+                                            tasks[index].rows)
+                    complete(index, value)
+                elif kind == "failure":
+                    _, _tid, error_type, message, prof, timing = reply
+                    absorb(index, prof, timing, None)
+                    complete(index, TaskFailure(error_type, message))
+                else:  # "error": uncaught worker-side exception
+                    (_, _tid, shipped, error_type, message, prof,
+                     timing) = reply
+                    absorb(index, prof, timing, error_type)
+                    error = shipped if shipped is not None else \
+                        RemoteTaskError(error_type, message)
+                    if note_failure(index, error):
+                        pending.append(index)
+                feed(worker_id)
+    except PoolBrokenError:
+        # A genuine crash: release the segment immediately, record the
+        # degradation, finish every unfinished task locally. Maps after
+        # this one see a dead pool and ride the thread path.
+        pool.retire()
+        executor._note_pool_failure(label)
+        run_serial(skip_done=results)
+
+    # Deterministic observability replay, in submission order. Spans
+    # always replay (worker threads record theirs regardless of later
+    # failures); profiles merge only on a clean map, mirroring
+    # map_profiled, which merges after the futures resolved.
+    if trace is not None:
+        for index, _seq, timing, error_type in sorted(
+                span_events, key=lambda event: event[:2]):
+            task = tasks[index]
+            attributes = {"instances": task.rows}
+            if error_type is not None:
+                attributes["error"] = error_type
+            if timing is None:
+                start, elapsed = time.time(), 0.0  # lsd: ignore[wallclock]
+            else:
+                start, elapsed = timing[0], timing[1]
+            trace.emit(task.span_name, parent=task.span_parent,
+                       start=start, elapsed=elapsed,
+                       attributes=attributes)
+    for index in sorted(latencies):
+        hook = tasks[index].on_done
+        if hook is not None:
+            hook(*latencies[index])
+    if not errors:
+        for index in range(n):
+            shipped_profile = item_profiles.get(index)
+            if shipped_profile is not None:
+                profile.merge(shipped_profile)
+    for index in range(n):
+        if index in errors:
+            raise errors[index]
+    return results

@@ -7,6 +7,7 @@ handler, wired into a training phase and a matching phase.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..constraints.base import Constraint
@@ -42,6 +43,7 @@ class LSDSystem:
                  max_instances_per_tag: int | None = None,
                  prune_types: bool = False,
                  workers: int = 1,
+                 backend: str = "thread",
                  policy: ResiliencePolicy | None = None) -> None:
         """
         Parameters
@@ -70,10 +72,17 @@ class LSDSystem:
             grossly incompatible with a column are zeroed before the
             constraint handler runs.
         workers:
-            Worker-thread count for learner prediction and
-            cross-validation fan-out (1 = serial). Any value produces
-            byte-identical results; more workers only change wall-clock
-            time. Mutable after construction (``system.workers = 4``).
+            Worker count for learner prediction and cross-validation
+            fan-out (1 = serial). Any value produces byte-identical
+            results; more workers only change wall-clock time. Mutable
+            after construction (``system.workers = 4``).
+        backend:
+            Execution backend for the fan-out: ``"thread"`` (default),
+            ``"process"`` (a persistent worker-process pool sharing the
+            trained model zero-copy — the only backend the GIL cannot
+            serialise; see :mod:`repro.core.procpool`), or ``"serial"``.
+            Byte-identical outputs across all three. Mutable after
+            construction; runtime state, never pickled with the model.
         policy:
             A :class:`repro.resilience.ResiliencePolicy` arming fault
             tolerance for this system's runs: learners whose fit or
@@ -103,7 +112,12 @@ class LSDSystem:
         self.seed = seed
         self.max_instances_per_tag = max_instances_per_tag
         self.workers = workers
+        self.backend = backend
         self.policy = policy
+        #: The live worker-process pool (process backend only); built
+        #: lazily on executor access, rebuilt after retraining, released
+        #: by :meth:`close_pool`. Runtime state — never pickled.
+        self._procpool = None
         self.training_sources: list[TrainingSource] = []
         self.meta: StackingMetaLearner | None = None
         #: The learners that survived the most recent :meth:`train`
@@ -115,20 +129,67 @@ class LSDSystem:
 
     @property
     def executor(self) -> ParallelExecutor:
-        """The executor for the configured worker count.
+        """The executor for the configured worker count and backend.
 
-        Built on access (it only wraps an int and the policy) so models
-        pickled before the ``workers`` option existed load and run
+        Built on access (it wraps an int, the backend name, the policy,
+        and — for the process backend — the lazily built worker pool)
+        so models pickled before these options existed load and run
         serially.
         """
+        backend = getattr(self, "backend", "thread")
+        pool = self._ensure_pool() if backend == "process" else None
         return ParallelExecutor(getattr(self, "workers", 1),
-                                getattr(self, "policy", None))
+                                getattr(self, "policy", None),
+                                backend=backend, pool=pool)
+
+    def _ensure_pool(self):
+        """The live worker-process pool, building (or rebuilding) it if
+        needed. ``None`` when a pool makes no sense: untrained system,
+        ``workers <= 1``. A pool broken by a worker crash is replaced on
+        the next access — self-healing across runs, while the run that
+        saw the crash keeps its thread fallback.
+
+        The pool is sized ``min(workers, cpu_count)``: worker processes
+        beyond the host's cores only add scheduling contention and
+        redundant batch unpickling. The cap is output-invisible — the
+        (learner × shard) task grid, span replay, and result assembly
+        are functions of the batch and ``workers``, never of how many
+        processes drained the queue — so ``--workers 4`` stays
+        byte-identical on any host."""
+        workers = getattr(self, "workers", 1)
+        if workers <= 1 or self.meta is None:
+            self.close_pool()
+            return None
+        pool_size = max(1, min(workers, os.cpu_count() or 1))
+        pool = getattr(self, "_procpool", None)
+        if pool is not None and (not pool.alive
+                                 or pool.size != pool_size):
+            self.close_pool()
+            pool = None
+        if pool is None:
+            from .procpool import WorkerPool
+            learners = getattr(self, "active_learners", None) \
+                or self.learners
+            pool = WorkerPool(learners, pool_size)
+            self._procpool = pool
+        return pool
+
+    def close_pool(self) -> None:
+        """Shut down the worker-process pool (workers + shared-memory
+        segment), if one is live. Safe to call at any time; the next
+        process-backend run rebuilds it."""
+        pool = getattr(self, "_procpool", None)
+        if pool is not None:
+            pool.shutdown()
+        self._procpool = None
 
     def __getstate__(self) -> dict:
         # The policy holds run state (locks, fault counters) and is a
-        # per-process concern: models persist without one.
+        # per-process concern: models persist without one. Same for the
+        # worker pool — live processes and shared memory do not pickle.
         state = dict(self.__dict__)
         state["policy"] = None
+        state["_procpool"] = None
         return state
 
     # ------------------------------------------------------------------
@@ -158,6 +219,7 @@ class LSDSystem:
         self.training_sources.append(
             TrainingSource(schema, list(listings), mapping))
         self.meta = None  # new data invalidates previous training
+        self.close_pool()  # workers hold the now-stale model
 
     def train(self, observer: Observer | None = None) -> None:
         """Run the full training phase (§3.1 steps 2-5).
@@ -198,6 +260,9 @@ class LSDSystem:
                     observer=obs)
         self.active_learners = survivors
         self.train_profile = profile
+        # Any live worker pool holds the pre-retrain model; drop it so
+        # the next process-backend match rebuilds on the fresh one.
+        self.close_pool()
 
     @property
     def is_trained(self) -> bool:

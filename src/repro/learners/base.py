@@ -35,6 +35,18 @@ class BaseLearner(ABC):
     #: such learners in a second pass once preliminary labels exist.
     uses_child_labels: bool = False
 
+    #: Target rows per shard when the matching pipeline fans this
+    #: learner's prediction out over a batch (``None`` = the default in
+    #: :data:`repro.core.parallel.SHARD_TARGET_ROWS`). The plan is a
+    #: pure function of the batch size, so any value is output-invisible
+    #: — this is purely a cost declaration. Learners whose
+    #: ``predict_scores`` is per-row work with no per-call amortized
+    #: state (vectorizer transforms, child-label prediction, cache
+    #: warm-up) should declare a finer grain so parallel maps can split
+    #: them; learners with real per-call costs keep the coarse default,
+    #: where test-sized batches stay whole.
+    shard_rows: int | None = None
+
     def __init__(self) -> None:
         self.space: LabelSpace | None = None
 

@@ -25,6 +25,13 @@ class ContentMatcher(BaseLearner):
 
     name = "content_matcher"
 
+    #: Nearest-neighbour scoring is per-distinct-row work (the WHIRL
+    #: query dedups by token bag shard-locally, and the fan-out clusters
+    #: duplicates into one shard), so splitting a batch costs nothing —
+    #: declare a fine grain and let parallel maps spread the ensemble's
+    #: most expensive learner across workers.
+    shard_rows = 256
+
     def __init__(self, max_neighbors: int = 30,
                  max_examples_per_label: int = 400) -> None:
         super().__init__()

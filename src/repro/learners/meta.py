@@ -215,6 +215,11 @@ class StackingMetaLearner:
                 # renormalization too). Fall back to uniform averaging.
                 row = prior.copy()
             self.weights[c] = row
+        # Fitted weights are read-only from here on: combination and
+        # quarantine renormalization work on copies, so the table can be
+        # shared zero-copy across worker processes / memmapped models
+        # (repro.core.shared_arrays documents the contract).
+        self.weights.setflags(write=False)
 
     def fit_uniform(self, learner_names: Sequence[str],
                     space: LabelSpace) -> None:
@@ -223,6 +228,7 @@ class StackingMetaLearner:
         self.learner_names = tuple(learner_names)
         self.weights = np.full((len(space), len(self.learner_names)),
                                1.0 / len(self.learner_names))
+        self.weights.setflags(write=False)  # same contract as fit()
 
     # ------------------------------------------------------------------
     def combine(self, scores_by_learner: dict[str, np.ndarray],

@@ -137,6 +137,35 @@ class TraceCollector:
         return _ActiveSpan(
             self, Span(name, span_id, parent, attributes=attributes))
 
+    def emit(self, name: str, parent: str | None = None,
+             start: float = 0.0, elapsed: float = 0.0,
+             attributes: dict | None = None) -> str:
+        """Record one already-finished span and return its id.
+
+        The process execution backend measures spans inside worker
+        processes and replays them here (in submission order), so the
+        id allocation runs through exactly the same occurrence counters
+        as :meth:`span` — a process-backend trace is structurally
+        byte-identical to the thread/serial one. ``parent`` is never
+        implicit: a replayed span belongs to the fan-out's parent, not
+        to whatever the replaying thread happens to have open.
+        """
+        if "/" in name or "#" in name:
+            raise ValueError(
+                f"span name {name!r} may not contain '/' or '#'")
+        with self._lock:
+            key = (parent, name)
+            n = self._occurrences.get(key, 0)
+            self._occurrences[key] = n + 1
+        suffix = f"#{n}" if n else ""
+        span_id = f"{parent}/{name}{suffix}" if parent else \
+            f"{name}{suffix}"
+        span = Span(name, span_id, parent, start, elapsed,
+                    dict(attributes or {}))
+        with self._lock:
+            self._spans.append(span)
+        return span_id
+
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
         if stack is None:
@@ -225,6 +254,11 @@ class NullTraceCollector:
     def span(self, name: str, parent: str | None = None,
              **attributes) -> _NullSpan:
         return _NULL_SPAN
+
+    def emit(self, name: str, parent: str | None = None,
+             start: float = 0.0, elapsed: float = 0.0,
+             attributes: dict | None = None) -> None:
+        return None
 
     def roots(self) -> list[Span]:
         return []

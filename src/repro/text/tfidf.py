@@ -47,6 +47,15 @@ class TfidfVectorSpace:
         # in all documents still contributes a little signal.
         self.idf = np.log((1.0 + n_docs) / (1.0 + doc_frequency)) + 1.0
         self.matrix = self.transform(documents)
+        # The fitted model is immutable from here on: queries build
+        # *fresh* matrices (transform) and only ever read these. Marking
+        # the arrays read-only proves it at runtime and is what lets the
+        # process backend / array-store persistence hand every consumer
+        # zero-copy views of the same bytes (repro.core.shared_arrays).
+        self.idf.setflags(write=False)
+        self.matrix.data.setflags(write=False)
+        self.matrix.indices.setflags(write=False)
+        self.matrix.indptr.setflags(write=False)
 
     @property
     def n_documents(self) -> int:

@@ -168,7 +168,8 @@ class TestDiscoveryAndParseErrors:
     def test_rule_registry_is_complete(self):
         assert set(rule_ids()) == {
             "unseeded-random", "wallclock", "set-iteration",
-            "executor-shared-write", "learner-contract",
+            "executor-shared-write", "process-unsafe-state",
+            "learner-contract",
             "metric-catalogue", "span-unclosed", "blind-except",
             "fault-site-catalogue"}
 

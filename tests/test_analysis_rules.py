@@ -179,6 +179,94 @@ class TestExecutorSharedWrite:
             """, "executor-shared-write") == []
 
 
+class TestProcessUnsafeState:
+    def test_handler_writing_module_dict_flagged(self):
+        findings = lint("""\
+            results = {}
+
+            @task_handler("predict")
+            def handle(state, task, profile):
+                results[task["id"]] = task
+                return task
+            """, "process-unsafe-state")
+        assert len(findings) == 1
+        assert "never sees the write" in findings[0].message
+
+    def test_one_hop_helper_global_counter_flagged(self):
+        findings = lint("""\
+            seen = 0
+
+            def bump():
+                global seen
+                seen += 1
+
+            @procpool.task_handler("predict")
+            def handle(state, task, profile):
+                bump()
+                return task
+            """, "process-unsafe-state")
+        assert len(findings) == 1
+        assert "global" in findings[0].message
+
+    def test_mutating_method_on_closure_flagged(self):
+        findings = lint("""\
+            log = []
+
+            @task_handler("score")
+            def handle(state, task, profile):
+                log.append(task)
+                return task
+            """, "process-unsafe-state")
+        assert len(findings) == 1
+        assert "log.append" in findings[0].message
+
+    def test_state_param_writes_clean(self):
+        assert lint("""\
+            @task_handler("predict")
+            def handle(state, task, profile):
+                state.batches[task["batch"]] = task["rows"]
+                local = []
+                local.append(task)
+                return local
+            """, "process-unsafe-state") == []
+
+    def test_registry_write_in_decorator_itself_clean(self):
+        # The @task_handler registration write runs at import time in
+        # every process — it is not worker-side mutation.
+        assert lint("""\
+            _TASK_HANDLERS = {}
+
+            def task_handler(kind):
+                def decorate(fn):
+                    _TASK_HANDLERS[kind] = fn
+                    return fn
+                return decorate
+
+            @task_handler("predict")
+            def handle(state, task, profile):
+                return task
+            """, "process-unsafe-state") == []
+
+    def test_benign_cache_allowlisted(self):
+        assert lint("""\
+            _text_cache = {}
+
+            @task_handler("predict")
+            def handle(state, task, profile):
+                _text_cache[task["text"]] = task["tokens"]
+                return _text_cache[task["text"]]
+            """, "process-unsafe-state") == []
+
+    def test_undecorated_function_ignored(self):
+        assert lint("""\
+            results = {}
+
+            def handle(state, task, profile):
+                results[task["id"]] = task
+                return task
+            """, "process-unsafe-state") == []
+
+
 BASE = """\
     class BaseLearner:
         def fit(self, instances, labels):

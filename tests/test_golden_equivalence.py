@@ -237,7 +237,7 @@ class TestWorkerCountEquivalence:
 
         monkeypatch.setattr(
             matching, "shard_bounds",
-            lambda n: shard_bounds(n, target=8, max_shards=4))
+            lambda n, **kwargs: shard_bounds(n, target=8, max_shards=4))
         from .test_core_system import (GREATHOMES_LISTINGS,
                                        GREATHOMES_SCHEMA)
         system.workers = workers
@@ -246,6 +246,92 @@ class TestWorkerCountEquivalence:
         finally:
             system.workers = 1
         self._assert_identical(result, serial_result)
+
+
+class TestProcessBackendEquivalence:
+    """The process backend is byte-identical to serial: mappings, tag
+    score rows, quality records, and trace span structure at any
+    ``--workers``.  Worker processes score shards against shared-memory
+    model views, so any drift here would mean the exported arrays (or
+    the span/quality plumbing back across the pipe) are unfaithful."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        from .test_core_system import trained_system
+        return trained_system()
+
+    @pytest.fixture(scope="class")
+    def serial_run(self, system):
+        return self._run(system, workers=1, backend="serial")
+
+    @staticmethod
+    def _run(system, workers, backend):
+        from repro.observability import Observer
+        from .test_core_system import (GREATHOMES_LISTINGS,
+                                       GREATHOMES_SCHEMA)
+        observer = Observer.full()
+        system.workers = workers
+        system.backend = backend
+        try:
+            result = system.match(GREATHOMES_SCHEMA, GREATHOMES_LISTINGS,
+                                  observer=observer)
+        finally:
+            system.workers = 1
+            system.backend = "thread"
+            system.close_pool()
+        return result, observer
+
+    @staticmethod
+    def _assert_identical(run, reference):
+        result, observer = run
+        ref_result, ref_observer = reference
+        assert set(result.tag_scores) == set(ref_result.tag_scores)
+        for tag, scores in ref_result.tag_scores.items():
+            assert np.array_equal(result.tag_scores[tag], scores), \
+                f"tag_scores diverged on {tag!r}"
+        assert dict(result.mapping.items()) == \
+            dict(ref_result.mapping.items())
+        assert [record.as_dict() for record in result.quality] == \
+            [record.as_dict() for record in ref_result.quality]
+        assert [(span.span_id, span.parent_id)
+                for span in observer.trace.spans] == \
+            [(span.span_id, span.parent_id)
+             for span in ref_observer.trace.spans]
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_process_matches_serial(self, system, serial_run, workers):
+        run = self._run(system, workers=workers, backend="process")
+        self._assert_identical(run, serial_run)
+
+    def test_process_multi_shard_matches_serial(self, system, monkeypatch):
+        """A forced multi-shard plan on the process backend — every
+        (learner, shard) task crosses the pipe separately and the score
+        blocks are reassembled parent-side — must be output-invisible.
+        The serial reference runs under the same shard plan, since the
+        per-shard spans (``learner.<name>.s<k>``) are part of the traced
+        structure by design."""
+        from repro.core import matching
+        from repro.core.parallel import shard_bounds
+
+        monkeypatch.setattr(
+            matching, "shard_bounds",
+            lambda n, **kwargs: shard_bounds(n, target=8, max_shards=4))
+        reference = self._run(system, workers=1, backend="serial")
+        run = self._run(system, workers=4, backend="process")
+        self._assert_identical(run, reference)
+
+    def test_no_segment_leak_after_runs(self, system):
+        """``close_pool`` must release every shared-memory segment the
+        pool exported (guaranteed ordering: this class's tests run the
+        pool above; pytest executes methods in definition order)."""
+        from repro.core.shared_arrays import segment_exists
+
+        pool = getattr(system, "_procpool", None)
+        if pool is not None:
+            name = pool.segment_name
+            system.close_pool()
+            assert name is None or not segment_exists(name)
+        assert getattr(system, "_procpool", None) is None
 
 
 class TestStatisticsEmptyFit:
