@@ -32,7 +32,11 @@ of serial), and that seed-relative serial throughput has not regressed
 more than 25% against the committed ``BENCH_matching.json``, then
 rewrites that file at the repo root. The report records the backend and
 ``cpu_count`` per configuration so a committed ``proc4`` number is
-never read without the core count that produced it.
+never read without the core count that produced it. Each
+configuration's timings are also appended to the run ledger
+(``.lsd/ledger.jsonl``, one ``bench:matching:<name>`` series per
+configuration) so ``python -m repro ledger check`` gates bench
+regressions across runs.
 
 The seed emulation is compared on time only: its outputs differ from the
 new engine exactly where this PR fixed the WHIRL top-k tie bug (the seed
@@ -60,9 +64,11 @@ from repro.datasets import load_domain
 from repro.evaluation import SystemConfig, build_system
 from repro.learners.whirl import WhirlIndex
 from repro.observability import Observer
+from repro.observability import ledger as run_ledger
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / \
     "BENCH_matching.json"
+LEDGER_PATH = BENCH_PATH.parent / run_ledger.DEFAULT_PATH
 N_LISTINGS = int(os.environ.get("LSD_BENCH_THROUGHPUT_LISTINGS", "100"))
 ROUNDS = int(os.environ.get("LSD_BENCH_THROUGHPUT_ROUNDS", "3"))
 MIN_SPEEDUP = 3.0
@@ -296,6 +302,23 @@ def test_matching_throughput():
     }
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print("\n" + json.dumps(report, indent=2))
+
+    # Every bench run also lands in the run ledger, one series per
+    # configuration, so `python -m repro ledger check` can gate bench
+    # regressions across runs with the same trailing-window rule the
+    # CLI applies to match runs.
+    fingerprint = f"real_estate_1:{N_LISTINGS}x{len(targets)}"
+    for name in configs:
+        entry = run_ledger.build_entry(
+            label=f"bench:matching:{name}",
+            fingerprint=fingerprint,
+            created=time.time(),
+            config=dict(report["configs"][name], rounds=ROUNDS),
+            host=run_ledger.host_info(
+                backend=report["configs"][name]["backend"]),
+            timings={"total": best[name], "rounds_total": total[name]},
+            metrics={"instances": instances})
+        run_ledger.append_entry(entry, LEDGER_PATH)
 
     assert speedups["serial_vs_seed"] >= MIN_SPEEDUP
     assert speedups["par4_vs_seed"] >= MIN_SPEEDUP

@@ -38,6 +38,19 @@ Five subcommands::
         console script) over the given paths; see
         ``python -m repro analyze --help`` for its options.
 
+    python -m repro ledger history|diff|check [--ledger PATH ...]
+        Inspect the append-only run ledger (``.lsd/ledger.jsonl``):
+        ``history`` lists recent runs, ``diff`` compares the two most
+        recent comparable runs, ``check`` gates the newest run of each
+        series against its trailing baseline window and exits nonzero
+        on a regression.
+
+``match`` and ``train`` additionally take live-telemetry flags:
+``--serve-metrics PORT`` exposes ``/metrics`` (OpenMetrics) and
+``/healthz`` over HTTP for the duration of the run, ``--events-out``
+streams structured progress events (JSONL), and ``--ledger-out``
+(match only) appends the run's summary to the ledger.
+
 Mapping files are plain text: one ``source-tag = LABEL`` per line, ``#``
 comments allowed.
 """
@@ -45,7 +58,9 @@ comments allowed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from .constraints import AssignmentConstraint, parse_constraints
@@ -53,9 +68,11 @@ from .core import LSDSystem, Mapping, MediatedSchema, SourceSchema
 from .core.persistence import ModelFormatError, load_system, save_system
 from .datasets import DOMAIN_NAMES, load_domain
 from .learners import default_learners
-from .observability import (Observer, build_match_report,
+from .observability import (EventStream, Observer, ResourceSampler,
+                            TelemetryServer, build_match_report,
                             dataset_fingerprint, resolve_observer,
                             write_report)
+from .observability.events import EV_RUN_END, EV_RUN_START
 from .observability.metrics import M_INSTANCES
 from .resilience import FaultPlan, ResiliencePolicy, ingest_fragments
 from .xmlio import (INGEST_MODES, parse_dtd, parse_fragments, write_dtd,
@@ -76,6 +93,13 @@ def main(argv: list[str] | None = None) -> int:
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the
+        # conventional quiet exit (and a detached stdout so the
+        # interpreter's shutdown flush cannot raise again).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 class CliError(Exception):
@@ -123,6 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trace-out", type=Path,
                        help="write the training trace (JSONL, one span "
                             "per line) to this file")
+    _add_telemetry_flags(train)
     _add_resilience_flags(train)
     train.set_defaults(handler=_cmd_train)
 
@@ -167,6 +192,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the run report (JSON: config, dataset "
                             "fingerprint, stage timings, metrics, "
                             "quality records, mapping) to this file")
+    _add_telemetry_flags(match)
+    match.add_argument("--ledger-out", type=Path, metavar="PATH",
+                       help="append this run's summary (fingerprint, "
+                            "config, timings, metrics) to the run "
+                            "ledger at PATH (JSONL; see 'repro ledger')")
+    match.add_argument("--ledger-label", default="match",
+                       help="series label for the ledger entry "
+                            "(default 'match'; runs are only compared "
+                            "within the same label + fingerprint)")
     _add_resilience_flags(match)
     match.set_defaults(handler=_cmd_match)
 
@@ -189,7 +223,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", add_help=False,
         help="run the static checker / sanitizers (lsd-lint)")
 
+    ledger = commands.add_parser(
+        "ledger", help="inspect the run ledger and gate regressions")
+    ledger.add_argument("action",
+                        choices=["history", "diff", "check"],
+                        help="history: list recent runs; diff: compare "
+                             "the two newest comparable runs; check: "
+                             "gate the newest run of each series "
+                             "against its trailing baseline (nonzero "
+                             "exit on regression)")
+    ledger.add_argument("--ledger", type=Path,
+                        default=None, metavar="PATH",
+                        help="ledger file (default .lsd/ledger.jsonl)")
+    ledger.add_argument("--label",
+                        help="restrict to one series label")
+    ledger.add_argument("--limit", type=int, default=20,
+                        help="history rows to show (default 20)")
+    ledger.add_argument("--window", type=int, default=None,
+                        help="baseline window size for check "
+                             "(default 3)")
+    ledger.add_argument("--max-slowdown", type=float, default=None,
+                        help="check fails when total seconds exceed "
+                             "the baseline mean by this factor "
+                             "(default 1.5)")
+    ledger.add_argument("--max-accuracy-drop", type=float,
+                        default=None,
+                        help="check fails when accuracy drops more "
+                             "than this below the baseline best "
+                             "(default 0.02)")
+    ledger.set_defaults(handler=_cmd_ledger)
+
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "telemetry",
+        "live telemetry (all off by default; see repro.observability)")
+    group.add_argument("--serve-metrics", type=int, metavar="PORT",
+                       help="serve /metrics (OpenMetrics) and /healthz "
+                            "on this port for the duration of the run "
+                            "(0 = ephemeral port; the bound address is "
+                            "printed)")
+    group.add_argument("--serve-grace", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the metrics endpoint up this many "
+                            "seconds after the run finishes, so an "
+                            "external scraper can read final values "
+                            "(default 0)")
+    group.add_argument("--events-out", type=Path, metavar="PATH",
+                       help="stream structured progress events (JSONL: "
+                            "stage boundaries, shard heartbeats, "
+                            "degradation notices) to this file")
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -238,6 +323,48 @@ def _build_policy(args: argparse.Namespace) -> ResiliencePolicy:
         deadline=args.deadline,
         learner_timeout=args.learner_timeout,
         fault_plan=plan)
+
+
+def _start_telemetry(args: argparse.Namespace, command: str,
+                     wants_observer: bool):
+    """Build the run's telemetry stack from the CLI flags.
+
+    Returns ``(observer, events, server, sampler)``; each element is
+    ``None`` when its flag is off. Any telemetry flag forces a full
+    observer — the registry must be live for the endpoint to have
+    something to expose.
+    """
+    events = None
+    if getattr(args, "events_out", None):
+        events = EventStream(args.events_out)
+    wants = (wants_observer or events is not None
+             or getattr(args, "serve_metrics", None) is not None
+             or getattr(args, "ledger_out", None))
+    observer = Observer.full(events=events) if wants else None
+    server = sampler = None
+    if getattr(args, "serve_metrics", None) is not None:
+        server = TelemetryServer(observer.metrics,
+                                 port=args.serve_metrics,
+                                 labels={"command": command}).start()
+        print(f"serving metrics at {server.url}/metrics "
+              f"(healthz at {server.url}/healthz)")
+        sampler = ResourceSampler(observer.metrics).start()
+    return observer, events, server, sampler
+
+
+def _finish_telemetry(args: argparse.Namespace, events, server,
+                      sampler, plan) -> None:
+    """Publish the event stream and tear the endpoint down (after the
+    optional scrape-grace window)."""
+    if events is not None:
+        events.close(plan=plan)
+        print(f"events written to {args.events_out}")
+    if sampler is not None:
+        sampler.close()
+    if server is not None:
+        if args.serve_grace > 0:
+            time.sleep(args.serve_grace)
+        server.close()
 
 
 def _load_model(path: Path) -> LSDSystem:
@@ -302,9 +429,12 @@ def _write_domain_constraints(domain, path: Path) -> None:
 # ---------------------------------------------------------------------------
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    observer = Observer.full() if args.trace_out else None
+    observer, events, server, sampler = _start_telemetry(
+        args, "train", wants_observer=bool(args.trace_out))
     obs = resolve_observer(observer)
     policy = _build_policy(args)
+    started = time.perf_counter()  # lsd: ignore[wallclock]
+    obs.events.emit(EV_RUN_START, command="train")
     with obs.trace.span("run", command="train"):
         mediated = MediatedSchema(_read_dtd(args.mediated))
         constraints = []
@@ -323,9 +453,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
                   f"({len(listings)} listings)")
         system.train(observer=observer)
         _save_model(system, args.model)
+    obs.events.emit(EV_RUN_END, ok=True,
+                    elapsed_seconds=time.perf_counter() - started)  # lsd: ignore[wallclock]
     if args.trace_out:
-        obs.trace.write_jsonl(args.trace_out)
+        obs.trace.write_jsonl(args.trace_out, plan=policy.fault_plan)
         print(f"trace written to {args.trace_out}")
+    _finish_telemetry(args, events, server, sampler, policy.fault_plan)
     quarantined = policy.report.quarantined_learners
     if quarantined:
         print("WARNING: quarantined learners (training continued "
@@ -340,10 +473,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    observer = Observer.full() if (args.trace_out or args.report_out) \
-        else None
+    observer, events, server, sampler = _start_telemetry(
+        args, "match",
+        wants_observer=bool(args.trace_out or args.report_out))
     obs = resolve_observer(observer)
     policy = _build_policy(args)
+    started = time.perf_counter()  # lsd: ignore[wallclock]
+    obs.events.emit(EV_RUN_START, command="match")
     # The root span covers the whole run — model load and input parsing
     # included — so trace consumers can attribute all wall time.
     with obs.trace.span("run", command="match"):
@@ -369,6 +505,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
             # Process-backend hygiene: workers and the shared-memory
             # segment never outlive the command.
             system.close_pool()
+    total_seconds = time.perf_counter() - started  # lsd: ignore[wallclock]
+    obs.events.emit(EV_RUN_END, ok=True, elapsed_seconds=total_seconds)
 
     degradation = result.degradation
     if degradation is not None and degradation.degraded:
@@ -387,8 +525,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"\nstage profile (workers={args.workers}):")
         print(result.profile.table())
     if args.trace_out:
-        obs.trace.write_jsonl(args.trace_out)
+        obs.trace.write_jsonl(args.trace_out, plan=policy.fault_plan)
         print(f"trace written to {args.trace_out}")
+    fingerprint = dataset_fingerprint(
+        schema.tags,
+        [listing.text_content() for listing in listings])
     if args.report_out:
         config = {"model": str(args.model),
                   "schema": str(args.schema),
@@ -414,17 +555,35 @@ def _cmd_match(args: argparse.Namespace) -> int:
             config["learner_timeout"] = args.learner_timeout
         report = build_match_report(
             config=config,
-            dataset={"fingerprint": dataset_fingerprint(
-                         schema.tags,
-                         [listing.text_content()
-                          for listing in listings]),
+            dataset={"fingerprint": fingerprint,
                      "tags": len(schema.tags),
                      "instances": obs.metrics.counter(
                          M_INSTANCES).value,
                      "listings": len(listings)},
             result=result, observer=observer)
-        write_report(report, args.report_out)
+        write_report(report, args.report_out,
+                     plan=policy.fault_plan)
         print(f"run report written to {args.report_out}")
+    if args.ledger_out:
+        from .observability import ledger as run_ledger
+
+        entry = run_ledger.build_entry(
+            label=args.ledger_label,
+            fingerprint=fingerprint,
+            created=time.time(),  # lsd: ignore[wallclock]
+            config={"workers": args.workers,
+                    "backend": args.backend,
+                    "search": args.search},
+            host=run_ledger.host_info(backend=args.backend,
+                                      workers=args.workers),
+            timings={**result.timings, "total": total_seconds},
+            metrics={"instances": obs.metrics.counter(
+                         M_INSTANCES).value,
+                     "tags": len(schema.tags)})
+        run_ledger.append_entry(entry, args.ledger_out,
+                                plan=policy.fault_plan)
+        print(f"ledger entry appended to {args.ledger_out}")
+    _finish_telemetry(args, events, server, sampler, policy.fault_plan)
     return 0
 
 
@@ -487,6 +646,62 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         study = run_feedback_study(domain, settings, runs=3)
         print(feedback_table([study]))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# ledger
+# ---------------------------------------------------------------------------
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .observability import ledger as run_ledger
+
+    path = args.ledger if args.ledger is not None \
+        else run_ledger.DEFAULT_PATH
+    try:
+        entries = run_ledger.read_ledger(path)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+
+    if args.action == "history":
+        if args.label is not None:
+            entries = [entry for entry in entries
+                       if entry.get("label") == args.label]
+        print(run_ledger.render_history(entries, limit=args.limit))
+        return 0
+
+    if args.action == "diff":
+        if args.label is not None:
+            candidates = [entry for entry in entries
+                          if entry.get("label") == args.label]
+        else:
+            candidates = entries
+        if not candidates:
+            print("no matching ledger entries")
+            return 0
+        newest = candidates[-1]
+        series = run_ledger.series_of(entries, newest.get("label"),
+                                      newest.get("fingerprint"))
+        if len(series) < 2:
+            print(f"{newest.get('label')} @ "
+                  f"{newest.get('fingerprint')}: only one run "
+                  "recorded; nothing to diff")
+            return 0
+        print(run_ledger.render_diff(
+            run_ledger.diff_entries(series[-2], series[-1])))
+        return 0
+
+    ok, text = run_ledger.check_ledger(
+        path, label=args.label,
+        window=args.window if args.window is not None
+        else run_ledger.DEFAULT_WINDOW,
+        max_slowdown=args.max_slowdown
+        if args.max_slowdown is not None
+        else run_ledger.DEFAULT_MAX_SLOWDOWN,
+        max_accuracy_drop=args.max_accuracy_drop
+        if args.max_accuracy_drop is not None
+        else run_ledger.DEFAULT_MAX_ACCURACY_DROP)
+    print(text)
+    return 0 if ok else 1
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,8 @@ from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
 from ..observability import (Observer, QualityRecord, StageProfile,
                              build_quality_records, resolve_observer)
+from ..observability.events import (EV_DEGRADATION, EV_SHARD_COMPLETE,
+                                    EV_STAGE_END, EV_STAGE_START)
 from ..observability.metrics import (M_ANYTIME_EXITS, M_CACHE_HIT_RATIO,
                                      M_CACHE_HITS, M_CACHE_MISSES,
                                      M_COLUMN_SIZE, M_FAULTS_FIRED,
@@ -153,10 +155,14 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
     cache_before = featurize.stats.snapshot()
     deadline = policy.start_deadline() if policy is not None else None
 
+    events = obs.events
     with obs.trace.span("match") as match_span:
+        events.emit(EV_STAGE_START, stage="extract")
         with profile.stage("extract"), obs.trace.span("extract"):
             columns = extract_columns(schema, list(listings),
                                       max_instances_per_tag)
+        events.emit(EV_STAGE_END, stage="extract",
+                    elapsed_seconds=profile.seconds("extract"))
 
         # Flatten instances so each learner predicts one batch.
         tags = list(columns)
@@ -175,6 +181,7 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
         match_span.set_attribute("tags", len(tags))
         match_span.set_attribute("instances", len(flat))
 
+        events.emit(EV_STAGE_START, stage="predict")
         with profile.stage("predict"), obs.trace.span("predict") \
                 as predict_span:
             scores_by_learner, tag_scores = _predict_tags(
@@ -187,6 +194,11 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                 with profile.stage("predict.score_filter"), \
                         obs.trace.span("score_filter"):
                     tag_scores = score_filter(tag_scores, columns)
+        predict_elapsed = profile.seconds("predict")
+        events.emit(EV_STAGE_END, stage="predict",
+                    elapsed_seconds=predict_elapsed, items=len(flat),
+                    items_per_second=(len(flat) / predict_elapsed
+                                      if predict_elapsed else 0.0))
 
         ctx = MatchContext(schema, columns)
         if policy is not None:
@@ -196,6 +208,7 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                 # The documented semantics of this site: force the
                 # search onto its anytime best-so-far path.
                 deadline = Deadline(0.0)
+        events.emit(EV_STAGE_START, stage="constrain")
         with profile.stage("constrain"), obs.trace.span("constrain"):
             if handler is None:
                 mapping = Mapping({
@@ -208,6 +221,9 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                     deadline=deadline,
                     report=policy.report if policy is not None
                     else None)
+        events.emit(EV_STAGE_END, stage="constrain",
+                    elapsed_seconds=profile.seconds("constrain"),
+                    items=len(tags))
 
         quality: list[QualityRecord] = []
         if obs.collect_quality:
@@ -231,15 +247,40 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
         "constraints": profile.seconds("constrain"),
     }
     degradation = policy.finalize() if policy is not None else None
-    if degradation is not None:
+    if degradation is not None and degradation.degraded:
         # Emitted only when non-zero, so a clean run's metric set (and
         # therefore its report) is byte-identical to a policy-free run.
         _emit_degradation_metrics(degradation, obs)
+        events.emit(EV_DEGRADATION,
+                    reason=_degradation_reason(degradation))
     return MatchResult(mapping, tag_scores, space, columns, ctx, timings,
                        profile, quality,
                        degradation=degradation,
                        anytime=degradation.anytime
                        if degradation is not None else False)
+
+
+def _degradation_reason(degradation: DegradationReport) -> str:
+    """A one-line human summary for the degradation progress event."""
+    parts = []
+    if degradation.quarantines:
+        parts.append(f"{len(degradation.quarantined_learners)} "
+                     "learner(s) quarantined")
+    if degradation.retries:
+        parts.append(f"{len(degradation.retries)} task retries")
+    if degradation.pool_failures:
+        parts.append("worker pool fell back to serial")
+    if degradation.anytime:
+        parts.append("constraint search ended early by deadline")
+    recovery = degradation.recovery
+    if recovery is not None and (recovery.recovered or
+                                 recovery.dropped):
+        parts.append(f"listings recovered={len(recovery.recovered)} "
+                     f"dropped={len(recovery.dropped)}")
+    if degradation.fired_faults:
+        parts.append(f"{len(degradation.fired_faults)} injected "
+                     "fault(s) fired")
+    return "; ".join(parts) or "degraded"
 
 
 def _emit_degradation_metrics(degradation: DegradationReport,
@@ -459,6 +500,7 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
             pieces = executor.map_profiled(
                 lambda task, prof: task.fallback(prof),
                 tasks, profile, label=label, observer=obs)
+            grid = [(task.span_name, task.rows) for task in tasks]
         else:
             tasks = [(learner, shard, start, stop, len(bounds))
                      for learner, bounds in zip(group, plans)
@@ -467,7 +509,18 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                 lambda task, prof: predict_with(
                     task[0], shard_batch[task[2]:task[3]], prof,
                     task[1], task[4]),
-                tasks, profile, label=label)
+                tasks, profile, label=label, observer=obs)
+            grid = [(f"learner.{learner.name}" if n_shards == 1
+                     else f"learner.{learner.name}.s{shard}",
+                     stop - start)
+                    for learner, shard, start, stop, n_shards in tasks]
+        if obs.events.enabled:
+            # Heartbeats in submission order — a deterministic function
+            # of the task grid, identical at any worker count.
+            for index, (name, n_rows) in enumerate(grid):
+                obs.events.emit(EV_SHARD_COMPLETE, stage=label,
+                                label=name, index=index,
+                                shards=len(grid), rows=n_rows)
         gathered: list = []
         offset = 0
         for bounds in plans:

@@ -52,6 +52,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..observability import StageProfile
+from ..observability.metrics import M_POOL_QUEUE_WAIT
 from ..resilience.faults import FaultInjected
 from ..resilience.sites import SITE_EXECUTOR_POOL, SITE_EXECUTOR_TASK
 from .procpool import ProcessTask, run_process_map
@@ -167,6 +168,19 @@ class ParallelExecutor:
         partials = [StageProfile() for _ in items]
         task = self._task_runner(
             lambda index, item: fn(item, partials[index]), label)
+        metrics = (observer.metrics
+                   if observer is not None
+                   and observer.metrics.enabled else None)
+        if metrics is not None:
+            # Same queue-wait telemetry the process backend records:
+            # time between submission and a worker picking the task up.
+            inner, enqueued = task, \
+                time.perf_counter()  # lsd: ignore[wallclock]
+
+            def task(index, item, _inner=inner, _t0=enqueued):
+                metrics.histogram(M_POOL_QUEUE_WAIT).observe(
+                    time.perf_counter() - _t0)  # lsd: ignore[wallclock]
+                return _inner(index, item)
         submitted = self._submit(task, items, label)
         if submitted is None:
             serial_task = self._task_runner(

@@ -67,6 +67,15 @@ from typing import Callable
 import weakref
 
 from ..observability import StageProfile
+from ..observability.metrics import (BYTE_BUCKETS, CPU_BUCKETS,
+                                     M_POOL_QUEUE_DEPTH,
+                                     M_POOL_QUEUE_WAIT,
+                                     M_POOL_SHIP_SKIPS, M_POOL_TASKS,
+                                     M_POOL_SHM_BYTES,
+                                     M_POOL_WORKER_CPU,
+                                     M_POOL_WORKER_RSS,
+                                     M_POOL_WORKERS)
+from ..observability.resources import ProcSample, read_proc_self
 from ..resilience.faults import FaultInjected
 from ..resilience.policy import call_with_timeout
 from ..resilience.sites import SITE_EXECUTOR_TASK, SITE_WORKER_PROCESS
@@ -228,6 +237,11 @@ def _run_task(state: _WorkerState, task_id: int, task: dict) -> tuple:
     * ``("error", id, exc_or_None, error_type, message, profile,
       timing)`` — anything uncaught; the original exception object
       rides along when picklable so the parent re-raises it verbatim.
+
+    When the task carries ``"sample": True`` a ``/proc/self`` resource
+    snapshot dict is appended as one extra trailing element on every
+    reply shape — consumers that unpack positionally keep working, and
+    the parent surfaces the snapshots as ``pool.*`` metrics.
     """
     profile = StageProfile()
     start = time.time()  # lsd: ignore[wallclock]
@@ -245,13 +259,18 @@ def _run_task(state: _WorkerState, task_id: int, task: dict) -> tuple:
             shipped: BaseException | None = exc
         except Exception:  # lsd: ignore[blind-except]
             shipped = None
-        return ("error", task_id, shipped, type(exc).__name__,
-                str(exc), profile, timing)
+        reply = ("error", task_id, shipped, type(exc).__name__,
+                 str(exc), profile, timing)
+        return reply + ((read_proc_self().as_dict(),)
+                        if task.get("sample") else ())
     timing = (start, time.perf_counter() - t0, hot_elapsed)  # lsd: ignore[wallclock]
     if outcome[0] == "failure":
-        return ("failure", task_id, outcome[1], outcome[2], profile,
-                timing)
-    return ("ok", task_id, outcome[1], profile, timing)
+        reply = ("failure", task_id, outcome[1], outcome[2], profile,
+                 timing)
+    else:
+        reply = ("ok", task_id, outcome[1], profile, timing)
+    return reply + ((read_proc_self().as_dict(),)
+                    if task.get("sample") else ())
 
 
 def _worker_main(conn, store_handle: tuple, payload: bytes) -> None:
@@ -366,6 +385,9 @@ class WorkerPool:
         #: blob digest -> shipped token; the parent-side mirror of the
         #: workers' batch windows (see :meth:`ship_batch`).
         self._shipped: dict[bytes, int] = {}
+        #: Broadcasts skipped by the content-addressed ship cache over
+        #: the pool's lifetime (the ``pool.batch_ship_skips`` metric).
+        self.ship_skips = 0
         try:
             ctx = multiprocessing.get_context(
                 start_method or default_start_method())
@@ -403,6 +425,12 @@ class WorkerPool:
         """The shared segment's name (for the leak tests)."""
         return self._store.name
 
+    @property
+    def shm_bytes(self) -> int:
+        """Size of the shared model segment (the ``pool.shm_bytes``
+        metric)."""
+        return self._store.nbytes
+
     def worker_ids(self) -> list[int]:
         return [worker_id
                 for worker_id, handle in self._workers.items()
@@ -428,6 +456,7 @@ class WorkerPool:
         digest = hashlib.blake2b(blob, digest_size=16).digest()
         cached = self._shipped.get(digest)
         if cached is not None:
+            self.ship_skips += 1
             return cached
         token = next(self._batch_tokens)
         try:
@@ -545,6 +574,9 @@ def run_process_map(executor, tasks: list[ProcessTask],
     plan = policy.fault_plan if policy is not None else None
     retries = policy.retries if policy is not None else 0
     trace = observer.trace if observer is not None else None
+    metrics = (observer.metrics
+               if observer is not None and observer.metrics.enabled
+               else None)
 
     def run_serial(skip_done=None) -> list:
         """The local path: same task runner the thread backend uses,
@@ -635,6 +667,11 @@ def run_process_map(executor, tasks: list[ProcessTask],
     # submission index, never by completion order.
     pending = deque(sorted(range(n), key=lambda i: -tasks[i].rows))
     outstanding: dict[int, int] = {}
+    # Telemetry only, never pipeline output: enqueue stamps feed the
+    # queue-wait histogram, last-seen worker snapshots the pool gauges.
+    queued_at = {index: time.perf_counter()  # lsd: ignore[wallclock]
+                 for index in pending}
+    worker_resources: dict[int, dict] = {}
 
     def feed(worker_id: int) -> None:
         while pending:
@@ -643,6 +680,12 @@ def run_process_map(executor, tasks: list[ProcessTask],
                 continue
             payload = dict(tasks[index].payload)
             payload["batch"] = batch_tokens[id(tasks[index].batch)]
+            if metrics is not None:
+                payload["sample"] = True
+                metrics.counter(M_POOL_TASKS).inc()
+                metrics.histogram(M_POOL_QUEUE_WAIT).observe(
+                    time.perf_counter()  # lsd: ignore[wallclock]
+                    - queued_at[index])
             pool.submit(worker_id, index, payload)
             outstanding[worker_id] = index
             return
@@ -659,13 +702,19 @@ def run_process_map(executor, tasks: list[ProcessTask],
     try:
         # One pickle per distinct batch, broadcast before any dispatch.
         batch_tokens: dict[int, int] = {}
+        skips_before = pool.ship_skips
         for task in tasks:
             key = id(task.batch)
             if key not in batch_tokens:
                 batch_tokens[key] = pool.ship_batch(task.batch)
+        if metrics is not None and pool.ship_skips > skips_before:
+            metrics.counter(M_POOL_SHIP_SKIPS).inc(
+                pool.ship_skips - skips_before)
 
         for worker_id in pool.worker_ids():
             feed(worker_id)
+        if metrics is not None:
+            metrics.gauge(M_POOL_QUEUE_DEPTH).set(float(len(pending)))
         while outstanding:
             for event in pool.wait():
                 if event[0] == "died":
@@ -673,6 +722,12 @@ def run_process_map(executor, tasks: list[ProcessTask],
                         f"worker {event[1]} died during {label!r}")
                 worker_id, reply = event[1], event[2]
                 index = outstanding.pop(worker_id)
+                if metrics is not None:
+                    # Sampling was requested on dispatch, so the reply
+                    # carries a trailing resource snapshot; keep the
+                    # worker's most recent one for the pool gauges.
+                    worker_resources[worker_id] = reply[-1]
+                    reply = reply[:-1]
                 kind = reply[0]
                 if kind == "ok":
                     _, _tid, value, prof, timing = reply
@@ -693,6 +748,8 @@ def run_process_map(executor, tasks: list[ProcessTask],
                         RemoteTaskError(error_type, message)
                     if note_failure(index, error):
                         pending.append(index)
+                        queued_at[index] = \
+                            time.perf_counter()  # lsd: ignore[wallclock]
                 feed(worker_id)
     except PoolBrokenError:
         # A genuine crash: release the segment immediately, record the
@@ -720,6 +777,17 @@ def run_process_map(executor, tasks: list[ProcessTask],
             trace.emit(task.span_name, parent=task.span_parent,
                        start=start, elapsed=elapsed,
                        attributes=attributes)
+    if metrics is not None:
+        if not pool.broken:
+            metrics.gauge(M_POOL_WORKERS).set(
+                float(len(pool.worker_ids())))
+            metrics.gauge(M_POOL_SHM_BYTES).set(float(pool.shm_bytes))
+        rss_hist = metrics.histogram(M_POOL_WORKER_RSS, BYTE_BUCKETS)
+        cpu_hist = metrics.histogram(M_POOL_WORKER_CPU, CPU_BUCKETS)
+        for worker_id in sorted(worker_resources):
+            sample = ProcSample.from_dict(worker_resources[worker_id])
+            rss_hist.observe(float(sample.rss_bytes))
+            cpu_hist.observe(sample.cpu_seconds)
     for index in sorted(latencies):
         hook = tasks[index].on_done
         if hook is not None:

@@ -225,6 +225,12 @@ class SharedArrayStore:
     def name(self) -> str:
         return self._shm.name
 
+    @property
+    def nbytes(self) -> int:
+        """Allocated size of the segment in bytes (telemetry; the OS
+        may round the request up to a page multiple)."""
+        return self._shm.size
+
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------

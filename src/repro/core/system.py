@@ -16,6 +16,7 @@ from ..learners import default_learners
 from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
 from ..observability import Observer, StageProfile, resolve_observer
+from ..observability.events import EV_STAGE_END, EV_STAGE_START
 from ..resilience.policy import ResiliencePolicy
 from ..xmlio import Element
 from .converter import PredictionConverter
@@ -231,16 +232,22 @@ class LSDSystem:
         if not self.training_sources:
             raise RuntimeError("no training sources added")
         obs = resolve_observer(observer)
+        events = obs.events
         profile = StageProfile()
         with obs.trace.span("train",
                             sources=len(self.training_sources)):
+            events.emit(EV_STAGE_START, stage="build")
             with profile.stage("build"), obs.trace.span("build"):
                 instances, labels = build_training_set(
                     self.training_sources, self.space,
                     self.max_instances_per_tag)
+            events.emit(EV_STAGE_END, stage="build",
+                        elapsed_seconds=profile.seconds("build"),
+                        items=len(instances))
             if not instances:
                 raise RuntimeError(
                     "training sources produced no instances")
+            events.emit(EV_STAGE_START, stage="fit")
             with profile.stage("fit"):
                 survivors = train_base_learners(
                     self.learners, instances, labels, self.space,
@@ -251,6 +258,10 @@ class LSDSystem:
                         "every base learner failed to train")
                 if self.pruner is not None:
                     self.pruner.fit(instances, labels, self.space)
+            events.emit(EV_STAGE_END, stage="fit",
+                        elapsed_seconds=profile.seconds("fit"),
+                        items=len(survivors))
+            events.emit(EV_STAGE_START, stage="cv")
             with profile.stage("cv"):
                 self.meta = train_meta_learner(
                     survivors, instances, labels, self.space,
@@ -258,6 +269,8 @@ class LSDSystem:
                     uniform=not self.use_meta_learner,
                     executor=self.executor, profile=profile,
                     observer=obs)
+            events.emit(EV_STAGE_END, stage="cv",
+                        elapsed_seconds=profile.seconds("cv"))
         self.active_learners = survivors
         self.train_profile = profile
         # Any live worker pool holds the pre-retrain model; drop it so

@@ -21,28 +21,41 @@ primitives cover it:
 pipelines accept; the disabled default (:data:`NO_OP`) costs nothing.
 """
 
-from .metrics import (CATALOGUE, LATENCY_BUCKETS, NULL_METRICS,
-                      SIZE_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, NullMetricsRegistry,
-                      exponential_buckets)
+from .artifacts import atomic_append_jsonl, atomic_write_text
+from .events import (EVENT_CATALOGUE, NULL_EVENTS, EventStream,
+                     NullEventStream, read_events, validate_events)
+from .expo import (TelemetryServer, parse_openmetrics,
+                   registry_from_summary, render_openmetrics)
+from .metrics import (BYTE_BUCKETS, CATALOGUE, CPU_BUCKETS,
+                      LATENCY_BUCKETS, NULL_METRICS, SIZE_BUCKETS,
+                      Counter, Gauge, Histogram, MetricsRegistry,
+                      NullMetricsRegistry, exponential_buckets,
+                      refresh_derived_gauges)
 from .observer import NO_OP, Observer
 from .observer import resolve as resolve_observer
 from .quality import QualityRecord, build_quality_records
 from .report import (build_match_report, dataset_fingerprint,
                      load_report, load_schema, render_text,
                      validate_file, validate_report, write_report)
+from .resources import ProcSample, ResourceSampler, read_proc_self
 from .timers import StageProfile, format_profile_table
 from .trace import (NULL_TRACE, NullTraceCollector, Span,
                     TraceCollector, iter_tree, read_jsonl)
 
 __all__ = [
-    "CATALOGUE", "LATENCY_BUCKETS", "NULL_METRICS", "NULL_TRACE",
-    "NO_OP", "SIZE_BUCKETS", "Counter", "Gauge", "Histogram",
-    "MetricsRegistry", "NullMetricsRegistry", "NullTraceCollector",
-    "Observer", "QualityRecord", "Span", "StageProfile",
-    "TraceCollector", "build_match_report", "build_quality_records",
-    "dataset_fingerprint", "exponential_buckets",
-    "format_profile_table", "iter_tree", "load_report", "load_schema",
-    "read_jsonl", "render_text", "resolve_observer", "validate_file",
+    "BYTE_BUCKETS", "CATALOGUE", "CPU_BUCKETS", "EVENT_CATALOGUE",
+    "LATENCY_BUCKETS", "NULL_EVENTS", "NULL_METRICS", "NULL_TRACE",
+    "NO_OP", "SIZE_BUCKETS", "Counter", "EventStream", "Gauge",
+    "Histogram", "MetricsRegistry", "NullEventStream",
+    "NullMetricsRegistry", "NullTraceCollector", "Observer",
+    "ProcSample", "QualityRecord", "ResourceSampler", "Span",
+    "StageProfile", "TelemetryServer", "TraceCollector",
+    "atomic_append_jsonl", "atomic_write_text", "build_match_report",
+    "build_quality_records", "dataset_fingerprint",
+    "exponential_buckets", "format_profile_table", "iter_tree",
+    "load_report", "load_schema", "parse_openmetrics", "read_events",
+    "read_jsonl", "read_proc_self", "refresh_derived_gauges",
+    "registry_from_summary", "render_openmetrics", "render_text",
+    "resolve_observer", "validate_events", "validate_file",
     "validate_report", "write_report",
 ]

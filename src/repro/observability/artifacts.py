@@ -1,0 +1,57 @@
+"""Atomic run-artifact writes: temp file + ``os.replace``.
+
+Every observability artifact the CLI emits — the run report, the span
+trace, the progress-event stream, the run ledger — goes through this
+module, so a run killed mid-write can never leave a truncated JSON or
+JSONL file behind: the destination either keeps its previous content
+or receives the complete new one in a single rename.
+
+The ``artifact.write`` fault site fires *between* the temp-file write
+and the rename — the worst possible crash instant — which is how the
+fault-injection tests prove the invariant rather than assume it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..resilience.sites import SITE_ARTIFACT_WRITE
+
+
+def atomic_write_text(path: str | Path, text: str, plan=None) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The temp file lives in the destination's directory (``os.replace``
+    must not cross filesystems) and is removed on any failure, so an
+    interrupted write leaves neither a truncated target nor litter.
+    ``plan`` (a :class:`~repro.resilience.FaultPlan`) arms the
+    ``artifact.write`` site, keyed by the destination file name.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        if plan is not None:
+            plan.fire(SITE_ARTIFACT_WRITE, path.name)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_append_jsonl(path: str | Path, line: str,
+                        plan=None) -> None:
+    """Append one line to a JSONL file atomically.
+
+    Rewrites the whole file through :func:`atomic_write_text` (ledgers
+    are small — one entry per run), so a crash mid-append preserves
+    every previously recorded line intact. Creates parent directories
+    on first use.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = path.read_text() if path.exists() else ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    atomic_write_text(path, existing + line.rstrip("\n") + "\n",
+                      plan=plan)

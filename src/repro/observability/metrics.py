@@ -58,6 +58,18 @@ M_TASK_RETRIES = "resilience.task_retries"
 M_POOL_FAILURES = "resilience.pool_failures"
 M_ANYTIME_EXITS = "resilience.anytime_exits"
 M_FAULTS_FIRED = "resilience.faults_fired"
+M_PROC_RSS = "proc.rss_bytes"
+M_PROC_CPU = "proc.cpu_seconds"
+M_PROC_FDS = "proc.open_fds"
+M_PROC_THREADS = "proc.threads"
+M_POOL_WORKERS = "pool.workers"
+M_POOL_SHM_BYTES = "pool.shm_bytes"
+M_POOL_WORKER_RSS = "pool.worker_rss_bytes"
+M_POOL_WORKER_CPU = "pool.worker_cpu_seconds"
+M_POOL_QUEUE_DEPTH = "pool.queue_depth"
+M_POOL_QUEUE_WAIT = "pool.queue_wait_seconds"
+M_POOL_SHIP_SKIPS = "pool.batch_ship_skips"
+M_POOL_TASKS = "pool.tasks_dispatched"
 
 #: name -> (kind, description); the documented metric vocabulary.
 CATALOGUE: dict[str, tuple[str, str]] = {
@@ -98,6 +110,31 @@ CATALOGUE: dict[str, tuple[str, str]] = {
         "counter", "constraint searches ended early by the deadline"),
     M_FAULTS_FIRED: (
         "counter", "injected faults fired by the active fault plan"),
+    M_PROC_RSS: ("gauge", "resident set size of this process (bytes)"),
+    M_PROC_CPU: (
+        "gauge", "cumulative user+system CPU time of this process "
+                 "(seconds)"),
+    M_PROC_FDS: ("gauge", "open file descriptors of this process"),
+    M_PROC_THREADS: ("gauge", "live threads of this process"),
+    M_POOL_WORKERS: ("gauge", "live worker processes in the pool"),
+    M_POOL_SHM_BYTES: (
+        "gauge", "bytes of the pool's shared-memory model segment"),
+    M_POOL_WORKER_RSS: (
+        "histogram", "per-worker resident set size sampled at map end "
+                     "(bytes)"),
+    M_POOL_WORKER_CPU: (
+        "histogram", "per-worker cumulative CPU time sampled at map "
+                     "end (seconds)"),
+    M_POOL_QUEUE_DEPTH: (
+        "gauge", "tasks still queued after the first dispatch round"),
+    M_POOL_QUEUE_WAIT: (
+        "histogram", "seconds a task waited between enqueue and "
+                     "dispatch"),
+    M_POOL_SHIP_SKIPS: (
+        "counter", "batch broadcasts skipped by the content-addressed "
+                   "ship cache"),
+    M_POOL_TASKS: (
+        "counter", "tasks dispatched to worker processes"),
 }
 
 
@@ -121,6 +158,12 @@ LATENCY_BUCKETS = exponential_buckets(1e-6, 4.0, 12)
 #: Column sizes: most sources cap columns at max_instances_per_tag.
 SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
                 1000.0)
+
+#: 1MiB .. 8GiB in x2 steps — worker RSS and shared-segment sizes.
+BYTE_BUCKETS = exponential_buckets(float(1 << 20), 2.0, 14)
+
+#: 1ms .. ~1h in x4 steps — cumulative per-worker CPU time.
+CPU_BUCKETS = exponential_buckets(1e-3, 4.0, 12)
 
 
 # ---------------------------------------------------------------------------
@@ -348,6 +391,13 @@ class MetricsRegistry:
         with self._lock:
             return dict(getattr(self, attribute))
 
+    def instruments(self) -> dict[str, dict]:
+        """Live instrument objects by family — the exposition renderer's
+        view (histograms need their buckets, which ``summary`` elides)."""
+        return {"counters": self._snapshot("_counters"),
+                "gauges": self._snapshot("_gauges"),
+                "histograms": self._snapshot("_histograms")}
+
     def summary(self) -> dict:
         """JSON-ready ``{"counters": ..., "gauges": ..., "histograms":
         ...}`` with histogram percentile summaries."""
@@ -409,9 +459,39 @@ class NullMetricsRegistry:
     def merge(self, other) -> None:
         pass
 
+    def instruments(self) -> dict[str, dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
     def summary(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 
 #: The shared disabled registry.
 NULL_METRICS = NullMetricsRegistry()
+
+
+# ---------------------------------------------------------------------------
+# derived gauges
+# ---------------------------------------------------------------------------
+
+def refresh_derived_gauges(registry) -> None:
+    """Recompute gauges that are pure functions of counters.
+
+    :meth:`Gauge.merge` is last-writer-wins, so after worker registries
+    fold into the main one a ratio gauge reflects only the last worker
+    merged — not the aggregate. Every consumer that reads a registry
+    after merges (the run report, the OpenMetrics exposition) calls
+    this first so derived values are recomputed from the merged
+    counters. Touches nothing when the inputs were never emitted.
+    """
+    if not registry.enabled:
+        return
+    counters = registry.instruments()["counters"]
+    hits = counters.get(M_CACHE_HITS)
+    misses = counters.get(M_CACHE_MISSES)
+    total = (hits.value if hits is not None else 0) \
+        + (misses.value if misses is not None else 0)
+    if total:
+        registry.gauge(M_CACHE_HIT_RATIO).set(hits.value / total
+                                              if hits is not None
+                                              else 0.0)

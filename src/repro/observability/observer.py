@@ -10,6 +10,7 @@ below 3% of a matching run.
 
 from __future__ import annotations
 
+from .events import NULL_EVENTS, EventStream, NullEventStream
 from .metrics import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
 from .trace import NULL_TRACE, NullTraceCollector, TraceCollector
 
@@ -19,36 +20,43 @@ class Observer:
 
     ``Observer.full()`` builds one with everything on; the zero-argument
     constructor builds a fully disabled observer (equal in behaviour to
-    :data:`NO_OP`).
+    :data:`NO_OP`). The progress-event stream (``events``) defaults to
+    disabled even in ``full()`` — it narrates to a file, so the CLI
+    attaches a live :class:`EventStream` only when ``--events-out`` is
+    given.
     """
 
-    __slots__ = ("trace", "metrics", "collect_quality")
+    __slots__ = ("trace", "metrics", "collect_quality", "events")
 
     def __init__(self,
                  trace: TraceCollector | NullTraceCollector | None = None,
                  metrics: MetricsRegistry | NullMetricsRegistry | None
                  = None,
-                 collect_quality: bool = False) -> None:
+                 collect_quality: bool = False,
+                 events: EventStream | NullEventStream | None = None
+                 ) -> None:
         self.trace = trace if trace is not None else NULL_TRACE
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.collect_quality = collect_quality
+        self.events = events if events is not None else NULL_EVENTS
 
     @classmethod
-    def full(cls) -> "Observer":
+    def full(cls, events: EventStream | None = None) -> "Observer":
         """An observer with tracing, metrics and quality all enabled."""
         return cls(TraceCollector(), MetricsRegistry(),
-                   collect_quality=True)
+                   collect_quality=True, events=events)
 
     @property
     def enabled(self) -> bool:
         return (self.trace.enabled or self.metrics.enabled
-                or self.collect_quality)
+                or self.collect_quality or self.events.enabled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [
             "trace" if self.trace.enabled else "",
             "metrics" if self.metrics.enabled else "",
             "quality" if self.collect_quality else "",
+            "events" if self.events.enabled else "",
         ]
         on = ",".join(part for part in parts if part) or "disabled"
         return f"<Observer {on}>"

@@ -21,6 +21,9 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from .artifacts import atomic_write_text
+from .metrics import refresh_derived_gauges
+
 REPORT_SCHEMA_VERSION = 1
 REPORT_KIND = "lsd-run-report"
 SCHEMA_PATH = Path(__file__).with_name("report_schema.json")
@@ -62,6 +65,9 @@ def build_match_report(*, config: dict, dataset: dict, result,
     """
     metrics = {"counters": {}, "gauges": {}, "histograms": {}}
     if observer is not None and observer.metrics.enabled:
+        # Gauge merges are last-writer-wins; recompute derived gauges
+        # (cache hit ratio) from the merged counters before reporting.
+        refresh_derived_gauges(observer.metrics)
         metrics = observer.metrics.summary()
     report = {
         "schema_version": REPORT_SCHEMA_VERSION,
@@ -82,9 +88,10 @@ def build_match_report(*, config: dict, dataset: dict, result,
     return report
 
 
-def write_report(report: dict, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True)
-                          + "\n")
+def write_report(report: dict, path: str | Path, plan=None) -> None:
+    atomic_write_text(path,
+                      json.dumps(report, indent=2, sort_keys=True)
+                      + "\n", plan=plan)
 
 
 def load_report(path: str | Path) -> dict:

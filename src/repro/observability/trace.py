@@ -201,9 +201,12 @@ class TraceCollector:
             json.dumps(span.as_dict(), sort_keys=True)
             for span in self.spans)
 
-    def write_jsonl(self, path: str | Path) -> None:
+    def write_jsonl(self, path: str | Path, plan=None) -> None:
+        from .artifacts import atomic_write_text
+
         text = self.to_jsonl()
-        Path(path).write_text(text + "\n" if text else "")
+        atomic_write_text(path, text + "\n" if text else "",
+                          plan=plan)
 
     def __len__(self) -> int:
         with self._lock:
@@ -269,8 +272,10 @@ class NullTraceCollector:
     def to_jsonl(self) -> str:
         return ""
 
-    def write_jsonl(self, path: str | Path) -> None:
-        Path(path).write_text("")
+    def write_jsonl(self, path: str | Path, plan=None) -> None:
+        from .artifacts import atomic_write_text
+
+        atomic_write_text(path, "", plan=plan)
 
     def __len__(self) -> int:
         return 0

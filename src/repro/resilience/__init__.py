@@ -19,15 +19,16 @@ from .faults import (CORRUPTION_STYLES, FaultInjected, FaultPlan,
 from .ingest import ingest_fragments
 from .policy import (Deadline, DegradationReport, LearnerTimeout,
                      QuarantineEvent, ResiliencePolicy, call_with_timeout)
-from .sites import (SITE_CATALOGUE, SITE_EXECUTOR_POOL,
-                    SITE_EXECUTOR_TASK, SITE_INGEST_CHUNK,
-                    SITE_LEARNER_FIT, SITE_LEARNER_PREDICT,
-                    SITE_SEARCH_ROOT)
+from .sites import (SITE_ARTIFACT_WRITE, SITE_CATALOGUE,
+                    SITE_EXECUTOR_POOL, SITE_EXECUTOR_TASK,
+                    SITE_INGEST_CHUNK, SITE_LEARNER_FIT,
+                    SITE_LEARNER_PREDICT, SITE_SEARCH_ROOT)
 
 __all__ = [
     "CORRUPTION_STYLES", "Deadline", "DegradationReport",
     "FaultInjected", "FaultPlan", "FaultSpec", "LearnerTimeout",
-    "QuarantineEvent", "ResiliencePolicy", "SITE_CATALOGUE",
+    "QuarantineEvent", "ResiliencePolicy", "SITE_ARTIFACT_WRITE",
+    "SITE_CATALOGUE",
     "SITE_EXECUTOR_POOL", "SITE_EXECUTOR_TASK", "SITE_INGEST_CHUNK",
     "SITE_LEARNER_FIT", "SITE_LEARNER_PREDICT", "SITE_SEARCH_ROOT",
     "call_with_timeout", "corrupt_text", "ingest_fragments",

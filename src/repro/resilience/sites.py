@@ -49,6 +49,13 @@ SITE_SEARCH_ROOT = "constraints.search"
 #: kill, so plans targeting it leave such runs untouched.
 SITE_WORKER_PROCESS = "worker.process"
 
+#: One run-artifact write (report, trace, events, ledger); key = the
+#: destination file name. The fault fires *between* writing the temp
+#: file and the atomic rename, so an injected crash proves a killed
+#: run can never leave a truncated artifact: the target either keeps
+#: its previous content or receives the complete new one.
+SITE_ARTIFACT_WRITE = "artifact.write"
+
 #: Every legal fault site, with operator-facing documentation. The
 #: ``fault-site-catalogue`` lint rule keeps this in sync with usage.
 SITE_CATALOGUE: dict[str, str] = {
@@ -74,4 +81,8 @@ SITE_CATALOGUE: dict[str, str] = {
         "One process-backend worker; a fault here hard-kills the "
         "worker before dispatch, forcing the serial fallback and the "
         "shared-memory cleanup path (key: stage label).",
+    SITE_ARTIFACT_WRITE:
+        "One run-artifact write; fires between the temp-file write and "
+        "the atomic rename, modelling a crash mid-write (key: "
+        "destination file name).",
 }

@@ -170,8 +170,8 @@ class TestDiscoveryAndParseErrors:
             "unseeded-random", "wallclock", "set-iteration",
             "executor-shared-write", "process-unsafe-state",
             "learner-contract",
-            "metric-catalogue", "span-unclosed", "blind-except",
-            "fault-site-catalogue"}
+            "metric-catalogue", "event-catalogue", "span-unclosed",
+            "blind-except", "fault-site-catalogue"}
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):
