@@ -23,10 +23,14 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from .findings import Baseline, Finding, sort_findings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flow.callgraph import CallGraph
 
 #: Matches an inline suppression comment; group 1 is the optional
 #: bracketed rule list.
@@ -63,6 +67,55 @@ class SourceFile:
             rules = ({rule.strip() for rule in listed.split(",")
                       if rule.strip()} if listed else set())
             self.suppressions[lineno] = rules
+        if self.tree is not None and self.suppressions:
+            self._expand_statement_spans()
+
+    def _expand_statement_spans(self) -> None:
+        """Resolve suppressions against each statement's full line span.
+
+        A multi-line call flags at the line its AST node starts on, but
+        the natural place to write the comment is the closing-paren
+        line (or a decorator line, for a decorated def). Any
+        suppression comment inside a simple statement's span — or a
+        compound statement's header/decorator span, its body excluded —
+        covers every line of that span."""
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            end = node.end_lineno or start
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if node.decorator_list:
+                    start = min(dec.lineno
+                                for dec in node.decorator_list)
+                end = node.body[0].lineno - 1 if node.body else end
+            elif hasattr(node, "cases"):  # match statement header
+                end = node.subject.end_lineno or start
+            else:
+                body = getattr(node, "body", None)
+                if isinstance(body, list) and body and \
+                        isinstance(body[0], ast.stmt):
+                    end = body[0].lineno - 1
+            if end > start:
+                spans.append((start, end))
+        for start, end in spans:
+            covered = [self.suppressions[line]
+                       for line in range(start, end + 1)
+                       if line in self.suppressions]
+            if not covered:
+                continue
+            bare = any(not rules for rules in covered)
+            merged: set[str] = set() if bare else set().union(*covered)
+            for line in range(start, end + 1):
+                existing = self.suppressions.get(line)
+                if existing is None:
+                    self.suppressions[line] = set(merged)
+                elif bare or not existing:
+                    self.suppressions[line] = set()
+                else:
+                    existing.update(merged)
 
     def in_package(self, *parts: str) -> bool:
         """Whether any path component equals one of ``parts`` — the
@@ -90,6 +143,10 @@ class Rule:
     id: str = ""
     severity: str = "error"
     description: str = ""
+    #: Flow rules need the shared call graph; the engine builds it once
+    #: per run iff at least one selected rule sets this, and plain
+    #: ``get_rules()`` leaves such rules out of the default set.
+    requires_flow: bool = False
 
     def check_file(self, source: SourceFile) -> Iterable[Finding]:
         """Per-file findings (the common case)."""
@@ -98,6 +155,12 @@ class Rule:
     def check_project(self,
                       sources: Sequence[SourceFile]) -> Iterable[Finding]:
         """Whole-file-set findings (cross-file invariants)."""
+        return ()
+
+    def check_flow(self, graph: "CallGraph",
+                   sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        """Interprocedural findings over the shared call graph (only
+        called on rules with ``requires_flow``)."""
         return ()
 
     def finding(self, source: SourceFile, node: ast.AST | int,
@@ -134,17 +197,39 @@ def rule_ids() -> list[str]:
     return list(_REGISTRY)
 
 
-def get_rules(select: Iterable[str] | None = None) -> list[Rule]:
-    """The rule set, optionally narrowed to the given ids."""
+def get_rules(select: Iterable[str] | None = None, *,
+              include_flow: bool = False) -> list[Rule]:
+    """The rule set, optionally narrowed by ``select``.
+
+    ``select`` entries are exact rule ids or glob patterns
+    (``flow-*``, ``metric-*``); each entry must match at least one
+    registered rule. Without ``select``, flow rules are excluded
+    unless ``include_flow`` — the per-file gate and the flow gate run
+    against separate baselines. An explicit ``select`` can always name
+    flow rules.
+    """
     rules = all_rules()
     if select is None:
-        return rules
-    wanted = set(select)
-    unknown = wanted.difference(rule.id for rule in rules)
+        return [rule for rule in rules
+                if include_flow or not rule.requires_flow]
+    ids = [rule.id for rule in rules]
+    wanted: set[str] = set()
+    unknown: list[str] = []
+    for pattern in select:
+        pattern = pattern.strip()
+        if not pattern:
+            continue
+        matches = [rule_id for rule_id in ids
+                   if fnmatchcase(rule_id, pattern)]
+        if matches:
+            wanted.update(matches)
+        else:
+            unknown.append(pattern)
     if unknown:
         known = ", ".join(sorted(_REGISTRY))
         raise ValueError(
-            f"unknown rule id(s) {sorted(unknown)}; known: {known}")
+            f"unknown rule id(s)/pattern(s) {sorted(unknown)}; "
+            f"known: {known}")
     return [rule for rule in rules if rule.id in wanted]
 
 
@@ -153,6 +238,7 @@ def _load_rule_modules() -> None:
     from . import (rules_concurrency, rules_determinism,  # noqa: F401
                    rules_exceptions, rules_learners,
                    rules_observability, rules_resilience)
+    from .flow import rules_flow  # noqa: F401
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +277,8 @@ class AnalysisResult:
     accepted: list[Finding] = field(default_factory=list)   # baselined
     files: int = 0
     rules: int = 0
+    #: The shared call-graph artifact, when any flow rule ran.
+    graph: "CallGraph | None" = None
 
     @property
     def ok(self) -> bool:
@@ -207,9 +295,15 @@ class AnalysisResult:
 
 def analyze_sources(sources: Sequence[SourceFile],
                     rules: Sequence[Rule] | None = None,
-                    baseline: Baseline | None = None) -> AnalysisResult:
-    """Run ``rules`` over parsed sources; split against ``baseline``."""
-    rules = list(all_rules() if rules is None else rules)
+                    baseline: Baseline | None = None,
+                    graph: "CallGraph | None" = None) -> AnalysisResult:
+    """Run ``rules`` over parsed sources; split against ``baseline``.
+
+    When any rule sets ``requires_flow``, the project call graph is
+    built once (or taken from ``graph`` if the caller already built
+    one, e.g. for ``--dump-callgraph``) and shared by every flow rule.
+    """
+    rules = list(get_rules() if rules is None else rules)
     raw: list[Finding] = []
     for source in sources:
         if source.parse_error is not None:
@@ -224,6 +318,14 @@ def analyze_sources(sources: Sequence[SourceFile],
     for rule in rules:
         raw.extend(rule.check_project(parsed))
 
+    flow_rules = [rule for rule in rules if rule.requires_flow]
+    if flow_rules:
+        if graph is None:
+            from .flow.callgraph import build_graph
+            graph = build_graph(parsed)
+        for rule in flow_rules:
+            raw.extend(rule.check_flow(graph, parsed))
+
     by_display = {source.display: source for source in sources}
     visible = [finding for finding in raw
                if not (finding.path in by_display
@@ -231,12 +333,14 @@ def analyze_sources(sources: Sequence[SourceFile],
                            finding))]
     new, accepted = (baseline or Baseline()).split(visible)
     return AnalysisResult(sort_findings(new), accepted,
-                          files=len(sources), rules=len(rules))
+                          files=len(sources), rules=len(rules),
+                          graph=graph)
 
 
 def analyze_paths(paths: Sequence[str | Path],
                   rules: Sequence[Rule] | None = None,
-                  baseline: Baseline | None = None) -> AnalysisResult:
+                  baseline: Baseline | None = None,
+                  graph: "CallGraph | None" = None) -> AnalysisResult:
     """Load every Python file under ``paths`` and analyze it."""
     sources = [load_source(path) for path in iter_python_files(paths)]
-    return analyze_sources(sources, rules, baseline)
+    return analyze_sources(sources, rules, baseline, graph)

@@ -1,0 +1,28 @@
+"""Interprocedural dataflow analysis for ``lsd-lint``.
+
+The per-file rules of :mod:`repro.analysis` see one statement at a
+time; this package sees the whole program. It builds a project-wide
+call graph over every ``src/repro`` module (:mod:`.callgraph`), runs
+reachability/taint propagation over it (:mod:`.reachability`) for the
+three built-in lattices (:mod:`.lattice` — determinism, worker
+purity/shared-write, fault-escape), and registers the ``flow-*`` rules
+(:mod:`.rules_flow`) whose findings carry the full call chain from an
+entry point to the offending statement as evidence.
+
+The graph is deliberately honest about its own limits: every call site
+the resolver cannot bind is recorded as an *unresolved* edge and
+reported in the JSON artifact, so the soundness gap is a number you
+can watch, not a silent assumption.
+"""
+
+from .callgraph import CallGraph, build_graph
+from .lattice import (DETERMINISM, FAULT_FLOW, WORKER_PURITY, TaintHit,
+                      TaintLattice, all_lattices)
+from .reachability import chain_to, reachable_from
+
+__all__ = [
+    "CallGraph", "build_graph",
+    "TaintLattice", "TaintHit", "all_lattices",
+    "DETERMINISM", "WORKER_PURITY", "FAULT_FLOW",
+    "reachable_from", "chain_to",
+]

@@ -1,0 +1,99 @@
+"""Reachability over the call graph, with chain reconstruction.
+
+All three lattices reduce to the same question: *which functions can a
+given set of entry points reach, and by what path?* The BFS here
+answers it once per root set; the forest it returns reconstructs the
+shortest call chain from an entry point to any reached node, which is
+exactly the evidence a ``flow-*`` finding carries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from .callgraph import CallGraph
+
+#: Edge kinds that propagate execution forward. ``ref`` is included —
+#: a function holding a reference to another can invoke it, and taint
+#: must not hide behind first-class functions.
+EXEC_KINDS = frozenset({"direct", "method", "dispatch", "init",
+                        "partial", "fanout", "ref"})
+
+
+def reachable_from(graph: CallGraph, roots: Iterable[str],
+                   kinds: frozenset[str] = EXEC_KINDS,
+                   ) -> dict[str, tuple[str | None, int]]:
+    """BFS forest ``node -> (parent, call line)`` over forward edges.
+
+    Roots map to ``(None, 0)``. Breadth-first order makes every
+    reconstructed chain a *shortest* witness, so findings stay stable
+    as unrelated code grows longer paths to the same sink.
+    """
+    forest: dict[str, tuple[str | None, int]] = {}
+    queue: deque[str] = deque()
+    for root in sorted(set(roots)):
+        if root in graph.functions and root not in forest:
+            forest[root] = (None, 0)
+            queue.append(root)
+    while queue:
+        current = queue.popleft()
+        for edge in graph.edges_from(current):
+            if edge.kind not in kinds:
+                continue
+            if edge.callee in forest:
+                continue
+            forest[edge.callee] = (current, edge.line)
+            queue.append(edge.callee)
+    return forest
+
+
+def chain_to(forest: dict[str, tuple[str | None, int]],
+             target: str) -> list[str]:
+    """The call chain root → … → ``target`` (empty if unreached)."""
+    if target not in forest:
+        return []
+    chain: list[str] = []
+    node: str | None = target
+    while node is not None:
+        chain.append(node)
+        node = forest[node][0]
+        if len(chain) > 10_000:  # cycle guard (forest is acyclic)
+            break  # pragma: no cover - defensive
+    chain.reverse()
+    return chain
+
+
+def callers_of(graph: CallGraph, targets: Iterable[str],
+               kinds: frozenset[str] = EXEC_KINDS,
+               ) -> dict[str, tuple[str | None, int]]:
+    """Reverse BFS forest: every function that can *reach* a target.
+
+    ``node -> (the callee it reaches a target through, call line)``;
+    targets map to ``(None, 0)``. Used by the fault-escape lattice to
+    walk from an arming site up to whoever could have handled it.
+    """
+    forest: dict[str, tuple[str | None, int]] = {}
+    queue: deque[str] = deque()
+    for target in sorted(set(targets)):
+        if target in graph.functions and target not in forest:
+            forest[target] = (None, 0)
+            queue.append(target)
+    while queue:
+        current = queue.popleft()
+        for edge in graph.edges_to(current):
+            if edge.kind not in kinds:
+                continue
+            if edge.caller in forest:
+                continue
+            forest[edge.caller] = (current, edge.line)
+            queue.append(edge.caller)
+    return forest
+
+
+def render_chain(chain: Sequence[str], strip: str = "repro.") -> str:
+    """Human form of a call chain for finding messages: the project
+    prefix dropped, links joined with `` -> ``."""
+    parts = [name[len(strip):] if name.startswith(strip) else name
+             for name in chain]
+    return " -> ".join(parts)

@@ -64,10 +64,13 @@ def _bound_names(target: ast.AST | None) -> Iterator[str]:
         yield from _bound_names(target.value)
 
 
-def _local_names(fn: ast.AST) -> set[str]:
+def _local_names(fn: ast.AST,
+                 nodes: Iterable[ast.AST] | None = None) -> set[str]:
     """Names bound inside ``fn`` (params, assignments, loop/with
     targets, comprehension variables, nested defs) — writes to anything
-    else touch caller-owned state."""
+    else touch caller-owned state. ``nodes`` narrows the scan (the flow
+    lattice passes the own-body walk so nested defs, which are their
+    own graph nodes, are not double-counted)."""
     names: set[str] = set()
     if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef,
                        ast.Lambda)):
@@ -79,7 +82,7 @@ def _local_names(fn: ast.AST) -> set[str]:
         if args.kwarg:
             names.add(args.kwarg.arg)
     declared: set[str] = set()
-    for node in ast.walk(fn):
+    for node in (ast.walk(fn) if nodes is None else nodes):
         if isinstance(node, (ast.Global, ast.Nonlocal)):
             declared.update(node.names)
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -99,9 +102,16 @@ def _local_names(fn: ast.AST) -> set[str]:
     return names - declared
 
 
-def _shared_writes(fn: ast.AST) -> Iterator[tuple[ast.AST, str]]:
-    """(node, description) for every write to non-local state in fn."""
-    local = _local_names(fn)
+def _shared_writes(fn: ast.AST,
+                   nodes: Iterable[ast.AST] | None = None
+                   ) -> Iterator[tuple[ast.AST, str]]:
+    """(node, description) for every write to non-local state in fn.
+
+    ``nodes`` narrows both the locals computation and the write scan to
+    a subset of the subtree (the flow lattice passes the own-body walk;
+    it must be re-iterable or passed twice via :func:`list`)."""
+    nodes = None if nodes is None else list(nodes)
+    local = _local_names(fn, nodes)
 
     def is_shared(target: ast.AST) -> str | None:
         """The offending name if ``target`` stores outside fn."""
@@ -112,7 +122,7 @@ def _shared_writes(fn: ast.AST) -> Iterator[tuple[ast.AST, str]]:
             return None
         return ".".join(chain_parts(target)) or root
 
-    for node in ast.walk(fn):
+    for node in (ast.walk(fn) if nodes is None else nodes):
         if isinstance(node, (ast.Global, ast.Nonlocal)):
             scope = "global" if isinstance(node, ast.Global) else \
                 "nonlocal"

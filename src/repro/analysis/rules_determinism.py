@@ -5,12 +5,18 @@ The repo's headline guarantee — byte-identical matching output at any
 only holds while no code path consults an unseeded RNG, the wall clock,
 or the iteration order of a set. These rules flag each of those at the
 call site.
+
+The detection logic is exposed as node-level scanners
+(:func:`iter_wallclock_calls`, :func:`iter_unseeded_random`,
+:func:`iter_set_order`) so the interprocedural determinism lattice
+(:mod:`repro.analysis.flow.lattice`) can run the identical checks over
+a single function body instead of a whole file.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .astutil import dotted, names_imported_from
 from .engine import Rule, SourceFile, register
@@ -35,81 +41,78 @@ _WALLCLOCK_CALLS = {
     "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
 }
 
-
-@register
-class UnseededRandomRule(Rule):
-    """No unseeded randomness anywhere: every RNG must take an explicit
-    seed, or two runs of the same command stop agreeing."""
-
-    id = "unseeded-random"
-    severity = "error"
-    description = ("calls to the global random module RNG, or RNG "
-                   "constructors without an explicit seed")
-
-    def check_file(self, source: SourceFile) -> Iterable[Finding]:
-        assert source.tree is not None
-        from_random = names_imported_from(source.tree, "random")
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = dotted(node.func)
-            if name is None:
-                continue
-            seeded = bool(node.args or node.keywords)
-            if name.startswith("random."):
-                func = name.split(".", 1)[1]
-                if func in _GLOBAL_RANDOM_FUNCS:
-                    yield self.finding(source,
-                        node, f"{name}() uses the global unseeded RNG; "
-                        f"use random.Random(seed)")
-                elif func == "Random" and not seeded:
-                    yield self.finding(source,
-                        node, "random.Random() without a seed is "
-                        "nondeterministic; pass an explicit seed")
-            elif from_random.get(name) == "Random" and not seeded:
-                yield self.finding(source,
-                    node, f"{name}() without a seed is nondeterministic;"
-                    f" pass an explicit seed")
-            elif from_random.get(name) in _GLOBAL_RANDOM_FUNCS:
-                yield self.finding(source,
-                    node, f"{name}() draws from the global unseeded "
-                    f"RNG; use random.Random(seed)")
-            elif name in ("np.random.default_rng",
-                          "numpy.random.default_rng"):
-                if not seeded:
-                    yield self.finding(source,
-                        node, f"{name}() without a seed is "
-                        f"nondeterministic; pass an explicit seed")
-            elif name.startswith(("np.random.", "numpy.random.")):
-                yield self.finding(source,
-                    node, f"{name}() uses numpy's legacy global RNG; "
-                    f"use np.random.default_rng(seed)")
+#: Other nondeterministic entropy reads the flow lattice also treats
+#: as determinism-taint sources.
+_ENTROPY_CALLS = {"os.urandom", "urandom", "uuid.uuid1", "uuid.uuid4"}
 
 
-@register
-class WallclockRule(Rule):
-    """Wall-clock reads stay inside the observability layer (which
-    exists to time things) and the benchmarks; anywhere else they leak
-    nondeterminism into pipeline output."""
+# ---------------------------------------------------------------------------
+# node-level scanners (shared with the flow lattices)
+# ---------------------------------------------------------------------------
 
-    id = "wallclock"
-    severity = "warning"
-    description = ("wall-clock reads (time.time/perf_counter/"
-                   "datetime.now) outside observability and benchmarks")
+def iter_wallclock_calls(nodes: Iterable[ast.AST]
+                         ) -> Iterator[tuple[ast.AST, str]]:
+    """``(call, message)`` for every wall-clock read among ``nodes``."""
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted(node.func)
+        if name in _WALLCLOCK_CALLS:
+            yield node, (f"{name}() reads the wall clock outside "
+                         f"repro.observability; route timing through "
+                         f"the observability layer")
 
-    def check_file(self, source: SourceFile) -> Iterable[Finding]:
-        if source.in_package("observability", "benchmarks"):
-            return
-        assert source.tree is not None
-        for node in ast.walk(source.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            name = dotted(node.func)
-            if name in _WALLCLOCK_CALLS:
-                yield self.finding(source,
-                    node, f"{name}() reads the wall clock outside "
-                    f"repro.observability; route timing through the "
-                    f"observability layer")
+
+def iter_entropy_calls(nodes: Iterable[ast.AST]
+                       ) -> Iterator[tuple[ast.AST, str]]:
+    """``(call, message)`` for OS-entropy reads (``os.urandom``,
+    ``uuid.uuid1/4``) — determinism-taint sources for the flow lattice
+    only; the per-file wallclock rule does not flag them."""
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted(node.func)
+        if name in _ENTROPY_CALLS:
+            yield node, f"{name}() draws OS entropy into the run"
+
+
+def iter_unseeded_random(nodes: Iterable[ast.AST],
+                         from_random: dict[str, str]
+                         ) -> Iterator[tuple[ast.AST, str]]:
+    """``(call, message)`` for every unseeded-RNG use among ``nodes``.
+
+    ``from_random`` is the module's ``from random import ...`` alias
+    map (:func:`~repro.analysis.astutil.names_imported_from`).
+    """
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted(node.func)
+        if name is None:
+            continue
+        seeded = bool(node.args or node.keywords)
+        if name.startswith("random."):
+            func = name.split(".", 1)[1]
+            if func in _GLOBAL_RANDOM_FUNCS:
+                yield node, (f"{name}() uses the global unseeded RNG; "
+                             f"use random.Random(seed)")
+            elif func == "Random" and not seeded:
+                yield node, ("random.Random() without a seed is "
+                             "nondeterministic; pass an explicit seed")
+        elif from_random.get(name) == "Random" and not seeded:
+            yield node, (f"{name}() without a seed is nondeterministic;"
+                         f" pass an explicit seed")
+        elif from_random.get(name) in _GLOBAL_RANDOM_FUNCS:
+            yield node, (f"{name}() draws from the global unseeded "
+                         f"RNG; use random.Random(seed)")
+        elif name in ("np.random.default_rng",
+                      "numpy.random.default_rng"):
+            if not seeded:
+                yield node, (f"{name}() without a seed is "
+                             f"nondeterministic; pass an explicit seed")
+        elif name.startswith(("np.random.", "numpy.random.")):
+            yield node, (f"{name}() uses numpy's legacy global RNG; "
+                         f"use np.random.default_rng(seed)")
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -129,6 +132,72 @@ _ORDER_FREE_WRAPPERS = {"sorted", "len", "sum", "min", "max", "any",
                         "all", "set", "frozenset"}
 
 
+def iter_set_order(nodes: Iterable[ast.AST]
+                   ) -> Iterator[tuple[ast.AST, str]]:
+    """``(node, message)`` for every order-sensitive set iteration."""
+    for node in nodes:
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            yield node.iter, ("for-loop over a set has arbitrary "
+                              "order; iterate sorted(...) instead")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for comp in node.generators:
+                if _is_set_expr(comp.iter):
+                    yield comp.iter, ("comprehension over a set "
+                                      "produces arbitrary order; "
+                                      "iterate sorted(...) instead")
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, (ast.Name, ast.Attribute)):
+            func = node.func.id if isinstance(node.func, ast.Name) \
+                else node.func.attr
+            if func in _ORDER_SENSITIVE_WRAPPERS and node.args and \
+                    _is_set_expr(node.args[0]):
+                yield node, (f"{func}(set) captures the set's "
+                             f"arbitrary order; use sorted(...)")
+
+
+# ---------------------------------------------------------------------------
+# the per-file rules
+# ---------------------------------------------------------------------------
+
+@register
+class UnseededRandomRule(Rule):
+    """No unseeded randomness anywhere: every RNG must take an explicit
+    seed, or two runs of the same command stop agreeing."""
+
+    id = "unseeded-random"
+    severity = "error"
+    description = ("calls to the global random module RNG, or RNG "
+                   "constructors without an explicit seed")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        assert source.tree is not None
+        from_random = names_imported_from(source.tree, "random")
+        for node, message in iter_unseeded_random(
+                ast.walk(source.tree), from_random):
+            yield self.finding(source, node, message)
+
+
+@register
+class WallclockRule(Rule):
+    """Wall-clock reads stay inside the observability layer (which
+    exists to time things) and the benchmarks; anywhere else they leak
+    nondeterminism into pipeline output."""
+
+    id = "wallclock"
+    severity = "warning"
+    description = ("wall-clock reads (time.time/perf_counter/"
+                   "datetime.now) outside observability and benchmarks")
+
+    def check_file(self, source: SourceFile) -> Iterable[Finding]:
+        if source.in_package("observability", "benchmarks"):
+            return
+        assert source.tree is not None
+        for node, message in iter_wallclock_calls(
+                ast.walk(source.tree)):
+            yield self.finding(source, node, message)
+
+
 @register
 class SetIterationRule(Rule):
     """Iterating a set feeds its arbitrary order into whatever consumes
@@ -141,25 +210,5 @@ class SetIterationRule(Rule):
 
     def check_file(self, source: SourceFile) -> Iterable[Finding]:
         assert source.tree is not None
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.For) and _is_set_expr(node.iter):
-                yield self.finding(source,
-                    node.iter, "for-loop over a set has arbitrary "
-                    "order; iterate sorted(...) instead")
-            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
-                                   ast.DictComp)):
-                for comp in node.generators:
-                    if _is_set_expr(comp.iter):
-                        yield self.finding(source,
-                            comp.iter, "comprehension over a set "
-                            "produces arbitrary order; iterate "
-                            "sorted(...) instead")
-            elif isinstance(node, ast.Call) and \
-                    isinstance(node.func, (ast.Name, ast.Attribute)):
-                func = node.func.id if isinstance(node.func, ast.Name) \
-                    else node.func.attr
-                if func in _ORDER_SENSITIVE_WRAPPERS and node.args and \
-                        _is_set_expr(node.args[0]):
-                    yield self.finding(source,
-                        node, f"{func}(set) captures the set's "
-                        f"arbitrary order; use sorted(...)")
+        for node, message in iter_set_order(ast.walk(source.tree)):
+            yield self.finding(source, node, message)

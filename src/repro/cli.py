@@ -74,7 +74,8 @@ from .observability import (EventStream, Observer, ResourceSampler,
                             write_report)
 from .observability.events import EV_RUN_END, EV_RUN_START
 from .observability.metrics import M_INSTANCES
-from .resilience import FaultPlan, ResiliencePolicy, ingest_fragments
+from .resilience import (FaultInjected, FaultPlan, ResiliencePolicy,
+                         ingest_fragments)
 from .xmlio import (INGEST_MODES, parse_dtd, parse_fragments, write_dtd,
                     write_element)
 
@@ -353,18 +354,42 @@ def _start_telemetry(args: argparse.Namespace, command: str,
 
 
 def _finish_telemetry(args: argparse.Namespace, events, server,
-                      sampler, plan) -> None:
+                      sampler, plan, report=None) -> None:
     """Publish the event stream and tear the endpoint down (after the
     optional scrape-grace window)."""
     if events is not None:
-        events.close(plan=plan)
-        print(f"events written to {args.events_out}")
+        if _emit_artifact("events", args.events_out, report,
+                          lambda: events.close(plan=plan)):
+            print(f"events written to {args.events_out}")
     if sampler is not None:
         sampler.close()
     if server is not None:
         if args.serve_grace > 0:
             time.sleep(args.serve_grace)
         server.close()
+
+
+def _emit_artifact(artifact: str, path, report, write) -> bool:
+    """Run one observability-artifact write; absorb an injected
+    artifact fault (or an OS-level write failure) as a degradation.
+
+    The run's *results* must survive the loss of its telemetry: the
+    mapping is already computed and printed by the time artifacts are
+    emitted, so a crash here would throw away a successful match. The
+    atomic writer guarantees the destination file is never corrupted
+    (``FaultInjected`` from the ``artifact.write`` site propagates up
+    to exactly this boundary); this guard turns the loss into a
+    recorded degradation instead of a traceback.
+    """
+    try:
+        write()
+    except (FaultInjected, OSError) as exc:
+        if report is not None:
+            report.artifact_failed(artifact, str(exc))
+        print(f"warning: {artifact} not written to {path}: {exc}",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def _load_model(path: Path) -> LSDSystem:
@@ -456,9 +481,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     obs.events.emit(EV_RUN_END, ok=True,
                     elapsed_seconds=time.perf_counter() - started)  # lsd: ignore[wallclock]
     if args.trace_out:
-        obs.trace.write_jsonl(args.trace_out, plan=policy.fault_plan)
-        print(f"trace written to {args.trace_out}")
-    _finish_telemetry(args, events, server, sampler, policy.fault_plan)
+        if _emit_artifact(
+                "trace", args.trace_out, policy.report,
+                lambda: obs.trace.write_jsonl(args.trace_out,
+                                              plan=policy.fault_plan)):
+            print(f"trace written to {args.trace_out}")
+    _finish_telemetry(args, events, server, sampler, policy.fault_plan,
+                      policy.report)
     quarantined = policy.report.quarantined_learners
     if quarantined:
         print("WARNING: quarantined learners (training continued "
@@ -525,8 +554,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"\nstage profile (workers={args.workers}):")
         print(result.profile.table())
     if args.trace_out:
-        obs.trace.write_jsonl(args.trace_out, plan=policy.fault_plan)
-        print(f"trace written to {args.trace_out}")
+        if _emit_artifact(
+                "trace", args.trace_out, policy.report,
+                lambda: obs.trace.write_jsonl(args.trace_out,
+                                              plan=policy.fault_plan)):
+            print(f"trace written to {args.trace_out}")
     fingerprint = dataset_fingerprint(
         schema.tags,
         [listing.text_content() for listing in listings])
@@ -561,9 +593,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
                          M_INSTANCES).value,
                      "listings": len(listings)},
             result=result, observer=observer)
-        write_report(report, args.report_out,
-                     plan=policy.fault_plan)
-        print(f"run report written to {args.report_out}")
+        if _emit_artifact(
+                "report", args.report_out, policy.report,
+                lambda: write_report(report, args.report_out,
+                                     plan=policy.fault_plan)):
+            print(f"run report written to {args.report_out}")
     if args.ledger_out:
         from .observability import ledger as run_ledger
 
@@ -580,10 +614,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
             metrics={"instances": obs.metrics.counter(
                          M_INSTANCES).value,
                      "tags": len(schema.tags)})
-        run_ledger.append_entry(entry, args.ledger_out,
-                                plan=policy.fault_plan)
-        print(f"ledger entry appended to {args.ledger_out}")
-    _finish_telemetry(args, events, server, sampler, policy.fault_plan)
+        if _emit_artifact(
+                "ledger", args.ledger_out, policy.report,
+                lambda: run_ledger.append_entry(
+                    entry, args.ledger_out,
+                    plan=policy.fault_plan)):
+            print(f"ledger entry appended to {args.ledger_out}")
+    _finish_telemetry(args, events, server, sampler, policy.fault_plan,
+                      policy.report)
     return 0
 
 
@@ -606,6 +644,10 @@ def _degradation_summary(degradation) -> str:
         parts.append("anytime search exit")
     if degradation.fired_faults:
         parts.append(f"injected faults: {len(degradation.fired_faults)}")
+    if degradation.artifact_failures:
+        lost = sorted({f["artifact"] for f in
+                       degradation.artifact_failures})
+        parts.append("artifacts not written: " + ", ".join(lost))
     return "; ".join(parts) if parts else "degraded"
 
 

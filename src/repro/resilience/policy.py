@@ -40,12 +40,15 @@ def call_with_timeout(fn, args=(), timeout: float | None = None):
     outcome: dict = {}
 
     def runner() -> None:
+        # The closure writes below are a confined single-producer
+        # handoff: ``outcome`` is fresh per call and only read after
+        # join() on the caller's thread.
         try:
-            outcome["value"] = fn(*args)
+            outcome["value"] = fn(*args)  # lsd: ignore[executor-shared-write]
         except BaseException as exc:  # lsd: ignore[blind-except]
             # Transported across the thread boundary and re-raised on
             # the caller's thread below — nothing is swallowed.
-            outcome["error"] = exc
+            outcome["error"] = exc  # lsd: ignore[executor-shared-write]
 
     thread = threading.Thread(target=runner, daemon=True)
     thread.start()
@@ -117,6 +120,9 @@ class DegradationReport:
         self.anytime = False
         self.recovery: RecoveryLog | None = None
         self.fired_faults: list[dict] = []
+        #: Run artifacts (report/trace/ledger/telemetry) whose write
+        #: failed and was absorbed instead of crashing the run.
+        self.artifact_failures: list[dict] = []
 
     # ------------------------------------------------------------------
     # recording
@@ -137,6 +143,13 @@ class DegradationReport:
     def pool_failed(self, stage: str) -> None:
         with self._lock:
             self.pool_failures.append(stage)
+
+    def artifact_failed(self, artifact: str, cause: str) -> None:
+        """An observability artifact could not be written; the run
+        keeps its results and records the loss instead of crashing."""
+        with self._lock:
+            self.artifact_failures.append(
+                {"artifact": artifact, "cause": cause})
 
     def mark_anytime(self) -> None:
         self.anytime = True
@@ -160,7 +173,7 @@ class DegradationReport:
     def degraded(self) -> bool:
         return bool(self.quarantines or self.retries
                     or self.pool_failures or self.anytime
-                    or self.fired_faults
+                    or self.fired_faults or self.artifact_failures
                     or (self.recovery is not None
                         and not self.recovery.ok))
 
@@ -184,6 +197,10 @@ class DegradationReport:
             out["ingestion"] = self.recovery.as_dict()
         if self.fired_faults:
             out["fired_faults"] = list(self.fired_faults)
+        if self.artifact_failures:
+            out["artifact_failures"] = sorted(
+                self.artifact_failures,
+                key=lambda f: (f["artifact"], f["cause"]))
         return out
 
 

@@ -70,6 +70,57 @@ class TestSuppressions:
                                  rules=get_rules(["wallclock"]))
         assert [f.line for f in result.findings] == [3]
 
+    def test_closing_paren_comment_covers_the_statement(self):
+        # The finding is reported at the call's first line; the
+        # suppression sits two lines down on the closing paren.
+        source = _source("""\
+            import time
+            t = time.time(
+                # spread over lines
+            )  # lsd: ignore[wallclock]
+            """)
+        result = analyze_sources([source],
+                                 rules=get_rules(["wallclock"]))
+        assert result.findings == []
+
+    def test_decorator_line_comment_covers_the_def_header(self):
+        source = _source("""\
+            @property  # lsd: ignore[wallclock]
+            def f(self):
+                pass
+            """)
+        # The span runs from the decorator through the def header but
+        # stops before the body.
+        assert source.suppressions.get(1) == {"wallclock"}
+        assert source.suppressions.get(2) == {"wallclock"}
+        assert source.suppressions.get(3) is None
+
+    def test_span_does_not_leak_into_compound_body(self):
+        source = _source("""\
+            import time
+            if (True
+                    or False):  # lsd: ignore[wallclock]
+                t = time.time()
+            """)
+        result = analyze_sources([source],
+                                 rules=get_rules(["wallclock"]))
+        assert [f.line for f in result.findings] == [4]
+
+    def test_bare_ignore_dominates_merged_span(self):
+        source = _source("""\
+            import time
+            t = max(  # lsd: ignore[wallclock]
+                time.time(),
+            )  # lsd: ignore
+            """)
+        # The bare ignore and the listed one merge over the statement's
+        # span; bare wins, silencing every rule on every covered line.
+        assert source.suppressions.get(2) == set()
+        assert source.suppressions.get(3) == set()
+        result = analyze_sources([source],
+                                 rules=get_rules(["wallclock"]))
+        assert result.findings == []
+
 
 class TestBaseline:
     def _findings(self):
@@ -171,11 +222,27 @@ class TestDiscoveryAndParseErrors:
             "executor-shared-write", "process-unsafe-state",
             "learner-contract",
             "metric-catalogue", "event-catalogue", "span-unclosed",
-            "blind-except", "fault-site-catalogue"}
+            "blind-except", "fault-site-catalogue",
+            "flow-nondeterministic-path", "flow-worker-shared-write",
+            "flow-fault-unhandled", "flow-unresolved-hot-call",
+            "flow-observer-gap"}
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):
             get_rules(["bogus-rule"])
+
+    def test_glob_selection_expands_over_rule_ids(self):
+        assert {rule.id for rule in get_rules(["metric-*"])} == \
+            {"metric-catalogue"}
+        flow = {rule.id for rule in get_rules(["flow-*"])}
+        assert flow == {
+            "flow-nondeterministic-path", "flow-worker-shared-write",
+            "flow-fault-unhandled", "flow-unresolved-hot-call",
+            "flow-observer-gap"}
+
+    def test_glob_matching_nothing_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            get_rules(["zzz-*"])
 
 
 class TestCli:
@@ -206,6 +273,25 @@ class TestCli:
         path = self._write(tmp_path, "bad.py", WALLCLOCK_BAD)
         assert lint_main([str(path), "--no-baseline",
                           "--select", "blind-except"]) == 0
+
+    def test_select_glob_pattern(self, tmp_path):
+        path = self._write(tmp_path, "bad.py", WALLCLOCK_BAD)
+        assert lint_main([str(path), "--no-baseline",
+                          "--select", "metric-*"]) == 0
+        assert lint_main([str(path), "--no-baseline",
+                          "--select", "wall*"]) == 1
+
+    def test_unknown_glob_exits_two(self, tmp_path):
+        path = self._write(tmp_path, "clean.py", CLEAN)
+        assert lint_main([str(path), "--select", "zzz-*"]) == 2
+
+    def test_list_rules_prints_every_rule(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+        # Per-file and flow rules are labelled as such.
+        assert " file " in out and " flow " in out
 
     def test_json_artifact_written(self, tmp_path):
         path = self._write(tmp_path, "bad.py", WALLCLOCK_BAD)

@@ -1,0 +1,421 @@
+"""Interprocedural flow analysis: call-graph construction, the three
+taint lattices (determinism, worker purity, fault escape), chain
+evidence on findings, and the resolution-ratio acceptance gate over
+the real source tree."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import (SourceFile, analyze_sources,
+                                   get_rules, iter_python_files,
+                                   load_source)
+from repro.analysis.flow.callgraph import build_graph, module_name
+from repro.analysis.flow.reachability import (callers_of, chain_to,
+                                              reachable_from,
+                                              render_chain)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _src(display: str, code: str) -> SourceFile:
+    return SourceFile(Path(display), display, textwrap.dedent(code))
+
+
+def _flow(code_by_display: dict[str, str], *rule_ids: str):
+    sources = [_src(display, code)
+               for display, code in code_by_display.items()]
+    return analyze_sources(sources, rules=get_rules(list(rule_ids)))
+
+
+# ---------------------------------------------------------------------------
+# call graph construction
+# ---------------------------------------------------------------------------
+
+class TestCallGraph:
+    def test_module_name_mapping(self):
+        assert module_name("src/repro/core/matching.py") == \
+            "repro.core.matching"
+        assert module_name("src/repro/text/__init__.py") == "repro.text"
+        assert module_name("tests/test_foo.py") is None
+
+    def test_direct_and_method_edges(self):
+        graph = build_graph([_src("src/repro/core/system.py", """\
+            class LSDSystem:
+                def match(self):
+                    return self._score()
+
+                def _score(self):
+                    return _norm(1.0)
+
+            def _norm(value):
+                return value
+            """)])
+        match = "repro.core.system.LSDSystem.match"
+        score = "repro.core.system.LSDSystem._score"
+        norm = "repro.core.system._norm"
+        assert {edge.callee for edge in graph.edges_from(match)} == \
+            {score}
+        assert {edge.callee for edge in graph.edges_from(score)} == \
+            {norm}
+        assert graph.resolution_ratio == 1.0
+
+    def test_unresolved_calls_are_recorded_not_dropped(self):
+        graph = build_graph([_src("src/repro/core/system.py", """\
+            def run(hook):
+                return hook()
+            """)])
+        assert graph.resolution_ratio == 0.0
+        assert len(graph.unresolved) == 1
+        assert graph.unresolved[0].reason == "callable parameter"
+
+    def test_fanout_callable_becomes_worker_root(self):
+        graph = build_graph([_src("src/repro/core/tasks.py", """\
+            def run(executor, items):
+                return executor.map(_job, items)
+
+            def _job(item):
+                return item
+            """)])
+        assert "repro.core.tasks._job" in graph.worker_roots
+
+    def test_stats_and_serialisers(self, tmp_path):
+        graph = build_graph([_src("src/repro/core/tasks.py", """\
+            def outer():
+                return inner()
+
+            def inner():
+                return 1
+            """)])
+        stats = graph.stats()
+        assert stats["functions"] == 3  # two defs + the <module> pseudo-node
+        assert stats["resolution_ratio"] == 1.0
+        payload = json.loads(graph.to_json())
+        assert "repro.core.tasks.outer" in {
+            entry["qualname"] for entry in payload["functions"]}
+        assert graph.to_dot().startswith("digraph")
+
+
+class TestReachability:
+    def _graph(self):
+        return build_graph([_src("src/repro/core/chainmod.py", """\
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+
+            def orphan():
+                return c()
+            """)])
+
+    def test_forest_and_shortest_chain(self):
+        graph = self._graph()
+        forest = reachable_from(graph, ["repro.core.chainmod.a"])
+        assert chain_to(forest, "repro.core.chainmod.c") == [
+            "repro.core.chainmod.a", "repro.core.chainmod.b",
+            "repro.core.chainmod.c"]
+        assert "repro.core.chainmod.orphan" not in forest
+        assert chain_to(forest, "repro.core.chainmod.orphan") == []
+
+    def test_callers_walk_upward(self):
+        graph = self._graph()
+        reverse = callers_of(graph, ["repro.core.chainmod.c"])
+        assert set(reverse) == {
+            "repro.core.chainmod.a", "repro.core.chainmod.b",
+            "repro.core.chainmod.c", "repro.core.chainmod.orphan"}
+
+    def test_render_chain_strips_project_prefix(self):
+        assert render_chain(["repro.core.a", "repro.core.b"]) == \
+            "core.a -> core.b"
+
+
+# ---------------------------------------------------------------------------
+# determinism lattice
+# ---------------------------------------------------------------------------
+
+DETERMINISM_HIT = """\
+import time
+
+class LSDSystem:
+    def match(self):
+        return _stamp()
+
+def _stamp():
+    return time.time()
+"""
+
+DETERMINISM_CLEAN = """\
+import time
+
+class LSDSystem:
+    def match(self):
+        return 1
+
+def _stamp():
+    return time.time()
+"""
+
+
+class TestDeterminismLattice:
+    def test_primitive_reachable_from_match_is_found(self):
+        result = _flow({"src/repro/core/system.py": DETERMINISM_HIT},
+                       "flow-nondeterministic-path")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "flow-nondeterministic-path"
+        assert finding.line == 8
+        assert finding.chain == (
+            "repro.core.system.LSDSystem.match",
+            "repro.core.system._stamp")
+
+    def test_unreachable_primitive_is_not_found(self):
+        result = _flow({"src/repro/core/system.py": DETERMINISM_CLEAN},
+                       "flow-nondeterministic-path")
+        assert result.findings == []
+
+    def test_source_suppression_silences_the_path(self):
+        code = DETERMINISM_HIT.replace(
+            "time.time()", "time.time()  # lsd: ignore[wallclock]")
+        result = _flow({"src/repro/core/system.py": code},
+                       "flow-nondeterministic-path")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# worker-purity lattice
+# ---------------------------------------------------------------------------
+
+WORKER_HIT = """\
+CACHE = {}
+
+def run(executor, items):
+    return executor.map(_job, items)
+
+def _job(item):
+    return _note(item)
+
+def _note(item):
+    CACHE[item] = True
+    return item
+"""
+
+
+class TestWorkerPurityLattice:
+    def test_transitive_shared_write_is_found(self):
+        result = _flow({"src/repro/core/tasks.py": WORKER_HIT},
+                       "flow-worker-shared-write")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "flow-worker-shared-write"
+        assert finding.line == 10
+        assert finding.chain == (
+            "repro.core.tasks._job", "repro.core.tasks._note")
+
+    def test_benign_cache_stays_allowlisted_at_depth(self):
+        code = WORKER_HIT.replace("CACHE", "feature_cache")
+        result = _flow({"src/repro/core/tasks.py": code},
+                       "flow-worker-shared-write")
+        assert result.findings == []
+
+    def test_write_outside_worker_paths_is_not_found(self):
+        code = WORKER_HIT.replace("executor.map(_job, items)", "items")
+        result = _flow({"src/repro/core/tasks.py": code},
+                       "flow-worker-shared-write")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# fault-escape lattice
+# ---------------------------------------------------------------------------
+
+FAULT_ESCAPE = """\
+def write_artifact(policy, path):
+    policy.fire("artifact.write")
+    path.write_text("x")
+
+def run(policy, path):
+    write_artifact(policy, path)
+"""
+
+FAULT_HANDLED = """\
+def write_artifact(policy, path):
+    policy.fire("artifact.write")
+    path.write_text("x")
+
+def run(policy, path):
+    try:
+        write_artifact(policy, path)
+    except FaultInjected:
+        pass
+"""
+
+FAULT_DOCUMENTED = '''\
+def write_artifact(policy, path):
+    """Arms the write site; FaultInjected propagates to the caller."""
+    policy.fire("artifact.write")
+    path.write_text("x")
+'''
+
+
+class TestFaultEscapeLattice:
+    def test_unhandled_site_is_found_with_caller_chain(self):
+        result = _flow({"src/repro/resilience/armed.py": FAULT_ESCAPE},
+                       "flow-fault-unhandled")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule == "flow-fault-unhandled"
+        assert finding.line == 2
+        assert "artifact.write" in finding.message
+        assert finding.chain == (
+            "repro.resilience.armed.run",
+            "repro.resilience.armed.write_artifact")
+
+    def test_handler_on_caller_path_clears_the_site(self):
+        result = _flow({"src/repro/resilience/armed.py": FAULT_HANDLED},
+                       "flow-fault-unhandled")
+        assert result.findings == []
+
+    def test_documented_propagation_is_an_explicit_opt_out(self):
+        result = _flow(
+            {"src/repro/resilience/armed.py": FAULT_DOCUMENTED},
+            "flow-fault-unhandled")
+        assert result.findings == []
+
+    def test_exception_catchall_counts_as_handling(self):
+        code = FAULT_HANDLED.replace("except FaultInjected:",
+                                     "except Exception:")
+        result = _flow({"src/repro/resilience/armed.py": code},
+                       "flow-fault-unhandled")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# soundness-gap and observability rules
+# ---------------------------------------------------------------------------
+
+class TestUnresolvedHotCall:
+    def test_unresolved_call_on_hot_path_warns(self):
+        result = _flow({"src/repro/core/system.py": """\
+            class LSDSystem:
+                def match(self, hook):
+                    return hook()
+            """}, "flow-unresolved-hot-call")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.severity == "warning"
+        assert "callable parameter" in finding.message
+        assert finding.chain == ("repro.core.system.LSDSystem.match",)
+
+    def test_unresolved_call_off_the_hot_path_is_silent(self):
+        result = _flow({"src/repro/core/system.py": """\
+            def helper(hook):
+                return hook()
+            """}, "flow-unresolved-hot-call")
+        assert result.findings == []
+
+
+class TestObserverGap:
+    def test_parentless_span_on_worker_path_is_found(self):
+        result = _flow({"src/repro/core/tasks.py": """\
+            def run(executor, items):
+                return executor.map(_job, items)
+
+            def _job(tracer, item):
+                with tracer.span("work"):
+                    return item
+            """}, "flow-observer-gap")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.line == 5
+        assert finding.chain == ("repro.core.tasks._job",)
+
+    def test_explicit_parent_clears_the_span(self):
+        result = _flow({"src/repro/core/tasks.py": """\
+            def run(executor, items):
+                return executor.map(_job, items)
+
+            def _job(tracer, parent, item):
+                with tracer.span("work", parent=parent):
+                    return item
+            """}, "flow-observer-gap")
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# engine / CLI integration
+# ---------------------------------------------------------------------------
+
+class TestFlowIntegration:
+    def test_default_rule_set_excludes_flow_rules(self):
+        assert not any(rule.requires_flow for rule in get_rules())
+
+    def test_flow_glob_selects_exactly_the_flow_rules(self):
+        rules = get_rules(["flow-*"])
+        assert sorted(rule.id for rule in rules) == [
+            "flow-fault-unhandled", "flow-nondeterministic-path",
+            "flow-observer-gap", "flow-unresolved-hot-call",
+            "flow-worker-shared-write"]
+        assert all(rule.requires_flow for rule in rules)
+
+    def _write_fixture(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "system.py").write_text(DETERMINISM_HIT)
+        return tmp_path / "src"
+
+    def test_cli_flow_renders_chain_and_writes_stats(self, tmp_path,
+                                                     capsys):
+        root = self._write_fixture(tmp_path)
+        artifact = tmp_path / "flow.json"
+        code = lint_main(["--flow", "--no-baseline",
+                          "--json", str(artifact), str(root)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[flow-nondeterministic-path]" in out
+        assert "via repro.core.system.LSDSystem.match -> " \
+               "repro.core.system._stamp" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["findings"][0]["chain"] == [
+            "repro.core.system.LSDSystem.match",
+            "repro.core.system._stamp"]
+        assert payload["callgraph"]["resolution_ratio"] == 1.0
+
+    def test_cli_dump_callgraph_json_and_dot(self, tmp_path, capsys):
+        root = self._write_fixture(tmp_path)
+        for name in ("graph.json", "graph.dot"):
+            out_file = tmp_path / name
+            lint_main(["--flow", "--no-baseline",
+                       "--dump-callgraph", str(out_file), str(root)])
+            assert out_file.exists()
+        assert json.loads((tmp_path / "graph.json").read_text())
+        assert (tmp_path / "graph.dot").read_text().startswith("digraph")
+        assert "call graph ->" in capsys.readouterr().out
+
+
+class TestRepositoryGates:
+    """Acceptance gates over the real source tree."""
+
+    @pytest.fixture(scope="class")
+    def repo_graph(self):
+        paths = [load_source(path) for path in
+                 iter_python_files([REPO_ROOT / "src"])]
+        return build_graph([source for source in paths
+                            if source.tree is not None])
+
+    def test_resolution_ratio_meets_ninety_percent_gate(self,
+                                                        repo_graph):
+        assert repo_graph.resolution_ratio >= 0.90
+
+    def test_worker_roots_are_discovered(self, repo_graph):
+        assert repo_graph.worker_roots
+
+    def test_known_entry_points_exist(self, repo_graph):
+        assert "repro.core.system.LSDSystem.match" in \
+            repo_graph.functions

@@ -259,3 +259,52 @@ class TestEvaluate:
                      "--experiment", "feedback", "--listings", "15"])
         assert code == 0
         assert "corrections" in capsys.readouterr().out
+
+
+class TestArtifactFaultDegradation:
+    """Regression for the ``flow-fault-unhandled`` finding on the
+    ``artifact.write`` site: before the fix, no transitive caller of
+    ``atomic_write_text`` handled ``FaultInjected``, so an injected
+    artifact-write fault crashed an otherwise-successful run with a raw
+    traceback. The CLI must absorb the failure, warn, and record it in
+    the degradation report instead."""
+
+    def test_report_write_fault_degrades_not_crashes(
+            self, generated, model, tmp_path, capsys):
+        import json
+
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"site": "artifact.write", "action": "raise"}]}))
+        report = tmp_path / "report.json"
+        code = main([
+            "match", "--model", str(model),
+            "--schema", str(generated / "greathomes.com" / "schema.dtd"),
+            "--listings",
+            str(generated / "greathomes.com" / "listings.xml"),
+            "--report-out", str(report),
+            "--fault-plan", str(plan),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # The match result still printed; the artifact loss is a
+        # warning, not a crash, and no half-written report remains.
+        assert "=>" in captured.out
+        assert "warning: report not written" in captured.err
+        assert not report.exists()
+
+    def test_emit_artifact_records_the_loss(self, tmp_path, capsys):
+        from repro.cli import _emit_artifact
+        from repro.resilience import ResiliencePolicy
+
+        policy = ResiliencePolicy()
+
+        def boom():
+            raise OSError("disk full")
+
+        assert not _emit_artifact("ledger", tmp_path / "ledger.jsonl",
+                                  policy.report, boom)
+        assert "warning: ledger not written" in capsys.readouterr().err
+        assert policy.report.degraded
+        assert policy.report.as_dict()["artifact_failures"] == [
+            {"artifact": "ledger", "cause": "disk full"}]
