@@ -103,13 +103,18 @@ def _local_names(fn: ast.AST,
 
 
 def _shared_writes(fn: ast.AST,
-                   nodes: Iterable[ast.AST] | None = None
+                   nodes: Iterable[ast.AST] | None = None,
+                   benign: frozenset = BENIGN_SHARED
                    ) -> Iterator[tuple[ast.AST, str]]:
     """(node, description) for every write to non-local state in fn.
 
     ``nodes`` narrows both the locals computation and the write scan to
     a subset of the subtree (the flow lattice passes the own-body walk;
-    it must be re-iterable or passed twice via :func:`list`)."""
+    it must be re-iterable or passed twice via :func:`list`).
+    ``benign`` is the allowlist of chain components to skip — the
+    race-tolerant caches by default; the checkpoint-coverage flow rule
+    passes an empty set because a benign *race* can still be state a
+    resumed run silently loses."""
     nodes = None if nodes is None else list(nodes)
     local = _local_names(fn, nodes)
 
@@ -118,7 +123,7 @@ def _shared_writes(fn: ast.AST,
         root = root_name(target)
         if root is None or root in local:
             return None
-        if BENIGN_SHARED.intersection(chain_parts(target)):
+        if benign.intersection(chain_parts(target)):
             return None
         return ".".join(chain_parts(target)) or root
 
@@ -127,7 +132,7 @@ def _shared_writes(fn: ast.AST,
             scope = "global" if isinstance(node, ast.Global) else \
                 "nonlocal"
             for name in node.names:
-                if name not in BENIGN_SHARED:
+                if name not in benign:
                     yield node, (f"declares {scope} {name!r} (writes "
                                  f"escape the task)")
         elif isinstance(node, (ast.Assign, ast.AnnAssign,

@@ -51,6 +51,14 @@ Five subcommands::
 streams structured progress events (JSONL), and ``--ledger-out``
 (match only) appends the run's summary to the ledger.
 
+``match`` also takes durability flags (see :mod:`repro.runtime`):
+``--checkpoint-dir``/``--resume`` make runs crash-safe — a killed run
+restarted with ``--resume`` skips completed stages and produces a
+byte-identical mapping — while ``--watchdog SECONDS`` supervises
+worker processes and ``--rss-limit MIB`` arms the memory-pressure
+guardrails. SIGTERM/SIGINT finish cleanly with best-so-far results
+and flushed artifacts.
+
 Mapping files are plain text: one ``source-tag = LABEL`` per line, ``#``
 comments allowed.
 """
@@ -58,7 +66,9 @@ comments allowed.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -72,7 +82,8 @@ from .observability import (EventStream, Observer, ResourceSampler,
                             TelemetryServer, build_match_report,
                             dataset_fingerprint, resolve_observer,
                             write_report)
-from .observability.events import EV_RUN_END, EV_RUN_START
+from .observability.events import (EV_CHECKPOINT, EV_RUN_END,
+                                   EV_RUN_START)
 from .observability.metrics import M_INSTANCES
 from .resilience import (FaultInjected, FaultPlan, ResiliencePolicy,
                          ingest_fragments)
@@ -203,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 'match'; runs are only compared "
                             "within the same label + fingerprint)")
     _add_resilience_flags(match)
+    _add_durability_flags(match)
     match.set_defaults(handler=_cmd_match)
 
     evaluate = commands.add_parser(
@@ -306,6 +318,36 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
                        help="per-call seconds cap on base-learner "
                             "fit/predict; a learner that exceeds it is "
                             "quarantined for the run")
+
+
+def _add_durability_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "durability",
+        "crash-safe checkpointing, watchdog supervision, and memory "
+        "guardrails (all off by default; see repro.runtime)")
+    group.add_argument("--checkpoint-dir", type=Path, metavar="DIR",
+                       help="persist per-stage checkpoints under "
+                            "DIR/<run-key>/ (atomic, versioned); a "
+                            "killed run restarted with --resume skips "
+                            "completed stages and produces a "
+                            "byte-identical mapping")
+    group.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint under "
+                            "--checkpoint-dir: completed stages load "
+                            "from disk and the constraint search "
+                            "warm-starts from its last saved incumbent")
+    group.add_argument("--watchdog", type=float, metavar="SECONDS",
+                       help="supervision deadline: a worker process "
+                            "holding a shard longer than this is killed "
+                            "and the shard re-dispatched; a fully "
+                            "stalled pipeline trips the run deadline so "
+                            "the search exits on its anytime path")
+    group.add_argument("--rss-limit", type=float, metavar="MIB",
+                       help="memory guardrail: crossing 80%%/90%%/97%% "
+                            "of this RSS budget sheds feature caches, "
+                            "halves the shard grain, and finally "
+                            "degrades to best-so-far results instead of "
+                            "being OOM-killed")
 
 
 def _build_policy(args: argparse.Namespace) -> ResiliencePolicy:
@@ -502,11 +544,84 @@ def _cmd_train(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 def _cmd_match(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise CliError("--resume requires --checkpoint-dir")
+    if args.watchdog is not None and args.watchdog <= 0:
+        raise CliError("--watchdog must be > 0 seconds")
+    if args.rss_limit is not None and args.rss_limit <= 0:
+        raise CliError("--rss-limit must be > 0 MiB")
+    policy = _build_policy(args)
+    with _graceful_shutdown(policy):
+        return _run_match(args, policy)
+
+
+@contextlib.contextmanager
+def _graceful_shutdown(policy: ResiliencePolicy):
+    """SIGTERM/SIGINT land a *clean* finish instead of a traceback.
+
+    The first signal trips the run deadline: the constraint search
+    exits on its anytime path with the best-so-far mapping, and the
+    run then flushes every artifact — checkpoint stages already
+    committed stay committed, and the trace/report/events/ledger all
+    pass through their normal end-of-run writers. A second signal
+    restores the default disposition and re-delivers, so a stuck run
+    can still be force-quit. Handlers are restored on exit, keeping
+    in-process use (tests, notebooks) side-effect free.
+    """
+    seen = {"signals": 0}
+
+    def handler(signum, frame):
+        seen["signals"] += 1
+        name = signal.Signals(signum).name
+        if seen["signals"] > 1:
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        print(f"received {name}: finishing with best-so-far results "
+              f"(repeat to force quit)", file=sys.stderr)
+        policy.report.watchdog_event("shutdown", f"{name} received")
+        policy.trip_deadline()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except ValueError:
+            # Not the main thread (embedded use): signals stay with
+            # whoever owns them.
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
+
+def _open_checkpoint(args: argparse.Namespace,
+                     policy: ResiliencePolicy, fingerprint: str):
+    """Build and open the run's :class:`Checkpointer`, or ``None``
+    when ``--checkpoint-dir`` is off (the default costs nothing)."""
+    if not args.checkpoint_dir:
+        return None
+    from .runtime import Checkpointer, run_key
+
+    key = run_key(fingerprint, search=args.search,
+                  feedback=args.feedback,
+                  settings={"input_mode": args.input_mode})
+    checkpoint = Checkpointer(args.checkpoint_dir, key,
+                              plan=policy.fault_plan,
+                              report=policy.report,
+                              background=True)
+    checkpoint.open(resume=args.resume)
+    return checkpoint
+
+
+def _run_match(args: argparse.Namespace,
+               policy: ResiliencePolicy) -> int:
     observer, events, server, sampler = _start_telemetry(
         args, "match",
         wants_observer=bool(args.trace_out or args.report_out))
     obs = resolve_observer(observer)
-    policy = _build_policy(args)
     started = time.perf_counter()  # lsd: ignore[wallclock]
     obs.events.emit(EV_RUN_START, command="match")
     # The root span covers the whole run — model load and input parsing
@@ -526,13 +641,64 @@ def _cmd_match(args: argparse.Namespace) -> int:
             AssignmentConstraint(*_parse_feedback(item))
             for item in args.feedback
         ]
+        # The run key needs the dataset fingerprint, so it is computed
+        # before matching (the report and ledger reuse it afterwards).
+        fingerprint = dataset_fingerprint(
+            schema.tags,
+            [listing.text_content() for listing in listings])
+        checkpoint = _open_checkpoint(args, policy, fingerprint)
+        if checkpoint is not None:
+            payload = {"run_id": checkpoint.run_id}
+            if checkpoint.resumed_from:
+                payload["resumed_from"] = checkpoint.resumed_from
+            obs.events.emit(EV_CHECKPOINT, stage="open", **payload)
+            if checkpoint.resumed_from:
+                done = ", ".join(checkpoint.manifest["stages"]) or "none"
+                print(f"resuming run {checkpoint.run_id} from "
+                      f"{checkpoint.resumed_from} "
+                      f"(stages checkpointed: {done})")
+            else:
+                print(f"checkpointing run {checkpoint.run_id} under "
+                      f"{checkpoint.dir}")
+        supervisor = monitor = None
+        if args.watchdog is not None:
+            from .runtime import Supervisor
+
+            supervisor = Supervisor(
+                args.watchdog,
+                pool_provider=lambda: getattr(system, "_procpool",
+                                              None),
+                policy=policy, registry=obs.metrics)
+            if obs.events.enabled:
+                # Stage/shard events double as heartbeats: as long as
+                # the pipeline emits, the watchdog stays quiet.
+                obs.events.listener = supervisor.note_event
+            supervisor.start()
+        if args.rss_limit is not None:
+            from .runtime import PressureMonitor
+
+            monitor = PressureMonitor(
+                int(args.rss_limit * (1 << 20)),
+                policy=policy, registry=obs.metrics)
+            monitor.start()
         try:
             result = system.match(schema, listings,
                                   extra_constraints=feedback,
-                                  observer=observer)
+                                  observer=observer,
+                                  checkpoint=checkpoint)
         finally:
             # Process-backend hygiene: workers and the shared-memory
-            # segment never outlive the command.
+            # segment never outlive the command. The checkpoint closes
+            # first so any absorbed write losses reach the degradation
+            # report before it is rendered below.
+            if checkpoint is not None:
+                checkpoint.close()
+            if supervisor is not None:
+                supervisor.stop()
+                if obs.events.enabled:
+                    obs.events.listener = None
+            if monitor is not None:
+                monitor.stop()
             system.close_pool()
     total_seconds = time.perf_counter() - started  # lsd: ignore[wallclock]
     obs.events.emit(EV_RUN_END, ok=True, elapsed_seconds=total_seconds)
@@ -559,9 +725,6 @@ def _cmd_match(args: argparse.Namespace) -> int:
                 lambda: obs.trace.write_jsonl(args.trace_out,
                                               plan=policy.fault_plan)):
             print(f"trace written to {args.trace_out}")
-    fingerprint = dataset_fingerprint(
-        schema.tags,
-        [listing.text_content() for listing in listings])
     if args.report_out:
         config = {"model": str(args.model),
                   "schema": str(args.schema),
@@ -585,6 +748,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
             config["deadline"] = args.deadline
         if args.learner_timeout is not None:
             config["learner_timeout"] = args.learner_timeout
+        if checkpoint is not None:
+            config["run_id"] = checkpoint.run_id
+            if checkpoint.resumed_from:
+                config["resumed_from"] = checkpoint.resumed_from
         report = build_match_report(
             config=config,
             dataset={"fingerprint": fingerprint,
@@ -613,7 +780,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
             timings={**result.timings, "total": total_seconds},
             metrics={"instances": obs.metrics.counter(
                          M_INSTANCES).value,
-                     "tags": len(schema.tags)})
+                     "tags": len(schema.tags)},
+            run_id=checkpoint.run_id
+            if checkpoint is not None else None,
+            resumed_from=checkpoint.resumed_from
+            if checkpoint is not None else None)
         if _emit_artifact(
                 "ledger", args.ledger_out, policy.report,
                 lambda: run_ledger.append_entry(
@@ -640,6 +811,15 @@ def _degradation_summary(degradation) -> str:
     if degradation.pool_failures:
         parts.append("pool fell back to serial: "
                      + ", ".join(sorted(set(degradation.pool_failures))))
+    if degradation.worker_deaths:
+        parts.append(f"worker deaths: {len(degradation.worker_deaths)}")
+    if degradation.watchdog:
+        kinds = sorted({event["kind"] for event in degradation.watchdog})
+        parts.append("watchdog: " + ", ".join(kinds))
+    if degradation.pressure_events:
+        actions = sorted({event["action"]
+                          for event in degradation.pressure_events})
+        parts.append("memory pressure: " + ", ".join(actions))
     if degradation.anytime:
         parts.append("anytime search exit")
     if degradation.fired_faults:

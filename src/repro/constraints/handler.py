@@ -144,21 +144,27 @@ class _Budget:
 
     Increments race benignly across worker threads (a lock per node
     would cost more than the occasional lost count); at one worker the
-    count is exact. The deadline, when armed, is polled amortized —
-    every 256 expansions — so the hot path normally pays two attribute
-    reads. ``stopped`` latches once any expansion is refused, which is
+    count is exact. The deadline is polled amortized — every 256
+    expansions — so the hot path normally pays two attribute reads.
+    ``stopped`` latches once any expansion is refused, which is
     exactly the "search was cut short, result is best-so-far" signal
     the anytime flag reports.
+
+    An *inert* deadline is kept rather than dropped: the runtime
+    watchdog and memory-pressure guardrails may ``trip()`` it from
+    another thread mid-search, and that must be visible at the poll.
+    ``snapshot``, when set, fires every :data:`_SNAPSHOT_MASK` + 1
+    expansions — the checkpointer's incumbent-persistence hook.
     """
 
-    __slots__ = ("limit", "spent", "deadline", "stopped")
+    __slots__ = ("limit", "spent", "deadline", "stopped", "snapshot")
 
     def __init__(self, limit: int, deadline=None) -> None:
         self.limit = limit
         self.spent = 0
-        self.deadline = deadline \
-            if deadline is not None and deadline.active else None
+        self.deadline = deadline
         self.stopped = False
+        self.snapshot = None
 
     def exhausted(self) -> bool:
         if self.stopped:
@@ -171,6 +177,11 @@ class _Budget:
             self.stopped = True
             return True
         return False
+
+
+#: ``spent & _SNAPSHOT_MASK == 0`` gates incumbent snapshots — every
+#: 4096 expansions, matching ``runtime.checkpoint.SNAPSHOT_EVERY``.
+_SNAPSHOT_MASK = 0xFFF
 
 
 class _DfsEngine:
@@ -342,6 +353,12 @@ class _DfsEngine:
         if budget.exhausted():
             return
         budget.spent += 1
+        snap = budget.snapshot
+        if snap is not None and not (budget.spent & _SNAPSHOT_MASK):
+            # The checkpoint snapshot callback; it only reads the
+            # incumbent (under its lock) and writes through the atomic
+            # artifact layer, so it cannot perturb the search.
+            snap()  # lsd: ignore[flow-unresolved-hot-call]
         self._nodes += 1
         inc = self.incumbent
         path = self.path
@@ -464,7 +481,8 @@ class ConstraintHandler:
                      executor: ParallelExecutor | None = None,
                      profile: StageProfile | None = None,
                      observer: Observer | None = None,
-                     deadline=None, report=None) -> Mapping:
+                     deadline=None, report=None, warm_start=None,
+                     snapshot=None) -> Mapping:
         """The least-cost mapping for the given per-tag score rows.
 
         ``scores[tag]`` is the prediction converter's normalised score
@@ -480,12 +498,23 @@ class ConstraintHandler:
         cuts the search short the best complete mapping found so far is
         returned and ``report`` (a :class:`~repro.resilience.
         DegradationReport`), when given, is flagged *anytime*.
+
+        ``warm_start`` is a checkpointed ``(cost, path, assignment)``
+        incumbent pre-offered to the search before any expansion.
+        Because incumbents order by ``(cost, path)`` — the same total
+        order exploration itself settles — pre-offering is equivalent
+        to having explored that leaf first, so a warm-started search
+        returns exactly what an uninterrupted one would. ``snapshot``
+        is a ``(cost, path, assignment)`` callback invoked with the
+        current incumbent every few thousand expansions (and once at
+        the end of the search) — the crash-safe persistence hook.
         """
         obs = resolve_observer(observer)
         with obs.trace.span("search", strategy=self.search) as span:
             mapping = self._find_mapping(scores, space, ctx,
                                          extra_constraints, executor,
-                                         profile, deadline)
+                                         profile, deadline, warm_start,
+                                         snapshot)
             span.set_attribute(
                 "nodes_expanded", self.last_stats["nodes_expanded"])
         for stat, metric in _STAT_METRICS.items():
@@ -499,7 +528,8 @@ class ConstraintHandler:
                       extra_constraints: Sequence[Constraint],
                       executor: ParallelExecutor | None,
                       profile: StageProfile | None,
-                      deadline=None) -> Mapping:
+                      deadline=None, warm_start=None,
+                      snapshot=None) -> Mapping:
         hard, soft = split_constraints(
             [*self.constraints, *extra_constraints])
         tags = self._tag_order(list(scores), ctx)
@@ -533,9 +563,19 @@ class ConstraintHandler:
 
         if self.search == "astar":
             best, stats = self._astar_search(problem, deadline)
+            if warm_start is not None and stats.get("anytime"):
+                # Best-first search has no shared incumbent to seed, so
+                # the checkpointed leaf competes with the result here:
+                # on a cut-short search the cheaper of the two wins
+                # (ties keep the fresh result).
+                warm_cost, _, warm_assignment = warm_start
+                if best is None or warm_cost < stats["best_cost"]:
+                    best = dict(warm_assignment)
+                    stats["best_cost"] = float(warm_cost)
         else:
             best, stats = self._branch_and_bound(problem, executor,
-                                                 deadline)
+                                                 deadline, warm_start,
+                                                 snapshot)
         stats["strategy"] = self.search
         self.last_stats = stats
         if profile is not None:
@@ -554,12 +594,22 @@ class ConstraintHandler:
     # ------------------------------------------------------------------
     def _branch_and_bound(self, problem: _Problem,
                           executor: ParallelExecutor | None,
-                          deadline=None
+                          deadline=None, warm_start=None, snapshot=None
                           ) -> tuple[dict[str, str] | None, dict]:
         """Incremental DFS branch-and-bound with a parallel root-split."""
         executor = resolve(executor)
         incumbent = _Incumbent()
         budget = _Budget(self.max_expansions, deadline)
+        if warm_start is not None:
+            warm_cost, warm_path, warm_assignment = warm_start
+            incumbent.offer(float(warm_cost), tuple(warm_path),
+                            dict(warm_assignment))
+        if snapshot is not None:
+            def snap() -> None:
+                cost, path, assignment = incumbent.best
+                if assignment is not None:
+                    snapshot(cost, path, assignment)
+            budget.snapshot = snap
 
         seed_engine = _DfsEngine(problem, incumbent, budget)
         seed_engine.greedy_seed()
@@ -581,6 +631,8 @@ class ConstraintHandler:
         stats["root_partitions"] = len(partitions)
         stats["anytime"] = int(budget.stopped)
 
+        if budget.snapshot is not None:
+            budget.snapshot()  # final flush: persist the winner too
         cost, _, assignment = incumbent.best
         stats["best_cost"] = cost
         return assignment, stats

@@ -43,12 +43,15 @@ from ..learners.base import BaseLearner
 from ..learners.meta import StackingMetaLearner
 from ..observability import (Observer, QualityRecord, StageProfile,
                              build_quality_records, resolve_observer)
-from ..observability.events import (EV_DEGRADATION, EV_SHARD_COMPLETE,
+from ..observability.events import (EV_CHECKPOINT, EV_DEGRADATION,
+                                    EV_RESUME, EV_SHARD_COMPLETE,
                                     EV_STAGE_END, EV_STAGE_START)
 from ..observability.metrics import (M_ANYTIME_EXITS, M_CACHE_HIT_RATIO,
                                      M_CACHE_HITS, M_CACHE_MISSES,
-                                     M_COLUMN_SIZE, M_FAULTS_FIRED,
-                                     M_INSTANCES, M_LEARNERS_QUARANTINED,
+                                     M_CKPT_STAGES_RESUMED,
+                                     M_CKPT_WRITES, M_COLUMN_SIZE,
+                                     M_FAULTS_FIRED, M_INSTANCES,
+                                     M_LEARNERS_QUARANTINED,
                                      M_LISTINGS_DROPPED,
                                      M_LISTINGS_RECOVERED,
                                      M_POOL_FAILURES, M_PREDICT_LATENCY,
@@ -125,7 +128,8 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                  executor: ParallelExecutor | None = None,
                  incremental_structure: bool = True,
                  observer: Observer | None = None,
-                 policy: ResiliencePolicy | None = None) -> MatchResult:
+                 policy: ResiliencePolicy | None = None,
+                 checkpoint=None) -> MatchResult:
     """Run the full matching pipeline; see module docstring.
 
     ``score_filter(tag_scores, columns) -> tag_scores`` runs between the
@@ -148,6 +152,17 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
     search honours the policy's deadline (returning a best-so-far
     mapping flagged ``anytime``). Without a policy, errors propagate
     exactly as before.
+
+    ``checkpoint`` (an opened :class:`repro.runtime.Checkpointer`)
+    arms crash-safe stage snapshots: a stage whose checkpoint is
+    already on disk loads instead of recomputing, per-learner score
+    matrices and the search's best-so-far incumbent persist as they
+    complete, and the final mapping is committed before the function
+    returns. The resume contract is byte identity: a run killed at any
+    stage boundary and resumed produces exactly the mapping, scores
+    and quality records of one uninterrupted run (structure passes and
+    the converter re-run deterministically from the persisted pass-0
+    matrices). ``None`` — the default — costs nothing.
     """
     executor = resolve(executor)
     obs = resolve_observer(observer)
@@ -158,9 +173,17 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
     events = obs.events
     with obs.trace.span("match") as match_span:
         events.emit(EV_STAGE_START, stage="extract")
+        # Extraction always runs — the extract checkpoint persists
+        # provenance, not payload, because columns re-derive from the
+        # durable inputs faster than a serialized form loads (see
+        # repro.runtime.checkpoint). A resumed attempt skips only the
+        # marker re-commit.
         with profile.stage("extract"), obs.trace.span("extract"):
             columns = extract_columns(schema, list(listings),
                                       max_instances_per_tag)
+        if checkpoint is not None and checkpoint.save_columns(columns):
+            obs.metrics.counter(M_CKPT_WRITES).inc()
+            events.emit(EV_CHECKPOINT, stage="extract")
         events.emit(EV_STAGE_END, stage="extract",
                     elapsed_seconds=profile.seconds("extract"))
 
@@ -188,7 +211,7 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                 flat, slices, columns, learners, meta, converter, space,
                 structure_passes, executor, profile,
                 incremental_structure, obs, predict_span.span_id,
-                policy)
+                policy, checkpoint)
             converted_scores = tag_scores
             if score_filter is not None:
                 with profile.stage("predict.score_filter"), \
@@ -210,7 +233,13 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                 deadline = Deadline(0.0)
         events.emit(EV_STAGE_START, stage="constrain")
         with profile.stage("constrain"), obs.trace.span("constrain"):
-            if handler is None:
+            saved_mapping = checkpoint.load_mapping() \
+                if checkpoint is not None else None
+            if saved_mapping is not None:
+                mapping = Mapping(saved_mapping)
+                events.emit(EV_RESUME, stage="constrain")
+                obs.metrics.counter(M_CKPT_STAGES_RESUMED).inc()
+            elif handler is None:
                 mapping = Mapping({
                     tag: space.label_at(int(np.argmax(row)))
                     for tag, row in tag_scores.items()})
@@ -220,7 +249,16 @@ def match_source(schema: SourceSchema, listings: Sequence[Element],
                     executor=executor, profile=profile, observer=obs,
                     deadline=deadline,
                     report=policy.report if policy is not None
-                    else None)
+                    else None,
+                    warm_start=checkpoint.load_incumbent()
+                    if checkpoint is not None else None,
+                    snapshot=checkpoint.save_incumbent
+                    if checkpoint is not None else None)
+            if saved_mapping is None and checkpoint is not None \
+                    and checkpoint.save_mapping(
+                        {tag: mapping.label_of(tag) for tag in mapping}):
+                obs.metrics.counter(M_CKPT_WRITES).inc()
+                events.emit(EV_CHECKPOINT, stage="constrain")
         events.emit(EV_STAGE_END, stage="constrain",
                     elapsed_seconds=profile.seconds("constrain"),
                     items=len(tags))
@@ -326,7 +364,8 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
                   structure_passes: int, executor: ParallelExecutor,
                   profile: StageProfile, incremental: bool,
                   obs: Observer, predict_span_id: str | None,
-                  policy: ResiliencePolicy | None = None
+                  policy: ResiliencePolicy | None = None,
+                  checkpoint=None
                   ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
     """Per-learner flat score matrices and per-tag converted scores,
     with optional structure re-passes.
@@ -358,6 +397,15 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     renormalizes over the survivors (uniform scores if none survive).
     The ``learner.predict`` fault site fires once per learner per pass
     (on its first shard), exactly as it did before sharding.
+
+    With a ``checkpoint``, each learner's pass-0 matrix is persisted
+    as its gather completes — gather always happens here on the
+    orchestrating thread, so the persisted bytes are identical on
+    every backend — and learners already on disk are dropped from the
+    fan-out on resume (per-learner shard plans make each learner's
+    scores independent of the group it runs with). Structure passes
+    are never persisted: they re-run deterministically from the pass-0
+    matrices, which is what keeps a resumed run byte-identical.
     """
     latency = obs.metrics.histogram(M_PREDICT_LATENCY)
 
@@ -552,14 +600,40 @@ def _predict_tags(flat: list[ElementInstance], slices: dict[str, slice],
     if featurize.is_enabled():
         with profile.stage("predict.featurize_warm"):
             featurize.warm_texts(flat)
-    rows = fan_out(flat, learners, "predict")
-    scores_by_learner: dict[str, np.ndarray] = {
-        learner.name: scores
-        for learner, scores in zip(learners, rows)
-        if not isinstance(scores, TaskFailure)}
-    for learner, scores in zip(learners, rows):
-        if isinstance(scores, TaskFailure):
-            quarantine(learner, scores)
+    preloaded: dict[str, np.ndarray] = {}
+    if checkpoint is not None:
+        names = {learner.name for learner in learners}
+        preloaded = {name: scores for name, scores
+                     in checkpoint.load_scores(len(flat)).items()
+                     if name in names}
+    pending = [learner for learner in learners
+               if learner.name not in preloaded]
+    rows = fan_out(flat, pending, "predict") if pending else []
+    fresh = {learner.name: scores
+             for learner, scores in zip(pending, rows)}
+    scores_by_learner: dict[str, np.ndarray] = {}
+    for learner in learners:
+        scores = preloaded.get(learner.name)
+        if scores is None:
+            scores = fresh.get(learner.name)
+        if scores is not None and not isinstance(scores, TaskFailure):
+            scores_by_learner[learner.name] = scores
+    for learner in pending:
+        failure = fresh.get(learner.name)
+        if isinstance(failure, TaskFailure):
+            quarantine(learner, failure)
+    if checkpoint is not None:
+        if not pending and checkpoint.has("predict"):
+            obs.events.emit(EV_RESUME, stage="predict")
+            obs.metrics.counter(M_CKPT_STAGES_RESUMED).inc()
+        else:
+            for learner in pending:
+                scores = scores_by_learner.get(learner.name)
+                if scores is not None and checkpoint. \
+                        save_learner_scores(learner.name, scores):
+                    obs.metrics.counter(M_CKPT_WRITES).inc()
+            checkpoint.commit_predict()
+            obs.events.emit(EV_CHECKPOINT, stage="predict")
     tag_scores = _convert(scores_by_learner, slices, meta, converter,
                           space, profile, obs, len(flat))
 

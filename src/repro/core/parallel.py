@@ -47,6 +47,7 @@ behaves exactly as before.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -303,6 +304,47 @@ SHARD_TARGET_ROWS = 2048
 MAX_SHARDS = 8
 
 
+class ShardScale:
+    """Memory-pressure shard-grain scale (thread-safe).
+
+    The pressure monitor (:mod:`repro.runtime.pressure`) halves the
+    effective shard grain — doubling this factor — so per-task peak
+    memory shrinks under RSS pressure. Learner scoring is row-wise by
+    the :class:`~repro.learners.base.BaseLearner` contract, so a finer
+    shard plan changes concatenation boundaries and trace shape only,
+    never pipeline output. Registered in
+    :data:`repro.runtime.checkpoint.REGISTERED_MUTABLE_STATE`: a
+    resumed run safely starts back at factor 1.
+    """
+
+    __slots__ = ("_factor", "_lock")
+
+    _MAX_FACTOR = 16
+
+    def __init__(self) -> None:
+        self._factor = 1
+        self._lock = threading.Lock()
+
+    @property
+    def factor(self) -> int:
+        return self._factor
+
+    def halve(self) -> int:
+        """Halve the shard grain once more; returns the new factor."""
+        with self._lock:
+            self._factor = min(self._factor * 2, self._MAX_FACTOR)
+            return self._factor
+
+    def reset(self) -> None:
+        with self._lock:
+            self._factor = 1
+
+
+#: The process-wide shard-grain scale; factor 1 (the default) keeps
+#: :func:`shard_bounds` the documented pure function of the batch size.
+SHARD_SCALE = ShardScale()
+
+
 def shard_bounds(n: int, target: int = SHARD_TARGET_ROWS,
                  max_shards: int = MAX_SHARDS) -> list[tuple[int, int]]:
     """Contiguous ``[start, stop)`` shards covering an ``n``-row batch.
@@ -313,9 +355,17 @@ def shard_bounds(n: int, target: int = SHARD_TARGET_ROWS,
     shape). Shards are near-equal, earlier shards taking the remainder,
     and an empty batch yields the single empty shard ``[(0, 0)]`` so
     callers still fan out one task per unit of work.
+
+    Exception to purity: under memory pressure :data:`SHARD_SCALE`
+    tightens the grain (see :class:`ShardScale`) — outputs stay
+    byte-identical, only task granularity and trace shape change.
     """
     if n <= 0:
         return [(0, 0)]
+    scale = SHARD_SCALE.factor
+    if scale > 1:
+        target = max(1, target // scale)
+        max_shards = max_shards * scale
     shards = min(max_shards, max(1, -(-n // target)))
     base, remainder = divmod(n, shards)
     bounds: list[tuple[int, int]] = []

@@ -59,6 +59,7 @@ import itertools
 import multiprocessing
 import os
 import pickle
+import signal
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -86,6 +87,12 @@ from .shared_arrays import SharedArrayStore, extract_arrays, restore
 #: so a small window is always enough; the bound keeps a long match
 #: session's memory flat.
 _BATCH_WINDOW = 4
+
+#: Worker deaths one map absorbs by re-dispatching the lost shard to a
+#: surviving worker — the watchdog-kill recovery path. Beyond this the
+#: map raises :class:`PoolBrokenError` and completes serially, exactly
+#: like the legacy single-death behaviour.
+_REDISPATCH_BUDGET = 2
 
 
 class PoolBrokenError(RuntimeError):
@@ -388,6 +395,11 @@ class WorkerPool:
         #: Broadcasts skipped by the content-addressed ship cache over
         #: the pool's lifetime (the ``pool.batch_ship_skips`` metric).
         self.ship_skips = 0
+        #: worker_id -> monotonic stamp of its in-flight task; set on
+        #: dispatch, cleared when the worker answers (or dies). Read by
+        #: the watchdog thread through :meth:`dispatch_ages` — GIL-safe
+        #: int-keyed dict traffic, no lock needed.
+        self._dispatched: dict[int, float] = {}
         try:
             ctx = multiprocessing.get_context(
                 start_method or default_start_method())
@@ -480,6 +492,9 @@ class WorkerPool:
             self.broken = True
             raise PoolBrokenError(f"task dispatch failed: {exc}") \
                 from exc
+        # Watchdog telemetry (liveness deadline), never pipeline output.
+        self._dispatched[worker_id] = \
+            time.monotonic()  # lsd: ignore[wallclock]
 
     def wait(self) -> list[tuple]:
         """Block until something happens; one event per entry.
@@ -516,7 +531,60 @@ class WorkerPool:
                 dead.add(worker_id)
         events.extend(("died", worker_id, None)
                       for worker_id in sorted(dead))
+        for worker_id in (*answered, *dead):
+            self._dispatched.pop(worker_id, None)
         return events
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def dispatch_ages(self) -> dict[int, float]:
+        """Seconds each in-flight task has been outstanding, by worker.
+
+        Workers with no dispatched task are absent. The watchdog
+        compares these against its deadline; pure telemetry, never
+        pipeline output.
+        """
+        now = time.monotonic()  # lsd: ignore[wallclock]
+        return {worker_id: now - stamp
+                for worker_id, stamp in list(self._dispatched.items())}
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Watchdog escalation: SIGKILL one hung worker parent-side.
+
+        Unlike :meth:`crash_worker` this does **not** mark the pool
+        broken — the dead worker's sentinel wakes the map engine, which
+        discards it and re-dispatches the lost shard to a survivor
+        (bounded; see :func:`run_process_map`). SIGKILL because a hung
+        worker may never read another pipe message.
+        """
+        handle = self._workers.get(worker_id)
+        if handle is None or not handle.process.is_alive():
+            return
+        pid = handle.process.pid
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    def discard_worker(self, worker_id: int) -> None:
+        """Remove one dead worker from the rotation without breaking
+        the pool: join it, close its pipe, shrink :attr:`size` so the
+        system rebuilds a full-width pool on its next access."""
+        handle = self._workers.pop(worker_id, None)
+        self._dispatched.pop(worker_id, None)
+        if handle is None:
+            return
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():  # pragma: no cover - stuck
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self.size = max(1, len(self._workers))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -715,11 +783,34 @@ def run_process_map(executor, tasks: list[ProcessTask],
             feed(worker_id)
         if metrics is not None:
             metrics.gauge(M_POOL_QUEUE_DEPTH).set(float(len(pending)))
+        deaths = 0
         while outstanding:
             for event in pool.wait():
                 if event[0] == "died":
-                    raise PoolBrokenError(
-                        f"worker {event[1]} died during {label!r}")
+                    # A deliberately crashed pool (chaos, broken pipe)
+                    # keeps the legacy contract: serial completion.
+                    # Otherwise — a watchdog kill or a spontaneous
+                    # death — re-dispatch the lost shard to a survivor,
+                    # within the death budget.
+                    dead_id = event[1]
+                    lost = outstanding.pop(dead_id, None)
+                    pool.discard_worker(dead_id)
+                    deaths += 1
+                    if pool.broken or deaths > _REDISPATCH_BUDGET \
+                            or not pool.worker_ids():
+                        raise PoolBrokenError(
+                            f"worker {dead_id} died during {label!r}")
+                    if lost is not None:
+                        if policy is not None:
+                            policy.report.worker_died(label, dead_id,
+                                                      lost)
+                        pending.appendleft(lost)
+                        queued_at[lost] = \
+                            time.perf_counter()  # lsd: ignore[wallclock]
+                    for idle_id in pool.worker_ids():
+                        if idle_id not in outstanding:
+                            feed(idle_id)
+                    continue
                 worker_id, reply = event[1], event[2]
                 index = outstanding.pop(worker_id)
                 if metrics is not None:

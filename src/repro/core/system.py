@@ -287,12 +287,16 @@ class LSDSystem:
     def match(self, schema: SourceSchema | str,
               listings: Sequence[Element],
               extra_constraints: Sequence[Constraint] = (),
-              observer: Observer | None = None) -> MatchResult:
+              observer: Observer | None = None,
+              checkpoint=None) -> MatchResult:
         """Propose 1-1 mappings for a new source (§3.2).
 
         ``observer`` receives the run's trace spans, metrics, and
         quality records (disabled by default; see
-        :mod:`repro.observability`).
+        :mod:`repro.observability`). ``checkpoint`` (an opened
+        :class:`repro.runtime.Checkpointer`) arms crash-safe stage
+        snapshots and byte-identical resume — see
+        :func:`~repro.core.matching.match_source`.
         """
         if self.meta is None:
             raise RuntimeError("call train() before match()")
@@ -307,7 +311,8 @@ class LSDSystem:
             self.handler, self.space, extra_constraints,
             self.max_instances_per_tag, score_filter=score_filter,
             executor=self.executor, observer=observer,
-            policy=getattr(self, "policy", None))
+            policy=getattr(self, "policy", None),
+            checkpoint=checkpoint)
 
     def confirm_and_learn(self, schema: SourceSchema | str,
                           listings: Sequence[Element],

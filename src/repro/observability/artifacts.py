@@ -1,10 +1,23 @@
-"""Atomic run-artifact writes: temp file + ``os.replace``.
+"""Atomic run-artifact writes: temp file + fsync + ``os.replace``.
 
 Every observability artifact the CLI emits — the run report, the span
-trace, the progress-event stream, the run ledger — goes through this
-module, so a run killed mid-write can never leave a truncated JSON or
-JSONL file behind: the destination either keeps its previous content
-or receives the complete new one in a single rename.
+trace, the progress-event stream, the run ledger — and every runtime
+checkpoint goes through this module, so a run killed mid-write can
+never leave a truncated JSON or JSONL file behind: the destination
+either keeps its previous content or receives the complete new one in
+a single rename.
+
+Durability has two layers. The rename gives *atomicity* (no torn
+files); the ``fsync`` on the temp file before the rename gives
+*persistence* (after ``os.replace`` returns, the new content survives
+power loss, not just process death). The two are separable —
+``durable=False`` skips the fsync for callers whose threat model is
+process death only: a SIGKILLed process loses nothing that reached the
+page cache, the rename still guarantees a complete-or-absent file, and
+the hot path sheds a storage round-trip per write. Checkpoints use
+this mode (they validate every load and recompute on mismatch, so even
+a power-loss-torn artifact only costs a redone stage); ledgers and run
+reports keep the full fsync.
 
 The ``artifact.write`` fault site fires *between* the temp-file write
 and the rename — the worst possible crash instant — which is how the
@@ -13,28 +26,78 @@ fault-injection tests prove the invariant rather than assume it.
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 from pathlib import Path
 
 from ..resilience.sites import SITE_ARTIFACT_WRITE
 
+#: Per-process temp-name disambiguator: two *threads* writing the same
+#: destination must not share a temp file, or one thread's rename
+#: steals (or loses) the other's bytes. PID alone is not enough.
+_TMP_COUNTER = itertools.count()
 
-def atomic_write_text(path: str | Path, text: str, plan=None) -> None:
-    """Write ``text`` to ``path`` atomically.
+
+def _tmp_name(path: Path) -> Path:
+    return path.with_name(
+        f".{path.name}.tmp.{os.getpid()}."
+        f"{threading.get_ident()}.{next(_TMP_COUNTER)}")
+
+
+def _publish(tmp: Path, path: Path, plan, durable: bool) -> None:
+    """fsync the written temp file (when durable), fire the fault
+    site, rename.
+
+    The fsync happens *before* the fault site so an injected
+    ``FaultInjected`` models a crash at the worst instant: data durable
+    in the temp file but the rename never issued — the destination must
+    keep its previous content. The exception propagates to the caller
+    (the CLI's artifact emitter and the checkpoint writer both absorb
+    it into the degradation report).
+    """
+    if durable:
+        fd = os.open(tmp, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    if plan is not None:
+        plan.fire(SITE_ARTIFACT_WRITE, path.name)
+    os.replace(tmp, path)
+
+
+def atomic_write_text(path: str | Path, text: str, plan=None, *,
+                      durable: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically and durably.
 
     The temp file lives in the destination's directory (``os.replace``
-    must not cross filesystems) and is removed on any failure, so an
-    interrupted write leaves neither a truncated target nor litter.
-    ``plan`` (a :class:`~repro.resilience.FaultPlan`) arms the
-    ``artifact.write`` site, keyed by the destination file name.
+    must not cross filesystems), is fsynced before the rename, and is
+    removed on any failure — an interrupted write leaves neither a
+    truncated target nor litter. ``plan`` (a
+    :class:`~repro.resilience.FaultPlan`) arms the ``artifact.write``
+    site, keyed by the destination file name. ``durable=False`` skips
+    the fsync for process-death-only callers (module docstring).
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp = _tmp_name(path)
     try:
         tmp.write_text(text)
-        if plan is not None:
-            plan.fire(SITE_ARTIFACT_WRITE, path.name)
-        os.replace(tmp, path)
+        _publish(tmp, path, plan, durable)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes,
+                       plan=None, *, durable: bool = True) -> None:
+    """Binary twin of :func:`atomic_write_text` — same temp-file,
+    fsync, fault-site, rename sequence. Checkpoint payloads (score
+    shards) go through here."""
+    path = Path(path)
+    tmp = _tmp_name(path)
+    try:
+        tmp.write_bytes(data)
+        _publish(tmp, path, plan, durable)
     finally:
         tmp.unlink(missing_ok=True)
 

@@ -34,6 +34,8 @@ EV_STAGE_START = "stage_start"
 EV_STAGE_END = "stage_end"
 EV_SHARD_COMPLETE = "shard_complete"
 EV_DEGRADATION = "degradation"
+EV_CHECKPOINT = "checkpoint"
+EV_RESUME = "resume"
 
 #: kind -> description; the documented progress-event vocabulary.
 EVENT_CATALOGUE: dict[str, str] = {
@@ -54,6 +56,13 @@ EVENT_CATALOGUE: dict[str, str] = {
     EV_DEGRADATION:
         "Resilience machinery changed the run (quarantine, pool "
         "fallback, anytime exit, salvage); payload describes how.",
+    EV_CHECKPOINT:
+        "A checkpoint was opened (stage 'open', payload carries the "
+        "run id) or a pipeline stage's checkpoint was committed to "
+        "disk; payload names the stage.",
+    EV_RESUME:
+        "A pipeline stage was skipped because --resume found its "
+        "checkpoint; payload names the stage.",
 }
 
 
@@ -77,6 +86,9 @@ class EventStream:
         self._clock = clock
         self._seq = 0
         self._handle = None
+        #: Optional ``(kind, event)`` tap invoked on every emission —
+        #: the runtime supervisor registers its heartbeat intake here.
+        self.listener = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self._tmp_path, "w")
@@ -95,6 +107,8 @@ class EventStream:
         if self._handle is not None:
             self._handle.write(json.dumps(event, sort_keys=True) + "\n")
             self._handle.flush()
+        if self.listener is not None:
+            self.listener(kind, event)
         return event
 
     def close(self, plan=None) -> None:
@@ -119,6 +133,7 @@ class NullEventStream:
     enabled = False
     events: list = []
     path = None
+    listener = None
 
     def emit(self, kind: str, **payload) -> dict:
         return {}

@@ -60,11 +60,19 @@ def build_entry(*, label: str, fingerprint: str, created: float,
                 config: dict | None = None, host: dict | None = None,
                 timings: dict | None = None,
                 metrics: dict | None = None,
-                accuracy: float | None = None) -> dict:
+                accuracy: float | None = None,
+                run_id: str | None = None,
+                resumed_from: str | None = None) -> dict:
     """One ledger line. ``timings`` maps stage name to seconds and
     should include ``total``; ``metrics`` is a flat name->number dict
     (headline counters, not full summaries — the ledger is a
-    trajectory, not an archive)."""
+    trajectory, not an archive).
+
+    ``run_id`` names the checkpointed attempt that produced the entry
+    and ``resumed_from`` the prior attempt it picked up from. A
+    resumed entry's timings cover only the stages that actually ran,
+    so :func:`check_ledger` excludes it from timing comparisons.
+    """
     entry = {
         "schema_version": LEDGER_SCHEMA_VERSION,
         "kind": LEDGER_KIND,
@@ -80,6 +88,10 @@ def build_entry(*, label: str, fingerprint: str, created: float,
     }
     if accuracy is not None:
         entry["accuracy"] = float(accuracy)
+    if run_id is not None:
+        entry["run_id"] = run_id
+    if resumed_from is not None:
+        entry["resumed_from"] = resumed_from
     return entry
 
 
@@ -246,6 +258,12 @@ def check_ledger(path: str | Path = DEFAULT_PATH,
     ``window`` immediately preceding entries of the same ``(label,
     fingerprint)``. With ``label=None`` every series with at least one
     baseline entry is checked. Returns ``(ok, rendered verdicts)``.
+
+    Entries carrying ``resumed_from`` are excluded from every series:
+    a resumed run only timed the stages its checkpoint had not
+    already completed, so its totals would poison baselines (and a
+    fast partial run as the newest entry would sail past a gate it
+    never really ran).
     """
     entries = read_ledger(path)
     if not entries:
@@ -262,10 +280,20 @@ def check_ledger(path: str | Path = DEFAULT_PATH,
     lines: list[str] = []
     ok = True
     for key in series_keys:
-        series = series_of(entries, *key)
+        full = series_of(entries, *key)
+        series = [entry for entry in full
+                  if entry.get("resumed_from") is None]
+        resumed = len(full) - len(series)
+        if not series:
+            lines.append(f"{key[0]} @ {key[1]}: only resumed partial "
+                         f"run(s), nothing comparable")
+            continue
         if len(series) < 2:
             lines.append(f"{key[0]} @ {key[1]}: only "
-                         f"{len(series)} run(s), no baseline yet")
+                         f"{len(series)} comparable run(s)"
+                         + (f" ({resumed} resumed excluded)"
+                            if resumed else "")
+                         + ", no baseline yet")
             continue
         baseline = series[-1 - window:-1]
         failures = check_entry(series[-1], baseline,

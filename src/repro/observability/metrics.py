@@ -70,6 +70,12 @@ M_POOL_QUEUE_DEPTH = "pool.queue_depth"
 M_POOL_QUEUE_WAIT = "pool.queue_wait_seconds"
 M_POOL_SHIP_SKIPS = "pool.batch_ship_skips"
 M_POOL_TASKS = "pool.tasks_dispatched"
+M_CKPT_WRITES = "runtime.checkpoint.writes"
+M_CKPT_STAGES_RESUMED = "runtime.checkpoint.stages_resumed"
+M_WATCHDOG_KILLS = "runtime.watchdog.kills"
+M_WATCHDOG_STALLS = "runtime.watchdog.stalls"
+M_PRESSURE_LEVEL = "runtime.pressure.level"
+M_PRESSURE_ACTIONS = "runtime.pressure.actions"
 
 #: name -> (kind, description); the documented metric vocabulary.
 CATALOGUE: dict[str, tuple[str, str]] = {
@@ -135,6 +141,18 @@ CATALOGUE: dict[str, tuple[str, str]] = {
                    "ship cache"),
     M_POOL_TASKS: (
         "counter", "tasks dispatched to worker processes"),
+    M_CKPT_WRITES: (
+        "counter", "checkpoint artifacts committed to disk"),
+    M_CKPT_STAGES_RESUMED: (
+        "counter", "pipeline stages skipped by --resume"),
+    M_WATCHDOG_KILLS: (
+        "counter", "hung workers killed by the supervisor"),
+    M_WATCHDOG_STALLS: (
+        "counter", "pipeline stalls that tripped the run deadline"),
+    M_PRESSURE_LEVEL: (
+        "gauge", "current memory-pressure tier (0 = nominal)"),
+    M_PRESSURE_ACTIONS: (
+        "counter", "memory-pressure guardrail actions taken"),
 }
 
 

@@ -68,27 +68,43 @@ class Deadline:
     check. Time is read through ``time.monotonic`` — the deadline is a
     *robustness* device, so chaos determinism tests only combine it
     with raise-style faults, never with timing-sensitive assertions.
+
+    :meth:`trip` expires the deadline immediately from another thread —
+    the runtime watchdog and memory-pressure guardrails use it to force
+    long-running stages (the constraint search) onto their anytime
+    best-so-far exits. A tripped deadline counts as active even when it
+    carries no time budget.
     """
 
-    __slots__ = ("seconds", "_start")
+    __slots__ = ("seconds", "_start", "_tripped")
 
     def __init__(self, seconds: float | None = None) -> None:
         self.seconds = seconds
+        self._tripped = False
         self._start = None if seconds is None else \
             time.monotonic()  # lsd: ignore[wallclock]
 
     @property
     def active(self) -> bool:
-        return self.seconds is not None
+        return self.seconds is not None or self._tripped
+
+    def trip(self) -> None:
+        """Expire immediately (idempotent, thread-safe: one boolean
+        store, read at the consumers' amortized poll points)."""
+        self._tripped = True
 
     def remaining(self) -> float | None:
         """Seconds left, or ``None`` for an inert deadline."""
+        if self._tripped:
+            return 0.0
         if self._start is None:
             return None
         elapsed = time.monotonic() - self._start  # lsd: ignore[wallclock]
         return self.seconds - elapsed
 
     def expired(self) -> bool:
+        if self._tripped:
+            return True
         if self._start is None:
             return False
         remaining = self.remaining()
@@ -123,6 +139,14 @@ class DegradationReport:
         #: Run artifacts (report/trace/ledger/telemetry) whose write
         #: failed and was absorbed instead of crashing the run.
         self.artifact_failures: list[dict] = []
+        #: Worker deaths absorbed mid-map by re-dispatching the lost
+        #: shard to a surviving worker (watchdog kills land here).
+        self.worker_deaths: list[dict] = []
+        #: Watchdog escalations: hung-worker kills and pipeline stalls.
+        self.watchdog: list[dict] = []
+        #: Memory-pressure tier actions (cache shed, shard re-grain,
+        #: checkpoint-and-degrade), in the order they fired.
+        self.pressure_events: list[dict] = []
 
     # ------------------------------------------------------------------
     # recording
@@ -151,6 +175,25 @@ class DegradationReport:
             self.artifact_failures.append(
                 {"artifact": artifact, "cause": cause})
 
+    def worker_died(self, stage: str, worker: int, task: int) -> None:
+        """A pool worker died mid-map and its shard was re-dispatched
+        to a survivor — degradation (lost latency), not data loss."""
+        with self._lock:
+            self.worker_deaths.append(
+                {"stage": stage, "worker": worker, "task": task})
+
+    def watchdog_event(self, kind: str, detail: str) -> None:
+        """A supervisor escalation: ``worker_killed`` or ``stall``."""
+        with self._lock:
+            self.watchdog.append({"kind": kind, "detail": detail})
+
+    def pressure(self, tier: int, action: str) -> None:
+        """A memory-pressure tier fired (see
+        :mod:`repro.runtime.pressure`)."""
+        with self._lock:
+            self.pressure_events.append(
+                {"tier": tier, "action": action})
+
     def mark_anytime(self) -> None:
         self.anytime = True
 
@@ -174,6 +217,8 @@ class DegradationReport:
         return bool(self.quarantines or self.retries
                     or self.pool_failures or self.anytime
                     or self.fired_faults or self.artifact_failures
+                    or self.worker_deaths or self.watchdog
+                    or self.pressure_events
                     or (self.recovery is not None
                         and not self.recovery.ok))
 
@@ -201,6 +246,16 @@ class DegradationReport:
             out["artifact_failures"] = sorted(
                 self.artifact_failures,
                 key=lambda f: (f["artifact"], f["cause"]))
+        if self.worker_deaths:
+            # Deaths are timing-dependent by nature; sorting keeps the
+            # report stable for a given set of absorbed deaths.
+            out["worker_deaths"] = sorted(
+                self.worker_deaths,
+                key=lambda d: (d["stage"], d["task"], d["worker"]))
+        if self.watchdog:
+            out["watchdog"] = list(self.watchdog)
+        if self.pressure_events:
+            out["pressure"] = list(self.pressure_events)
         return out
 
 
@@ -221,6 +276,10 @@ class ResiliencePolicy:
     learner_timeout: float | None = None
     fault_plan: FaultPlan | None = None
     report: DegradationReport = field(default_factory=DegradationReport)
+    #: The most recent :meth:`start_deadline` product — the handle the
+    #: runtime watchdog and pressure monitor trip from their threads.
+    _active_deadline: Deadline | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.input_mode not in INGEST_MODES:
@@ -232,7 +291,17 @@ class ResiliencePolicy:
 
     def start_deadline(self) -> Deadline:
         """A fresh :class:`Deadline` for one pipeline run."""
-        return Deadline(self.deadline)
+        deadline = Deadline(self.deadline)
+        self._active_deadline = deadline
+        return deadline
+
+    def trip_deadline(self) -> None:
+        """Expire the current run's deadline from another thread (the
+        watchdog/pressure escalation path); no-op before the first
+        :meth:`start_deadline`."""
+        deadline = self._active_deadline
+        if deadline is not None:
+            deadline.trip()
 
     def fire(self, site: str, key: str = "") -> None:
         """Hit a fault site if a plan is armed; no-op otherwise."""

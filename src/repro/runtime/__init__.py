@@ -1,0 +1,38 @@
+"""Durable-run machinery: checkpoints, supervision, memory guardrails.
+
+The matching pipeline's resilience layer (:mod:`repro.resilience`)
+absorbs faults *inside* a surviving process; this package covers the
+failure modes where the process itself does not survive — SIGKILL,
+hung workers, memory exhaustion:
+
+* :mod:`repro.runtime.checkpoint` — crash-safe stage snapshots with a
+  byte-identical resume contract;
+* :mod:`repro.runtime.supervisor` — a watchdog thread that kills and
+  recovers hung process-pool workers and detects pipeline stalls;
+* :mod:`repro.runtime.pressure` — tiered RSS-watermark responses that
+  degrade the run instead of letting the OOM killer end it.
+
+Everything here is strictly additive: with no checkpoint directory, no
+watchdog deadline and no RSS limit configured, none of these modules
+is imported on the hot path and pipeline output is byte-identical to a
+build without the package.
+"""
+
+from .checkpoint import (CHECKPOINT_VERSION, Checkpointer,
+                         REGISTERED_MUTABLE_STATE, STAGE_CONSTRAIN,
+                         STAGE_EXTRACT, STAGE_PREDICT, run_key)
+from .pressure import PressureMonitor, PressureThresholds
+from .supervisor import Supervisor
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
+    "PressureMonitor",
+    "PressureThresholds",
+    "REGISTERED_MUTABLE_STATE",
+    "STAGE_CONSTRAIN",
+    "STAGE_EXTRACT",
+    "STAGE_PREDICT",
+    "Supervisor",
+    "run_key",
+]

@@ -225,7 +225,7 @@ class TestDiscoveryAndParseErrors:
             "blind-except", "fault-site-catalogue",
             "flow-nondeterministic-path", "flow-worker-shared-write",
             "flow-fault-unhandled", "flow-unresolved-hot-call",
-            "flow-observer-gap"}
+            "flow-observer-gap", "checkpoint-unregistered-state"}
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(ValueError, match="unknown rule"):

@@ -392,6 +392,9 @@ class TestEventStream:
             EV_SHARD_COMPLETE: {"stage": "predict", "label": "nb",
                                 "index": 0, "shards": 1, "rows": 4},
             "degradation": {"reason": "quarantined 1 learner(s)"},
+            "checkpoint": {"stage": "open", "run_id": "abcd-a1",
+                           "resumed_from": "abcd-a0"},
+            "resume": {"stage": "extract"},
         }
         assert set(payloads) == set(EVENT_CATALOGUE)
         with EventStream(tmp_path / "all.jsonl") as stream:
